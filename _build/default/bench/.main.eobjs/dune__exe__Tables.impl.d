@@ -1,0 +1,1 @@
+bench/tables.ml: Fmt List Printf String

@@ -1,0 +1,694 @@
+(* The figure/table regeneration harness: one entry per paper artifact
+   (F1-F8) and per quantitative experiment (E1-E5).  See DESIGN.md §5 for
+   the index and EXPERIMENTS.md for paper-vs-measured. *)
+
+open Ooser_core
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+module Dist = Ooser_sim.Dist
+module Btree = Ooser_btree.Btree
+open Ooser_storage
+
+let metric out k = try List.assoc k out.Engine.metrics with Not_found -> 0
+
+let run_protocol ~seed ~protocol_of db txns =
+  let protocol = protocol_of (Database.spec_registry db) in
+  let config =
+    {
+      (Engine.default_config protocol) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed);
+    }
+  in
+  Engine.run ~config db ~protocol txns
+
+(* -- F1: conventional transactions vs object-oriented operations ---------------- *)
+
+let f1 () =
+  (* financial-market side: flat transfers on small account objects *)
+  let bank_p =
+    { Banking.default_params with Banking.n_txns = 8; transfers_per_txn = 2 }
+  in
+  let bank_db, _ = Banking.setup ~semantics:`Escrow bank_p in
+  let bank_txns = Banking.transactions ~rng:(Rng.create ~seed:41) bank_p in
+  let bank =
+    run_protocol ~seed:42 ~protocol_of:(fun reg -> Protocol.open_nested ~reg ())
+      bank_db bank_txns
+  in
+  (* publication side: nested encyclopedia transactions over a complex
+     structured object *)
+  let enc_p =
+    {
+      Enc_workload.default_params with
+      Enc_workload.n_txns = 8;
+      ops_per_txn = 3;
+      preload = 60;
+      mix = Enc_workload.with_scans;
+    }
+  in
+  let enc_db, _enc, enc_txns = Enc_workload.setup ~rng:(Rng.create ~seed:43) enc_p in
+  let enc =
+    run_protocol ~seed:44 ~protocol_of:(fun reg -> Protocol.open_nested ~reg ())
+      enc_db enc_txns
+  in
+  let depth h =
+    List.fold_left
+      (fun m a -> max m (Ids.Action_id.depth (Action.id a)))
+      0 (History.all_actions h)
+  in
+  let objects h =
+    List.length
+      (List.sort_uniq Obj_id.compare
+         (List.map Action.obj (History.all_actions h)))
+  in
+  let actions_per_txn h =
+    float_of_int (List.length (History.all_actions h))
+    /. float_of_int (max 1 (List.length (History.top_ids h)))
+  in
+  let row label out =
+    let h = out.Engine.history in
+    [
+      label;
+      Tables.i (objects h);
+      Tables.f1 (actions_per_txn h);
+      Tables.i (depth h);
+      Tables.i out.Engine.steps;
+      Tables.i (metric out "waits");
+      Tables.i (Baselines.conflicting_primitive_pairs h);
+      Tables.i (Baselines.conflict_pairs h `Oo);
+    ]
+  in
+  (* the ADT-composed store: flat-ish but semantically rich *)
+  let inv_db = Database.create () in
+  let _inv, inv_txns =
+    Inventory.setup ~rng:(Rng.create ~seed:45) Inventory.default_params inv_db
+  in
+  let inv =
+    run_protocol ~seed:46 ~protocol_of:(fun reg -> Protocol.open_nested ~reg ())
+      inv_db inv_txns
+  in
+  (* the three-level compound document: deep nesting *)
+  let book_db = Database.create () in
+  let book = Compound_doc.create ~chapters:3 ~sections_per_chapter:4 book_db in
+  let book_txns =
+    List.init 6 (fun i ->
+        ( i + 1,
+          Printf.sprintf "author%d" (i + 1),
+          fun ctx ->
+            Compound_doc.edit book ctx ~chapter:(i mod 3) ~section:(i mod 4)
+              ~text:"revision";
+            Value.unit ))
+  in
+  let bookr =
+    run_protocol ~seed:47 ~protocol_of:(fun reg -> Protocol.open_nested ~reg ())
+      book_db book_txns
+  in
+  Tables.print ~title:"F1  conventional transactions vs object-oriented operations"
+    ~header:
+      [ "workload"; "objects"; "actions/txn"; "nesting"; "steps"; "waits";
+        "prim-conflicts"; "top-conflicts" ]
+    [
+      row "financial (accounts)" bank;
+      row "inventory (ADTs)" inv;
+      row "publication (encyclopedia)" enc;
+      row "book (3-level document)" bookr;
+    ]
+
+(* -- F2: the encyclopedia structure (Fig. 2) ------------------------------------- *)
+
+let f2 () =
+  let rows =
+    List.map
+      (fun (fanout, items) ->
+        let db = Database.create () in
+        let enc = Encyclopedia.create ~fanout db in
+        Enc_workload.preload db enc ~keys:items;
+        let s = Encyclopedia.structure enc in
+        [
+          Tables.i fanout;
+          Tables.i items;
+          Tables.i s.Encyclopedia.height;
+          Tables.i s.Encyclopedia.internal_nodes;
+          Tables.i s.Encyclopedia.leaf_nodes;
+          Tables.i s.Encyclopedia.keys;
+          Tables.i s.Encyclopedia.items;
+          Tables.i s.Encyclopedia.pages;
+        ])
+      [ (4, 40); (8, 120); (16, 400) ]
+  in
+  Tables.print
+    ~title:"F2  encyclopedia structure: Enc -> {BpTree, LinkedList} -> nodes/items -> pages"
+    ~header:
+      [ "fanout"; "inserted"; "height"; "internal"; "leaves"; "keys"; "items"; "pages" ]
+    rows
+
+(* -- F3: legend ------------------------------------------------------------------- *)
+
+let f3 () =
+  Fmt.pr
+    "@.== F3  legend (Fig. 3) ==@.notation only — dependencies are printed as \
+     'a -> b' (b depends on a),@.commuting calls marked by stopping the \
+     inheritance; nothing to measure.@."
+
+(* -- F4: Example 1 (Fig. 4) --------------------------------------------------------- *)
+
+let f4 () =
+  let show title h =
+    let sched = Schedule.compute h in
+    let rows =
+      List.filter_map
+        (fun os ->
+          let deps = Action.Rel.edges os.Schedule.txn_dep in
+          if deps = [] then None
+          else
+            Some
+              [
+                Obj_id.to_string os.Schedule.obj;
+                String.concat ", "
+                  (List.map
+                     (fun (a, b) ->
+                       Printf.sprintf "%s -> %s"
+                         (Ids.Action_id.to_string a)
+                         (Ids.Action_id.to_string b))
+                     deps);
+              ])
+        (Schedule.objects sched)
+    in
+    Tables.print ~title ~header:[ "object"; "transaction dependencies" ] rows;
+    Fmt.pr "oo-serializable=%b conventional=%b top-conflicts: conventional=%d oo=%d@."
+      (Serializability.oo_serializable h)
+      (Baselines.conventional_serializable h)
+      (Baselines.conflict_pairs h `Conventional)
+      (Baselines.conflict_pairs h `Oo)
+  in
+  show "F4a  Example 1: inserts of different keys (inheritance stops at Leaf11)"
+    (Paper_examples.example1_different_keys ());
+  show "F4b  Example 1: insert vs search of one key (inherited to the top)"
+    (Paper_examples.example1_same_key ())
+
+(* -- F5: the transaction tree (Fig. 5) ----------------------------------------------- *)
+
+let f5 () =
+  let t = Paper_examples.example2_tree () in
+  Fmt.pr "@.== F5  oo-transaction tree (Fig. 5) ==@.%a@." Call_tree.pp t;
+  Fmt.pr "size=%d height=%d primitives=%d valid=%b@." (Call_tree.size t)
+    (Call_tree.height t)
+    (List.length (Call_tree.primitives t))
+    (Call_tree.validate t = Ok ())
+
+(* -- F6: the virtual extension (Fig. 6) ----------------------------------------------- *)
+
+let f6 () =
+  let h = Paper_examples.example3_history () in
+  let ext = Extension.extend h in
+  Fmt.pr "@.== F6  system extension (Fig. 6) ==@.";
+  List.iter
+    (fun vo ->
+      let acts = Extension.acts_of ext vo in
+      Fmt.pr "virtual object %a hosts: %a@." Obj_id.pp vo
+        (Fmt.list ~sep:Fmt.sp Ids.Action_id.pp)
+        (Ids.Action_id.Set.elements acts))
+    (Extension.virtual_objects ext);
+  Fmt.pr "oo-serializable=%b@." (Serializability.oo_serializable h)
+
+(* -- F7/F8: Example 4 (Figs. 7-8) ------------------------------------------------------ *)
+
+let f7 () =
+  let h = Paper_examples.example4_crossing () in
+  Fmt.pr "@.== F7  Example 4: crossing interleaving of T1 and T3 ==@.";
+  Fmt.pr "conventionally serializable: %b@." (Baselines.conventional_serializable h);
+  Fmt.pr "oo-serializable:             %b@." (Serializability.oo_serializable h);
+  Fmt.pr "page-level conflicting pairs: %d, surviving at top: %d@."
+    (Baselines.conflicting_primitive_pairs h)
+    (Baselines.conflict_pairs h `Oo)
+
+let f8 () =
+  let h = Paper_examples.example4_serial () in
+  let sched = Schedule.compute h in
+  let summarize edges =
+    let fmt (a, b) =
+      Printf.sprintf "%s -> %s"
+        (Ids.Action_id.to_string a)
+        (Ids.Action_id.to_string b)
+    in
+    let n = List.length edges in
+    if n <= 4 then String.concat ", " (List.map fmt edges)
+    else
+      Printf.sprintf "%s, ... (%d total)"
+        (String.concat ", " (List.map fmt (List.filteri (fun i _ -> i < 3) edges)))
+        n
+  in
+  let rows =
+    List.filter_map
+      (fun os ->
+        let deps = Action.Rel.edges os.Schedule.txn_dep in
+        let added =
+          List.filter
+            (fun e -> not (List.mem e deps))
+            (Action.Rel.edges os.Schedule.added_dep)
+        in
+        if deps = [] && added = [] then None
+        else
+          Some
+            [
+              Obj_id.to_string os.Schedule.obj;
+              summarize deps;
+              summarize added;
+            ])
+      (Schedule.objects sched)
+  in
+  Tables.print ~title:"F8  Example 4: per-object schedule dependencies (Fig. 8)"
+    ~header:[ "object"; "transaction dependencies"; "added (Def. 15)" ]
+    rows;
+  Fmt.pr "oo-serializable=%b@." (Serializability.oo_serializable h)
+
+(* -- E1: rate of conflicting accesses, conventional vs oo ------------------------------- *)
+
+let e1 () =
+  let rows =
+    List.concat_map
+      (fun fanout ->
+        List.concat_map
+          (fun (skew_label, dist) ->
+            List.map
+              (fun mpl ->
+                let p =
+                  {
+                    Enc_workload.n_txns = mpl;
+                    ops_per_txn = 3;
+                    preload = 40;
+                    dist;
+                    mix = Enc_workload.insert_heavy;
+                  }
+                in
+                let db, _enc, txns =
+                  Enc_workload.setup ~fanout ~rng:(Rng.create ~seed:(fanout + mpl)) p
+                in
+                let out =
+                  run_protocol ~seed:(fanout * mpl)
+                    ~protocol_of:(fun reg -> Protocol.open_nested ~reg ())
+                    db txns
+                in
+                let h = out.Engine.history in
+                let raw = Baselines.conflicting_primitive_pairs h in
+                let total = Baselines.inter_transaction_primitive_pairs h in
+                let oo = Baselines.conflict_pairs h `Oo in
+                let conv = Baselines.conflict_pairs h `Conventional in
+                [
+                  Tables.i fanout;
+                  skew_label;
+                  Tables.i mpl;
+                  Tables.i total;
+                  Tables.i raw;
+                  Tables.pct (float_of_int raw /. float_of_int (max 1 total));
+                  Tables.i conv;
+                  Tables.i oo;
+                  (if conv = 0 then "-"
+                   else Tables.f2 (float_of_int oo /. float_of_int conv));
+                ])
+              [ 2; 8 ])
+          [ ("uniform", Dist.uniform 200); ("zipf0.9", Dist.zipf ~theta:0.9 200) ])
+      [ 4; 16; 64 ]
+  in
+  Tables.print
+    ~title:
+      "E1  rate of conflicting accesses (encyclopedia; conv = serialization-graph \
+       edges from page conflicts, oo = edges surviving semantic inheritance)"
+    ~header:
+      [ "fanout"; "skew"; "txns"; "prim-pairs"; "conflicting"; "rate";
+        "conv-edges"; "oo-edges"; "oo/conv" ]
+    rows
+
+(* -- E2: protocol throughput ------------------------------------------------------------ *)
+
+let e2 () =
+  let protocols =
+    [
+      ("flat-2pl", fun reg -> Protocol.flat_2pl ~reg ());
+      ("closed-nested", fun reg -> Protocol.closed_nested ~reg ());
+      ("open-nested", fun reg -> Protocol.open_nested ~reg ());
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun mpl ->
+        List.map
+          (fun (label, protocol_of) ->
+            let p =
+              {
+                Enc_workload.default_params with
+                Enc_workload.n_txns = mpl;
+                ops_per_txn = 3;
+                preload = 40;
+              }
+            in
+            let db, _enc, txns =
+              Enc_workload.setup ~fanout:8 ~rng:(Rng.create ~seed:(100 + mpl)) p
+            in
+            let out = run_protocol ~seed:(200 + mpl) ~protocol_of db txns in
+            let committed = List.length out.Engine.committed in
+            let mean_latency =
+              match out.Engine.latencies with
+              | [] -> 0.0
+              | ls ->
+                  float_of_int (List.fold_left (fun a (_, l) -> a + l) 0 ls)
+                  /. float_of_int (List.length ls)
+            in
+            [
+              Tables.i mpl;
+              label;
+              Tables.i committed;
+              Tables.i out.Engine.steps;
+              Tables.f3
+                (float_of_int committed /. float_of_int (max 1 out.Engine.steps)
+                *. 1000.);
+              Tables.f1 mean_latency;
+              Tables.i (metric out "waits");
+              Tables.i (metric out "restarts");
+              Tables.i (metric out "deadlocks");
+            ])
+          protocols)
+      [ 2; 4; 8; 16 ]
+  in
+  Tables.print
+    ~title:
+      "E2  protocol comparison (encyclopedia insert-heavy; committed/1000 steps; \
+       closed nesting blocks like flat for sequential transactions)"
+    ~header:
+      [ "txns"; "protocol"; "committed"; "steps"; "thruput"; "latency"; "waits";
+        "restarts"; "deadlocks" ]
+    rows
+
+(* -- E3: acceptance rate of random interleavings ------------------------------------------- *)
+
+let e3 ?(samples = 40) ?(systems = 8) () =
+  let rows granularity glabel =
+    List.map
+      (fun p_commute ->
+        let p =
+          {
+            Random_schedules.default_params with
+            Random_schedules.p_commute;
+            n_txns = 4;
+            n_pages = 3;
+          }
+        in
+        let totals =
+          List.fold_left
+            (fun (c, m, o) seed ->
+              let a = Random_schedules.acceptance ~granularity ~seed ~samples p in
+              ( c + a.Random_schedules.conventional_accepted,
+                m + a.Random_schedules.multilevel_accepted,
+                o + a.Random_schedules.oo_accepted ))
+            (0, 0, 0)
+            (List.init systems (fun i -> 7 + (13 * i)))
+        in
+        let total = samples * systems in
+        let c, m, o = totals in
+        let rate n = Tables.pct (float_of_int n /. float_of_int total) in
+        [ glabel; Tables.f2 p_commute; Tables.i total; rate c; rate m; rate o ])
+      [ 0.0; 0.3; 0.6; 0.9 ]
+  in
+  Tables.print
+    ~title:
+      "E3  acceptance rate of random interleavings (conventional ⊆ multilevel ⊆ oo; \
+       subtransaction granularity keeps mid-level calls atomic)"
+    ~header:
+      [ "granularity"; "p-commute"; "samples"; "conventional"; "multilevel"; "oo" ]
+    (rows `Primitive "primitive" @ rows `Subtransaction "subtxn");
+  (* exact enumeration on a small system, verifying the sampling *)
+  let exact_rows =
+    List.map
+      (fun p_commute ->
+        let p =
+          {
+            Random_schedules.default_params with
+            Random_schedules.n_txns = 2;
+            calls_per_txn = 2;
+            prims_per_call = 2;
+            p_commute;
+          }
+        in
+        let tops, commut = Random_schedules.system ~seed:25 p in
+        let e = Enumerate.exact_acceptance ~commut tops in
+        let rate n = Tables.pct (float_of_int n /. float_of_int e.Enumerate.total) in
+        [
+          Tables.f2 p_commute;
+          Tables.i e.Enumerate.total;
+          rate e.Enumerate.conventional;
+          rate e.Enumerate.multilevel;
+          rate e.Enumerate.oo;
+          string_of_bool e.Enumerate.inclusions_hold;
+        ])
+      [ 0.0; 0.3; 0.6; 0.9 ]
+  in
+  Tables.print
+    ~title:
+      "E3x exact acceptance over ALL interleavings of a 2x2x2 system (seed 25); \
+       the inclusion chain is checked on every interleaving"
+    ~header:
+      [ "p-commute"; "interleavings"; "conventional"; "multilevel"; "oo";
+        "inclusions" ]
+    exact_rows;;
+
+(* -- E4: B+ tree ablation --------------------------------------------------------------------- *)
+
+let e4 () =
+  (* storage-level costs per fanout *)
+  let storage_rows =
+    List.map
+      (fun fanout ->
+        let disk = Disk.create ~page_size:4096 () in
+        let pool = Buffer_pool.create ~capacity:128 disk in
+        let t = Btree.create ~max_entries:fanout pool in
+        for i = 1 to 500 do
+          Btree.insert t (Printf.sprintf "k%05d" (i * 37 mod 1000)) "v"
+        done;
+        (* delete half the keys: merges/borrows enter the picture *)
+        for i = 1 to 250 do
+          ignore (Btree.delete t (Printf.sprintf "k%05d" (i * 37 mod 1000)))
+        done;
+        let s = Btree.stats t in
+        [
+          Tables.i fanout;
+          Tables.i s.Btree.height;
+          Tables.i (s.Btree.internal_nodes + s.Btree.leaves);
+          Tables.i (Btree.splits t);
+          Tables.i (Btree.merges t);
+          Tables.i (Btree.borrows t);
+          Tables.i (Btree.node_reads t);
+          Tables.i (Btree.node_writes t);
+          Tables.f2 s.Btree.avg_fill;
+        ])
+      [ 4; 8; 16; 64; 256 ]
+  in
+  Tables.print
+    ~title:
+      "E4a  B+ tree storage costs, 500 inserts then 250 deletes (standalone \
+       index manager)"
+    ~header:
+      [ "fanout"; "height"; "nodes"; "splits"; "merges"; "borrows";
+        "node-reads"; "node-writes"; "fill" ]
+    storage_rows;
+  (* concurrency: concurrent inserts through the object layer *)
+  let concurrency_rows =
+    List.concat_map
+      (fun fanout ->
+        List.map
+          (fun (label, protocol_of) ->
+            let db = Database.create () in
+            let enc = Encyclopedia.create ~fanout db in
+            Enc_workload.preload db enc ~keys:30;
+            let body lo ctx =
+              for i = lo to lo + 9 do
+                Encyclopedia.insert enc ctx
+                  ~key:(Printf.sprintf "n%04d" i)
+                  ~text:"x"
+              done;
+              Value.unit
+            in
+            let txns =
+              [ (1, "w1", body 100); (2, "w2", body 200); (3, "w3", body 300);
+                (4, "w4", body 400) ]
+            in
+            let out = run_protocol ~seed:fanout ~protocol_of db txns in
+            [
+              Tables.i fanout;
+              label;
+              Tables.i (List.length out.Engine.committed);
+              Tables.i out.Engine.steps;
+              Tables.i (metric out "waits");
+              Tables.i (metric out "restarts");
+            ])
+          [
+            ("flat-2pl", fun reg -> Protocol.flat_2pl ~reg ());
+            ("open-nested", fun reg -> Protocol.open_nested ~reg ());
+          ])
+      [ 4; 16 ]
+  in
+  Tables.print
+    ~title:"E4b  concurrent inserts through the object layer (4 writers x 10 keys)"
+    ~header:[ "fanout"; "protocol"; "committed"; "steps"; "waits"; "restarts" ]
+    concurrency_rows
+
+(* -- E5: semantics ablation --------------------------------------------------------------------- *)
+
+let e5 () =
+  let rows =
+    List.concat_map
+      (fun mpl ->
+        List.map
+          (fun (label, semantics) ->
+            let p =
+              {
+                Banking.default_params with
+                Banking.n_txns = mpl;
+                transfers_per_txn = 4;
+                accounts = 8;
+              }
+            in
+            let db, counters = Banking.setup ~semantics p in
+            let txns = Banking.transactions ~rng:(Rng.create ~seed:(300 + mpl)) p in
+            let out =
+              run_protocol ~seed:(400 + mpl)
+                ~protocol_of:(fun reg -> Protocol.open_nested ~reg ())
+                db txns
+            in
+            [
+              Tables.i mpl;
+              label;
+              Tables.i (List.length out.Engine.committed);
+              Tables.i out.Engine.steps;
+              Tables.i (metric out "waits");
+              Tables.i (metric out "restarts");
+              Tables.i (Banking.total_balance counters);
+            ])
+          [ ("escrow", `Escrow); ("read/write", `Rw); ("all-conflict", `Conflict) ])
+      [ 4; 8; 16 ]
+  in
+  Tables.print
+    ~title:"E5  commutativity granularity ablation (banking transfers, open nesting)"
+    ~header:[ "txns"; "semantics"; "committed"; "steps"; "waits"; "restarts"; "total" ]
+    rows
+
+(* -- E6: optimistic certification vs locking ------------------------------------ *)
+
+let e6 () =
+  let modes =
+    [
+      ("open-nested", `Locking (fun reg -> Protocol.open_nested ~reg ()));
+      ("flat-2pl", `Locking (fun reg -> Protocol.flat_2pl ~reg ()));
+      ("certifier", `Certify);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun mpl ->
+        List.map
+          (fun (label, mode) ->
+            let p =
+              {
+                Enc_workload.default_params with
+                Enc_workload.n_txns = mpl;
+                ops_per_txn = 3;
+                preload = 40;
+              }
+            in
+            let db, _enc, txns =
+              Enc_workload.setup ~fanout:8 ~rng:(Rng.create ~seed:(500 + mpl)) p
+            in
+            let protocol, certify =
+              match mode with
+              | `Locking protocol_of -> (protocol_of (Database.spec_registry db), false)
+              | `Certify -> (Protocol.unlocked (), true)
+            in
+            let config =
+              {
+                (Engine.default_config protocol) with
+                Engine.certify;
+                Engine.strategy = Engine.Random_pick (Rng.create ~seed:(600 + mpl));
+              }
+            in
+            let out = Engine.run ~config db ~protocol txns in
+            [
+              Tables.i mpl;
+              label;
+              Tables.i (List.length out.Engine.committed);
+              Tables.i out.Engine.steps;
+              Tables.i (metric out "waits");
+              Tables.i (metric out "restarts");
+              Tables.i (metric out "certification-failures");
+            ])
+          modes)
+      [ 2; 4; 8 ]
+  in
+  Tables.print
+    ~title:
+      "E6  pessimistic locking vs optimistic certification (§6 direction: commit-time \
+       oo-serializability validation, no locks)"
+    ~header:
+      [ "txns"; "mode"; "committed"; "steps"; "waits"; "restarts"; "cert-failures" ]
+    rows
+
+(* -- E7: deadlock handling ablation ----------------------------------------------- *)
+
+let e7 () =
+  let rows =
+    List.concat_map
+      (fun mpl ->
+        List.map
+          (fun (label, policy) ->
+            let p =
+              {
+                Enc_workload.default_params with
+                Enc_workload.n_txns = mpl;
+                ops_per_txn = 3;
+                preload = 40;
+              }
+            in
+            let db, _enc, txns =
+              Enc_workload.setup ~fanout:8 ~rng:(Rng.create ~seed:(700 + mpl)) p
+            in
+            let protocol =
+              Protocol.flat_2pl ~reg:(Database.spec_registry db) ()
+            in
+            let config =
+              {
+                (Engine.default_config protocol) with
+                Engine.deadlock = policy;
+                Engine.strategy = Engine.Random_pick (Rng.create ~seed:(800 + mpl));
+              }
+            in
+            let out = Engine.run ~config db ~protocol txns in
+            [
+              Tables.i mpl;
+              label;
+              Tables.i (List.length out.Engine.committed);
+              Tables.i out.Engine.steps;
+              Tables.i (metric out "waits");
+              Tables.i (metric out "deadlocks");
+              Tables.i (metric out "wounds");
+              Tables.i (metric out "dies");
+              Tables.i (metric out "restarts");
+            ])
+          [ ("detect", Engine.Detect); ("wound-wait", Engine.Wound_wait);
+            ("wait-die", Engine.Wait_die) ])
+      [ 4; 8; 16 ]
+  in
+  Tables.print
+    ~title:
+      "E7  deadlock handling under flat 2PL (detection + victim restart vs \
+       wound-wait / wait-die prevention)"
+    ~header:
+      [ "txns"; "policy"; "committed"; "steps"; "waits"; "deadlocks"; "wounds";
+        "dies"; "restarts" ]
+    rows
+
+let all =
+  [
+    ("F1", f1); ("F2", f2); ("F3", f3); ("F4", f4); ("F5", f5); ("F6", f6);
+    ("F7", f7); ("F8", f8);
+    ("E1", e1); ("E2", e2); ("E3", fun () -> e3 ()); ("E4", e4); ("E5", e5);
+    ("E6", e6); ("E7", e7);
+  ]

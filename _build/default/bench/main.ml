@@ -1,0 +1,36 @@
+(* The benchmark / experiment harness.
+
+     dune exec bench/main.exe                # everything: F1-F8, E1-E5, micro
+     dune exec bench/main.exe -- F4 E1       # a selection
+     dune exec bench/main.exe -- --no-micro  # skip the bechamel section
+
+   F1-F8 regenerate the paper's figures; E1-E5 are the quantitative
+   experiments backing the paper's comparative claims (see DESIGN.md §5
+   and EXPERIMENTS.md). *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_micro = List.mem "--no-micro" args in
+  let wanted = List.filter (fun a -> a <> "--no-micro") args in
+  let selected =
+    if wanted = [] then Experiments.all
+    else
+      List.filter
+        (fun (name, _) ->
+          List.exists (fun w -> String.uppercase_ascii w = name) wanted)
+        Experiments.all
+  in
+  if selected = [] && wanted <> [] && not (List.mem "micro" (List.map String.lowercase_ascii wanted)) then begin
+    Fmt.epr "unknown experiment(s): %a; known: %a and 'micro'@."
+      (Fmt.list ~sep:Fmt.sp Fmt.string) wanted
+      (Fmt.list ~sep:Fmt.sp Fmt.string)
+      (List.map fst Experiments.all);
+    exit 1
+  end;
+  Fmt.pr "ooser experiment harness — Rakow, Gu & Neuhold, ICDE 1990@.";
+  List.iter (fun (_, run) -> run ()) selected;
+  let micro_wanted =
+    wanted = [] || List.mem "micro" (List.map String.lowercase_ascii wanted)
+  in
+  if micro_wanted && not no_micro then Micro.run ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,150 @@
+(* Bechamel micro-benchmarks: the cost of the core machinery itself — one
+   Test.make per subsystem (checker, extension, B+ tree, engine, lock
+   table, random schedules).  Estimated execution time is printed as a
+   table (ns/run via ordinary least squares on the monotonic clock). *)
+
+open Bechamel
+open Toolkit
+open Ooser_core
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+module Btree = Ooser_btree.Btree
+open Ooser_storage
+
+let checker_test =
+  let h = Paper_examples.example4_serial () in
+  Test.make ~name:"checker/example4"
+    (Staged.stage (fun () -> ignore (Serializability.check h)))
+
+let extension_test =
+  let h = Paper_examples.example3_history () in
+  Test.make ~name:"extension/virtual-objects"
+    (Staged.stage (fun () -> ignore (Extension.extend h)))
+
+let conventional_test =
+  let h = Paper_examples.example4_serial () in
+  Test.make ~name:"checker/conventional"
+    (Staged.stage (fun () -> ignore (Baselines.conventional_serializable h)))
+
+let random_history_test =
+  let p = Random_schedules.default_params in
+  let counter = ref 0 in
+  Test.make ~name:"workload/random-history"
+    (Staged.stage (fun () ->
+         incr counter;
+         ignore (Random_schedules.history ~seed:!counter p)))
+
+let btree_insert_test =
+  Test.make ~name:"btree/100-inserts"
+    (Staged.stage (fun () ->
+         let disk = Disk.create ~page_size:4096 () in
+         let pool = Buffer_pool.create ~capacity:64 disk in
+         let t = Btree.create ~max_entries:8 pool in
+         for i = 1 to 100 do
+           Btree.insert t (Printf.sprintf "k%03d" (i * 7 mod 100)) "v"
+         done))
+
+let btree_search_test =
+  let disk = Disk.create ~page_size:4096 () in
+  let pool = Buffer_pool.create ~capacity:64 disk in
+  let t = Btree.create ~max_entries:8 pool in
+  let () =
+    for i = 1 to 500 do
+      Btree.insert t (Printf.sprintf "k%03d" i) "v"
+    done
+  in
+  let counter = ref 0 in
+  Test.make ~name:"btree/search"
+    (Staged.stage (fun () ->
+         incr counter;
+         ignore (Btree.search t (Printf.sprintf "k%03d" (!counter mod 500)))))
+
+let engine_test =
+  Test.make ~name:"engine/2-txns-open-nested"
+    (Staged.stage (fun () ->
+         let db = Database.create () in
+         let state = ref 0 in
+         let write ctx args =
+           match args with
+           | [ Value.Int v ] ->
+               let old = !state in
+               Runtime.on_undo ctx (fun () -> state := old);
+               state := v;
+               Value.unit
+           | _ -> invalid_arg "write"
+         in
+         Database.register db (Obj_id.v "R")
+           ~spec:(Commutativity.rw ~reads:[] ~writes:[ "write" ])
+           [ ("write", Database.primitive write) ];
+         let body i ctx =
+           ignore (Runtime.call ctx (Obj_id.v "R") "write" [ Value.int i ]);
+           Value.unit
+         in
+         let protocol = Protocol.open_nested ~reg:(Database.spec_registry db) () in
+         ignore (Engine.run db ~protocol [ (1, "a", body 1); (2, "b", body 2) ])))
+
+let page_test =
+  Test.make ~name:"storage/page-insert-delete"
+    (Staged.stage (fun () ->
+         let p = Page.create ~size:512 () in
+         let s0 = Option.get (Page.insert p "hello world") in
+         ignore (Page.delete p s0)))
+
+let recovery_test =
+  Test.make ~name:"storage/log-crash-recover"
+    (Staged.stage (fun () ->
+         let s = Logged_store.create ~page_size:256 () in
+         let p = Logged_store.alloc_page s in
+         Logged_store.begin_txn s 1;
+         Logged_store.write s ~txn:1 ~page:p ~slot:0 (Some "v");
+         Logged_store.commit s 1;
+         Logged_store.begin_txn s 2;
+         Logged_store.write s ~txn:2 ~page:p ~slot:1 (Some "w");
+         let s' = Logged_store.crash s in
+         ignore (Logged_store.recover s')))
+
+let explain_test =
+  let h = Paper_examples.example1_same_key () in
+  Test.make ~name:"report/explain"
+    (Staged.stage (fun () -> ignore (Report.explain h)))
+
+let tests =
+  Test.make_grouped ~name:"ooser"
+    [
+      checker_test; extension_test; conventional_test; random_history_test;
+      btree_insert_test; btree_search_test; engine_test; page_test;
+      recovery_test; explain_test;
+    ]
+
+let run ?(quota = 0.5) () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> Printf.sprintf "%.0f" x
+          | _ -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "-"
+        in
+        [ name; ns; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Tables.print ~title:"micro-benchmarks (bechamel, ns/run)"
+    ~header:[ "benchmark"; "ns/run"; "r²" ]
+    rows

@@ -1,0 +1,30 @@
+(* Minimal aligned-column table printing for the experiment reports. *)
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let widths =
+    List.fold_left
+      (fun ws row ->
+        List.mapi
+          (fun i cell ->
+            let cur = try List.nth ws i with _ -> 0 in
+            max cur (String.length cell))
+          row)
+      (List.map String.length header)
+      all
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line row =
+    String.concat "  " (List.mapi (fun i c -> pad c (List.nth widths i)) row)
+  in
+  Fmt.pr "@.== %s ==@." title;
+  Fmt.pr "%s@." (line header);
+  Fmt.pr "%s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Fmt.pr "%s@." (line row)) rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let i = string_of_int

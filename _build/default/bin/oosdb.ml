@@ -1,0 +1,259 @@
+(* oosdb — command line interface to the oo-serializability toolkit.
+
+     oosdb check FILE [-v]        check a history description file
+     oosdb fmt FILE               reprint a file canonically
+     oosdb run [options]          run an encyclopedia workload
+     oosdb acceptance [options]   acceptance rates of random interleavings
+     oosdb demo                   the paper's Example 4, with dependency table
+*)
+
+open Cmdliner
+open Ooser_core
+open Ooser_text
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* -- check ----------------------------------------------------------------- *)
+
+let print_verdicts ?(explain = false) ~verbose h =
+  let v = Serializability.check h in
+  Fmt.pr "transactions:                %d@." (List.length (History.tops h));
+  Fmt.pr "primitive actions:           %d@." (List.length (History.order h));
+  Fmt.pr "oo-serializable:             %b@." v.Serializability.oo_serializable;
+  Fmt.pr "conventionally serializable: %b@."
+    (Baselines.conventional_serializable h);
+  if Baselines.is_layered h then
+    Fmt.pr "multilevel serializable:     %b@."
+      (Baselines.multilevel_serializable h);
+  (match v.Serializability.witness with
+  | Some w ->
+      Fmt.pr "equivalent serial order:     %a@."
+        (Fmt.list ~sep:Fmt.sp Ids.Action_id.pp) w
+  | None -> ());
+  if verbose then begin
+    Fmt.pr "@.per-object verdicts:@.";
+    List.iter
+      (fun ov -> Fmt.pr "  %a@." Serializability.pp_object_verdict ov)
+      v.Serializability.objects;
+    let sched = Schedule.compute h in
+    Fmt.pr "@.per-object transaction dependencies:@.";
+    List.iter
+      (fun os ->
+        let deps = Action.Rel.edges os.Schedule.txn_dep in
+        if deps <> [] then
+          Fmt.pr "  %-14s %a@."
+            (Obj_id.to_string os.Schedule.obj)
+            (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (a, b) ->
+                 Fmt.pf ppf "%a -> %a" Ids.Action_id.pp a Ids.Action_id.pp b))
+            deps)
+      (Schedule.objects sched)
+  end;
+  if explain then begin
+    Fmt.pr "@.explanation:@.%s@." (Report.explain h)
+  end;
+  if v.Serializability.oo_serializable then 0 else 1
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"History description file (see the grammar in the README).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-object detail.")
+  in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Trace every dependency (and any cycle) to its roots.")
+  in
+  let run file verbose explain =
+    match Parser.parse_history (read_file file) with
+    | Error msg ->
+        Fmt.epr "error: %s@." msg;
+        2
+    | Ok h -> print_verdicts ~explain ~verbose h
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check the oo-serializability of a history description file.")
+    Term.(const run $ file $ verbose $ explain)
+
+(* -- fmt ------------------------------------------------------------------- *)
+
+let fmt_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    match Parser.parse_string (read_file file) with
+    | Error msg ->
+        Fmt.epr "error: %s@." msg;
+        2
+    | Ok doc ->
+        print_string (Doc.to_string doc);
+        0
+  in
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Reprint a history description file canonically.")
+    Term.(const run $ file)
+
+(* -- run --------------------------------------------------------------------- *)
+
+let protocol_conv =
+  Arg.enum
+    [ ("open", `Open); ("flat", `Flat); ("closed", `Closed); ("none", `None);
+      ("certify", `Certify) ]
+
+let run_cmd =
+  let txns =
+    Arg.(value & opt int 8 & info [ "n"; "txns" ] ~doc:"Concurrent transactions.")
+  in
+  let fanout =
+    Arg.(value & opt int 8 & info [ "fanout" ] ~doc:"B+ tree keys per node.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let protocol =
+    Arg.(value & opt protocol_conv `Open
+         & info [ "p"; "protocol" ] ~doc:"Protocol: open, flat, closed, none, certify.")
+  in
+  let scans =
+    Arg.(value & flag & info [ "scans" ] ~doc:"Include readSeq scans in the mix.")
+  in
+  let dump =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ]
+             ~doc:"Write the executed history as a checkable description file.")
+  in
+  let run txns fanout seed protocol scans dump =
+    let p =
+      {
+        Enc_workload.default_params with
+        Enc_workload.n_txns = txns;
+        mix =
+          (if scans then Enc_workload.with_scans else Enc_workload.insert_heavy);
+      }
+    in
+    let db, enc, bodies = Enc_workload.setup ~fanout ~rng:(Rng.create ~seed) p in
+    let reg = Database.spec_registry db in
+    let proto, certify =
+      match protocol with
+      | `Open -> (Protocol.open_nested ~reg (), false)
+      | `Flat -> (Protocol.flat_2pl ~reg (), false)
+      | `Closed -> (Protocol.closed_nested ~reg (), false)
+      | `None -> (Protocol.unlocked (), false)
+      | `Certify -> (Protocol.unlocked (), true)
+    in
+    let config =
+      {
+        (Engine.default_config proto) with
+        Engine.certify;
+        Engine.strategy = Engine.Random_pick (Rng.create ~seed:(seed + 1));
+      }
+    in
+    let out = Engine.run ~config db ~protocol:proto bodies in
+    Fmt.pr "protocol:   %s@." (Protocol.name proto);
+    Fmt.pr "committed:  %d / %d@." (List.length out.Engine.committed) txns;
+    Fmt.pr "steps:      %d@." out.Engine.steps;
+    List.iter (fun (k, v) -> Fmt.pr "%-11s %d@." (k ^ ":") v) out.Engine.metrics;
+    Fmt.pr "structure:  %a@." Encyclopedia.pp_structure (Encyclopedia.structure enc);
+    Fmt.pr "history oo-serializable: %b@."
+      (Serializability.oo_serializable out.Engine.history);
+    (match dump with
+    | Some path ->
+        let doc = Doc.of_history out.Engine.history in
+        let oc = open_out path in
+        output_string oc
+          "# executed history dumped by oosdb run; commutativity specs are\n";
+        output_string oc
+          "# not recoverable from the engine: add object declarations before\n";
+        output_string oc "# checking (undeclared objects default to allconflict).\n";
+        output_string oc (Doc.to_string doc);
+        close_out oc;
+        Fmt.pr "history written to %s@." path
+    | None -> ());
+    if List.length out.Engine.committed = txns then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an encyclopedia workload under a protocol.")
+    Term.(const run $ txns $ fanout $ seed $ protocol $ scans $ dump)
+
+(* -- acceptance -------------------------------------------------------------- *)
+
+let acceptance_cmd =
+  let samples =
+    Arg.(value & opt int 100 & info [ "samples" ] ~doc:"Interleavings to sample.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"System seed.") in
+  let p_commute =
+    Arg.(value & opt float 0.5
+         & info [ "p-commute" ] ~doc:"Mid-level commutativity density.")
+  in
+  let atomic =
+    Arg.(value & flag
+         & info [ "atomic" ] ~doc:"Interleave at subtransaction granularity.")
+  in
+  let run samples seed p_commute atomic =
+    let p =
+      { Random_schedules.default_params with Random_schedules.p_commute }
+    in
+    let granularity = if atomic then `Subtransaction else `Primitive in
+    let a = Random_schedules.acceptance ~granularity ~seed ~samples p in
+    let pct n = 100.0 *. float_of_int n /. float_of_int samples in
+    Fmt.pr "samples:      %d@." samples;
+    Fmt.pr "conventional: %.1f%%@." (pct a.Random_schedules.conventional_accepted);
+    Fmt.pr "multilevel:   %.1f%%@." (pct a.Random_schedules.multilevel_accepted);
+    Fmt.pr "oo:           %.1f%%@." (pct a.Random_schedules.oo_accepted);
+    0
+  in
+  Cmd.v
+    (Cmd.info "acceptance"
+       ~doc:"Acceptance rates of random interleavings per criterion.")
+    Term.(const run $ samples $ seed $ p_commute $ atomic)
+
+(* -- demo --------------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run () =
+    let h = Paper_examples.example4_serial () in
+    Fmt.pr "Example 4 (Figs. 7-8), serial execution T1 T2 T3 T4:@.@.";
+    let sched = Schedule.compute h in
+    List.iter
+      (fun os ->
+        let deps = Action.Rel.edges os.Schedule.txn_dep in
+        if deps <> [] then
+          Fmt.pr "  %-12s %a@."
+            (Obj_id.to_string os.Schedule.obj)
+            (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (a, b) ->
+                 Fmt.pf ppf "%a -> %a" Ids.Action_id.pp a Ids.Action_id.pp b))
+            deps)
+      (Schedule.objects sched);
+    Fmt.pr "@.crossing interleaving of T1/T3 (Fig. 7):@.";
+    let h' = Paper_examples.example4_crossing () in
+    Fmt.pr "  conventionally serializable: %b@."
+      (Baselines.conventional_serializable h');
+    Fmt.pr "  oo-serializable:             %b@."
+      (Serializability.oo_serializable h');
+    0
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"The paper's Example 4 dependency table.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "oosdb" ~version:"1.0.0"
+       ~doc:
+         "Object-oriented serializability toolkit (Rakow, Gu & Neuhold, ICDE \
+          1990).")
+    [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/banking_escrow.ml: Banking Database Engine Fmt List Ooser_cc Ooser_oodb Ooser_sim Ooser_workload

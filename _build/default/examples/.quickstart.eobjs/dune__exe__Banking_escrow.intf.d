@@ -1,0 +1,1 @@
+examples/banking_escrow.mli:

@@ -1,0 +1,1 @@
+examples/certified.ml: Commutativity Database Engine Fmt List Obj_id Ooser_cc Ooser_core Ooser_oodb Ooser_sim Runtime Serializability Value

@@ -1,0 +1,1 @@
+examples/cooperative_editing.ml: Baselines Database Document Engine Fmt List Ooser_cc Ooser_core Ooser_oodb Ooser_sim Ooser_workload Printf Serializability Value

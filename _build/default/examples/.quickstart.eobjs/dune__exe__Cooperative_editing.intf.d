@@ -1,0 +1,1 @@
+examples/cooperative_editing.mli:

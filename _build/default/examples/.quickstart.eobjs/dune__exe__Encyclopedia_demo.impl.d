@@ -1,0 +1,1 @@
+examples/encyclopedia_demo.ml: Action Baselines Database Encyclopedia Engine Fmt Ids List Obj_id Ooser_cc Ooser_core Ooser_oodb Ooser_sim Schedule Serializability Value

@@ -1,0 +1,1 @@
+examples/encyclopedia_demo.mli:

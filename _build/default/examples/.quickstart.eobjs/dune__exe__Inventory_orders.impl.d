@@ -1,0 +1,1 @@
+examples/inventory_orders.ml: Database Engine Fmt Inventory List Ooser_cc Ooser_core Ooser_oodb Ooser_sim Ooser_workload Printf Serializability Value

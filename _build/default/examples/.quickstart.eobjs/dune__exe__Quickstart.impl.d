@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Commutativity Database Engine Fmt History Ids Obj_id Ooser_cc Ooser_core Ooser_oodb Runtime Serializability Value

@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Fmt Logged_store Ooser_storage

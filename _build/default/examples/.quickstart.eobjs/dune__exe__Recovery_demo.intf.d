@@ -1,0 +1,1 @@
+examples/recovery_demo.mli:

@@ -1,0 +1,44 @@
+(* Banking with escrow semantics (§2's commutativity refinements):
+
+     dune exec examples/banking_escrow.exe
+
+   The same transfer workload runs under three commutativity levels for
+   the account objects — escrow (state- and parameter-dependent),
+   read/write, and all-conflict — showing how richer semantics lower the
+   conflict rate while the money total stays invariant. *)
+
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+let run semantics label =
+  let p =
+    { Banking.default_params with Banking.n_txns = 10; transfers_per_txn = 4 }
+  in
+  let db, counters = Banking.setup ~semantics p in
+  let txns = Banking.transactions ~rng:(Rng.create ~seed:31) p in
+  let protocol = Protocol.open_nested ~reg:(Database.spec_registry db) () in
+  let config =
+    {
+      (Engine.default_config protocol) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:32);
+    }
+  in
+  let out = Engine.run ~config db ~protocol txns in
+  Fmt.pr "%-12s committed=%2d conflicts=%3d waits=%2d restarts=%2d total-balance=%d@."
+    label
+    (List.length out.Engine.committed)
+    (try List.assoc "lock.conflicts" out.Engine.metrics with Not_found -> 0)
+    (try List.assoc "waits" out.Engine.metrics with Not_found -> 0)
+    (try List.assoc "restarts" out.Engine.metrics with Not_found -> 0)
+    (Banking.total_balance counters)
+
+let () =
+  Fmt.pr "10 transfer transactions x 4 transfers, 10 accounts, open nesting@.@.";
+  run `Escrow "escrow";
+  run `Rw "read/write";
+  run `Conflict "all-conflict";
+  Fmt.pr
+    "@.escrow <= read/write <= all-conflict in conflicts; the total balance@.";
+  Fmt.pr "is preserved by every semantics (undo/compensation on abort).@."

@@ -1,0 +1,66 @@
+(* Cooperative editing of one document by several authors (§1's
+   publication-environment motivation, Fig. 1):
+
+     dune exec examples/cooperative_editing.exe
+
+   Four authors edit different sections concurrently; sections share
+   pages, so their page accesses conflict — under flat page-level 2PL the
+   authors serialize, under open nesting they run concurrently because
+   edits of different sections commute at the document level.  A layout
+   pass conflicts with every edit under both protocols. *)
+
+open Ooser_core
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+let run_authors ~label ~protocol_of =
+  let db = Database.create () in
+  let doc = Document.create ~sections:8 ~sections_per_page:4 db in
+  let author i ctx =
+    Document.edit doc ctx ~section:i ~text:(Printf.sprintf "draft by author %d" i);
+    Value.unit
+  in
+  let layouter ctx =
+    let parts = Document.layout doc ctx in
+    Value.int (List.length parts)
+  in
+  let protocol = protocol_of (Database.spec_registry db) in
+  let config =
+    {
+      (Engine.default_config protocol) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:13);
+    }
+  in
+  let out =
+    Engine.run ~config db ~protocol
+      [
+        (1, "author-intro", author 0);
+        (2, "author-model", author 1);
+        (3, "author-eval", author 2);
+        (4, "author-concl", author 3);
+        (5, "layout", layouter);
+      ]
+  in
+  Fmt.pr "%-12s committed=%d steps=%d lock-conflicts=%d waits=%d restarts=%d@."
+    label
+    (List.length out.Engine.committed)
+    out.Engine.steps
+    (try List.assoc "lock.conflicts" out.Engine.metrics with Not_found -> 0)
+    (try List.assoc "waits" out.Engine.metrics with Not_found -> 0)
+    (try List.assoc "restarts" out.Engine.metrics with Not_found -> 0);
+  out
+
+let () =
+  Fmt.pr "cooperative editing: 4 authors + 1 layout pass, sections share pages@.@.";
+  let flat = run_authors ~label:"flat-2pl" ~protocol_of:(fun reg -> Protocol.flat_2pl ~reg ()) in
+  let opn = run_authors ~label:"open-nested" ~protocol_of:(fun reg -> Protocol.open_nested ~reg ()) in
+  Fmt.pr "@.histories: flat conventional-SR=%b, open oo-SR=%b@."
+    (Baselines.conventional_serializable flat.Engine.history)
+    (Serializability.oo_serializable opn.Engine.history);
+  Fmt.pr
+    "top-level conflicting pairs under open nesting: %d (only the layout pass)@."
+    (Baselines.conflict_pairs opn.Engine.history `Oo);
+  Fmt.pr "top-level conflicting pairs conventionally:  %d@."
+    (Baselines.conflict_pairs opn.Engine.history `Conventional)

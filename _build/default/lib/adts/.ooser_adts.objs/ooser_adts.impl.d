@@ -1,0 +1,1 @@
+lib/adts/ooser_adts.ml: Directory Escrow_counter Fifo_queue Kv_set

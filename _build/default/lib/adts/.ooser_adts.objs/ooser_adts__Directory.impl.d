@@ -1,0 +1,1 @@
+lib/adts/directory.ml: Action Commutativity List Ooser_core Value

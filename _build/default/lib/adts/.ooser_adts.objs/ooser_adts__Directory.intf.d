@@ -1,0 +1,1 @@
+lib/adts/directory.mli: Commutativity Ooser_core Value

@@ -1,0 +1,1 @@
+lib/adts/escrow_counter.ml: Action Commutativity Ooser_core Option Printf Value

@@ -1,0 +1,1 @@
+lib/adts/escrow_counter.mli: Action Commutativity Ooser_core

@@ -1,0 +1,1 @@
+lib/adts/fifo_queue.ml: Action Commutativity List Ooser_core Value

@@ -1,0 +1,1 @@
+lib/adts/fifo_queue.mli: Commutativity Ooser_core Value

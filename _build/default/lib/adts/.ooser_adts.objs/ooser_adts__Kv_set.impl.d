@@ -1,0 +1,1 @@
+lib/adts/kv_set.ml: Action Commutativity List Ooser_core Value

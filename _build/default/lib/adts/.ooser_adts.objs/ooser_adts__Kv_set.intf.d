@@ -1,0 +1,1 @@
+lib/adts/kv_set.mli: Commutativity Ooser_core Value

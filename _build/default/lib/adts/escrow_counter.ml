@@ -1,0 +1,75 @@
+(* Escrow counter (O'Neil; [9, 14, 17] in the paper).
+
+   A bounded counter whose increments and decrements commute as long as
+   the escrow test guarantees that both succeed in either order: the
+   commutativity of two updates depends on the parameter values and the
+   current state, which is exactly the refinement §2 attributes to the
+   escrow method. *)
+
+open Ooser_core
+
+type t = { mutable value : int; low : int; high : int }
+
+exception Bounds_violation of string
+
+let create ?(low = min_int) ?(high = max_int) value =
+  if value < low || value > high then
+    invalid_arg "Escrow_counter.create: initial value out of bounds";
+  { value; low; high }
+
+let value t = t.value
+let low t = t.low
+let high t = t.high
+
+let apply t delta =
+  let v = t.value + delta in
+  if v < t.low || v > t.high then
+    raise
+      (Bounds_violation
+         (Printf.sprintf "escrow: %d%+d outside [%d, %d]" t.value delta t.low
+            t.high))
+  else t.value <- v
+
+let incr t n =
+  if n < 0 then invalid_arg "Escrow_counter.incr: negative amount";
+  apply t n
+
+let decr t n =
+  if n < 0 then invalid_arg "Escrow_counter.decr: negative amount";
+  apply t (-n)
+
+let can_apply t delta =
+  let v = t.value + delta in
+  v >= t.low && v <= t.high
+
+(* Delta of an update action; [None] for reads/unknown methods.  The
+   banking vocabulary (deposit/withdraw) is accepted alongside
+   incr/decr. *)
+let delta_of act =
+  let amount () =
+    match Action.args act with
+    | v :: _ -> ( match Value.to_int v with Some n -> Some n | None -> None)
+    | [] -> None
+  in
+  match Action.meth act with
+  | "incr" | "deposit" -> amount ()
+  | "decr" | "withdraw" -> Option.map (fun n -> -n) (amount ())
+  | _ -> None
+
+let is_read act =
+  match Action.meth act with "read" | "balance" -> true | _ -> false
+
+(* Escrow commutativity: two updates commute when executing them in either
+   order from the current state keeps every prefix within bounds; a read
+   conflicts with every update and commutes with reads. *)
+let spec t =
+  Commutativity.predicate ~name:"escrow-counter" (fun a b ->
+      match (delta_of a, delta_of b) with
+      | Some da, Some db ->
+          can_apply t da && can_apply t db
+          && t.value + da + db >= t.low
+          && t.value + da + db <= t.high
+      | None, None ->
+          (* two reads commute; unknown methods conflict *)
+          is_read a && is_read b
+      | Some _, None | None, Some _ -> false)

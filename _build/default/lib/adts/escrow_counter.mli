@@ -1,0 +1,37 @@
+(** Escrow counter (O'Neil; [9, 14, 17] in the paper).
+
+    A bounded counter whose increments and decrements commute as long as
+    the escrow test guarantees both succeed in either order — the
+    parameter- and state-dependent commutativity refinement of §2. *)
+
+open Ooser_core
+
+type t
+
+exception Bounds_violation of string
+
+val create : ?low:int -> ?high:int -> int -> t
+(** @raise Invalid_argument when the initial value is out of bounds. *)
+
+val value : t -> int
+val low : t -> int
+val high : t -> int
+
+val incr : t -> int -> unit
+(** @raise Bounds_violation when the bound would be exceeded.
+    @raise Invalid_argument on negative amounts. *)
+
+val decr : t -> int -> unit
+(** @raise Bounds_violation when the bound would be exceeded.
+    @raise Invalid_argument on negative amounts. *)
+
+val can_apply : t -> int -> bool
+(** Whether adding [delta] keeps the counter within bounds. *)
+
+val delta_of : Action.t -> int option
+(** The signed amount of an [incr]/[decr] action; [None] for reads. *)
+
+val spec : t -> Commutativity.spec
+(** Escrow commutativity against the counter's current state: updates
+    commute when both orders stay within bounds; reads conflict with
+    updates and commute with reads. *)

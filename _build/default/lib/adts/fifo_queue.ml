@@ -1,0 +1,44 @@
+(* FIFO queue with state-dependent commutativity (Spector & Schwartz,
+   §2): two dequeues never commute, two enqueues never commute (they fix
+   the order of elements), but an enqueue commutes with a dequeue whenever
+   the queue is non-empty — the dequeue takes an old element no matter
+   which order they run in. *)
+
+open Ooser_core
+
+type t = { mutable front : Value.t list; mutable back : Value.t list }
+
+let create () = { front = []; back = [] }
+
+let is_empty t = t.front = [] && t.back = []
+
+let length t = List.length t.front + List.length t.back
+
+let enqueue t v = t.back <- v :: t.back
+
+let dequeue t =
+  match t.front with
+  | x :: rest ->
+      t.front <- rest;
+      Some x
+  | [] -> (
+      match List.rev t.back with
+      | [] -> None
+      | x :: rest ->
+          t.front <- rest;
+          t.back <- [];
+          Some x)
+
+let peek t =
+  match t.front with
+  | x :: _ -> Some x
+  | [] -> ( match List.rev t.back with x :: _ -> Some x | [] -> None)
+
+let spec t =
+  Commutativity.predicate ~name:"fifo-queue" (fun a b ->
+      match (Action.meth a, Action.meth b) with
+      | "enqueue", "dequeue" | "dequeue", "enqueue" -> not (is_empty t)
+      | "enqueue", "enqueue" | "dequeue", "dequeue" -> false
+      | "length", "length" -> true
+      | "length", _ | _, "length" -> false
+      | _ -> false)

@@ -1,0 +1,17 @@
+(** FIFO queue with state-dependent commutativity (Spector & Schwartz,
+    §2): enqueue and dequeue commute exactly when the queue is
+    non-empty. *)
+
+open Ooser_core
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+val enqueue : t -> Value.t -> unit
+val dequeue : t -> Value.t option
+val peek : t -> Value.t option
+
+val spec : t -> Commutativity.spec
+(** Commutativity against the queue's current state. *)

@@ -1,0 +1,61 @@
+(* A set of keys with insert/remove/contains (Weihl's abstract data type
+   commutativity, §2).
+
+   Insertions of different keys commute; same-key insert/insert and
+   remove/remove pairs commute too (both orders leave the same state and
+   return unit), while insert/remove and membership tests on the same key
+   conflict.
+
+   Internally every element carries an insertion count.  Set semantics are
+   unaffected (membership = count >= 1), but the count is what makes
+   same-key inserts have COMMUTING COMPENSATIONS: undoing one of two
+   concurrent inserts of the same element decrements the count instead of
+   removing the element outright, so the other transaction's insert
+   survives.  This is the standard condition for open nesting — an
+   operation may only be declared commuting if its compensation commutes
+   too. *)
+
+open Ooser_core
+
+type t = { mutable members : (Value.t * int) list }
+
+let create () = { members = [] }
+
+let count t v =
+  match List.find_opt (fun (x, _) -> Value.equal x v) t.members with
+  | Some (_, n) -> n
+  | None -> 0
+
+let set_count t v n =
+  let rest = List.filter (fun (x, _) -> not (Value.equal x v)) t.members in
+  t.members <- (if n > 0 then (v, n) :: rest else rest)
+
+let mem t v = count t v > 0
+
+let insert t v = set_count t v (count t v + 1)
+
+let decr_count t v = set_count t v (max 0 (count t v - 1))
+
+let remove t v =
+  let n = count t v in
+  set_count t v 0;
+  n
+
+let add_count t v n = set_count t v (count t v + n)
+
+let cardinal t = List.length t.members
+let elements t = List.map fst t.members
+
+(* Same-key method compatibility. *)
+let same_key_commutes m m' =
+  match (m, m') with
+  | "insert", "insert" | "remove", "remove" | "contains", "contains" -> true
+  | "insert", "remove" | "remove", "insert" -> false
+  | "insert", "contains" | "contains", "insert" -> false
+  | "remove", "contains" | "contains", "remove" -> false
+  | _ -> false
+
+let spec =
+  Commutativity.by_key ~key_of:Commutativity.first_arg
+    (Commutativity.predicate ~name:"kv-set" (fun a b ->
+         same_key_commutes (Action.meth a) (Action.meth b)))

@@ -1,0 +1,38 @@
+(** A set of keys with insert/remove/contains (Weihl-style abstract data
+    type commutativity, §2).
+
+    Operations on different keys always commute; on the same key,
+    idempotent pairs (insert/insert, remove/remove) commute while
+    insert/remove and membership tests conflict.
+
+    Elements carry an internal insertion count (membership = count ≥ 1):
+    that is what gives same-key inserts {e commuting compensations} —
+    undoing one of two concurrent inserts decrements the count instead of
+    removing the element, preserving the other transaction's insert. *)
+
+open Ooser_core
+
+type t
+
+val create : unit -> t
+val mem : t -> Value.t -> bool
+
+val insert : t -> Value.t -> unit
+(** Increment the element's insertion count. *)
+
+val remove : t -> Value.t -> int
+(** Drop the element entirely; returns the count it had (for
+    compensation). *)
+
+val count : t -> Value.t -> int
+val decr_count : t -> Value.t -> unit
+(** The compensation of one insert. *)
+
+val add_count : t -> Value.t -> int -> unit
+(** The compensation of a remove: restore the dropped insertions. *)
+
+val cardinal : t -> int
+val elements : t -> Value.t list
+
+val spec : Commutativity.spec
+(** Keyed commutativity over the first argument. *)

@@ -1,0 +1,6 @@
+(* Umbrella module for the semantic abstract data types. *)
+
+module Escrow_counter = Escrow_counter
+module Kv_set = Kv_set
+module Fifo_queue = Fifo_queue
+module Directory = Directory

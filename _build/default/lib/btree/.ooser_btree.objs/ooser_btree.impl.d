@@ -1,0 +1,1 @@
+lib/btree/ooser_btree.ml: Btree Node Ooser_storage

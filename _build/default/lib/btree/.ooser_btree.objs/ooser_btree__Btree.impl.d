@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Buffer_pool Codec Disk Fmt List Node Ooser_storage Page Result

@@ -1,0 +1,1 @@
+lib/btree/btree.mli: Buffer_pool Format Ooser_storage

@@ -1,0 +1,1 @@
+lib/btree/node.ml: Array Fmt List Ooser_storage Printf

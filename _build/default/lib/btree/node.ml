@@ -1,0 +1,265 @@
+(* B-link tree nodes.
+
+   Every node (leaf and internal) carries a right link and a high key
+   (Lehman/Yao B-link, the concurrent search structure of [15] that §2 of
+   the paper builds its example on).  A node covers keys strictly below
+   its high key; a search meeting a larger key follows the right link —
+   that is what keeps half-completed splits consistent. *)
+
+module Codec = Ooser_storage.Codec
+
+type kind = Leaf | Internal
+
+type t = {
+  kind : kind;
+  entries : (string * string) list;
+      (* sorted; for internal nodes the "value" is the child page id in
+         decimal (the codec stores it as u32) *)
+  leftmost : int option;  (* internal: child for keys below the first entry *)
+  right_link : int option;
+  high_key : string option;  (* exclusive upper bound; None = +infinity *)
+}
+
+let leaf ?right_link ?high_key entries =
+  { kind = Leaf; entries; leftmost = None; right_link; high_key }
+
+let internal ?right_link ?high_key ~leftmost entries =
+  { kind = Internal; entries; leftmost = Some leftmost; right_link; high_key }
+
+let kind t = t.kind
+let entries t = t.entries
+let size t = List.length t.entries
+let right_link t = t.right_link
+let high_key t = t.high_key
+let leftmost t = t.leftmost
+
+let covers t key =
+  match t.high_key with None -> true | Some h -> key < h
+
+(* -- leaf operations ----------------------------------------------------- *)
+
+let find t key =
+  if t.kind <> Leaf then invalid_arg "Node.find: internal node";
+  List.assoc_opt key t.entries
+
+let rec insert_sorted key value = function
+  | [] -> [ (key, value) ]
+  | (k, _) :: _ as l when key < k -> (key, value) :: l
+  | (k, _) :: rest when key = k -> (key, value) :: rest (* upsert *)
+  | e :: rest -> e :: insert_sorted key value rest
+
+let insert t key value =
+  if t.kind <> Leaf then invalid_arg "Node.insert: internal node";
+  { t with entries = insert_sorted key value t.entries }
+
+let delete t key =
+  if t.kind <> Leaf then invalid_arg "Node.delete: internal node";
+  let entries = List.filter (fun (k, _) -> k <> key) t.entries in
+  if List.length entries = List.length t.entries then None
+  else Some { t with entries }
+
+(* -- internal operations ------------------------------------------------- *)
+
+type descent = Child of int | Follow_right of int
+
+(* Route a key: follow the right link when the key is beyond the high key
+   (a split has moved it), otherwise pick the covering child. *)
+let route t key =
+  match t.high_key, t.right_link with
+  | Some h, Some r when key >= h -> Follow_right r
+  | Some _, None when not (covers t key) ->
+      invalid_arg "Node.route: key beyond high key with no right link"
+  | _ ->
+      if t.kind <> Internal then invalid_arg "Node.route: leaf node";
+      let lm =
+        match t.leftmost with
+        | Some c -> c
+        | None -> invalid_arg "Node.route: internal without leftmost"
+      in
+      let rec go best = function
+        | [] -> best
+        | (k, c) :: rest -> if key >= k then go (int_of_string c) rest else best
+      in
+      Child (go lm t.entries)
+
+let add_separator t ~key ~child =
+  if t.kind <> Internal then invalid_arg "Node.add_separator: leaf node";
+  { t with entries = insert_sorted key (string_of_int child) t.entries }
+
+(* Drop the separator pointing at [child]; [None] when absent. *)
+let remove_separator t ~child =
+  if t.kind <> Internal then invalid_arg "Node.remove_separator: leaf node";
+  let c = string_of_int child in
+  if List.exists (fun (_, v) -> v = c) t.entries then
+    Some { t with entries = List.filter (fun (_, v) -> v <> c) t.entries }
+  else None
+
+(* Replace the key of the separator pointing at [child]. *)
+let rename_separator t ~child ~key =
+  if t.kind <> Internal then invalid_arg "Node.rename_separator: leaf node";
+  let c = string_of_int child in
+  {
+    t with
+    entries =
+      List.sort compare
+        (List.map (fun (k, v) -> if v = c then (key, v) else (k, v)) t.entries);
+  }
+
+(* Append the right sibling's content to this node (both leaves), taking
+   over its link and high key. *)
+let absorb_right t right =
+  if t.kind <> Leaf || right.kind <> Leaf then invalid_arg "Node.absorb_right";
+  {
+    t with
+    entries = t.entries @ right.entries;
+    right_link = right.right_link;
+    high_key = right.high_key;
+  }
+
+(* Move the right sibling's first entry into this leaf; returns the pair
+   of updated nodes and the new separator key. *)
+let borrow_from_right t right =
+  if t.kind <> Leaf || right.kind <> Leaf then invalid_arg "Node.borrow_from_right";
+  match right.entries with
+  | [] -> invalid_arg "Node.borrow_from_right: empty sibling"
+  | (k, v) :: rest ->
+      let new_sep =
+        match rest with
+        | (k', _) :: _ -> k'
+        | [] -> ( match right.high_key with Some h -> h | None -> k)
+      in
+      ( { t with entries = t.entries @ [ (k, v) ]; high_key = Some new_sep },
+        { right with entries = rest },
+        new_sep )
+
+(* -- splits --------------------------------------------------------------- *)
+
+(* Split a leaf: the left half keeps the low keys, the new right node takes
+   the rest; the separator (first key of the right half) becomes the left
+   node's high key.  Returns (left, separator, right). *)
+let split_leaf t =
+  if t.kind <> Leaf then invalid_arg "Node.split_leaf";
+  let n = List.length t.entries in
+  if n < 2 then invalid_arg "Node.split_leaf: too few entries";
+  let mid = n / 2 in
+  let rec take i = function
+    | [] -> ([], [])
+    | l when i = 0 -> ([], l)
+    | x :: rest ->
+        let a, b = take (i - 1) rest in
+        (x :: a, b)
+  in
+  let left_entries, right_entries = take mid t.entries in
+  let sep = fst (List.hd right_entries) in
+  let right =
+    { t with entries = right_entries }
+  in
+  ( (fun right_pid ->
+      { t with entries = left_entries; right_link = Some right_pid; high_key = Some sep }),
+    sep,
+    right )
+
+(* Split an internal node: the middle separator moves up; the right node
+   takes the upper separators with the middle one's child as leftmost. *)
+let split_internal t =
+  if t.kind <> Internal then invalid_arg "Node.split_internal";
+  let n = List.length t.entries in
+  if n < 3 then invalid_arg "Node.split_internal: too few separators";
+  let mid = n / 2 in
+  let arr = Array.of_list t.entries in
+  let left_entries = Array.to_list (Array.sub arr 0 mid) in
+  let sep_key, sep_child = arr.(mid) in
+  let right_entries = Array.to_list (Array.sub arr (mid + 1) (n - mid - 1)) in
+  let right =
+    {
+      kind = Internal;
+      entries = right_entries;
+      leftmost = Some (int_of_string sep_child);
+      right_link = t.right_link;
+      high_key = t.high_key;
+    }
+  in
+  ( (fun right_pid ->
+      {
+        t with
+        entries = left_entries;
+        right_link = Some right_pid;
+        high_key = Some sep_key;
+      }),
+    sep_key,
+    right )
+
+(* -- serialization -------------------------------------------------------- *)
+
+let encode t =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u8 w (match t.kind with Leaf -> 1 | Internal -> 2);
+  (match t.leftmost with
+  | None -> Codec.Writer.u8 w 0
+  | Some c ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.u32 w c);
+  (match t.right_link with
+  | None -> Codec.Writer.u8 w 0
+  | Some c ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.u32 w c);
+  (match t.high_key with
+  | None -> Codec.Writer.u8 w 0
+  | Some h ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.string w h);
+  Codec.Writer.u16 w (List.length t.entries);
+  List.iter
+    (fun (k, v) ->
+      Codec.Writer.string w k;
+      match t.kind with
+      | Leaf -> Codec.Writer.string w v
+      | Internal -> Codec.Writer.u32 w (int_of_string v))
+    t.entries;
+  Codec.Writer.contents w
+
+let decode s =
+  let r = Codec.Reader.create s in
+  let kind = match Codec.Reader.u8 r with
+    | 1 -> Leaf
+    | 2 -> Internal
+    | k -> failwith (Printf.sprintf "Node.decode: bad kind %d" k)
+  in
+  let leftmost =
+    match Codec.Reader.u8 r with
+    | 0 -> None
+    | _ -> Some (Codec.Reader.u32 r)
+  in
+  let right_link =
+    match Codec.Reader.u8 r with
+    | 0 -> None
+    | _ -> Some (Codec.Reader.u32 r)
+  in
+  let high_key =
+    match Codec.Reader.u8 r with
+    | 0 -> None
+    | _ -> Some (Codec.Reader.string r)
+  in
+  let n = Codec.Reader.u16 r in
+  let entries =
+    List.init n (fun _ ->
+        let k = Codec.Reader.string r in
+        let v =
+          match kind with
+          | Leaf -> Codec.Reader.string r
+          | Internal -> string_of_int (Codec.Reader.u32 r)
+        in
+        (k, v))
+  in
+  { kind; entries; leftmost; right_link; high_key }
+
+let pp ppf t =
+  let k = match t.kind with Leaf -> "leaf" | Internal -> "node" in
+  Fmt.pf ppf "%s[%a%a%a]" k
+    (Fmt.list ~sep:(Fmt.any " ") (fun ppf (k, v) -> Fmt.pf ppf "%s:%s" k v))
+    t.entries
+    (Fmt.option (fun ppf h -> Fmt.pf ppf " high=%s" h))
+    t.high_key
+    (Fmt.option (fun ppf r -> Fmt.pf ppf " link=%d" r))
+    t.right_link

@@ -1,0 +1,89 @@
+(** B-link tree nodes.
+
+    Every node (leaf and internal) carries a right link and a high key
+    (Lehman/Yao B-link, the concurrent search structure of [15] that §2 of
+    the paper builds its example on).  A node covers keys strictly below
+    its high key; a search meeting a key at or beyond the high key follows
+    the right link — that is what keeps half-completed splits consistent.
+
+    Nodes are immutable values serialized into a single page record. *)
+
+type kind = Leaf | Internal
+type t
+
+val leaf : ?right_link:int -> ?high_key:string -> (string * string) list -> t
+(** A leaf from sorted (key, value) entries. *)
+
+val internal :
+  ?right_link:int ->
+  ?high_key:string ->
+  leftmost:int ->
+  (string * string) list ->
+  t
+(** An internal node: [leftmost] child covers keys below the first
+    separator; each entry [(k, child)] covers keys from [k] up to the next
+    separator (child page ids in decimal). *)
+
+val kind : t -> kind
+val entries : t -> (string * string) list
+val size : t -> int
+val right_link : t -> int option
+val high_key : t -> string option
+val leftmost : t -> int option
+
+val covers : t -> string -> bool
+(** Key strictly below the high key (always true when unbounded). *)
+
+val find : t -> string -> string option
+(** Leaf lookup. @raise Invalid_argument on internal nodes. *)
+
+val insert : t -> string -> string -> t
+(** Leaf upsert, keeps entries sorted.
+    @raise Invalid_argument on internal nodes. *)
+
+val delete : t -> string -> t option
+(** [None] when the key is absent.
+    @raise Invalid_argument on internal nodes. *)
+
+(** Result of routing a key through an internal node (or a leaf whose
+    high key the key exceeds). *)
+type descent = Child of int | Follow_right of int
+
+val route : t -> string -> descent
+(** @raise Invalid_argument when routing a covered key through a leaf. *)
+
+val add_separator : t -> key:string -> child:int -> t
+(** @raise Invalid_argument on leaves. *)
+
+val remove_separator : t -> child:int -> t option
+(** Drop the separator pointing at [child]; [None] when absent.
+    @raise Invalid_argument on leaves. *)
+
+val rename_separator : t -> child:int -> key:string -> t
+(** Replace the key of the separator pointing at [child].
+    @raise Invalid_argument on leaves. *)
+
+val absorb_right : t -> t -> t
+(** Merge the right sibling's entries into this leaf, taking over its
+    B-link and high key.  @raise Invalid_argument on internal nodes. *)
+
+val borrow_from_right : t -> t -> t * t * string
+(** Move the right sibling's first entry into this leaf; returns both
+    updated nodes and the new separator key.
+    @raise Invalid_argument on internal nodes or an empty sibling. *)
+
+val split_leaf : t -> (int -> t) * string * t
+(** [split_leaf t = (make_left, separator, right)]: the right node holds
+    the upper half; [make_left right_pid] is the left node with its B-link
+    pointing at the freshly allocated right page.
+    @raise Invalid_argument with fewer than 2 entries. *)
+
+val split_internal : t -> (int -> t) * string * t
+(** Same shape; the middle separator moves up to the parent.
+    @raise Invalid_argument with fewer than 3 separators. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Failure on corrupt input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,5 @@
+(* Umbrella module for the B+ tree substrate. *)
+
+module Codec = Ooser_storage.Codec
+module Node = Node
+module Btree = Btree

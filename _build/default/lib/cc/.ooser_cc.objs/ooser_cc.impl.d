@@ -1,0 +1,1 @@
+lib/cc/ooser_cc.ml: Deadlock Lock_table Protocol

@@ -1,0 +1,1 @@
+lib/cc/deadlock.ml: Fmt Int List Ooser_core

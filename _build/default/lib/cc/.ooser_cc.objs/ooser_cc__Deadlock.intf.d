@@ -1,0 +1,1 @@
+lib/cc/deadlock.mli:

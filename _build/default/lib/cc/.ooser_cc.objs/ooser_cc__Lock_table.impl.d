@@ -1,0 +1,1 @@
+lib/cc/lock_table.ml: Action Action_id Commutativity Fmt List Obj_id Ooser_core

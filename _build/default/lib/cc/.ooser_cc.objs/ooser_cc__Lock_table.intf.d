@@ -1,0 +1,1 @@
+lib/cc/lock_table.mli: Action Action_id Commutativity Format Obj_id Ooser_core

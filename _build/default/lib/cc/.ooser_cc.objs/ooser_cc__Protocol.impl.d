@@ -1,0 +1,1 @@
+lib/cc/protocol.ml: Action Action_id List Lock_table Ooser_core Ooser_sim

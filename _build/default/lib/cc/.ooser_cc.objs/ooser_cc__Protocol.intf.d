@@ -1,0 +1,1 @@
+lib/cc/protocol.mli: Action Commutativity Lock_table Ooser_core Ooser_sim

@@ -1,0 +1,32 @@
+(* Waits-for graph deadlock detection.
+
+   The engine reports, for each blocked transaction, the transactions
+   holding the locks it waits for; a cycle in that graph is a deadlock.
+   The victim is the youngest transaction in the cycle (largest
+   identifier), a deterministic choice that keeps experiments
+   reproducible. *)
+
+module G = Ooser_core.Digraph.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Fmt.int
+end)
+
+type waits_for = (int * int list) list
+(* (waiting transaction, holders it waits for) *)
+
+let graph (w : waits_for) =
+  List.fold_left
+    (fun g (waiter, holders) ->
+      List.fold_left
+        (fun g h -> if h <> waiter then G.add waiter h g else g)
+        (G.add_vertex waiter g) holders)
+    G.empty w
+
+let find_cycle w = G.find_cycle (graph w)
+
+let victim w =
+  match find_cycle w with
+  | None -> None
+  | Some cycle -> Some (List.fold_left max min_int cycle)

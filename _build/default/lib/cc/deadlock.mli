@@ -1,0 +1,12 @@
+(** Waits-for graph deadlock detection.
+
+    The engine reports, for each blocked transaction, the transactions
+    holding the locks it waits for; a cycle is a deadlock.  The victim is
+    the youngest transaction in the cycle (largest identifier) — a
+    deterministic choice that keeps experiments reproducible. *)
+
+type waits_for = (int * int list) list
+(** [(waiting transaction, holders it waits for)] pairs. *)
+
+val find_cycle : waits_for -> int list option
+val victim : waits_for -> int option

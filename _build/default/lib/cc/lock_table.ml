@@ -1,0 +1,112 @@
+(* Semantic lock table.
+
+   A lock entry records the action that acquired it, the scope action
+   whose completion releases it, and the current RETAINER.  In
+   multi-level (open nested) locking the scope is the immediate caller: a
+   lock taken for an operation on O is held until the calling
+   subtransaction commits — precisely the span over which the paper's
+   transaction dependencies at O matter.  In flat 2PL the scope is the
+   top-level transaction.
+
+   The retainer implements Moss's rule for nested transactions: while the
+   acquiring action runs, it retains the lock itself; when it completes,
+   the lock is retained by its caller, and so on upward.  A lock never
+   conflicts with requests from descendants of its retainer — this is
+   what lets a parallel sibling branch proceed after the first branch
+   completed, while still blocking it during the first branch's
+   execution.
+
+   Conflicts between different transactions are decided by the
+   commutativity registry (Def. 9). *)
+
+open Ooser_core
+
+type entry = {
+  action : Action.t;
+  scope : Action_id.t;
+  mutable retainer : Action_id.t;
+}
+
+type t = { mutable by_obj : entry list Obj_id.Map.t }
+
+let create () = { by_obj = Obj_id.Map.empty }
+
+let entries_on t obj =
+  match Obj_id.Map.find_opt obj t.by_obj with Some l -> l | None -> []
+
+let add t ~action ~scope =
+  let obj = Action.obj action in
+  t.by_obj <-
+    Obj_id.Map.add obj
+      ({ action; scope; retainer = Action.id action } :: entries_on t obj)
+      t.by_obj
+
+(* Same transaction and one is an ancestor of (or equal to) the other. *)
+let call_path_related a b =
+  Action_id.top a = Action_id.top b
+  && (Action_id.equal a b
+     || Action_id.is_proper_ancestor a b
+     || Action_id.is_proper_ancestor b a)
+
+(* The retained-lock compatibility rule: a request is compatible with an
+   entry whose retainer is the requester itself or one of its
+   ancestors. *)
+let retained_compatible entry requester_id =
+  Action_id.top entry.retainer = Action_id.top requester_id
+  && (Action_id.equal entry.retainer requester_id
+     || Action_id.is_proper_ancestor entry.retainer requester_id)
+
+let conflicting reg t action =
+  let id = Action.id action in
+  List.filter
+    (fun e ->
+      (not (retained_compatible e id))
+      && (not (call_path_related (Action.id e.action) id))
+      && Commutativity.conflicts reg action e.action)
+    (entries_on t (Action.obj action))
+
+let release_scope t scope =
+  t.by_obj <-
+    Obj_id.Map.filter_map
+      (fun _ entries ->
+        match
+          List.filter (fun e -> not (Action_id.equal e.scope scope)) entries
+        with
+        | [] -> None
+        | l -> Some l)
+      t.by_obj
+
+(* Completion of an action: every lock it retains moves up to its
+   caller. *)
+let escalate t finished =
+  match Action_id.parent finished with
+  | None -> ()
+  | Some parent ->
+      Obj_id.Map.iter
+        (fun _ entries ->
+          List.iter
+            (fun e ->
+              if Action_id.equal e.retainer finished then e.retainer <- parent)
+            entries)
+        t.by_obj
+
+let release_top t top =
+  t.by_obj <-
+    Obj_id.Map.filter_map
+      (fun _ entries ->
+        match List.filter (fun e -> Action_id.top e.scope <> top) entries with
+        | [] -> None
+        | l -> Some l)
+      t.by_obj
+
+let all_entries t = Obj_id.Map.fold (fun _ es acc -> es @ acc) t.by_obj []
+
+let total t = List.length (all_entries t)
+
+let pp ppf t =
+  let pp_entry ppf e =
+    Fmt.pf ppf "%a held-by %a retained-by %a until %a" Obj_id.pp
+      (Action.obj e.action) Action.pp e.action Action_id.pp e.retainer
+      Action_id.pp e.scope
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_entry) (all_entries t)

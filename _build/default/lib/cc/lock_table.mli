@@ -1,0 +1,44 @@
+(** Semantic lock table.
+
+    A lock entry records the action that acquired it and the scope action
+    whose completion releases it.  In multi-level (open nested) locking
+    the scope is the immediate caller: a lock taken for an operation on O
+    is held until the calling subtransaction commits — precisely the span
+    over which the paper's transaction dependencies at O matter.  In flat
+    2PL the scope is the top-level transaction. *)
+
+open Ooser_core
+
+type entry = {
+  action : Action.t;
+  scope : Action_id.t;  (** released when this action completes *)
+  mutable retainer : Action_id.t;
+      (** Moss's rule: the acquirer while it runs, then escalated to its
+          caller on completion; never conflicts with the retainer's
+          descendants *)
+}
+
+type t
+
+val create : unit -> t
+val add : t -> action:Action.t -> scope:Action_id.t -> unit
+val entries_on : t -> Obj_id.t -> entry list
+
+val conflicting : Commutativity.registry -> t -> Action.t -> entry list
+(** Held entries on the action's object that conflict with it per the
+    registry; entries on the requester's own call path are compatible. *)
+
+val call_path_related : Action_id.t -> Action_id.t -> bool
+
+val release_scope : t -> Action_id.t -> unit
+(** Drop every entry whose scope is the given action. *)
+
+val escalate : t -> Action_id.t -> unit
+(** The action completed: locks it retains move up to its caller. *)
+
+val release_top : t -> int -> unit
+(** Drop every entry belonging to a top-level transaction. *)
+
+val all_entries : t -> entry list
+val total : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,5 @@
+(* Umbrella module for the concurrency control library. *)
+
+module Lock_table = Lock_table
+module Protocol = Protocol
+module Deadlock = Deadlock

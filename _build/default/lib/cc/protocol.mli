@@ -1,0 +1,51 @@
+(** Concurrency control protocols.
+
+    A protocol answers lock requests issued by the execution engine right
+    before an action's method body runs, and is told when actions
+    complete and when top-level transactions commit or abort.
+
+    - {!flat_2pl} — conventional strict two-phase locking at the
+      primitive (page) level, locks held to top-level commit: the
+      baseline the paper argues against for long object-oriented
+      operations (§1).
+    - {!closed_nested} — Moss-style closed nesting: primitive locks
+      acquired per subtransaction and retained upward to top-level
+      commit.  For sequential transactions it blocks exactly like
+      {!flat_2pl} (closed nesting only adds intra-transaction
+      parallelism) — experiment E2 demonstrates this.
+    - {!open_nested} — multi-level locking with semantic (commutativity)
+      conflict tests at every object; a lock is released when the
+      immediate caller of the locked action completes.  Histories it
+      admits are oo-serializable.
+    - {!unlocked} — grants everything; used to sample raw interleavings
+      (experiment E3) and to show the checker catching violations. *)
+
+open Ooser_core
+module Stats = Ooser_sim.Stats
+
+type decision = Granted | Blocked of Action.t list
+
+type t
+
+val name : t -> string
+
+val request : t -> Action.t -> leaf:bool -> decision
+(** Ask to start executing an action ([leaf] marks primitive methods).
+    [Granted] may record a lock; [Blocked] names the conflicting
+    holders. *)
+
+val on_end : t -> Action.t -> unit
+(** The action completed (committed at its level). *)
+
+val on_top_commit : t -> int -> unit
+val on_top_abort : t -> int -> unit
+
+val counters : t -> Stats.Counter.t
+(** ["requests"], ["grants"], ["conflicts"]. *)
+
+val table : t -> Lock_table.t option
+
+val unlocked : unit -> t
+val flat_2pl : reg:Commutativity.registry -> unit -> t
+val closed_nested : reg:Commutativity.registry -> unit -> t
+val open_nested : reg:Commutativity.registry -> unit -> t

@@ -1,0 +1,1 @@
+lib/core/ooser_core.ml: Action Baselines Call_tree Commutativity Digraph Extension History Ids Report Schedule Serializability Value

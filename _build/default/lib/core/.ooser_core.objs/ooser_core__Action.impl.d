@@ -1,0 +1,1 @@
+lib/core/action.ml: Action_id Digraph Fmt Ids Map Obj_id Process_id Value

@@ -1,0 +1,1 @@
+lib/core/action.mli: Action_id Digraph Format Ids Map Obj_id Process_id Value

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Action Action_id Array Call_tree Commutativity Extension History Ids List Obj_id Schedule

@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Action Action_id History Ids

@@ -1,0 +1,1 @@
+lib/core/call_tree.ml: Action Action_id Array Fmt Ids List Obj_id Process_id Result Set Value

@@ -1,0 +1,1 @@
+lib/core/call_tree.mli: Action Action_id Format Ids Obj_id Value

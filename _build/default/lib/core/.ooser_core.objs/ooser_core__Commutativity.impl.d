@@ -1,0 +1,1 @@
+lib/core/commutativity.ml: Action Action_id Ids List Obj_id Printf Process_id Value

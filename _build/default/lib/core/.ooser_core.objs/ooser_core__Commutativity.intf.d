@@ -1,0 +1,1 @@
+lib/core/commutativity.mli: Action Ids Obj_id Value

@@ -1,0 +1,1 @@
+lib/core/digraph.ml: Fmt Format List Map Set

@@ -1,0 +1,1 @@
+lib/core/extension.ml: Action Action_id Call_tree Fmt History Ids List Obj_id

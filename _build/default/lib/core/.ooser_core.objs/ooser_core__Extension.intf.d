@@ -1,0 +1,1 @@
+lib/core/extension.mli: Action Action_id History Ids Obj_id

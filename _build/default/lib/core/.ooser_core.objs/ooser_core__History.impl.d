@@ -1,0 +1,1 @@
+lib/core/history.ml: Action Action_id Call_tree Commutativity Fmt Hashtbl Ids List Result

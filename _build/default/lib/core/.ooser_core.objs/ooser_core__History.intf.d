@@ -1,0 +1,1 @@
+lib/core/history.mli: Action Action_id Call_tree Commutativity Format Ids

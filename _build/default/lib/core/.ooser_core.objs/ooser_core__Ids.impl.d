@@ -1,0 +1,1 @@
+lib/core/ids.ml: Fmt Int List Map Printf Set String

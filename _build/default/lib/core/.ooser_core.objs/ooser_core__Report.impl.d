@@ -1,0 +1,1 @@
+lib/core/report.ml: Action Action_id Array Fmt Ids List Obj_id Schedule Serializability String

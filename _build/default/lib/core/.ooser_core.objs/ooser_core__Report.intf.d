@@ -1,0 +1,1 @@
+lib/core/report.mli: Action_id Format History Ids Obj_id Schedule Serializability

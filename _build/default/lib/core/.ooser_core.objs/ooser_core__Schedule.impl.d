@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Action Action_id Commutativity Extension Fmt History Ids List Obj_id

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Action Action_id Extension Format History Ids Obj_id

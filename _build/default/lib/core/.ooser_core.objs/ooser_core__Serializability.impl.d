@@ -1,0 +1,1 @@
+lib/core/serializability.ml: Action Action_id Extension Fmt Hashtbl History Ids List Obj_id Schedule

@@ -1,0 +1,1 @@
+lib/core/serializability.mli: Action_id Extension Format History Ids Obj_id Schedule

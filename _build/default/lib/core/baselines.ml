@@ -1,0 +1,224 @@
+(* Baseline serializability notions the paper compares against (§1, §2):
+
+   - conventional conflict-order-preserving serializability: every
+     conflict between primitive actions is inherited directly to the
+     top-level transactions, ignoring the semantics of the intermediate
+     methods;
+   - multi-layer serializability [1, 3, 11, 23, 24]: levels are the call
+     tree depths; conflicting operations of one level inherit their order
+     to the operations of the level above, stopping when the parents
+     commute.  Defined for layered histories (all leaves at equal
+     depth). *)
+
+open Ids
+
+type sg = { graph : Action.Rel.t; cycle : Action_id.t list option }
+
+let serializable sg = sg.cycle = None
+
+(* Conventional serialization graph over top-level transactions: an edge
+   Ti -> Tj whenever a primitive of Ti precedes a conflicting primitive of
+   Tj.  Commutativity is consulted only at the primitive level (the
+   "conventional" DBMS view of §2: pages with read/write semantics). *)
+let conventional_sg h =
+  let reg = History.commut h in
+  let prims = History.all_primitives h in
+  let pos = History.position_map h in
+  let tops =
+    List.map (fun t -> Action_id.root (Action_id.top (Action.id t)))
+  in
+  ignore tops;
+  let g =
+    List.fold_left
+      (fun g id -> Action.Rel.add_vertex id g)
+      Action.Rel.empty (History.top_ids h)
+  in
+  let arr = Array.of_list prims in
+  let n = Array.length arr in
+  let g = ref g in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let p = arr.(i) and q = arr.(j) in
+        let ti = Action_id.top (Action.id p) and tj = Action_id.top (Action.id q) in
+        if
+          ti <> tj
+          && Obj_id.equal (Action.obj p) (Action.obj q)
+          && Commutativity.conflicts reg p q
+        then
+          match
+            ( Action_id.Map.find_opt (Action.id p) pos,
+              Action_id.Map.find_opt (Action.id q) pos )
+          with
+          | Some pi, Some pj when pi < pj ->
+              g := Action.Rel.add (Action_id.root ti) (Action_id.root tj) !g
+          | _ -> ()
+      end
+    done
+  done;
+  { graph = !g; cycle = Action.Rel.find_cycle !g }
+
+let conventional_serializable h = serializable (conventional_sg h)
+
+(* Multi-layer serializability.  Works level by level from the leaves:
+   at each level, the order of conflicting operations (inherited from
+   below, or the execution order at the leaf level) must induce an acyclic
+   graph; the order is inherited to the parents only when the operations
+   conflict. *)
+
+type layered_verdict = {
+  layered : bool;  (* whether the history is strictly layered *)
+  level_graphs : (int * sg) list;  (* per level, leaves = highest level *)
+  ml_serializable : bool;
+}
+
+let is_layered h =
+  let depths =
+    List.map (fun a -> Action_id.depth (Action.id a)) (History.all_primitives h)
+  in
+  match depths with [] -> true | d :: rest -> List.for_all (( = ) d) rest
+
+let multilevel_verdict h =
+  let layered = is_layered h in
+  if not layered then
+    { layered; level_graphs = []; ml_serializable = false }
+  else begin
+    let reg = History.commut h in
+    let ext = Extension.extend h in
+    let pos = History.position_map h in
+    let max_depth =
+      List.fold_left
+        (fun m a -> max m (Action_id.depth (Action.id a)))
+        0 (History.all_actions h)
+    in
+    let actions_at d =
+      List.filter
+        (fun a -> Action_id.depth (Action.id a) = d)
+        (List.map
+           (fun a -> Extension.action ext (Action.id a))
+           (History.all_actions h))
+    in
+    (* dependencies among level-d actions; starts at leaves with the
+       execution order of conflicting leaves. *)
+    let rec level_deps d =
+      let acts = actions_at d in
+      if d = max_depth then
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun a' ->
+                if
+                  (not (Action_id.equal (Action.id a) (Action.id a')))
+                  && Obj_id.equal (Action.obj a) (Action.obj a')
+                  && Commutativity.conflicts reg a a'
+                then
+                  match
+                    ( Action_id.Map.find_opt (Action.id a) pos,
+                      Action_id.Map.find_opt (Action.id a') pos )
+                  with
+                  | Some pa, Some pa' when pa < pa' ->
+                      Some (Action.id a, Action.id a')
+                  | _ -> None
+                else None)
+              acts)
+          acts
+      else
+        (* inherit from below: children dependencies whose endpoints
+           conflict at this level order the parents. *)
+        let below = level_deps (d + 1) in
+        List.filter_map
+          (fun (c, c') ->
+            match (Action_id.parent c, Action_id.parent c') with
+            | Some p, Some p' when not (Action_id.equal p p') -> Some (p, p')
+            | _ -> None)
+          (List.filter
+             (fun (c, c') ->
+               Commutativity.conflicts reg (Extension.action ext c)
+                 (Extension.action ext c'))
+             below)
+        |> List.sort_uniq (fun (a, b) (c, d') ->
+               match Action_id.compare a c with
+               | 0 -> Action_id.compare b d'
+               | x -> x)
+    in
+    (* Order-preserving: the level-d graph also contains the program
+       order between same-transaction operations of that level, as in
+       order-preserving multilevel serializability. *)
+    let prog_pairs_at d =
+      List.concat_map
+        (fun tree ->
+          List.filter
+            (fun (x, y) -> Action_id.depth x = d && Action_id.depth y = d)
+            (Call_tree.program_order_pairs tree))
+        (History.tops h)
+    in
+    let graphs =
+      List.init (max_depth + 1) (fun d ->
+          let deps = level_deps d @ prog_pairs_at d in
+          let g = Action.Rel.of_edges deps in
+          (d, { graph = g; cycle = Action.Rel.find_cycle g }))
+    in
+    let ok = List.for_all (fun (_, sg) -> serializable sg) graphs in
+    { layered; level_graphs = graphs; ml_serializable = ok }
+  end
+
+let multilevel_serializable h = (multilevel_verdict h).ml_serializable
+
+(* Raw count of conflicting primitive access pairs between different
+   top-level transactions — the denominator material for the paper's
+   "rate of conflicting accesses". *)
+let conflicting_primitive_pairs h =
+  let reg = History.commut h in
+  let prims = Array.of_list (History.all_primitives h) in
+  let n = Array.length prims in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let p = prims.(i) and q = prims.(j) in
+      if
+        Action_id.top (Action.id p) <> Action_id.top (Action.id q)
+        && Commutativity.conflicts reg p q
+      then incr count
+    done
+  done;
+  !count
+
+(* Total primitive pairs between different transactions (for rates). *)
+let inter_transaction_primitive_pairs h =
+  let prims = Array.of_list (History.all_primitives h) in
+  let n = Array.length prims in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        Action_id.top (Action.id prims.(i))
+        <> Action_id.top (Action.id prims.(j))
+      then incr count
+    done
+  done;
+  !count
+
+(* Count of conflicting access pairs — the quantity behind the paper's
+   headline claim.  [`Conventional] counts all primitive-level conflicting
+   pairs between different top-level transactions; [`Oo] counts the
+   conflicting pairs that actually reach the top level after semantic
+   inheritance (dependencies between distinct top-level transactions in
+   any transaction dependency relation). *)
+let conflict_pairs h = function
+  | `Conventional ->
+      let sg = conventional_sg h in
+      Action.Rel.cardinal sg.graph
+  | `Oo ->
+      let sched = Schedule.compute h in
+      let g =
+        List.fold_left
+          (fun g s ->
+            Action.Rel.fold_edges
+              (fun t t' g ->
+                if Action_id.is_root t && Action_id.is_root t' then
+                  Action.Rel.add t t' g
+                else g)
+              s.Schedule.txn_dep g)
+          Action.Rel.empty (Schedule.objects sched)
+      in
+      Action.Rel.cardinal g

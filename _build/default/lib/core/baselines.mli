@@ -1,0 +1,47 @@
+(** Baseline serializability notions the paper compares against (§1, §2).
+
+    - Conventional conflict-order-preserving serializability: every
+      conflict between primitive actions is inherited directly to the
+      top-level transactions, ignoring intermediate method semantics.
+    - Multi-layer serializability ([1, 3, 11, 23, 24] in the paper):
+      levels are call-tree depths; conflicting operations of one level
+      inherit their order to the level above, stopping when the parents
+      commute.  Defined for layered histories (all leaves at the same
+      depth). *)
+
+open Ids
+
+(** A serialization graph with its (possible) cycle. *)
+type sg = { graph : Action.Rel.t; cycle : Action_id.t list option }
+
+val serializable : sg -> bool
+
+val conventional_sg : History.t -> sg
+(** Serialization graph over top-level transactions from primitive-level
+    conflicts only. *)
+
+val conventional_serializable : History.t -> bool
+
+type layered_verdict = {
+  layered : bool;  (** whether all leaves sit at the same depth *)
+  level_graphs : (int * sg) list;
+  ml_serializable : bool;
+}
+
+val is_layered : History.t -> bool
+val multilevel_verdict : History.t -> layered_verdict
+val multilevel_serializable : History.t -> bool
+
+val conflicting_primitive_pairs : History.t -> int
+(** Raw count of conflicting primitive access pairs between different
+    top-level transactions. *)
+
+val inter_transaction_primitive_pairs : History.t -> int
+(** All primitive pairs between different transactions (rate
+    denominator). *)
+
+val conflict_pairs : History.t -> [ `Conventional | `Oo ] -> int
+(** The quantity behind the paper's headline claim: the number of
+    inter-transaction dependency edges that reach the top level —
+    [`Conventional] from raw primitive conflicts, [`Oo] after semantic
+    inheritance with commutativity. *)

@@ -1,0 +1,212 @@
+(* Object-oriented transactions as call trees (Def. 2, Example 2 / Fig. 5).
+
+   A node is an action; its children are the action set called by it; the
+   precedence partial order within an action set is given by index pairs.
+   Leaves are primitive actions (Def. 3). *)
+
+open Ids
+
+type t = { act : Action.t; children : t list; prec : (int * int) list }
+
+let v ?(prec = []) act children = { act; children; prec }
+
+let seq act children =
+  let n = List.length children in
+  let rec chain i = if i + 1 >= n then [] else (i, i + 1) :: chain (i + 1) in
+  { act; children; prec = chain 0 }
+
+let par act children = { act; children; prec = [] }
+
+let act t = t.act
+let children t = t.children
+let prec t = t.prec
+let is_primitive t = t.children = []
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+
+let all_actions t = List.rev (fold (fun acc n -> n.act :: acc) [] t)
+
+let primitives t =
+  List.rev
+    (fold (fun acc n -> if is_primitive n then n.act :: acc else acc) [] t)
+
+let size t = fold (fun n _ -> n + 1) 0 t
+
+let rec height t =
+  match t.children with
+  | [] -> 0
+  | cs -> 1 + List.fold_left (fun m c -> max m (height c)) 0 cs
+
+let rec find t id =
+  if Action_id.equal (Action.id t.act) id then Some t
+  else
+    List.fold_left
+      (fun found c -> match found with Some _ -> found | None -> find c id)
+      None t.children
+
+let caller_map t =
+  let rec go parent acc node =
+    let acc =
+      match parent with
+      | None -> acc
+      | Some pid -> Action_id.Map.add (Action.id node.act) pid acc
+    in
+    List.fold_left (go (Some (Action.id node.act))) acc node.children
+  in
+  go None Action_id.Map.empty t
+
+(* Transitive closure of the precedence pairs of one action set, as index
+   pairs.  [prec] is small, so a simple fixpoint suffices. *)
+let closed_prec prec =
+  let module IP = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let rec fix s =
+    let s' =
+      IP.fold
+        (fun (i, j) acc ->
+          IP.fold
+            (fun (j', k) acc -> if j = j' then IP.add (i, k) acc else acc)
+            s acc)
+        s s
+    in
+    if IP.cardinal s' = IP.cardinal s then s else fix s'
+  in
+  IP.elements (fix (IP.of_list prec))
+
+(* Program-order pairs: (a, a') such that some ordered sibling pair
+   (u before u' in an action-set precedence) has u →* a and u' →* a'.
+   This is the operational reading of the object precedence relation n₃
+   (Def. 7), generalised to arbitrary nesting depth: it contains both the
+   "given precedences" of sibling actions and the precedences inherited
+   from calling transactions. *)
+let program_order_pairs t =
+  let rec descendants node =
+    node.act :: List.concat_map descendants node.children
+  in
+  let rec go acc node =
+    let cs = Array.of_list node.children in
+    let acc =
+      List.fold_left
+        (fun acc (i, j) ->
+          if i < 0 || j < 0 || i >= Array.length cs || j >= Array.length cs
+          then acc
+          else
+            let before = descendants cs.(i) and after = descendants cs.(j) in
+            List.fold_left
+              (fun acc a ->
+                List.fold_left
+                  (fun acc a' -> (Action.id a, Action.id a') :: acc)
+                  acc after)
+              acc before)
+        acc (closed_prec node.prec)
+    in
+    List.fold_left go acc node.children
+  in
+  List.rev (go [] t)
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let rec check node =
+    let n = List.length node.children in
+    let* () =
+      if
+        List.for_all (fun (i, j) -> i >= 0 && j >= 0 && i < n && j < n) node.prec
+      then Ok ()
+      else
+        Error
+          (Fmt.str "%a: precedence index out of range"
+             Ids.Action_id.pp (Action.id node.act))
+    in
+    let* () =
+      if List.exists (fun (i, j) -> i = j) (closed_prec node.prec) then
+        Error
+          (Fmt.str "%a: precedence relation is cyclic" Ids.Action_id.pp
+             (Action.id node.act))
+      else Ok ()
+    in
+    let* () =
+      List.fold_left
+        (fun acc c ->
+          let* () = acc in
+          match Action_id.parent (Action.id c.act) with
+          | Some p when Action_id.equal p (Action.id node.act) -> Ok ()
+          | _ ->
+              Error
+                (Fmt.str "%a: child %a has inconsistent identifier"
+                   Ids.Action_id.pp (Action.id node.act) Ids.Action_id.pp
+                   (Action.id c.act)))
+        (Ok ()) node.children
+    in
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        check c)
+      (Ok ()) node.children
+  in
+  check t
+
+let rec pp ppf t =
+  if is_primitive t then Action.pp ppf t.act
+  else
+    Fmt.pf ppf "@[<v 2>%a@,%a@]" Action.pp t.act
+      (Fmt.list ~sep:Fmt.cut pp)
+      t.children
+
+(* Convenience builder: describe the call structure with object/method
+   pairs; identifiers and processes are assigned automatically. *)
+module Build = struct
+  type spec = {
+    b_obj : Obj_id.t;
+    b_meth : string;
+    b_args : Value.t list;
+    b_branch : int option;
+    b_prec : (int * int) list option;
+    b_children : spec list;
+  }
+
+  let call ?(args = []) ?branch ?prec obj meth children =
+    {
+      b_obj = obj;
+      b_meth = meth;
+      b_args = args;
+      b_branch = branch;
+      b_prec = prec;
+      b_children = children;
+    }
+
+  let default_sys = Obj_id.v "S"
+
+  let top ?(sys = default_sys) ?(name = "txn") ?(args = []) ?prec ~n specs =
+    let rec build id process spec =
+      let process =
+        match spec.b_branch with
+        | None -> process
+        | Some b -> Process_id.v ~top:n ~branch:b
+      in
+      let act =
+        Action.v ~id ~obj:spec.b_obj ~meth:spec.b_meth ~args:spec.b_args
+          ~process ()
+      in
+      let children =
+        List.mapi
+          (fun i c -> build (Action_id.child id (i + 1)) process c)
+          spec.b_children
+      in
+      match spec.b_prec with
+      | Some prec -> v ~prec act children
+      | None -> seq act children
+    in
+    let root_id = Action_id.root n in
+    let process = Process_id.main n in
+    let root_act = Action.v ~id:root_id ~obj:sys ~meth:name ~args ~process () in
+    let children =
+      List.mapi (fun i c -> build (Action_id.child root_id (i + 1)) process c)
+        specs
+    in
+    match prec with
+    | Some prec -> v ~prec root_act children
+    | None -> seq root_act children
+end

@@ -1,0 +1,92 @@
+(** Object-oriented transactions as call trees (Def. 2, Example 2/Fig. 5).
+
+    A node is an action; its children form the action set called directly
+    by it; the precedence partial order within an action set is given by
+    pairs of child indices (0-based, [(i, j)] meaning child [i] precedes
+    child [j]).  Leaves are primitive actions (Def. 3). *)
+
+open Ids
+
+type t = { act : Action.t; children : t list; prec : (int * int) list }
+
+val v : ?prec:(int * int) list -> Action.t -> t list -> t
+(** [v act children] with an explicit precedence relation (default: none,
+    i.e. all children may run in parallel). *)
+
+val seq : Action.t -> t list -> t
+(** All children totally ordered left to right (the common case: the
+    "left to right order of arcs" of Fig. 5). *)
+
+val par : Action.t -> t list -> t
+(** No precedence between children. *)
+
+val act : t -> Action.t
+val children : t -> t list
+val prec : t -> (int * int) list
+
+val is_primitive : t -> bool
+(** An action is primitive if it calls no other action (Def. 3). *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Preorder fold over all nodes. *)
+
+val all_actions : t -> Action.t list
+(** All actions of the oo-transaction, preorder. *)
+
+val primitives : t -> Action.t list
+
+val size : t -> int
+(** Number of actions. *)
+
+val height : t -> int
+(** 0 for a primitive action. *)
+
+val find : t -> Action_id.t -> t option
+
+val caller_map : t -> Action_id.t Action_id.Map.t
+(** Maps each non-root action to the action that calls it directly. *)
+
+val program_order_pairs : t -> (Action_id.t * Action_id.t) list
+(** All pairs [(a, a')] such that some ordered sibling pair [u] before [u']
+    in an action-set precedence satisfies [u →* a] and [u' →* a'].  This is
+    the operational reading of the object precedence relation n₃ (Def. 7),
+    generalised to arbitrary nesting depth. *)
+
+val validate : t -> (unit, string) result
+(** Checks identifier consistency, precedence index ranges, and that each
+    precedence relation is a (strict) partial order. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Convenience builder: describe the call structure with object/method
+    pairs; identifiers and processes are assigned automatically. *)
+module Build : sig
+  type spec
+
+  val call :
+    ?args:Value.t list ->
+    ?branch:int ->
+    ?prec:(int * int) list ->
+    Obj_id.t ->
+    string ->
+    spec list ->
+    spec
+  (** A call of [meth] on [obj].  [branch] starts a new parallel process
+      (Def. 9) rooted at this action; [prec] overrides the default
+      sequential ordering of the children. *)
+
+  val default_sys : Obj_id.t
+  (** The system object [S] (Def. 4). *)
+
+  val top :
+    ?sys:Obj_id.t ->
+    ?name:string ->
+    ?args:Value.t list ->
+    ?prec:(int * int) list ->
+    n:int ->
+    spec list ->
+    t
+  (** [top ~n specs] builds top-level transaction [T_n] on the system
+      object, its children being [specs] executed sequentially ([prec]
+      overrides the ordering). *)
+end

@@ -1,0 +1,85 @@
+(* Commutativity of actions (Def. 9).
+
+   Every object has a commutativity specification deciding, for any pair of
+   actions on it, whether they commute or conflict.  Two actions of the
+   same process never conflict (Def. 9). *)
+
+open Ids
+
+type spec = { name : string; commutes : Action.t -> Action.t -> bool }
+
+let name s = s.name
+let make ~name commutes = { name; commutes }
+let test s a a' = s.commutes a a'
+
+let all_commute = { name = "all-commute"; commutes = (fun _ _ -> true) }
+let all_conflict = { name = "all-conflict"; commutes = (fun _ _ -> false) }
+
+let sym_mem pairs m m' =
+  List.exists (fun (a, b) -> (a = m && b = m') || (a = m' && b = m)) pairs
+
+let of_conflict_matrix ~name pairs =
+  { name; commutes = (fun a a' -> not (sym_mem pairs (Action.meth a) (Action.meth a'))) }
+
+let of_commute_matrix ~name pairs =
+  { name; commutes = (fun a a' -> sym_mem pairs (Action.meth a) (Action.meth a')) }
+
+let rw ~reads ~writes =
+  let kind m =
+    if List.mem m reads then `Read
+    else if List.mem m writes then `Write
+    else `Unknown
+  in
+  {
+    name = "read-write";
+    commutes =
+      (fun a a' ->
+        match (kind (Action.meth a), kind (Action.meth a')) with
+        | `Read, `Read -> true
+        | `Read, `Write | `Write, `Read | `Write, `Write -> false
+        | `Unknown, _ | _, `Unknown -> false);
+  }
+
+(* Refine [inner]: actions addressing different keys always commute;
+   actions on the same key (or with no key) defer to [inner].  This is the
+   leaf/node-level semantics of Example 1: inserts of different keys
+   commute even when they collide on the same page. *)
+let by_key ~key_of inner =
+  {
+    name = Printf.sprintf "keyed(%s)" inner.name;
+    commutes =
+      (fun a a' ->
+        match (key_of a, key_of a') with
+        | Some k, Some k' when not (Value.equal k k') -> true
+        | _ -> inner.commutes a a');
+  }
+
+let predicate ~name f = { name; commutes = f }
+
+let first_arg a = match Action.args a with [] -> None | v :: _ -> Some v
+
+(* Registries map objects to their specification.  Virtual objects
+   (Def. 5) behave exactly like their originals. *)
+type registry = { spec_for : Obj_id.t -> spec }
+
+let registry spec_for =
+  { spec_for = (fun o -> spec_for (Obj_id.original o)) }
+
+let fixed ?(default = all_conflict) table =
+  registry (fun o ->
+      match List.assoc_opt (Obj_id.name o) table with
+      | Some s -> s
+      | None -> default)
+
+let uniform spec = registry (fun _ -> spec)
+
+let spec_for r o = r.spec_for o
+
+let commutes r a a' =
+  (* actions on different objects never interact, hence commute *)
+  (not (Obj_id.equal (Action.obj a) (Action.obj a')))
+  || Process_id.equal (Action.process a) (Action.process a')
+  || (r.spec_for (Action.obj a)).commutes a a'
+
+let conflicts r a a' =
+  (not (Action_id.equal (Action.id a) (Action.id a'))) && not (commutes r a a')

@@ -1,0 +1,71 @@
+(** Commutativity of actions (Def. 9, §2).
+
+    Every object carries a commutativity specification — "a commutativity
+    matrix for every object for all their actions" — deciding for any pair
+    of actions on it whether they commute or are in conflict.  The
+    specification may inspect method names and parameters (escrow-style
+    semantics, [9,14,17] in the paper) because two actions commute exactly
+    when the effect of each is independent of their execution order.
+
+    Two actions of the same process never conflict (Def. 9). *)
+
+open Ids
+
+(** Specification for one object (or one object type). *)
+type spec
+
+val name : spec -> string
+val make : name:string -> (Action.t -> Action.t -> bool) -> spec
+
+val test : spec -> Action.t -> Action.t -> bool
+(** Raw query of the specification ([true] = commute), without the
+    same-process rule of {!commutes}.  Useful to compose specs. *)
+
+val all_commute : spec
+(** Every pair commutes — maximal concurrency, no dependencies. *)
+
+val all_conflict : spec
+(** Every pair conflicts — degenerates to conventional serializability. *)
+
+val of_conflict_matrix : name:string -> (string * string) list -> spec
+(** Method pairs listed (symmetrically) conflict; all others commute. *)
+
+val of_commute_matrix : name:string -> (string * string) list -> spec
+(** Method pairs listed (symmetrically) commute; all others conflict. *)
+
+val rw : reads:string list -> writes:string list -> spec
+(** Classic read/write semantics: two actions conflict unless both are
+    reads.  Unknown methods conservatively conflict with everything. *)
+
+val by_key : key_of:(Action.t -> Value.t option) -> spec -> spec
+(** Refine a spec: actions addressing different keys always commute;
+    same-key (or keyless) pairs defer to the inner spec.  This captures the
+    node-level semantics of Example 1 — inserts of different keys commute
+    even when their data collide on the same page. *)
+
+val predicate : name:string -> (Action.t -> Action.t -> bool) -> spec
+(** Arbitrary commutativity test ([true] = commute). *)
+
+val first_arg : Action.t -> Value.t option
+(** Convenience [key_of] for methods whose first argument is the key. *)
+
+(** Registries map objects to their specification.  Virtual objects
+    (Def. 5) behave exactly like their originals. *)
+type registry
+
+val registry : (Obj_id.t -> spec) -> registry
+(** The function receives de-virtualised identifiers. *)
+
+val fixed : ?default:spec -> (string * spec) list -> registry
+(** Lookup by object name; [default] (all-conflict) otherwise. *)
+
+val uniform : spec -> registry
+val spec_for : registry -> Obj_id.t -> spec
+
+val commutes : registry -> Action.t -> Action.t -> bool
+(** Def. 9 in full: actions on different objects commute; same-process
+    actions commute; otherwise the object's specification decides. *)
+
+val conflicts : registry -> Action.t -> Action.t -> bool
+(** [conflicts r a a'] — distinct actions that do not commute.  An action
+    never conflicts with itself. *)

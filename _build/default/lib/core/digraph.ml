@@ -1,0 +1,217 @@
+(* Finite directed graphs / binary relations over an ordered vertex type.
+
+   The dependency relations of the paper (Defs. 10, 11, 15) are arbitrary
+   binary relations -- possibly cyclic, which is exactly what the
+   serializability tests must detect -- so the central operations here are
+   acyclicity checking, cycle extraction and topological sorting. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type vertex
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val add_vertex : vertex -> t -> t
+  val add : vertex -> vertex -> t -> t
+  val remove_vertex : vertex -> t -> t
+  val mem : vertex -> vertex -> t -> bool
+  val mem_vertex : vertex -> t -> bool
+  val vertices : t -> vertex list
+  val succ : vertex -> t -> vertex list
+  val pred : vertex -> t -> vertex list
+  val edges : t -> (vertex * vertex) list
+  val of_edges : (vertex * vertex) list -> t
+  val cardinal : t -> int
+  val nb_vertices : t -> int
+  val union : t -> t -> t
+  val filter_edges : (vertex -> vertex -> bool) -> t -> t
+  val restrict : (vertex -> bool) -> t -> t
+  val map_vertices : (vertex -> vertex) -> t -> t
+  val fold_edges : (vertex -> vertex -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter_edges : (vertex -> vertex -> unit) -> t -> unit
+  val equal : t -> t -> bool
+  val subset : t -> t -> bool
+  val transitive_closure : t -> t
+  val is_acyclic : t -> bool
+  val find_cycle : t -> vertex list option
+  val topo_sort : t -> vertex list option
+  val reachable : vertex -> t -> vertex list
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (V : ORDERED) : S with type vertex = V.t = struct
+  type vertex = V.t
+
+  module VSet = Set.Make (V)
+  module VMap = Map.Make (V)
+
+  (* Adjacency in both directions; every vertex mentioned is present as a
+     key in [fwd] (possibly with an empty successor set). *)
+  type t = { fwd : VSet.t VMap.t; bwd : VSet.t VMap.t }
+
+  let empty = { fwd = VMap.empty; bwd = VMap.empty }
+  let is_empty g = VMap.is_empty g.fwd
+
+  let adj v m = match VMap.find_opt v m with None -> VSet.empty | Some s -> s
+
+  let ensure v m = if VMap.mem v m then m else VMap.add v VSet.empty m
+
+  let add_vertex v g = { fwd = ensure v g.fwd; bwd = ensure v g.bwd }
+
+  let add u v g =
+    let g = add_vertex u (add_vertex v g) in
+    {
+      fwd = VMap.add u (VSet.add v (adj u g.fwd)) g.fwd;
+      bwd = VMap.add v (VSet.add u (adj v g.bwd)) g.bwd;
+    }
+
+  let remove_vertex v g =
+    let strip m = VMap.map (fun s -> VSet.remove v s) (VMap.remove v m) in
+    { fwd = strip g.fwd; bwd = strip g.bwd }
+
+  let mem u v g = VSet.mem v (adj u g.fwd)
+  let mem_vertex v g = VMap.mem v g.fwd
+  let vertices g = List.map fst (VMap.bindings g.fwd)
+  let succ v g = VSet.elements (adj v g.fwd)
+  let pred v g = VSet.elements (adj v g.bwd)
+
+  let fold_edges f g acc =
+    VMap.fold (fun u s acc -> VSet.fold (fun v acc -> f u v acc) s acc) g.fwd acc
+
+  let iter_edges f g = fold_edges (fun u v () -> f u v) g ()
+
+  let edges g = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) g [])
+
+  let of_edges es = List.fold_left (fun g (u, v) -> add u v g) empty es
+
+  let cardinal g = fold_edges (fun _ _ n -> n + 1) g 0
+  let nb_vertices g = VMap.cardinal g.fwd
+
+  let union a b = fold_edges (fun u v g -> add u v g) b a
+
+  let filter_edges keep g =
+    let base =
+      List.fold_left (fun acc v -> add_vertex v acc) empty (vertices g)
+    in
+    fold_edges (fun u v acc -> if keep u v then add u v acc else acc) g base
+
+  let restrict keep g =
+    fold_edges
+      (fun u v acc -> if keep u && keep v then add u v acc else acc)
+      g empty
+
+  let map_vertices f g = fold_edges (fun u v acc -> add (f u) (f v) acc) g empty
+
+  let equal a b =
+    VMap.equal VSet.equal
+      (VMap.filter (fun _ s -> not (VSet.is_empty s)) a.fwd)
+      (VMap.filter (fun _ s -> not (VSet.is_empty s)) b.fwd)
+
+  let subset a b = fold_edges (fun u v ok -> ok && mem u v b) a true
+
+  let transitive_closure g =
+    (* Per-source DFS; fine at the scale of our schedules. *)
+    let close u =
+      let rec go seen stack =
+        match stack with
+        | [] -> seen
+        | v :: rest ->
+            let next =
+              VSet.filter (fun w -> not (VSet.mem w seen)) (adj v g.fwd)
+            in
+            go (VSet.union seen next) (VSet.elements next @ rest)
+      in
+      go VSet.empty [ u ]
+    in
+    List.fold_left
+      (fun acc u -> VSet.fold (fun v acc -> add u v acc) (close u) acc)
+      (List.fold_left (fun acc v -> add_vertex v acc) empty (vertices g))
+      (vertices g)
+
+  (* Colored DFS returning the first cycle found, as a vertex list
+     [v1; ...; vk] such that v1 -> v2 -> ... -> vk -> v1. *)
+  exception Cycle of vertex list
+
+  let find_cycle g =
+    let white = ref (VSet.of_list (vertices g)) in
+    let grey = ref VSet.empty in
+    let path = ref [] in
+    let rec visit v =
+      white := VSet.remove v !white;
+      grey := VSet.add v !grey;
+      path := v :: !path;
+      VSet.iter
+        (fun w ->
+          if VSet.mem w !grey then begin
+            (* cycle: suffix of path from w back to v *)
+            let rec take acc = function
+              | [] -> acc
+              | x :: _ when V.compare x w = 0 -> x :: acc
+              | x :: rest -> take (x :: acc) rest
+            in
+            raise (Cycle (take [] !path))
+          end
+          else if VSet.mem w !white then visit w)
+        (adj v g.fwd);
+      grey := VSet.remove v !grey;
+      path := List.tl !path
+    in
+    try
+      while not (VSet.is_empty !white) do
+        visit (VSet.min_elt !white)
+      done;
+      None
+    with Cycle c -> Some c
+
+  let is_acyclic g = find_cycle g = None
+
+  let topo_sort g =
+    let verts = vertices g in
+    let indeg =
+      ref
+        (List.fold_left
+           (fun m v -> VMap.add v (VSet.cardinal (adj v g.bwd)) m)
+           VMap.empty verts)
+    in
+    (* Kahn's algorithm with a deterministic (sorted) frontier. *)
+    let frontier =
+      ref
+        (VSet.of_list (List.filter (fun v -> VMap.find v !indeg = 0) verts))
+    in
+    let out = ref [] in
+    let count = ref 0 in
+    while not (VSet.is_empty !frontier) do
+      let v = VSet.min_elt !frontier in
+      frontier := VSet.remove v !frontier;
+      out := v :: !out;
+      incr count;
+      VSet.iter
+        (fun w ->
+          let d = VMap.find w !indeg - 1 in
+          indeg := VMap.add w d !indeg;
+          if d = 0 then frontier := VSet.add w !frontier)
+        (adj v g.fwd)
+    done;
+    if !count = List.length verts then Some (List.rev !out) else None
+
+  let reachable v g =
+    let rec go seen stack =
+      match stack with
+      | [] -> seen
+      | u :: rest ->
+          let next = VSet.filter (fun w -> not (VSet.mem w seen)) (adj u g.fwd) in
+          go (VSet.union seen next) (VSet.elements next @ rest)
+    in
+    VSet.elements (go VSet.empty [ v ])
+
+  let pp ppf g =
+    let pp_edge ppf (u, v) = Fmt.pf ppf "%a -> %a" V.pp u V.pp v in
+    Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") pp_edge) (edges g)
+end

@@ -1,0 +1,86 @@
+(** Finite directed graphs / binary relations over an ordered vertex type.
+
+    The dependency relations of the paper (Defs. 10, 11, 15) are arbitrary
+    binary relations — possibly cyclic, which is exactly what the
+    serializability tests must detect — so the central operations here are
+    acyclicity checking, cycle extraction and topological sorting.
+
+    All operations are purely functional. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type vertex
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+
+  val add_vertex : vertex -> t -> t
+  (** Add an isolated vertex (idempotent). *)
+
+  val add : vertex -> vertex -> t -> t
+  (** [add u v g] adds the edge [u -> v] (and both vertices). *)
+
+  val remove_vertex : vertex -> t -> t
+  (** Remove a vertex and all incident edges. *)
+
+  val mem : vertex -> vertex -> t -> bool
+  val mem_vertex : vertex -> t -> bool
+
+  val vertices : t -> vertex list
+  (** Sorted. *)
+
+  val succ : vertex -> t -> vertex list
+  val pred : vertex -> t -> vertex list
+
+  val edges : t -> (vertex * vertex) list
+  val of_edges : (vertex * vertex) list -> t
+
+  val cardinal : t -> int
+  (** Number of edges. *)
+
+  val nb_vertices : t -> int
+
+  val union : t -> t -> t
+  val filter_edges : (vertex -> vertex -> bool) -> t -> t
+
+  val restrict : (vertex -> bool) -> t -> t
+  (** Keep only edges whose both endpoints satisfy the predicate.
+      Vertices not incident to a kept edge are dropped. *)
+
+  val map_vertices : (vertex -> vertex) -> t -> t
+  val fold_edges : (vertex -> vertex -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter_edges : (vertex -> vertex -> unit) -> t -> unit
+
+  val equal : t -> t -> bool
+  (** Same edge sets (isolated vertices are ignored). *)
+
+  val subset : t -> t -> bool
+  (** Edge-set inclusion. *)
+
+  val transitive_closure : t -> t
+
+  val is_acyclic : t -> bool
+
+  val find_cycle : t -> vertex list option
+  (** [Some [v1; ...; vk]] such that [v1 -> v2 -> ... -> vk -> v1], or
+      [None] if the graph is acyclic. *)
+
+  val topo_sort : t -> vertex list option
+  (** Deterministic (lexicographically smallest) topological order, or
+      [None] when cyclic.  This is the witness for "an equivalent serial
+      schedule exists" (Def. 13 (i)). *)
+
+  val reachable : vertex -> t -> vertex list
+  (** Vertices reachable by a non-empty path. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (V : ORDERED) : S with type vertex = V.t

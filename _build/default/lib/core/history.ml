@@ -1,0 +1,145 @@
+(* Histories: a transaction system together with one execution of it.
+
+   A history is the input of the serializability checkers: the set of
+   top-level transactions (call trees, Defs. 2-4) and the total order in
+   which their primitive actions executed.  Axiom 1 postulates that
+   conflicting primitive actions are ordered; we record a total order over
+   all primitives, which trivially satisfies the axiom. *)
+
+open Ids
+
+type t = {
+  tops : Call_tree.t list;
+  order : Action_id.t list;
+  commut : Commutativity.registry;
+}
+
+let v ~tops ~order ~commut = { tops; order; commut }
+
+let tops t = t.tops
+let order t = t.order
+let commut t = t.commut
+
+let all_actions t = List.concat_map Call_tree.all_actions t.tops
+let all_primitives t = List.concat_map Call_tree.primitives t.tops
+
+let top_ids t =
+  List.map (fun tree -> Action.id (Call_tree.act tree)) t.tops
+
+(* Program-order linearization of one tree's primitives: children are
+   visited in index order, which is consistent with any precedence
+   produced by the builders ([seq] orders left to right). *)
+let rec serial_primitives tree =
+  if Call_tree.is_primitive tree then [ Action.id (Call_tree.act tree) ]
+  else List.concat_map serial_primitives (Call_tree.children tree)
+
+let of_serial ~tops ~commut =
+  { tops; order = List.concat_map serial_primitives tops; commut }
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc tree ->
+        let* () = acc in
+        Call_tree.validate tree)
+      (Ok ()) t.tops
+  in
+  let* () =
+    let ids = top_ids t in
+    let distinct = List.sort_uniq Action_id.compare ids in
+    if List.length distinct = List.length ids then Ok ()
+    else Error "duplicate top-level transaction identifiers"
+  in
+  let prims =
+    Action_id.Set.of_list (List.map Action.id (all_primitives t))
+  in
+  let seen =
+    List.fold_left
+      (fun acc id ->
+        let* seen = acc in
+        if not (Action_id.Set.mem id prims) then
+          Error (Fmt.str "order mentions non-primitive %a" Action_id.pp id)
+        else if Action_id.Set.mem id seen then
+          Error (Fmt.str "order mentions %a twice" Action_id.pp id)
+        else Ok (Action_id.Set.add id seen))
+      (Ok Action_id.Set.empty) t.order
+  in
+  let* seen = seen in
+  if Action_id.Set.equal seen prims then Ok ()
+  else
+    Error
+      (Fmt.str "order misses %d primitive action(s)"
+         (Action_id.Set.cardinal (Action_id.Set.diff prims seen)))
+
+(* Def. 8 at system level: the execution is serial when the transactions'
+   primitive spans do not interleave. *)
+let is_serial t =
+  let spans = Hashtbl.create 8 in
+  List.iteri
+    (fun pos id ->
+      let top = Action_id.top id in
+      let lo, hi =
+        match Hashtbl.find_opt spans top with
+        | Some (l, h) -> (min l pos, max h pos)
+        | None -> (pos, pos)
+      in
+      Hashtbl.replace spans top (lo, hi))
+    t.order;
+  let sorted =
+    Hashtbl.fold (fun _ s acc -> s :: acc) spans [] |> List.sort compare
+  in
+  let rec disjoint = function
+    | (_, hi) :: ((lo', _) :: _ as rest) -> hi < lo' && disjoint rest
+    | _ -> true
+  in
+  disjoint sorted
+
+let position_map t =
+  let _, m =
+    List.fold_left
+      (fun (i, m) id -> (i + 1, Action_id.Map.add id i m))
+      (0, Action_id.Map.empty)
+      t.order
+  in
+  m
+
+(* Span of every action: the positions of its first and last primitive
+   descendant in the execution order.  Actions whose subtree contains no
+   primitive (impossible for well-formed trees) are absent. *)
+let span_map t =
+  let pos = position_map t in
+  let rec go acc tree =
+    let acc, span_children =
+      List.fold_left
+        (fun (acc, spans) c ->
+          let acc = go acc c in
+          match Action_id.Map.find_opt (Action.id (Call_tree.act c)) acc with
+          | Some s -> (acc, s :: spans)
+          | None -> (acc, spans))
+        (acc, []) (Call_tree.children tree)
+    in
+    let id = Action.id (Call_tree.act tree) in
+    if Call_tree.is_primitive tree then
+      match Action_id.Map.find_opt id pos with
+      | Some p -> Action_id.Map.add id (p, p) acc
+      | None -> acc
+    else
+      match span_children with
+      | [] -> acc
+      | (lo0, hi0) :: rest ->
+          let lo, hi =
+            List.fold_left
+              (fun (lo, hi) (l, h) -> (min lo l, max hi h))
+              (lo0, hi0) rest
+          in
+          Action_id.Map.add id (lo, hi) acc
+  in
+  List.fold_left go Action_id.Map.empty t.tops
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@,order: %a@]"
+    (Fmt.list ~sep:Fmt.cut Call_tree.pp)
+    t.tops
+    (Fmt.list ~sep:(Fmt.any " ") Action_id.pp)
+    t.order

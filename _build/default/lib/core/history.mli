@@ -1,0 +1,49 @@
+(** Histories: a transaction system together with one execution of it.
+
+    A history is the input of the serializability checkers: the top-level
+    transactions (call trees, Defs. 2–4), the total order in which their
+    primitive actions executed (the knowledge Axiom 1 postulates), and the
+    commutativity registry of the objects involved. *)
+
+open Ids
+
+type t
+
+val v :
+  tops:Call_tree.t list ->
+  order:Action_id.t list ->
+  commut:Commutativity.registry ->
+  t
+
+val tops : t -> Call_tree.t list
+val order : t -> Action_id.t list
+val commut : t -> Commutativity.registry
+
+val all_actions : t -> Action.t list
+val all_primitives : t -> Action.t list
+
+val top_ids : t -> Action_id.t list
+
+val of_serial : tops:Call_tree.t list -> commut:Commutativity.registry -> t
+(** The serial execution: all primitives of the first transaction in
+    program order, then the second, etc. *)
+
+val serial_primitives : Call_tree.t -> Action_id.t list
+(** Program-order linearization of one tree's primitives. *)
+
+val validate : t -> (unit, string) result
+(** Trees well-formed; the order lists exactly the primitive actions, each
+    once. *)
+
+val is_serial : t -> bool
+(** Def. 8 at system level: the transactions' primitive spans do not
+    interleave. *)
+
+val position_map : t -> int Action_id.Map.t
+(** Position of each primitive in the execution order. *)
+
+val span_map : t -> (int * int) Action_id.Map.t
+(** Span of every action: positions of its first and last primitive
+    descendant (a primitive spans its own position twice). *)
+
+val pp : Format.formatter -> t -> unit

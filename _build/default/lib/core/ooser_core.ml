@@ -1,0 +1,17 @@
+(* Umbrella module re-exporting the public API of the core library. *)
+
+module Ids = Ids
+module Obj_id = Ids.Obj_id
+module Action_id = Ids.Action_id
+module Process_id = Ids.Process_id
+module Value = Value
+module Digraph = Digraph
+module Action = Action
+module Call_tree = Call_tree
+module Commutativity = Commutativity
+module History = History
+module Extension = Extension
+module Schedule = Schedule
+module Serializability = Serializability
+module Baselines = Baselines
+module Report = Report

@@ -1,0 +1,128 @@
+(* Human-readable explanations of schedules and verdicts.
+
+   Every dependency edge carries provenance (Schedule.dep_source); this
+   module renders the full inheritance chain of an edge down to its
+   Axiom-1 roots, and explains why a rejected schedule was rejected by
+   walking the offending cycle edge by edge. *)
+
+open Ids
+
+let indent n = String.make (2 * n) ' '
+
+(* Explain one action dependency edge at an object, recursively following
+   inheritance.  Depth-capped defensively. *)
+let rec explain_act_edge sched o (a, a') ~depth ppf =
+  if depth > 16 then Fmt.pf ppf "%s...@," (indent depth)
+  else
+    match Schedule.find sched o with
+    | None -> Fmt.pf ppf "%s(no schedule for %a)@," (indent depth) Obj_id.pp o
+    | Some s -> (
+        match Action.Pair_map.find_opt (a, a') s.Schedule.act_src with
+        | Some Schedule.Axiom1 ->
+            Fmt.pf ppf "%s%a -> %a at %a: conflicting primitives, ordered by execution (Axiom 1)@,"
+              (indent depth) Action_id.pp a Action_id.pp a' Obj_id.pp o
+        | Some Schedule.Completion ->
+            Fmt.pf ppf "%s%a -> %a at %a: conflicting pair ordered by execution span@,"
+              (indent depth) Action_id.pp a Action_id.pp a' Obj_id.pp o
+        | Some Schedule.Program_order ->
+            Fmt.pf ppf "%s%a -> %a at %a: program order within the transaction (Def. 7)@,"
+              (indent depth) Action_id.pp a Action_id.pp a' Obj_id.pp o
+        | Some (Schedule.Inherited p) ->
+            Fmt.pf ppf "%s%a -> %a at %a: inherited from the transaction dependency at %a@,"
+              (indent depth) Action_id.pp a Action_id.pp a' Obj_id.pp o Obj_id.pp p;
+            explain_txn_edge sched p (a, a') ~depth:(depth + 1) ppf
+        | None ->
+            Fmt.pf ppf "%s%a -> %a at %a@," (indent depth) Action_id.pp a
+              Action_id.pp a' Obj_id.pp o)
+
+(* Explain a transaction dependency edge at an object via its witness. *)
+and explain_txn_edge sched o (t, t') ~depth ppf =
+  if depth > 16 then Fmt.pf ppf "%s...@," (indent depth)
+  else
+    match Schedule.find sched o with
+    | None -> Fmt.pf ppf "%s(no schedule for %a)@," (indent depth) Obj_id.pp o
+    | Some s -> (
+        match Action.Pair_map.find_opt (t, t') s.Schedule.txn_src with
+        | Some (w, w') ->
+            Fmt.pf ppf
+              "%sbecause their actions %a and %a on %a conflict and are ordered:@,"
+              (indent depth) Action_id.pp w Action_id.pp w' Obj_id.pp o;
+            explain_act_edge sched o (w, w') ~depth:(depth + 1) ppf
+        | None ->
+            Fmt.pf ppf "%s(transaction dependency %a -> %a at %a)@," (indent depth)
+              Action_id.pp t Action_id.pp t' Obj_id.pp o)
+
+(* Explain an arbitrary edge of the combined relation at an object:
+   action dependency, transaction dependency, or added dependency
+   (located at its recording object). *)
+let explain_edge sched o (x, y) ~depth ppf =
+  match Schedule.find sched o with
+  | None -> Fmt.pf ppf "%s(no schedule for %a)@," (indent depth) Obj_id.pp o
+  | Some s ->
+      if Action.Rel.mem x y s.Schedule.act_dep then
+        explain_act_edge sched o (x, y) ~depth ppf
+      else if Action.Rel.mem x y s.Schedule.txn_dep then begin
+        Fmt.pf ppf "%s%a -> %a: transaction dependency at %a@," (indent depth)
+          Action_id.pp x Action_id.pp y Obj_id.pp o;
+        explain_txn_edge sched o (x, y) ~depth:(depth + 1) ppf
+      end
+      else begin
+        (* an added dependency (Def. 15): find the object that recorded it *)
+        let origin =
+          List.find_opt
+            (fun os -> Action.Rel.mem x y os.Schedule.txn_dep)
+            (Schedule.objects sched)
+        in
+        match origin with
+        | Some os ->
+            Fmt.pf ppf
+              "%s%a -> %a: added dependency (Def. 15), recorded at %a@,"
+              (indent depth) Action_id.pp x Action_id.pp y Obj_id.pp
+              os.Schedule.obj;
+            explain_txn_edge sched os.Schedule.obj (x, y) ~depth:(depth + 1) ppf
+        | None ->
+            Fmt.pf ppf "%s%a -> %a (origin unknown)@," (indent depth)
+              Action_id.pp x Action_id.pp y
+      end
+
+(* Walk a cycle, explaining every edge. *)
+let explain_cycle sched o cycle ppf =
+  let arr = Array.of_list cycle in
+  let n = Array.length arr in
+  Fmt.pf ppf "@[<v>cycle at %a: %a -> %a@," Obj_id.pp o
+    (Fmt.list ~sep:(Fmt.any " -> ") Action_id.pp)
+    cycle Action_id.pp arr.(0);
+  for i = 0 to n - 1 do
+    explain_edge sched o (arr.(i), arr.((i + 1) mod n)) ~depth:1 ppf
+  done;
+  Fmt.pf ppf "@]"
+
+(* The full report: verdict per object, with cycle explanations for the
+   failures and dependency counts for the successes. *)
+let pp ppf (sched, verdict) =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "oo-serializable: %b@,"
+    verdict.Serializability.oo_serializable;
+  List.iter
+    (fun ov ->
+      let s = Schedule.find_exn sched ov.Serializability.obj in
+      if Serializability.object_oo_serializable ov && ov.Serializability.combined_acyclic
+      then
+        Fmt.pf ppf "%a: ok (%d actions, %d action deps, %d txn deps)@."
+          Obj_id.pp ov.Serializability.obj
+          (Action_id.Set.cardinal s.Schedule.acts)
+          (Action.Rel.cardinal s.Schedule.act_dep)
+          (Action.Rel.cardinal s.Schedule.txn_dep)
+      else begin
+        Fmt.pf ppf "%a: NOT oo-serializable@," Obj_id.pp ov.Serializability.obj;
+        match ov.Serializability.cycle with
+        | Some cycle -> explain_cycle sched ov.Serializability.obj cycle ppf
+        | None -> ()
+      end)
+    verdict.Serializability.objects;
+  Fmt.pf ppf "@]"
+
+let explain h =
+  let sched = Schedule.compute h in
+  let verdict = Serializability.check_schedule sched in
+  Fmt.str "%a" pp (sched, verdict)

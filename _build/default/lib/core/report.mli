@@ -1,0 +1,27 @@
+(** Human-readable explanations of schedules and verdicts.
+
+    Every dependency edge computed by {!Schedule.compute} carries its
+    provenance; this module renders the full inheritance chain of an edge
+    down to its Axiom-1 roots, and explains a rejection by walking the
+    offending cycle edge by edge. *)
+
+open Ids
+
+val explain_edge :
+  Schedule.t ->
+  Obj_id.t ->
+  Action_id.t * Action_id.t ->
+  depth:int ->
+  Format.formatter ->
+  unit
+(** Trace one edge of the object's combined dependency relation (action,
+    transaction, or added) to its roots. *)
+
+val explain_cycle :
+  Schedule.t -> Obj_id.t -> Action_id.t list -> Format.formatter -> unit
+
+val pp : Format.formatter -> Schedule.t * Serializability.verdict -> unit
+(** Verdict per object, with cycle explanations for the failures. *)
+
+val explain : History.t -> string
+(** One-call convenience: compute, check, render. *)

@@ -1,0 +1,143 @@
+(* Object-oriented serializability (Defs. 7, 8, 12, 13, 14, 16).
+
+   An object schedule is oo-serializable iff an equivalent serial object
+   schedule exists and its action dependency relation is acyclic
+   (Def. 13).  Equivalence means equal transaction dependency relations
+   (Def. 12); for a finite schedule an equivalent serial one exists
+   exactly when the transaction dependency relation is acyclic, the
+   witness being any topological order.  A system schedule is
+   oo-serializable iff all its object schedules are and every object's
+   combined (action + added) dependency relation is acyclic (Def. 16). *)
+
+open Ids
+
+type object_verdict = {
+  obj : Obj_id.t;
+  conform : bool;
+  serial : bool;
+  txn_dep_acyclic : bool;
+  act_dep_acyclic : bool;
+  combined_acyclic : bool;
+  cycle : Action_id.t list option;
+}
+
+let object_oo_serializable v = v.txn_dep_acyclic && v.act_dep_acyclic
+
+type verdict = {
+  oo_serializable : bool;
+  objects : object_verdict list;
+  witness : Action_id.t list option;
+      (* serial order of top-level transactions, when one exists *)
+}
+
+(* Def. 7: conform — every program-order pair restricted to the object is
+   realised by the execution (all primitives of the first action precede
+   all primitives of the second). *)
+let conform_at ext (s : Schedule.object_schedule) =
+  let ok = ref true in
+  Action.Rel.iter_edges
+    (fun a a' ->
+      if Action_id.Set.mem a s.acts && Action_id.Set.mem a' s.acts then
+        match (Extension.span_of ext a, Extension.span_of ext a') with
+        | Some (_, hi), Some (lo', _) -> if hi >= lo' then ok := false
+        | _ -> ())
+    (Extension.prog_rel ext);
+  !ok
+
+(* Def. 8: serial — the top-level transactions touching the object are not
+   interleaved: the spans (over the object's actions) of distinct
+   top-level transactions are disjoint intervals. *)
+let serial_at ext (s : Schedule.object_schedule) =
+  let by_top = Hashtbl.create 8 in
+  Action_id.Set.iter
+    (fun a ->
+      match Extension.span_of ext a with
+      | None -> ()
+      | Some (lo, hi) ->
+          let top = Action_id.top a in
+          let cur =
+            match Hashtbl.find_opt by_top top with
+            | Some (l, h) -> (min l lo, max h hi)
+            | None -> (lo, hi)
+          in
+          Hashtbl.replace by_top top cur)
+    s.acts;
+  let spans = Hashtbl.fold (fun _ s acc -> s :: acc) by_top [] in
+  let sorted = List.sort compare spans in
+  let rec disjoint = function
+    | (_, hi) :: ((lo', _) :: _ as rest) -> hi < lo' && disjoint rest
+    | _ -> true
+  in
+  disjoint sorted
+
+let object_verdict ext (s : Schedule.object_schedule) =
+  let combined = Action.Rel.union s.act_dep s.added_dep in
+  let act_cycle = Action.Rel.find_cycle s.act_dep in
+  let txn_cycle = Action.Rel.find_cycle s.txn_dep in
+  let comb_cycle = Action.Rel.find_cycle combined in
+  {
+    obj = s.obj;
+    conform = conform_at ext s;
+    serial = serial_at ext s;
+    txn_dep_acyclic = txn_cycle = None;
+    act_dep_acyclic = act_cycle = None;
+    combined_acyclic = comb_cycle = None;
+    cycle =
+      (match (txn_cycle, act_cycle, comb_cycle) with
+      | Some c, _, _ | None, Some c, _ | None, None, Some c -> Some c
+      | None, None, None -> None);
+  }
+
+(* Global serial witness: topological order of the top-level transactions
+   under the dependencies that actually reach the top level — transaction
+   dependencies whose endpoints are top-level transactions (actions on the
+   system object).  Dependencies stopped lower down by commuting callers
+   deliberately do not constrain the top-level order. *)
+let top_witness sched =
+  let h = Extension.history (Schedule.extension sched) in
+  let tops = History.top_ids h in
+  let g =
+    List.fold_left
+      (fun g s ->
+        Action.Rel.fold_edges
+          (fun t t' g ->
+            if Action_id.is_root t && Action_id.is_root t' then
+              Action.Rel.add t t' g
+            else g)
+          s.Schedule.txn_dep g)
+      (List.fold_left (fun g t -> Action.Rel.add_vertex t g) Action.Rel.empty tops)
+      (Schedule.objects sched)
+  in
+  Action.Rel.topo_sort g
+
+let check_schedule sched =
+  let ext = Schedule.extension sched in
+  let objects = List.map (object_verdict ext) (Schedule.objects sched) in
+  let ok =
+    List.for_all
+      (fun v -> object_oo_serializable v && v.combined_acyclic)
+      objects
+  in
+  { oo_serializable = ok; objects; witness = (if ok then top_witness sched else None) }
+
+let check h = check_schedule (Schedule.compute h)
+
+let oo_serializable h = (check h).oo_serializable
+
+let pp_object_verdict ppf v =
+  Fmt.pf ppf "%a: conform=%b serial=%b txn-acyclic=%b act-acyclic=%b combined-acyclic=%b%a"
+    Obj_id.pp v.obj v.conform v.serial v.txn_dep_acyclic v.act_dep_acyclic
+    v.combined_acyclic
+    (Fmt.option (fun ppf c ->
+         Fmt.pf ppf " cycle=[%a]" (Fmt.list ~sep:(Fmt.any " -> ") Action_id.pp) c))
+    v.cycle
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "@[<v>oo-serializable: %b@,%a%a@]" v.oo_serializable
+    (Fmt.list ~sep:Fmt.cut pp_object_verdict)
+    v.objects
+    (Fmt.option (fun ppf w ->
+         Fmt.pf ppf "@,serial witness: %a"
+           (Fmt.list ~sep:(Fmt.any " ") Action_id.pp)
+           w))
+    v.witness

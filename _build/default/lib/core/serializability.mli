@@ -1,0 +1,43 @@
+(** Object-oriented serializability (Defs. 7, 8, 12–14, 16).
+
+    An object schedule is oo-serializable iff an equivalent serial object
+    schedule exists and its action dependency relation is acyclic
+    (Def. 13); equivalence is equality of transaction dependency relations
+    (Def. 12), so a serial equivalent exists exactly when the transaction
+    dependency relation is acyclic.  A system schedule is oo-serializable
+    iff every object schedule is and every object's combined action +
+    added dependency relation is acyclic (Def. 16). *)
+
+open Ids
+
+type object_verdict = {
+  obj : Obj_id.t;
+  conform : bool;  (** Def. 7 *)
+  serial : bool;  (** Def. 8 *)
+  txn_dep_acyclic : bool;  (** Def. 13 (i): equivalent serial schedule exists *)
+  act_dep_acyclic : bool;  (** Def. 13 (ii) *)
+  combined_acyclic : bool;  (** Def. 16 (ii): with added dependencies *)
+  cycle : Action_id.t list option;  (** a witness cycle when any test fails *)
+}
+
+val object_oo_serializable : object_verdict -> bool
+(** Def. 13: both relations acyclic. *)
+
+type verdict = {
+  oo_serializable : bool;  (** Def. 16 *)
+  objects : object_verdict list;
+  witness : Action_id.t list option;
+      (** an equivalent serial order of the top-level transactions, when
+          the schedule is oo-serializable *)
+}
+
+val object_verdict : Extension.t -> Schedule.object_schedule -> object_verdict
+val check_schedule : Schedule.t -> verdict
+
+val check : History.t -> verdict
+(** [check h = check_schedule (Schedule.compute h)]. *)
+
+val oo_serializable : History.t -> bool
+
+val pp_object_verdict : Format.formatter -> object_verdict -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

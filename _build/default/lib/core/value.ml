@@ -1,0 +1,68 @@
+(* Method parameter and result values (Def. 1: parameterized methods). *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+let unit = Unit
+let bool b = Bool b
+let int i = Int i
+let str s = Str s
+let pair a b = Pair (a, b)
+let list vs = List vs
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Bool x, Bool y -> Bool.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Int x, Int y -> Int.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Pair (x1, y1), Pair (x2, y2) -> (
+      match compare x1 x2 with 0 -> compare y1 y2 | c -> c)
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | List xs, List ys -> List.compare compare xs ys
+
+let equal a b = compare a b = 0
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+
+let to_int_exn v =
+  match v with Int i -> i | _ -> invalid_arg "Value.to_int_exn: not an Int"
+
+let to_str_exn v =
+  match v with Str s -> s | _ -> invalid_arg "Value.to_str_exn: not a Str"
+
+let to_bool_exn v =
+  match v with
+  | Bool b -> b
+  | _ -> invalid_arg "Value.to_bool_exn: not a Bool"
+
+let to_list_exn v =
+  match v with
+  | List vs -> vs
+  | _ -> invalid_arg "Value.to_list_exn: not a List"
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.string ppf s
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | List vs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp) vs
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,42 @@
+(** Method parameter and result values (Def. 1: parameterized methods).
+
+    A small dynamic value universe so that commutativity specifications can
+    inspect arguments (e.g. escrow tests on amounts, key equality on B+
+    tree operations). *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_bool : t -> bool option
+val to_int : t -> int option
+val to_str : t -> string option
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an [Int]. *)
+
+val to_str_exn : t -> string
+(** @raise Invalid_argument if the value is not a [Str]. *)
+
+val to_bool_exn : t -> bool
+(** @raise Invalid_argument if the value is not a [Bool]. *)
+
+val to_list_exn : t -> t list
+(** @raise Invalid_argument if the value is not a [List]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

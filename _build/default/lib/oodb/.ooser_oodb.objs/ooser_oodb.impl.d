@@ -1,0 +1,1 @@
+lib/oodb/ooser_oodb.ml: Adt_objects Database Encyclopedia Engine Runtime

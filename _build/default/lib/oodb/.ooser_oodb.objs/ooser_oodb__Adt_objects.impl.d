@@ -1,0 +1,1 @@
+lib/oodb/adt_objects.ml: Database List Ooser_adts Ooser_core Runtime Value

@@ -1,0 +1,1 @@
+lib/oodb/adt_objects.mli: Database Obj_id Ooser_adts Ooser_core

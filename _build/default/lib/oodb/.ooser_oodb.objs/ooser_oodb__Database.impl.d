@@ -1,0 +1,1 @@
+lib/oodb/database.ml: Commutativity Fmt List Obj_id Ooser_core Runtime Value

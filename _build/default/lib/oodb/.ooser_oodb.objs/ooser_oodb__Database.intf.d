@@ -1,0 +1,1 @@
+lib/oodb/database.mli: Commutativity Obj_id Ooser_core Runtime Value

@@ -1,0 +1,1 @@
+lib/oodb/encyclopedia.ml: Action Buffer_pool Commutativity Database Disk Fmt Hashtbl List Obj_id Ooser_btree Ooser_core Ooser_storage Page Printf Runtime Value

@@ -1,0 +1,1 @@
+lib/oodb/encyclopedia.mli: Buffer_pool Database Disk Format Obj_id Ooser_core Ooser_storage Runtime

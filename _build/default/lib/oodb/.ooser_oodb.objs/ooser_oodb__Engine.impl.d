@@ -1,0 +1,1 @@
+lib/oodb/engine.ml: Action Array Call_tree Commutativity Database Effect Fmt History Ids Int List Obj_id Ooser_cc Ooser_core Ooser_sim Option Printexc Printf Runtime Serializability Value

@@ -1,0 +1,1 @@
+lib/oodb/engine.mli: Database History Obj_id Ooser_cc Ooser_core Ooser_sim Runtime Value

@@ -1,0 +1,1 @@
+lib/oodb/runtime.ml: Effect Fmt Obj_id Ooser_core Value

@@ -1,0 +1,1 @@
+lib/oodb/runtime.mli: Effect Format Obj_id Ooser_core Value

@@ -1,0 +1,63 @@
+(** Object registry: the "homogeneous set of objects" of Def. 4.
+
+    Every object is registered with its commutativity specification and
+    its method table.  Methods are closures over the object's state —
+    encapsulation is enforced by the engine, the only caller of method
+    implementations. *)
+
+open Ooser_core
+
+(** What happens to this action's effects when the surrounding
+    transaction aborts {e after} the action committed at its level (open
+    nesting):
+    - [Keep_undo] — replay the low-level undo closures of its subtree;
+      only sound while the subtree's locks are still held;
+    - [Forget] — the effects persist (structure modifications such as
+      B-tree splits, which real systems never roll back);
+    - [Inverse inv] — run a compensating invocation (the logical
+      inverse), sound because the action's own semantic lock is still
+      held by its caller. *)
+type compensation =
+  | Keep_undo
+  | Forget
+  | Inverse of Runtime.invocation
+
+type meth = {
+  kind : [ `Primitive | `Composite ];
+      (** primitive methods call no other methods (Def. 3) and should
+          register undo closures for the state they change *)
+  run : Runtime.ctx -> Value.t list -> Value.t;
+  compensate : (Value.t list -> Value.t -> compensation) option;
+      (** [compensate args result] decides the abort policy once this
+          action has committed at its level; [None] = [Keep_undo] *)
+}
+
+val primitive :
+  ?compensate:(Value.t list -> Value.t -> compensation) ->
+  (Runtime.ctx -> Value.t list -> Value.t) ->
+  meth
+
+val composite :
+  ?compensate:(Value.t list -> Value.t -> compensation) ->
+  (Runtime.ctx -> Value.t list -> Value.t) ->
+  meth
+
+type t
+
+val create : unit -> t
+
+val register :
+  t -> Obj_id.t -> spec:Commutativity.spec -> (string * meth) list -> unit
+(** @raise Invalid_argument when the object already exists. *)
+
+val register_or_replace :
+  t -> Obj_id.t -> spec:Commutativity.spec -> (string * meth) list -> unit
+
+val mem : t -> Obj_id.t -> bool
+val objects : t -> Obj_id.t list
+
+val find_meth : t -> Obj_id.t -> string -> (meth, string) result
+
+val spec_registry : ?default:Commutativity.spec -> t -> Commutativity.registry
+(** Commutativity registry over the registered objects, for the protocols
+    and the checker. *)

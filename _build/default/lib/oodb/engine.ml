@@ -1,0 +1,1110 @@
+(* The execution engine: runs top-level transactions against the object
+   database under a concurrency control protocol, and records the
+   resulting history for the serializability checkers.
+
+   Each transaction runs as a set of TASKS.  A task is a linear stack of
+   frames executing fibers (OCaml 5 effects); [Runtime.call] yields an
+   [Invoke] effect handled here: the engine numbers the new action
+   (Def. 2's hierarchical numbering falls out of the frame stack), asks
+   the protocol for access, and either pushes a frame running the target
+   method or parks the task on the lock.  [Runtime.call_par] forks one
+   task per invocation — the paper's intra-transaction parallelism: each
+   branch gets a fresh process identifier (Def. 9), the forked children
+   carry no mutual precedence (their action set's precedence relation is
+   not total), and the parent joins when all branches complete.
+
+   Interleaving decisions are taken exactly at invocation boundaries —
+   the paper's action granularity.
+
+   Aborts unwind every task of the transaction, run the undo log
+   (primitive undo closures, or compensating invocations once a
+   subtransaction has committed at its level — the open nesting rule),
+   discard the fibers and optionally restart the transaction. *)
+
+open Ooser_core
+module Protocol = Ooser_cc.Protocol
+module Deadlock = Ooser_cc.Deadlock
+module Rng = Ooser_sim.Rng
+module Stats = Ooser_sim.Stats
+
+type step_result =
+  | Yield of Runtime.invocation * (Value.t, step_result) Effect.Deep.continuation
+  | Yield_par of
+      Runtime.invocation list
+      * (Value.t list, step_result) Effect.Deep.continuation
+  | Yield_try of
+      Runtime.invocation
+      * ((Value.t, string) result, step_result) Effect.Deep.continuation
+  | Undo_reg of (unit -> unit) * (unit, step_result) Effect.Deep.continuation
+  | Done of Value.t
+  | Raised of exn
+
+let run_fiber (f : unit -> Value.t) : step_result =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun v -> Done v);
+      exnc = (fun e -> Raised e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Runtime.Invoke inv ->
+              Some (fun (k : (a, step_result) continuation) -> Yield (inv, k))
+          | Runtime.Invoke_par invs ->
+              Some (fun (k : (a, step_result) continuation) -> Yield_par (invs, k))
+          | Runtime.Invoke_try inv ->
+              Some (fun (k : (a, step_result) continuation) -> Yield_try (inv, k))
+          | Runtime.Register_undo g ->
+              Some (fun (k : (a, step_result) continuation) -> Undo_reg (g, k))
+          | _ -> None);
+    }
+
+(* Child slots of a frame, for call-tree reconstruction: sequential calls
+   are ordered after everything before them; the members of one parallel
+   group are mutually unordered.  Indices are 0-based child positions. *)
+type child_group = Seq of int | Par of int list
+
+(* An undo item is either a state-restoring closure (registered by a
+   primitive whose locks are still held) or a compensating invocation (the
+   logical inverse of a subtransaction that already committed at its
+   level).  Compensations are executed through the engine like normal
+   actions, acquiring locks — running them lock-free would clobber pages
+   that in-flight transactions hold locks on. *)
+type undo_item = Restore of (unit -> unit) | Compensate of Runtime.invocation
+
+(* How a frame reports back: to the task's parent (task roots), to the
+   caller's continuation directly, or to a caller that catches failures
+   (Runtime.try_call — partial rollback). *)
+type reply =
+  | To_parent
+  | Direct of (Value.t, step_result) Effect.Deep.continuation
+  | Caught of ((Value.t, string) result, step_result) Effect.Deep.continuation
+
+type frame = {
+  action : Action.t;
+  kind : [ `Primitive | `Composite ];
+  caller_k : reply;
+  compensate : (Value.t list -> Value.t -> Database.compensation) option;
+  mutable next_child : int;
+  mutable groups : child_group list;  (* reversed *)
+  mutable child_trees : (int * Call_tree.t) list;  (* 1-based index -> tree *)
+  mutable undo : undo_item list;  (* newest first *)
+}
+
+type pending =
+  | Not_started
+  | Step of (unit -> step_result)
+  | Request of Runtime.invocation * Action.t * reply
+  | Joining
+  | Idle
+
+type task_status = Runnable | Blocked | Finished
+
+(* A join point: the task forked [j_remaining] branches and resumes with
+   all their results once they delivered. *)
+type join = {
+  mutable j_remaining : int;
+  j_results : Value.t array;
+  j_k : (Value.t list, step_result) Effect.Deep.continuation;
+}
+
+type task = {
+  t_id : int;  (* engine-wide, for deadlock detection *)
+  txn_top : int;
+  process : Ids.Process_id.t;
+  mutable stack : frame list;  (* innermost first *)
+  mutable pending : pending;
+  mutable tstatus : task_status;
+  mutable waiting_for : Action.t list;
+  mutable blocked_since : int;
+  mutable join : join option;
+  t_parent : (task * int) option;  (* parent task and result slot *)
+}
+
+type txn_status = Running | Committed | Aborted of string
+
+type txn = {
+  top : int;
+  tname : string;
+  body : Runtime.ctx -> Value.t;
+  mutable tasks : task list;  (* live tasks *)
+  mutable status : txn_status;
+  mutable attempt : int;
+  mutable resume_after : int;
+  mutable result : Value.t option;
+  mutable branch_counter : int;
+  mutable aborting : (bool * string) option;
+      (* Some (retry, reason) while the compensation phase runs *)
+  mutable first_step : int;  (* of the current attempt *)
+  mutable commit_step : int;
+}
+
+type strategy =
+  | Round_robin
+  | Random_pick of Rng.t
+  | Scripted of int list ref
+      (* step the named transaction when it is runnable, else fall back to
+         round-robin; each consumed entry advances the script *)
+
+(* How deadlocks are handled: [Detect] builds the waits-for graph and
+   aborts the youngest transaction of a cycle; [Wound_wait] prevents
+   cycles — an older requester wounds (aborts) younger lock holders, a
+   younger requester waits; [Wait_die] is the symmetric prevention — an
+   older requester waits, a younger one dies (aborts itself and retries).
+   Intra-transaction conflicts always wait (the detector stays armed as a
+   fallback for them). *)
+type deadlock_policy = Detect | Wound_wait | Wait_die
+
+type config = {
+  protocol : Protocol.t;
+  strategy : strategy;
+  max_steps : int;
+  max_restarts : int;
+  sys : Obj_id.t;
+  deadlock : deadlock_policy;
+  certify : bool;
+      (* optimistic validation: at commit, check that the history of the
+         committed transactions plus this one is oo-serializable; abort
+         and retry otherwise.  The paper's §6 direction: a protocol that
+         guarantees oo-serializability without locks (pair it with the
+         unlocked protocol). *)
+}
+
+let default_config protocol =
+  {
+    protocol;
+    strategy = Round_robin;
+    max_steps = 1_000_000;
+    max_restarts = 20;
+    sys = Obj_id.v "S";
+    deadlock = Detect;
+    certify = false;
+  }
+
+type t = {
+  db : Database.t;
+  config : config;
+  mutable txns : txn list;
+  mutable order : (int * int * Ids.Action_id.t) list;  (* reversed *)
+  mutable trees : (int * Call_tree.t) list;
+  mutable steps : int;
+  mutable clock : int;
+  mutable task_counter : int;
+  counters : Stats.Counter.t;
+}
+
+type outcome = {
+  history : History.t;
+  committed : int list;
+  aborted : (int * string) list;
+  results : (int * Value.t) list;
+  steps : int;
+  metrics : (string * int) list;
+  latencies : (int * int) list;
+      (* per committed transaction: steps from the final attempt's start
+         to its commit (response time in scheduler steps) *)
+}
+
+let trace = ref false
+
+(* -- helpers ----------------------------------------------------------------- *)
+
+let current_frame task =
+  match task.stack with
+  | f :: _ -> f
+  | [] -> invalid_arg "Engine: no active frame"
+
+(* Direct synchronous execution, used for compensating invocations during
+   abort: sub-calls run immediately, no locking, no recording.  The
+   surrounding transaction still holds its higher-level semantic locks, so
+   this is safe under the open nesting rule. *)
+let rec execute_direct (eng : t) ctx (inv : Runtime.invocation) =
+  match Database.find_meth eng.db inv.Runtime.target inv.Runtime.meth_name with
+  | Error msg -> failwith ("compensation failed: " ^ msg)
+  | Ok m ->
+      let rec drive = function
+        | Done v -> v
+        | Raised e -> raise e
+        | Undo_reg (_, k) -> drive (Effect.Deep.continue k ())
+        | Yield (inv', k) ->
+            let v = execute_direct eng ctx inv' in
+            drive (Effect.Deep.continue k v)
+        | Yield_par (invs, k) ->
+            let vs = List.map (execute_direct eng ctx) invs in
+            drive (Effect.Deep.continue k vs)
+        | Yield_try (inv', k) -> (
+            match execute_direct eng ctx inv' with
+            | v -> drive (Effect.Deep.continue k (Ok v))
+            | exception Runtime.Abort m ->
+                drive (Effect.Deep.continue k (Error m)))
+      in
+      drive (run_fiber (fun () -> m.Database.run ctx inv.Runtime.args))
+
+let discontinue_quietly k =
+  match Effect.Deep.discontinue k Runtime.Abandoned with
+  | _ -> ()
+  | exception _ -> ()
+
+(* -- call-tree reconstruction ------------------------------------------------- *)
+
+(* Precedence pairs from the recorded child groups: every member of a
+   group precedes every member of the next group (transitivity covers the
+   rest); members of one parallel group stay unordered. *)
+let prec_of_groups groups =
+  let ordered = List.rev_map (function Seq i -> [ i ] | Par is -> is) groups in
+  let rec pairs acc = function
+    | [] | [ _ ] -> acc
+    | g :: (next :: _ as rest) ->
+        let acc =
+          List.fold_left
+            (fun acc a -> List.fold_left (fun acc b -> (a, b) :: acc) acc next)
+            acc g
+        in
+        pairs acc rest
+  in
+  List.rev (pairs [] ordered)
+
+let tree_of_frame f =
+  let sorted = List.sort (fun (i, _) (j, _) -> Int.compare i j) f.child_trees in
+  (* a child that failed under try_call leaves a numbering gap: remap the
+     0-based child numbers used by the groups to positions in the actual
+     children list, dropping pairs that mention the missing child *)
+  let positions = List.mapi (fun pos (idx, _) -> (idx - 1, pos)) sorted in
+  let remap i = List.assoc_opt i positions in
+  let prec =
+    List.filter_map
+      (fun (a, b) ->
+        match (remap a, remap b) with
+        | Some x, Some y -> Some (x, y)
+        | _ -> None)
+      (prec_of_groups f.groups)
+  in
+  Call_tree.v ~prec f.action (List.map snd sorted)
+
+(* -- abort / commit ------------------------------------------------------------ *)
+
+(* Finish an abort: release the transaction's locks, drop the attempt's
+   records, and either schedule a restart with backoff or fail for
+   good. *)
+let finish_abort (eng : t) txn ~retry reason =
+  txn.aborting <- None;
+  txn.tasks <- [];
+  Protocol.on_top_abort eng.config.protocol txn.top;
+  (* drop this attempt's recorded primitives *)
+  eng.order <-
+    List.filter
+      (fun (top, att, _) -> not (top = txn.top && att = txn.attempt))
+      eng.order;
+  if retry && txn.attempt < eng.config.max_restarts then begin
+    Stats.Counter.incr eng.counters "restarts";
+    txn.attempt <- txn.attempt + 1;
+    (* deterministic backoff: let the surviving transactions finish before
+       re-entering the conflict, otherwise upgrade deadlocks livelock *)
+    txn.resume_after <- eng.steps + (30 * txn.attempt);
+    txn.status <- Running
+  end
+  else txn.status <- Aborted reason
+
+(* Discard every fiber of the transaction without touching state; return
+   the collected undo items (innermost frames first). *)
+let unwind_tasks txn =
+  let items = ref [] in
+  List.iter
+    (fun task ->
+      (match task.pending with
+      | Request (_, _, Direct k) -> discontinue_quietly k
+      | Request (_, _, Caught k) -> discontinue_quietly k
+      | Request (_, _, To_parent) | Step _ | Not_started | Idle | Joining -> ());
+      (match task.join with
+      | Some j -> discontinue_quietly j.j_k
+      | None -> ());
+      List.iter
+        (fun f ->
+          items := !items @ f.undo;
+          match f.caller_k with
+          | Direct k -> discontinue_quietly k
+          | Caught k -> discontinue_quietly k
+          | To_parent -> ())
+        task.stack;
+      task.stack <- [];
+      task.pending <- Idle;
+      task.tstatus <- Finished;
+      task.join <- None;
+      task.waiting_for <- [])
+    txn.tasks;
+  txn.tasks <- [];
+  !items
+
+(* forward declaration: starting the compensation task needs fresh_task,
+   defined below *)
+let start_compensation_hook :
+    (t -> txn -> undo_item list -> unit) ref =
+  ref (fun _ _ _ -> ())
+
+let abort_txn (eng : t) txn ~retry ?items reason =
+  match txn.aborting with
+  | Some (retry0, reason0) ->
+      (* failure during the compensation phase itself: give up on further
+         compensation — state may be inconsistent, count it *)
+      Stats.Counter.incr eng.counters "compensation-failures";
+      ignore (unwind_tasks txn);
+      finish_abort eng txn ~retry:false
+        (Printf.sprintf "%s; compensation failed (%s)" reason0 reason);
+      ignore retry0
+  | None ->
+      Stats.Counter.incr eng.counters "aborts";
+      if !trace then Fmt.epr "[%d] abort T%d (%s)@." eng.steps txn.top reason;
+      let collected = unwind_tasks txn in
+      let items = match items with Some i -> i | None -> collected in
+      if items = [] then finish_abort eng txn ~retry reason
+      else begin
+        txn.aborting <- Some (retry, reason);
+        !start_compensation_hook eng txn items
+      end
+
+let commit_txn (eng : t) txn v =
+  txn.commit_step <- eng.steps;
+  Stats.Counter.incr eng.counters "commits";
+  Protocol.on_top_commit eng.config.protocol txn.top;
+  txn.status <- Committed;
+  txn.result <- Some v;
+  txn.tasks <- []
+
+(* Optimistic certification (config.certify): would committing this
+   transaction keep the history of committed transactions
+   oo-serializable? *)
+let certification_passes (eng : t) txn =
+  let committed_tops =
+    (txn.top, txn.attempt)
+    :: List.filter_map
+         (fun x -> if x.status = Committed then Some (x.top, x.attempt) else None)
+         eng.txns
+  in
+  let trees =
+    List.filter (fun (top, _) -> List.mem_assoc top committed_tops) eng.trees
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map snd
+  in
+  let order =
+    List.rev eng.order
+    |> List.filter_map (fun (top, att, id) ->
+           match List.assoc_opt top committed_tops with
+           | Some final when final = att -> Some id
+           | _ -> None)
+  in
+  let h = History.v ~tops:trees ~order ~commut:(Database.spec_registry eng.db) in
+  Serializability.oo_serializable h
+
+(* -- frame completion ------------------------------------------------------------ *)
+
+let deliver_to_parent eng txn task ~undo v =
+  match task.t_parent with
+  | None -> (
+      match txn.aborting with
+      | Some (retry, reason) ->
+          (* the compensation task completed: the abort is done *)
+          task.tstatus <- Finished;
+          finish_abort eng txn ~retry reason
+      | None ->
+          if (not eng.config.certify) || certification_passes eng txn then
+            commit_txn eng txn v
+          else begin
+            (* certification failed: take the tree back, roll back through
+               a proper compensation phase, retry *)
+            Stats.Counter.incr eng.counters "certification-failures";
+            eng.trees <- List.filter (fun (top, _) -> top <> txn.top) eng.trees;
+            abort_txn eng txn ~retry:true ~items:undo "certification failure"
+          end)
+  | Some (parent, slot) -> (
+      task.tstatus <- Finished;
+      task.pending <- Idle;
+      txn.tasks <- List.filter (fun t -> t.t_id <> task.t_id) txn.tasks;
+      match parent.join with
+      | None -> invalid_arg "Engine: branch completion without a join"
+      | Some j ->
+          j.j_results.(slot) <- v;
+          j.j_remaining <- j.j_remaining - 1;
+          if j.j_remaining = 0 then begin
+            parent.join <- None;
+            parent.tstatus <- Runnable;
+            parent.pending <-
+              Step
+                (fun () -> Effect.Deep.continue j.j_k (Array.to_list j.j_results))
+          end)
+
+let complete_frame eng txn task v =
+  match task.stack with
+  | [] -> invalid_arg "Engine.complete_frame: empty stack"
+  | f :: rest ->
+      task.stack <- rest;
+      let tree = tree_of_frame f in
+      (* runtime-primitive: a leaf of the call tree, entered into the
+         execution order (Axiom 1); a transaction that called nothing is
+         itself a leaf and is recorded too *)
+      if f.child_trees = [] then
+        eng.order <- (txn.top, txn.attempt, Action.id f.action) :: eng.order;
+      let is_txn_root = rest = [] && task.t_parent = None in
+      if not is_txn_root then Protocol.on_end eng.config.protocol f.action;
+      let undo_contribution =
+        match f.compensate with
+        | Some comp -> (
+            match comp (Action.args f.action) v with
+            | Database.Inverse inv -> [ Compensate inv ]
+            | Database.Forget -> []
+            | Database.Keep_undo -> f.undo)
+        | None -> f.undo
+      in
+      let parent_frame =
+        match rest with
+        | pf :: _ -> Some pf
+        | [] -> (
+            match task.t_parent with
+            | Some (pt, _) -> (
+                match pt.stack with pf :: _ -> Some pf | [] -> None)
+            | None -> None)
+      in
+      (match parent_frame with
+      | Some pf ->
+          let idx =
+            match List.rev (Ids.Action_id.path (Action.id f.action)) with
+            | i :: _ -> i
+            | [] -> 1
+          in
+          pf.child_trees <- (idx, tree) :: pf.child_trees;
+          pf.undo <- undo_contribution @ pf.undo
+      | None ->
+          (* the compensation phase leaves no trace in the history *)
+          if txn.aborting = None then eng.trees <- (txn.top, tree) :: eng.trees);
+      (match rest with
+      | _ :: _ -> (
+          match f.caller_k with
+          | Direct k -> task.pending <- Step (fun () -> Effect.Deep.continue k v)
+          | Caught k ->
+              task.pending <- Step (fun () -> Effect.Deep.continue k (Ok v))
+          | To_parent -> invalid_arg "Engine: nested frame without caller")
+      | [] -> deliver_to_parent eng txn task ~undo:undo_contribution v)
+
+(* -- invocation start --------------------------------------------------------------- *)
+
+let discontinue_reply = function
+  | Direct k -> discontinue_quietly k
+  | Caught k -> discontinue_quietly k
+  | To_parent -> ()
+
+let start_invocation eng txn task (inv : Runtime.invocation) action k =
+  match Database.find_meth eng.db inv.Runtime.target inv.Runtime.meth_name with
+  | Error msg -> (
+      match k with
+      | Caught kk ->
+          (* a caught call to a missing method fails softly *)
+          task.pending <- Step (fun () -> Effect.Deep.continue kk (Error msg))
+      | Direct _ | To_parent ->
+          task.pending <- Idle;
+          abort_txn eng txn ~retry:false msg)
+  | Ok m -> (
+      let leaf = m.Database.kind = `Primitive in
+      match Protocol.request eng.config.protocol action ~leaf with
+      | Protocol.Granted ->
+          let frame =
+            {
+              action;
+              kind = m.Database.kind;
+              caller_k = k;
+              compensate = m.Database.compensate;
+              next_child = 0;
+              groups = [];
+              child_trees = [];
+              undo = [];
+            }
+          in
+          task.stack <- frame :: task.stack;
+          task.waiting_for <- [];
+          task.tstatus <- Runnable;
+          let ctx = { Runtime.top = txn.top } in
+          task.pending <-
+            Step
+              (fun () -> run_fiber (fun () -> m.Database.run ctx inv.Runtime.args))
+      | Protocol.Blocked holders ->
+          (* wait-die: a younger requester blocked by an older holder
+             aborts itself (prevention by self-sacrifice) *)
+          if
+            eng.config.deadlock = Wait_die
+            && txn.aborting = None
+            && List.exists
+                 (fun a -> Ids.Action_id.top (Action.id a) < txn.top)
+                 holders
+          then begin
+            Stats.Counter.incr eng.counters "dies";
+            discontinue_reply k;
+            abort_txn eng txn ~retry:true "wait-die"
+          end
+          else begin
+          (* wound-wait: an older transaction aborts younger holders
+             instead of waiting behind them (prevention); conflicts within
+             one transaction and holders already compensating wait *)
+          (if eng.config.deadlock = Wound_wait then
+             let younger_holders =
+               List.filter
+                 (fun a ->
+                   let htop = Ids.Action_id.top (Action.id a) in
+                   htop > txn.top)
+                 holders
+             in
+             List.iter
+               (fun a ->
+                 let htop = Ids.Action_id.top (Action.id a) in
+                 match
+                   List.find_opt
+                     (fun x -> x.top = htop && x.status = Running
+                               && x.aborting = None)
+                     eng.txns
+                 with
+                 | Some victim ->
+                     Stats.Counter.incr eng.counters "wounds";
+                     abort_txn eng victim ~retry:true "wounded"
+                 | None -> ())
+               younger_holders);
+          if task.tstatus <> Blocked then begin
+            Stats.Counter.incr eng.counters "waits";
+            task.blocked_since <- eng.clock;
+            eng.clock <- eng.clock + 1
+          end;
+          task.tstatus <- Blocked;
+          task.waiting_for <- holders;
+          task.pending <- Request (inv, action, k)
+          end)
+
+(* -- stepping ------------------------------------------------------------------------- *)
+
+let fresh_task (eng : t) txn ~process ~parent =
+  eng.task_counter <- eng.task_counter + 1;
+  let task =
+    {
+      t_id = eng.task_counter;
+      txn_top = txn.top;
+      process;
+      stack = [];
+      pending = Not_started;
+      tstatus = Runnable;
+      waiting_for = [];
+      blocked_since = 0;
+      join = None;
+      t_parent = parent;
+    }
+  in
+  txn.tasks <- task :: txn.tasks;
+  task
+
+let start_txn (eng : t) txn =
+  let root_id = Ids.Action_id.root txn.top in
+  let process = Ids.Process_id.main txn.top in
+  txn.first_step <- eng.steps;
+  txn.branch_counter <- 0;
+  let action =
+    Action.v ~id:root_id ~obj:eng.config.sys ~meth:txn.tname ~process ()
+  in
+  let task = fresh_task eng txn ~process ~parent:None in
+  let frame =
+    {
+      action;
+      kind = `Composite;
+      caller_k = To_parent;
+      compensate = None;
+      next_child = 0;
+      groups = [];
+      child_trees = [];
+      undo = [];
+    }
+  in
+  task.stack <- [ frame ];
+  let ctx = { Runtime.top = txn.top } in
+  task.pending <- Step (fun () -> run_fiber (fun () -> txn.body ctx))
+
+(* The compensation phase: run the undo items in order as a synthetic
+   transaction body.  Restores run directly (their locks are still held);
+   compensating invocations go through Runtime.call and therefore through
+   the lock protocol. *)
+let start_compensation (eng : t) txn items =
+  let body ctx =
+    List.iter
+      (fun item ->
+        match item with
+        | Restore g -> g ()
+        | Compensate inv ->
+            ignore
+              (Runtime.call ctx inv.Runtime.target inv.Runtime.meth_name
+                 inv.Runtime.args))
+      items;
+    Value.unit
+  in
+  let root_id = Ids.Action_id.root txn.top in
+  let process = Ids.Process_id.main txn.top in
+  let action =
+    Action.v ~id:root_id ~obj:eng.config.sys ~meth:(txn.tname ^ ":abort")
+      ~process ()
+  in
+  let task = fresh_task eng txn ~process ~parent:None in
+  let frame =
+    {
+      action;
+      kind = `Composite;
+      caller_k = To_parent;
+      compensate = None;
+      next_child = 0;
+      groups = [];
+      child_trees = [];
+      undo = [];
+    }
+  in
+  task.stack <- [ frame ];
+  task.pending <- Step (fun () -> run_fiber (fun () -> body { Runtime.top = txn.top }))
+
+let () = start_compensation_hook := start_compensation
+
+(* Fork one task per invocation; the forked actions form one parallel
+   group of the current frame's action set (no mutual precedence), each
+   on a fresh process (Def. 9). *)
+let fork_branches eng txn task invs k =
+  let parent_frame = current_frame task in
+  if parent_frame.kind = `Primitive then begin
+    discontinue_quietly k;
+    abort_txn eng txn ~retry:false
+      (Fmt.str "primitive method %a issued calls" Action.pp parent_frame.action)
+  end
+  else if invs = [] then
+    task.pending <- Step (fun () -> Effect.Deep.continue k [])
+  else begin
+    let n = List.length invs in
+    (* assign child indices left to right *)
+    let first = parent_frame.next_child + 1 in
+    parent_frame.next_child <- parent_frame.next_child + n;
+    let indices = List.init n (fun i -> first + i) in
+    parent_frame.groups <-
+      Par (List.map (fun i -> i - 1) indices) :: parent_frame.groups;
+    let join =
+      { j_remaining = n; j_results = Array.make n Value.unit; j_k = k }
+    in
+    task.join <- Some join;
+    task.tstatus <- Runnable;
+    task.pending <- Joining;
+    List.iteri
+      (fun slot (idx, inv) ->
+        txn.branch_counter <- txn.branch_counter + 1;
+        let process = Ids.Process_id.v ~top:txn.top ~branch:txn.branch_counter in
+        let child = fresh_task eng txn ~process ~parent:(Some (task, slot)) in
+        let id = Ids.Action_id.child (Action.id parent_frame.action) idx in
+        let action =
+          Action.v ~id ~obj:inv.Runtime.target ~meth:inv.Runtime.meth_name
+            ~args:inv.Runtime.args ~process ()
+        in
+        start_invocation eng txn child inv action To_parent)
+      (List.combine indices invs)
+  end
+
+(* Unwind ONE failed frame: its own and its completed children's locks
+   are still held (the frame was active), so running the undo items
+   directly is sound here — unlike a whole-transaction abort.  The
+   failure then propagates to the caller: a [Caught] reply receives
+   [Error msg] and the transaction continues (partial rollback); a
+   [Direct] reply re-raises into the calling fiber; at a task root the
+   whole transaction aborts. *)
+let rec dispatch eng txn task r =
+  match r with
+  | Done v -> complete_frame eng txn task v
+  | Raised Runtime.Abandoned -> abort_txn eng txn ~retry:false "abandoned"
+  | Raised e ->
+      let msg =
+        match e with Runtime.Abort m -> m | e -> Printexc.to_string e
+      in
+      propagate_failure eng txn task msg
+  | Undo_reg (g, k) ->
+      (current_frame task).undo <- Restore g :: (current_frame task).undo;
+      dispatch eng txn task (Effect.Deep.continue k ())
+  | Yield_par (invs, k) -> fork_branches eng txn task invs k
+  | Yield_try (inv, k) ->
+      let parent = current_frame task in
+      if parent.kind = `Primitive then begin
+        discontinue_quietly k;
+        abort_txn eng txn ~retry:false
+          (Fmt.str "primitive method %a issued a call" Action.pp parent.action)
+      end
+      else begin
+        parent.next_child <- parent.next_child + 1;
+        parent.groups <- Seq (parent.next_child - 1) :: parent.groups;
+        let id = Ids.Action_id.child (Action.id parent.action) parent.next_child in
+        let action =
+          Action.v ~id ~obj:inv.Runtime.target ~meth:inv.Runtime.meth_name
+            ~args:inv.Runtime.args ~process:task.process ()
+        in
+        task.pending <- Request (inv, action, Caught k)
+      end
+  | Yield (inv, k) ->
+      let parent = current_frame task in
+      if parent.kind = `Primitive then begin
+        discontinue_quietly k;
+        abort_txn eng txn ~retry:false
+          (Fmt.str "primitive method %a issued a call" Action.pp parent.action)
+      end
+      else begin
+        parent.next_child <- parent.next_child + 1;
+        parent.groups <- Seq (parent.next_child - 1) :: parent.groups;
+        let id = Ids.Action_id.child (Action.id parent.action) parent.next_child in
+        let action =
+          Action.v ~id ~obj:inv.Runtime.target ~meth:inv.Runtime.meth_name
+            ~args:inv.Runtime.args ~process:task.process ()
+        in
+        task.pending <- Request (inv, action, Direct k)
+      end
+
+and propagate_failure eng txn task msg =
+  match task.stack with
+  | [] -> abort_txn eng txn ~retry:false msg
+  | f :: rest -> (
+      match f.caller_k with
+      | To_parent ->
+          (* a failed task root (transaction body or branch): the whole
+             transaction aborts through the scheduled compensation phase,
+             which collects this frame's undo items *)
+          abort_txn eng txn ~retry:false msg
+      | Caught k ->
+          task.stack <- rest;
+          (* roll back this frame's subtree in place: locks scoped to the
+             frame are still held, so direct execution is sound *)
+          List.iter
+            (fun item ->
+              match item with
+              | Restore g -> g ()
+              | Compensate inv ->
+                  ignore (execute_direct eng { Runtime.top = txn.top } inv))
+            f.undo;
+          Protocol.on_end eng.config.protocol f.action;
+          task.pending <- Step (fun () -> Effect.Deep.continue k (Error msg))
+      | Direct k ->
+          task.stack <- rest;
+          List.iter
+            (fun item ->
+              match item with
+              | Restore g -> g ()
+              | Compensate inv ->
+                  ignore (execute_direct eng { Runtime.top = txn.top } inv))
+            f.undo;
+          Protocol.on_end eng.config.protocol f.action;
+          task.pending <-
+            Step (fun () -> Effect.Deep.discontinue k (Runtime.Abort msg)))
+
+let step (eng : t) txn task =
+  eng.steps <- eng.steps + 1;
+  match task.pending with
+  | Idle | Joining -> ()
+  | Not_started ->
+      Stats.Counter.incr eng.counters "starts";
+      start_txn eng txn
+  | Request (inv, action, k) -> start_invocation eng txn task inv action k
+  | Step f -> dispatch eng txn task (f ())
+
+(* -- the run loop ----------------------------------------------------------------------- *)
+
+(* Deadlock detection is per task: parallel branches of one transaction
+   can deadlock each other.  Waits-for edges go from the blocked task to
+   the tasks of the lock holders, identified by the holder action's
+   process; a holder whose task already finished (its lock retained at a
+   higher scope) is attributed to any live task of its transaction. *)
+let waits_for (eng : t) =
+  let all_tasks = List.concat_map (fun txn -> txn.tasks) eng.txns in
+  let task_of_action a =
+    let p = Action.process a in
+    match
+      List.find_opt (fun t -> Ids.Process_id.equal t.process p) all_tasks
+    with
+    | Some t -> Some t.t_id
+    | None -> (
+        let top = Ids.Action_id.top (Action.id a) in
+        match List.find_opt (fun t -> t.txn_top = top) all_tasks with
+        | Some t -> Some t.t_id
+        | None -> None)
+  in
+  List.filter_map
+    (fun task ->
+      match task.tstatus with
+      | Blocked ->
+          Some
+            ( task.t_id,
+              List.sort_uniq Int.compare
+                (List.filter_map task_of_action task.waiting_for) )
+      | Runnable | Finished -> None)
+    all_tasks
+
+let txn_of_task (eng : t) tid =
+  List.find_opt
+    (fun txn -> List.exists (fun t -> t.t_id = tid) txn.tasks)
+    eng.txns
+
+let resolve_deadlock (eng : t) =
+  let w = waits_for eng in
+  if !trace then
+    Fmt.epr "[%d] waits_for: %a@." eng.steps
+      (Fmt.list ~sep:Fmt.sp (fun ppf (a, bs) ->
+           Fmt.pf ppf "%d->[%a]" a (Fmt.list ~sep:(Fmt.any ",") Fmt.int) bs))
+      w;
+  match Deadlock.find_cycle w with
+  | Some cycle -> (
+      Stats.Counter.incr eng.counters "deadlocks";
+      (* prefer a victim that is not already compensating; rolling back a
+         rollback is a last resort *)
+      let candidates =
+        List.filter_map (fun tid -> txn_of_task eng tid) cycle
+      in
+      let victim =
+        match List.filter (fun txn -> txn.aborting = None) candidates with
+        | [] -> (
+            match candidates with
+            | [] -> None
+            | l -> Some (List.fold_left (fun a b -> if b.top > a.top then b else a) (List.hd l) l))
+        | l -> Some (List.fold_left (fun a b -> if b.top > a.top then b else a) (List.hd l) l)
+      in
+      match victim with
+      | Some txn -> abort_txn eng txn ~retry:true "deadlock victim"
+      | None -> ())
+  | None -> (
+      (* blocked but no cycle among tasks: a holder may have committed
+         between checks — retry will succeed; if genuinely stuck, break
+         the tie deterministically *)
+      let blocked =
+        List.concat_map (fun txn -> txn.tasks) eng.txns
+        |> List.filter (fun t -> t.tstatus = Blocked)
+        |> List.sort (fun a b -> Int.compare a.blocked_since b.blocked_since)
+      in
+      match blocked with
+      | [] -> ()
+      | task :: _ -> (
+          match txn_of_task eng task.t_id with
+          | Some txn -> abort_txn eng txn ~retry:true "stalled"
+          | None -> ()))
+
+let retry_blocked (eng : t) =
+  let blocked =
+    List.concat_map
+      (fun txn -> List.map (fun task -> (txn, task)) txn.tasks)
+      eng.txns
+    |> List.filter (fun (_, task) -> task.tstatus = Blocked)
+    |> List.sort (fun (_, a) (_, b) -> Int.compare a.blocked_since b.blocked_since)
+  in
+  List.iter
+    (fun (txn, task) ->
+      match task.pending with
+      | Request (inv, action, k) -> start_invocation eng txn task inv action k
+      | Not_started | Step _ | Idle | Joining -> ())
+    blocked
+
+let create ?(config : config option) db ~protocol bodies =
+  let config = match config with Some c -> c | None -> default_config protocol in
+  (* top-level transactions are messages on the system object (Def. 4);
+     they carry no semantics of their own *)
+  if not (Database.mem db config.sys) then
+    Database.register db config.sys ~spec:Commutativity.all_commute [];
+  let txns =
+    List.map
+      (fun (top, tname, body) ->
+        {
+          top;
+          tname;
+          body;
+          tasks = [];
+          status = Running;
+          attempt = 0;
+          resume_after = 0;
+          result = None;
+          branch_counter = 0;
+          aborting = None;
+          first_step = -1;
+          commit_step = -1;
+        })
+      bodies
+  in
+  {
+    db;
+    config;
+    txns;
+    order = [];
+    trees = [];
+    steps = 0;
+    clock = 0;
+    task_counter = 0;
+    counters = Stats.Counter.create ();
+  }
+
+let final_history (eng : t) =
+  let committed_tops =
+    List.filter_map
+      (fun txn ->
+        if txn.status = Committed then Some (txn.top, txn.attempt) else None)
+      eng.txns
+  in
+  let trees =
+    List.filter (fun (top, _) -> List.mem_assoc top committed_tops) eng.trees
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map snd
+  in
+  let order =
+    List.rev eng.order
+    |> List.filter_map (fun (top, att, id) ->
+           match List.assoc_opt top committed_tops with
+           | Some final when final = att -> Some id
+           | _ -> None)
+  in
+  History.v ~tops:trees ~order ~commut:(Database.spec_registry eng.db)
+
+let outcome_of (eng : t) =
+  let committed =
+    List.filter_map
+      (fun txn -> if txn.status = Committed then Some txn.top else None)
+      eng.txns
+  in
+  let aborted =
+    List.filter_map
+      (fun txn ->
+        match txn.status with Aborted r -> Some (txn.top, r) | _ -> None)
+      eng.txns
+  in
+  let results =
+    List.filter_map
+      (fun txn -> Option.map (fun v -> (txn.top, v)) txn.result)
+      eng.txns
+  in
+  let latencies =
+    List.filter_map
+      (fun txn ->
+        if txn.status = Committed && txn.first_step >= 0 then
+          Some (txn.top, txn.commit_step - txn.first_step)
+        else None)
+      eng.txns
+  in
+  {
+    history = final_history eng;
+    committed;
+    aborted;
+    results;
+    steps = eng.steps;
+    latencies;
+    metrics =
+      Stats.Counter.to_list eng.counters
+      @ List.map
+          (fun (k, v) -> ("lock." ^ k, v))
+          (Stats.Counter.to_list (Protocol.counters eng.config.protocol));
+  }
+
+let run ?config db ~protocol bodies =
+  let (eng : t) = create ?config db ~protocol bodies in
+  let runnable_units () =
+    List.concat_map
+      (fun txn ->
+        match txn.status with
+        | Running when txn.resume_after <= eng.steps ->
+            if txn.tasks = [] then [ (txn, None) ]
+            else
+              List.filter_map
+                (fun task ->
+                  match (task.tstatus, task.pending) with
+                  | Runnable, (Step _ | Request _ | Not_started) ->
+                      Some (txn, Some task)
+                  | _ -> None)
+                txn.tasks
+        | _ -> [])
+      eng.txns
+  in
+  let parked () =
+    List.exists
+      (fun txn -> txn.status = Running && txn.resume_after > eng.steps)
+      eng.txns
+  in
+  let blocked_exists () =
+    List.exists
+      (fun txn -> List.exists (fun t -> t.tstatus = Blocked) txn.tasks)
+      eng.txns
+  in
+  let rec loop () =
+    if eng.steps >= eng.config.max_steps then begin
+      (* out of budget: fail the stragglers, but keep stepping so their
+         compensation phases can run to completion *)
+      List.iter
+        (fun txn ->
+          match (txn.status, txn.aborting) with
+          | Running, None -> abort_txn eng txn ~retry:false "step budget"
+          | _ -> ())
+        eng.txns;
+      if
+        List.exists (fun txn -> txn.status = Running) eng.txns
+        && eng.steps < 4 * eng.config.max_steps
+      then begin
+        retry_blocked eng;
+        (match runnable_units () with
+        | [] ->
+            if blocked_exists () then resolve_deadlock eng
+            else eng.steps <- eng.steps + 1
+        | units -> (
+            let txn, task_opt =
+              match eng.config.strategy with
+              | Round_robin | Scripted _ ->
+                  List.nth units (eng.steps mod List.length units)
+              | Random_pick rng -> Rng.pick rng units
+            in
+            match task_opt with
+            | None -> eng.steps <- eng.steps + 1
+            | Some task -> step eng txn task));
+        loop ()
+      end
+      else
+        (* even the compensations ran out of road *)
+        List.iter
+          (fun txn ->
+            if txn.status = Running then begin
+              ignore (unwind_tasks txn);
+              finish_abort eng txn ~retry:false "step budget"
+            end)
+          eng.txns
+    end
+    else begin
+      retry_blocked eng;
+      match runnable_units () with
+      | [] ->
+          if blocked_exists () && Deadlock.find_cycle (waits_for eng) <> None
+          then begin
+            resolve_deadlock eng;
+            loop ()
+          end
+          else if parked () then begin
+            eng.steps <- eng.steps + 1;
+            loop ()
+          end
+          else if blocked_exists () then begin
+            resolve_deadlock eng;
+            loop ()
+          end
+      | units ->
+          let txn, task_opt =
+            match eng.config.strategy with
+            | Round_robin -> List.nth units (eng.steps mod List.length units)
+            | Random_pick rng -> Rng.pick rng units
+            | Scripted script -> (
+                match !script with
+                | top :: rest -> (
+                    match
+                      List.find_opt (fun (txn, _) -> txn.top = top) units
+                    with
+                    | Some u ->
+                        script := rest;
+                        u
+                    | None -> List.nth units (eng.steps mod List.length units))
+                | [] -> List.nth units (eng.steps mod List.length units))
+          in
+          (match task_opt with
+          | None ->
+              eng.steps <- eng.steps + 1;
+              Stats.Counter.incr eng.counters "starts";
+              start_txn eng txn
+          | Some task -> step eng txn task);
+          loop ()
+    end
+  in
+  loop ();
+  outcome_of eng

@@ -1,0 +1,89 @@
+(** The execution engine: runs top-level transactions against the object
+    database under a concurrency control protocol and records the
+    resulting history for the serializability checkers.
+
+    Each transaction runs as a tree of fibers (OCaml 5 effects).  A method
+    body performing {!Runtime.call} yields control to the engine, which
+    numbers the new action (the hierarchical numbering of Def. 2 falls out
+    of the frame stack), asks the protocol for access, and either starts
+    the target method or parks the transaction.  Interleaving decisions
+    are taken exactly at invocation boundaries — the paper's action
+    granularity.
+
+    Aborts unwind the frame stack, run the undo log (primitive undo
+    closures, or compensating invocations once a subtransaction has
+    committed at its level — the open nesting rule), and optionally
+    restart the transaction. *)
+
+open Ooser_core
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+(** How the scheduler picks the next transaction to advance.
+    [Scripted] steps the named transaction when it is runnable (falling
+    back to round-robin otherwise), consuming one entry per step — for
+    reproducing a specific interleaving in tests. *)
+type strategy =
+  | Round_robin
+  | Random_pick of Rng.t
+  | Scripted of int list ref
+
+(** Deadlock handling: [Detect] aborts the youngest member of a
+    waits-for cycle; [Wound_wait] prevents cycles — older requesters
+    abort younger lock holders, younger requesters wait; [Wait_die] is
+    the symmetric prevention — older requesters wait, younger ones abort
+    themselves and retry. *)
+type deadlock_policy = Detect | Wound_wait | Wait_die
+
+type config = {
+  protocol : Protocol.t;
+  strategy : strategy;
+  max_steps : int;  (** engine-wide step budget *)
+  max_restarts : int;  (** per-transaction restart budget after aborts *)
+  sys : Obj_id.t;  (** the system object (Def. 4) *)
+  deadlock : deadlock_policy;
+  certify : bool;
+      (** optimistic commit-time validation: a transaction commits only
+          if the history of committed transactions plus itself is
+          oo-serializable, else it is rolled back and retried.  The
+          paper's §6 direction — pair it with {!Protocol.unlocked}.
+
+          Because execution is lock-free, a transaction may read state
+          written by a concurrent uncommitted transaction; rollbacks must
+          therefore use LOGICAL undo (inverse deltas, compensations) —
+          before-image restores can clobber a neighbour's update.  The
+          escrow/counted ADTs of {!Adt_objects} satisfy this. *)
+}
+
+val default_config : Protocol.t -> config
+(** Round-robin, 1M steps, 20 restarts, system object ["S"], no
+    certification. *)
+
+val trace : bool ref
+(** Debug switch: print waits-for graphs and deadlock victims to
+    stderr. *)
+
+type outcome = {
+  history : History.t;
+      (** the committed execution: call trees + primitive order *)
+  committed : int list;
+  aborted : (int * string) list;  (** permanently failed, with reason *)
+  results : (int * Value.t) list;
+  steps : int;
+  metrics : (string * int) list;
+      (** engine counters plus protocol counters under ["lock."] *)
+  latencies : (int * int) list;
+      (** per committed transaction: scheduler steps from the final
+          attempt's start to commit (response time) *)
+}
+
+val run :
+  ?config:config ->
+  Database.t ->
+  protocol:Protocol.t ->
+  (int * string * (Runtime.ctx -> Value.t)) list ->
+  outcome
+(** [run db ~protocol txns] executes the given top-level transactions
+    [(id, name, body)] to completion (commit, permanent abort, or step
+    budget), resolving deadlocks by aborting the youngest transaction in
+    the waits-for cycle. *)

@@ -1,0 +1,7 @@
+(* Umbrella module for the object database layer. *)
+
+module Runtime = Runtime
+module Database = Database
+module Engine = Engine
+module Encyclopedia = Encyclopedia
+module Adt_objects = Adt_objects

@@ -1,0 +1,60 @@
+(** Effects connecting method bodies to the execution engine.
+
+    Method implementations are plain OCaml functions; every access to
+    another encapsulated object goes through {!call}, which performs an
+    [Invoke] effect handled by the engine — the engine numbers the action,
+    asks the concurrency control protocol for access, runs the target
+    method (possibly after blocking the calling fiber) and resumes the
+    caller with the result. *)
+
+open Ooser_core
+
+type invocation = {
+  target : Obj_id.t;
+  meth_name : string;
+  args : Value.t list;
+}
+
+type ctx = { top : int }
+(** Capability to issue calls, provided by the engine to method bodies
+    and transaction bodies. *)
+
+type _ Effect.t +=
+  | Invoke : invocation -> Value.t Effect.t
+  | Invoke_par : invocation list -> Value.t list Effect.t
+  | Invoke_try : invocation -> (Value.t, string) result Effect.t
+  | Register_undo : (unit -> unit) -> unit Effect.t
+
+exception Abort of string
+(** Transaction-level abort requested by user code or the system. *)
+
+exception Abandoned
+(** Used internally to discard the fibers of an aborted transaction;
+    method bodies must not catch it. *)
+
+val call : ctx -> Obj_id.t -> string -> Value.t list -> Value.t
+(** Send a message (Def. 1).  Only valid under the engine's handler. *)
+
+val call_par : ctx -> invocation list -> Value.t list
+(** Send several messages that may execute in parallel — the paper's
+    intra-transaction parallelism (Def. 9).  Each call runs in a fresh
+    process of the same transaction, so the calls can genuinely conflict
+    with one another; the results arrive in invocation order. *)
+
+val invocation : Obj_id.t -> string -> Value.t list -> invocation
+
+val try_call :
+  ctx -> Obj_id.t -> string -> Value.t list -> (Value.t, string) result
+(** Partial rollback (the heart of nested transactions): run the call as
+    a subtransaction that may fail alone — on abort or any failure inside
+    it, its effects are undone and [Error reason] is returned while the
+    surrounding transaction continues. *)
+
+val on_undo : ctx -> (unit -> unit) -> unit
+(** Primitive methods register a closure restoring the state they are
+    about to change; the engine runs it if the transaction aborts. *)
+
+val abort : string -> 'a
+(** Abort the current transaction. *)
+
+val pp_invocation : Format.formatter -> invocation -> unit

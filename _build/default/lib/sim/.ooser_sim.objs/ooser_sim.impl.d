@@ -1,0 +1,1 @@
+lib/sim/ooser_sim.ml: Dist Rng Stats

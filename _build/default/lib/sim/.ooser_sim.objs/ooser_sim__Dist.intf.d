@@ -1,0 +1,1 @@
+lib/sim/dist.mli: Rng

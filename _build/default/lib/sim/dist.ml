@@ -1,0 +1,48 @@
+(* Key distributions for workload generation.
+
+   Zipf sampling uses the inverse-CDF over precomputed cumulative weights;
+   exact and fast enough for the universe sizes of our experiments. *)
+
+type t =
+  | Uniform of int
+  | Zipf of { n : int; cum : float array }
+  | Constant of int
+
+let uniform n =
+  if n <= 0 then invalid_arg "Dist.uniform: need positive universe";
+  Uniform n
+
+let constant k = Constant k
+
+let zipf ~theta n =
+  if n <= 0 then invalid_arg "Dist.zipf: need positive universe";
+  if theta < 0.0 then invalid_arg "Dist.zipf: theta must be >= 0";
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+  let cum = Array.make n 0.0 in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. (x /. total);
+      cum.(i) <- !acc)
+    w;
+  cum.(n - 1) <- 1.0;
+  Zipf { n; cum }
+
+let universe = function
+  | Uniform n -> n
+  | Zipf { n; _ } -> n
+  | Constant _ -> 1
+
+let sample rng = function
+  | Uniform n -> Rng.int rng n
+  | Constant k -> k
+  | Zipf { n; cum } ->
+      let u = Rng.float rng in
+      (* binary search for the first index with cum.(i) >= u *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cum.(mid) >= u then hi := mid else lo := mid + 1
+      done;
+      !lo

@@ -1,0 +1,17 @@
+(** Key distributions for workload generation. *)
+
+type t
+
+val uniform : int -> t
+(** Uniform over [\[0, n)].
+    @raise Invalid_argument when [n <= 0]. *)
+
+val zipf : theta:float -> int -> t
+(** Zipfian over [\[0, n)] with skew [theta] ([theta = 0] is uniform;
+    typical skewed workloads use 0.8–1.2).
+    @raise Invalid_argument on invalid parameters. *)
+
+val constant : int -> t
+
+val universe : t -> int
+val sample : Rng.t -> t -> int

@@ -1,0 +1,5 @@
+(* Umbrella module for the simulation support library. *)
+
+module Rng = Rng
+module Dist = Dist
+module Stats = Stats

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every experiment in the repository is seeded so results are exactly
+    reproducible; nothing depends on [Random] or wall-clock state. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+val bits : t -> int
+(** 62 non-negative pseudo-random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Derive an independent stream (advances this one). *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,72 @@
+(* Streaming statistics and simple histograms for the experiment
+   harness. *)
+
+type t = {
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { n = 0; sum = 0.0; sumsq = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let variance t =
+  if t.n < 2 then 0.0
+  else
+    let m = mean t in
+    Float.max 0.0 ((t.sumsq /. float_of_int t.n) -. (m *. m))
+
+let stddev t = sqrt (variance t)
+let min_value t = if t.n = 0 then 0.0 else t.min
+let max_value t = if t.n = 0 then 0.0 else t.max
+
+let merge a b =
+  {
+    n = a.n + b.n;
+    sum = a.sum +. b.sum;
+    sumsq = a.sumsq +. b.sumsq;
+    min = Float.min a.min b.min;
+    max = Float.max a.max b.max;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t) (stddev t)
+    (min_value t) (max_value t)
+
+(* Counters keyed by string, for event tallies. *)
+module Counter = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let incr ?(by = 1) t key =
+    let cur = match Hashtbl.find_opt t key with Some v -> v | None -> 0 in
+    Hashtbl.replace t key (cur + by)
+
+  let get t key =
+    match Hashtbl.find_opt t key with Some v -> v | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let pp ppf t =
+    Fmt.pf ppf "%a"
+      (Fmt.list ~sep:(Fmt.any ", ") (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.int))
+      (to_list t)
+end

@@ -1,0 +1,27 @@
+(** Streaming statistics and event counters for the experiment harness. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_int : t -> int -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val merge : t -> t -> t
+val pp : Format.formatter -> t -> unit
+
+(** Counters keyed by string, for event tallies. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  val pp : Format.formatter -> t -> unit
+end

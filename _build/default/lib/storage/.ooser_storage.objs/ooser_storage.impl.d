@@ -1,0 +1,1 @@
+lib/storage/ooser_storage.ml: Buffer_pool Codec Disk Logged_store Page Wal

@@ -1,0 +1,1 @@
+lib/storage/logged_store.ml: Bytes Disk Int List Page Wal

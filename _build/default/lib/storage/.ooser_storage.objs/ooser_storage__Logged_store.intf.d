@@ -1,0 +1,1 @@
+lib/storage/logged_store.mli: Disk Wal

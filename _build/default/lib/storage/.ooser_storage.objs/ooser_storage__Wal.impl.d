@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Codec Disk Fmt List Printf

@@ -1,0 +1,39 @@
+(** Buffer pool with pin counts and LRU eviction.
+
+    Access methods pin a page, work on the in-frame image, and unpin it
+    (marking it dirty when modified).  Eviction picks the least recently
+    used unpinned frame and writes it back when dirty. *)
+
+type t
+
+exception Pool_full
+(** Raised when every frame is pinned and a new page is requested. *)
+
+val create : ?capacity:int -> Disk.t -> t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val disk : t -> Disk.t
+val capacity : t -> int
+
+val pin : t -> Disk.page_id -> Page.t
+(** Fetch (or find) the page and pin it.  The returned page aliases the
+    frame: mutations are visible to later pinners.
+    @raise Pool_full when no frame can be evicted. *)
+
+val unpin : ?dirty:bool -> t -> Disk.page_id -> unit
+(** @raise Invalid_argument when the page is not resident or not
+    pinned. *)
+
+val with_page : t -> Disk.page_id -> f:(Page.t -> 'a * bool) -> 'a
+(** Pin, run [f] (returning a result and a dirty flag), unpin.  Unpins
+    (clean) when [f] raises. *)
+
+val alloc : t -> Disk.page_id
+(** Allocate a fresh page on the underlying volume. *)
+
+val flush_all : t -> unit
+
+val resident : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

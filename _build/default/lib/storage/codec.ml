@@ -1,0 +1,61 @@
+(* Minimal binary codec for node serialization. *)
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+
+  let u8 b v =
+    if v < 0 || v > 0xFF then invalid_arg "Codec.u8";
+    Buffer.add_char b (Char.chr v)
+
+  let u16 b v =
+    if v < 0 || v > 0xFFFF then invalid_arg "Codec.u16";
+    Buffer.add_char b (Char.chr (v land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF))
+
+  let u32 b v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.u32";
+    u16 b (v land 0xFFFF);
+    u16 b ((v lsr 16) land 0xFFFF)
+
+  let string b s =
+    u16 b (String.length s);
+    Buffer.add_string b s
+
+  let contents b = Buffer.contents b
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let create data = { data; pos = 0 }
+
+  let ensure r n =
+    if r.pos + n > String.length r.data then failwith "Codec: truncated input"
+
+  let u8 r =
+    ensure r 1;
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    let lo = u8 r in
+    let hi = u8 r in
+    lo lor (hi lsl 8)
+
+  let u32 r =
+    let lo = u16 r in
+    let hi = u16 r in
+    lo lor (hi lsl 16)
+
+  let string r =
+    let len = u16 r in
+    ensure r len;
+    let s = String.sub r.data r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let at_end r = r.pos = String.length r.data
+end

@@ -1,0 +1,25 @@
+(** A volume of pages addressed by page id.
+
+    Page images live in memory (see DESIGN.md, substitutions) behind a
+    disk-like read/write interface; I/Os are counted for the experiment
+    reports. *)
+
+type page_id = int
+type t
+
+val create : ?page_size:int -> unit -> t
+val page_size : t -> int
+
+val alloc : t -> page_id
+(** Allocate a fresh zeroed page. *)
+
+val read : t -> page_id -> Bytes.t
+(** A private copy of the page image.
+    @raise Invalid_argument on unallocated ids. *)
+
+val write : t -> page_id -> Bytes.t -> unit
+(** @raise Invalid_argument on unallocated ids or wrong-sized images. *)
+
+val page_count : t -> int
+val reads : t -> int
+val writes : t -> int

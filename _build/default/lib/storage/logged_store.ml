@@ -1,0 +1,223 @@
+(* A logged slot store with crash recovery (ARIES-lite).
+
+   Writes go to a volatile cache and are logged with before/after images
+   (write-ahead: the log record exists before the page changes); commit
+   forces the log (no-force for pages); any cached page may additionally
+   be flushed to the durable disk at any time (steal).  A crash discards
+   the cache and the unforced log suffix; [recover] then runs
+
+     analysis — find the transactions with a stable COMMIT;
+     redo      — reapply every stable update in log order (repeating
+                 history, idempotent thanks to slot-targeted writes);
+     undo      — roll back the losers' updates in reverse order using the
+                 before images, logging ABORT records.
+
+   After recovery the durable state contains exactly the committed
+   transactions' effects — atomicity and durability under steal /
+   no-force. *)
+
+type txn_state = Active | Committing | Finished
+
+type t = {
+  durable : Disk.t;
+  mutable cache : (Disk.page_id * Bytes.t) list;  (* volatile page images *)
+  wal : Wal.t;
+  mutable active : (int * txn_state) list;
+}
+
+let create ?(page_size = 4096) () =
+  { durable = Disk.create ~page_size (); cache = []; wal = Wal.create ();
+    active = [] }
+
+let wal t = t.wal
+let durable t = t.durable
+
+let alloc_page t = Disk.alloc t.durable
+
+(* Volatile view of a page: cached image or a copy of the durable one. *)
+let page_image t pid =
+  match List.assoc_opt pid t.cache with
+  | Some b -> b
+  | None ->
+      let b = Disk.read t.durable pid in
+      t.cache <- (pid, b) :: t.cache;
+      b
+
+let read t pid slot = Page.get (Page.of_bytes (page_image t pid)) slot
+
+let begin_txn t txn =
+  if List.mem_assoc txn t.active then invalid_arg "Logged_store: txn exists";
+  t.active <- (txn, Active) :: t.active;
+  ignore (Wal.append t.wal (Wal.Begin txn))
+
+let check_active t txn =
+  match List.assoc_opt txn t.active with
+  | Some Active -> ()
+  | _ -> invalid_arg "Logged_store: transaction not active"
+
+(* Log first, then apply (write-ahead). *)
+let apply_slot page slot content =
+  match content with
+  | Some data ->
+      if not (Page.write_at page slot data) then
+        failwith "Logged_store: page full during apply"
+  | None -> ignore (Page.delete page slot)
+
+let write t ~txn ~page:pid ~slot data =
+  check_active t txn;
+  let img = page_image t pid in
+  let page = Page.of_bytes img in
+  let before = Page.get page slot in
+  ignore (Wal.append t.wal (Wal.Update { txn; page = pid; slot; before; after = data }));
+  apply_slot page slot data
+
+let commit t txn =
+  check_active t txn;
+  ignore (Wal.append t.wal (Wal.Commit txn));
+  Wal.force t.wal;
+  t.active <- (txn, Finished) :: List.remove_assoc txn t.active
+
+(* Roll back a live transaction using the volatile cache, logging a
+   compensation record (an update whose after-image is the restored
+   value) for every reversal so that redo's "repeating history" also
+   repeats the rollback. *)
+let abort t txn =
+  check_active t txn;
+  let undos =
+    List.rev
+      (List.filter_map
+         (fun (_, r) ->
+           match r with
+           | Wal.Update { txn = x; page; slot; before; after } when x = txn ->
+               Some (page, slot, before, after)
+           | _ -> None)
+         (Wal.all t.wal))
+  in
+  List.iter
+    (fun (pid, slot, before, after) ->
+      ignore
+        (Wal.append t.wal
+           (Wal.Update { txn; page = pid; slot; before = after; after = before }));
+      apply_slot (Page.of_bytes (page_image t pid)) slot before)
+    undos;
+  ignore (Wal.append t.wal (Wal.Abort txn));
+  t.active <- (txn, Finished) :: List.remove_assoc txn t.active
+
+(* Steal: flush one cached page image to the durable disk (possibly
+   carrying uncommitted data — recovery undoes it).  The write-ahead rule:
+   the log covering the page's changes must be stable before the page
+   is. *)
+let flush_page t pid =
+  match List.assoc_opt pid t.cache with
+  | Some b ->
+      Wal.force t.wal;
+      Disk.write t.durable pid b
+  | None -> ()
+
+let flush_all t = List.iter (fun (pid, _) -> flush_page t pid) t.cache
+
+(* Fuzzy checkpoint: flush every cached page, force the log, and record
+   the set of still-active transactions.  Analysis then starts at the
+   last checkpoint: everything before it is durably on disk. *)
+let checkpoint t =
+  flush_all t;
+  let active =
+    List.filter_map
+      (fun (x, st) -> if st = Active then Some x else None)
+      t.active
+  in
+  let lsn = Wal.append t.wal (Wal.Checkpoint active) in
+  Wal.force t.wal;
+  (* a quiescent checkpoint makes the log prefix garbage *)
+  if active = [] then Wal.truncate t.wal ~upto:lsn;
+  lsn
+
+(* A crash: volatile state is lost, only forced log records remain. *)
+let crash t =
+  { durable = t.durable; cache = []; wal = Wal.crash t.wal; active = [] }
+
+(* -- recovery ------------------------------------------------------------------ *)
+
+type recovery_report = {
+  winners : int list;
+  losers : int list;
+  redone : int;
+  undone : int;
+}
+
+let recover t =
+  let full_log = Wal.stable t.wal in
+  (* start the redo scan at the last checkpoint: pages were flushed
+     there, so earlier updates are already durable *)
+  let log, checkpoint_active =
+    let rec find_last acc active = function
+      | [] -> (List.rev acc, active)
+      | (_, Wal.Checkpoint a) :: rest -> find_last [] a rest
+      | r :: rest -> find_last (r :: acc) active rest
+    in
+    find_last [] [] full_log
+  in
+  (* analysis over the whole stable log; redo alone is bounded by the
+     checkpoint (its pages are already durable) *)
+  let committed =
+    List.filter_map
+      (fun (_, r) -> match r with Wal.Commit x -> Some x | _ -> None)
+      full_log
+  in
+  let aborted =
+    List.filter_map
+      (fun (_, r) -> match r with Wal.Abort x -> Some x | _ -> None)
+      full_log
+  in
+  let begun =
+    List.filter_map
+      (fun (_, r) -> match r with Wal.Begin x -> Some x | _ -> None)
+      full_log
+  in
+  let losers =
+    List.filter
+      (fun x -> (not (List.mem x committed)) && not (List.mem x aborted))
+      (begun @ checkpoint_active)
+    |> List.sort_uniq Int.compare
+  in
+  (* redo: repeat history in log order on the durable pages *)
+  let redone = ref 0 in
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Wal.Update { page = pid; slot; after; _ } ->
+          let img = Disk.read t.durable pid in
+          apply_slot (Page.of_bytes img) slot after;
+          Disk.write t.durable pid img;
+          incr redone
+      | _ -> ())
+    log;
+  (* undo the losers, newest first, logging compensation records so a
+     crash during or after recovery replays the rollback too *)
+  let undone = ref 0 in
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Wal.Update { txn; page = pid; slot; before; after }
+        when List.mem txn losers ->
+          ignore
+            (Wal.append t.wal
+               (Wal.Update
+                  { txn; page = pid; slot; before = after; after = before }));
+          let img = Disk.read t.durable pid in
+          apply_slot (Page.of_bytes img) slot before;
+          Disk.write t.durable pid img;
+          incr undone
+      | _ -> ())
+    (List.rev full_log);
+  List.iter (fun x -> ignore (Wal.append t.wal (Wal.Abort x))) losers;
+  Wal.force t.wal;
+  {
+    winners = List.sort_uniq Int.compare committed;
+    losers = List.sort_uniq Int.compare losers;
+    redone = !redone;
+    undone = !undone;
+  }
+
+(* Durable view of a slot (post-crash, post-recovery inspection). *)
+let read_durable t pid slot = Page.get (Page.of_bytes (Disk.read t.durable pid)) slot

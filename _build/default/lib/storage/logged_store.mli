@@ -1,0 +1,60 @@
+(** A logged slot store with crash recovery (ARIES-lite).
+
+    Writes go to a volatile cache and are logged with before/after images
+    (write-ahead); commit forces the log (no-force for pages); any cached
+    page may be flushed to the durable disk at any time (steal).  A crash
+    discards the cache and the unforced log suffix; {!recover} runs
+    analysis / redo (repeating history) / undo and leaves the durable
+    state with exactly the committed transactions' effects. *)
+
+type t
+
+val create : ?page_size:int -> unit -> t
+val wal : t -> Wal.t
+val durable : t -> Disk.t
+
+val alloc_page : t -> Disk.page_id
+
+val begin_txn : t -> int -> unit
+(** @raise Invalid_argument when the id is already in use. *)
+
+val read : t -> Disk.page_id -> int -> string option
+(** Volatile (current) view. *)
+
+val write : t -> txn:int -> page:Disk.page_id -> slot:int -> string option -> unit
+(** Set or delete ([None]) a slot, logging before/after images.
+    @raise Invalid_argument when the transaction is not active. *)
+
+val commit : t -> int -> unit
+(** Log COMMIT and force the log. *)
+
+val abort : t -> int -> unit
+(** Roll back a live transaction from its before images. *)
+
+val flush_page : t -> Disk.page_id -> unit
+(** Steal: write a (possibly uncommitted) cached image to the durable
+    disk. *)
+
+val flush_all : t -> unit
+
+val checkpoint : t -> Wal.lsn
+(** Fuzzy checkpoint: flush every cached page, force the log, record the
+    active transactions; recovery's redo then starts here.  A quiescent
+    checkpoint (no active transactions) also truncates the log. *)
+
+val crash : t -> t
+(** Volatile state is lost; only forced log records remain. *)
+
+type recovery_report = {
+  winners : int list;
+  losers : int list;
+  redone : int;
+  undone : int;
+}
+
+val recover : t -> recovery_report
+(** Idempotent: recovering an already-recovered store changes nothing
+    (repeating history + undoing an empty loser set). *)
+
+val read_durable : t -> Disk.page_id -> int -> string option
+(** Durable view, for post-crash inspection. *)

@@ -1,0 +1,8 @@
+(* Umbrella module for the page storage substrate. *)
+
+module Codec = Codec
+module Page = Page
+module Disk = Disk
+module Buffer_pool = Buffer_pool
+module Wal = Wal
+module Logged_store = Logged_store

@@ -1,0 +1,130 @@
+(* Write-ahead log.
+
+   §1 of the paper assumes transactions execute "reliably — as if there
+   were no failures"; this module provides the substrate: slot-level
+   before/after-image logging with a force operation modelling stable
+   storage.  A simulated crash keeps exactly the records forced so far.
+
+   Records are also serialised through the binary codec so the log can be
+   externalised; the in-memory form is authoritative for the simulator. *)
+
+type lsn = int
+
+type record =
+  | Begin of int
+  | Update of {
+      txn : int;
+      page : Disk.page_id;
+      slot : int;
+      before : string option;  (* None = slot was dead *)
+      after : string option;  (* None = slot becomes dead *)
+    }
+  | Commit of int
+  | Abort of int
+  | Checkpoint of int list  (* transactions active at checkpoint time *)
+
+type t = {
+  mutable entries : (lsn * record) list;  (* newest first *)
+  mutable next_lsn : lsn;
+  mutable stable_lsn : lsn;  (* entries with lsn < stable_lsn survive a crash *)
+}
+
+let create () = { entries = []; next_lsn = 0; stable_lsn = 0 }
+
+let append t record =
+  let lsn = t.next_lsn in
+  t.entries <- (lsn, record) :: t.entries;
+  t.next_lsn <- lsn + 1;
+  lsn
+
+let force t = t.stable_lsn <- t.next_lsn
+
+let next_lsn t = t.next_lsn
+let stable_lsn t = t.stable_lsn
+
+let all t = List.rev t.entries
+
+let stable t =
+  List.filter (fun (lsn, _) -> lsn < t.stable_lsn) (List.rev t.entries)
+
+(* Drop every record below [upto] (log truncation after a quiescent
+   checkpoint). *)
+let truncate t ~upto =
+  t.entries <- List.filter (fun (lsn, _) -> lsn >= upto) t.entries
+
+(* The log as it looks after a crash: only forced records remain. *)
+let crash t =
+  {
+    entries = List.filter (fun (lsn, _) -> lsn < t.stable_lsn) t.entries;
+    next_lsn = t.stable_lsn;
+    stable_lsn = t.stable_lsn;
+  }
+
+(* -- serialization --------------------------------------------------------- *)
+
+let encode_record r =
+  let w = Codec.Writer.create () in
+  let opt_string = function
+    | None -> Codec.Writer.u8 w 0
+    | Some s ->
+        Codec.Writer.u8 w 1;
+        Codec.Writer.string w s
+  in
+  (match r with
+  | Begin txn ->
+      Codec.Writer.u8 w 1;
+      Codec.Writer.u32 w txn
+  | Update { txn; page; slot; before; after } ->
+      Codec.Writer.u8 w 2;
+      Codec.Writer.u32 w txn;
+      Codec.Writer.u32 w page;
+      Codec.Writer.u16 w slot;
+      opt_string before;
+      opt_string after
+  | Commit txn ->
+      Codec.Writer.u8 w 3;
+      Codec.Writer.u32 w txn
+  | Abort txn ->
+      Codec.Writer.u8 w 4;
+      Codec.Writer.u32 w txn
+  | Checkpoint active ->
+      Codec.Writer.u8 w 5;
+      Codec.Writer.u16 w (List.length active);
+      List.iter (Codec.Writer.u32 w) active);
+  Codec.Writer.contents w
+
+let decode_record s =
+  let r = Codec.Reader.create s in
+  let opt_string () =
+    match Codec.Reader.u8 r with 0 -> None | _ -> Some (Codec.Reader.string r)
+  in
+  match Codec.Reader.u8 r with
+  | 1 -> Begin (Codec.Reader.u32 r)
+  | 2 ->
+      let txn = Codec.Reader.u32 r in
+      let page = Codec.Reader.u32 r in
+      let slot = Codec.Reader.u16 r in
+      let before = opt_string () in
+      let after = opt_string () in
+      Update { txn; page; slot; before; after }
+  | 3 -> Commit (Codec.Reader.u32 r)
+  | 4 -> Abort (Codec.Reader.u32 r)
+  | 5 ->
+      let n = Codec.Reader.u16 r in
+      Checkpoint (List.init n (fun _ -> Codec.Reader.u32 r))
+  | k -> failwith (Printf.sprintf "Wal.decode_record: bad tag %d" k)
+
+let pp_record ppf = function
+  | Begin t -> Fmt.pf ppf "BEGIN %d" t
+  | Commit t -> Fmt.pf ppf "COMMIT %d" t
+  | Abort t -> Fmt.pf ppf "ABORT %d" t
+  | Checkpoint active ->
+      Fmt.pf ppf "CHECKPOINT active=[%a]" (Fmt.list ~sep:(Fmt.any " ") Fmt.int)
+        active
+  | Update { txn; page; slot; before; after } ->
+      let o ppf = function
+        | None -> Fmt.string ppf "_"
+        | Some s -> Fmt.pf ppf "%S" s
+      in
+      Fmt.pf ppf "UPDATE txn=%d page=%d slot=%d %a -> %a" txn page slot o
+        before o after

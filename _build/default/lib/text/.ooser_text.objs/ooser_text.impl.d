@@ -1,0 +1,1 @@
+lib/text/ooser_text.ml: Doc Lexer Parser

@@ -1,0 +1,1 @@
+lib/text/doc.ml: Action Array Call_tree Commutativity Fmt Fun History Ids List Obj_id Ooser_core String Value

@@ -1,0 +1,1 @@
+lib/text/doc.mli: Commutativity Format History Ooser_core Value

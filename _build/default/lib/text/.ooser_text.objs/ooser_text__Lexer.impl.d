@@ -1,0 +1,1 @@
+lib/text/lexer.ml: Buffer Fmt Printf String

@@ -1,0 +1,1 @@
+lib/text/parser.ml: Doc Fmt Lexer List Ooser_core Printf String

@@ -1,0 +1,1 @@
+lib/text/parser.mli: Doc Ooser_core

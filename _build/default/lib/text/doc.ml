@@ -1,0 +1,236 @@
+(* AST of the history description language, convertible to and from the
+   core History representation.
+
+   Example document:
+
+     # the two-insert scenario of Example 1
+     object Page4712 rw reads = read writes = readx, write
+     object Leaf11 keyed conflicts = insert:insert, insert:search
+     object BpTree keyed conflicts = insert:insert, insert:search
+
+     txn 1 {
+       BpTree.insert("DBMS") {
+         Leaf11.insert("DBMS") { Page4712.readx; Page4712.write }
+       }
+     }
+     txn 2 {
+       BpTree.insert("DBS") {
+         Leaf11.insert("DBS") { Page4712.readx; Page4712.write }
+       }
+     }
+
+     order 1.1.1.1 1.1.1.2 2.1.1.1 2.1.1.2
+*)
+
+open Ooser_core
+
+type spec_decl =
+  | Rw of { reads : string list; writes : string list }
+  | All_conflict
+  | All_commute
+  | Conflicts of (string * string) list
+  | Commutes of (string * string) list
+  | Keyed of spec_decl
+
+(* A child group: sequential children run one after another; the members
+   of a [par { ... }] block carry no mutual precedence and run as
+   parallel branches (Def. 9). *)
+type group = Seq_call of call | Par_calls of call list
+
+and call = {
+  c_obj : string;
+  c_meth : string;
+  c_args : Value.t list;
+  c_children : group list;
+}
+
+type txn = { t_id : int; t_calls : group list }
+
+type t = {
+  objects : (string * spec_decl) list;
+  txns : txn list;
+  order : (int * int list) list option;  (* top, path; None = serial *)
+}
+
+let rec spec_of_decl = function
+  | Rw { reads; writes } -> Commutativity.rw ~reads ~writes
+  | All_conflict -> Commutativity.all_conflict
+  | All_commute -> Commutativity.all_commute
+  | Conflicts pairs -> Commutativity.of_conflict_matrix ~name:"conflicts" pairs
+  | Commutes pairs -> Commutativity.of_commute_matrix ~name:"commutes" pairs
+  | Keyed inner ->
+      Commutativity.by_key ~key_of:Commutativity.first_arg (spec_of_decl inner)
+
+let registry t =
+  Commutativity.fixed
+    ~default:Commutativity.all_conflict
+    (List.map (fun (name, decl) -> (name, spec_of_decl decl)) t.objects)
+
+(* Flatten groups to a child list plus the explicit precedence pairs:
+   every member of a group precedes every member of the next group;
+   members of one par block stay unordered (Def. 9). *)
+let prec_of_lengths lengths =
+  let rec pairs start acc = function
+    | [] | [ _ ] -> acc
+    | glen :: (nlen :: _ as rest) ->
+        let acc =
+          List.concat_map
+            (fun i ->
+              List.map (fun j -> (start + i, start + glen + j))
+                (List.init nlen Fun.id))
+            (List.init glen Fun.id)
+          @ acc
+        in
+        pairs (start + glen) acc rest
+  in
+  List.rev (pairs 0 [] lengths)
+
+(* Members of a par block run as distinct processes of the transaction
+   (Def. 9); [branches] numbers them uniquely within the transaction. *)
+let rec layout ~branches groups =
+  let expanded =
+    List.map
+      (function
+        | Seq_call x -> [ tree_of_call ~branches ?branch:None x ]
+        | Par_calls xs ->
+            List.map
+              (fun x ->
+                incr branches;
+                tree_of_call ~branches ~branch:!branches x)
+              xs)
+      groups
+  in
+  (List.concat expanded, prec_of_lengths (List.map List.length expanded))
+
+and tree_of_call ~branches ?branch c =
+  let children, prec = layout ~branches c.c_children in
+  Call_tree.Build.call ~args:c.c_args ?branch ~prec (Obj_id.v c.c_obj)
+    c.c_meth children
+
+let to_history t =
+  let tops =
+    List.map
+      (fun txn ->
+        let branches = ref 0 in
+        let children, prec = layout ~branches txn.t_calls in
+        Call_tree.Build.top ~prec ~n:txn.t_id children)
+      t.txns
+  in
+  let commut = registry t in
+  match t.order with
+  | None -> History.of_serial ~tops ~commut
+  | Some refs ->
+      let order =
+        List.map (fun (top, path) -> Ids.Action_id.v ~top ~path) refs
+      in
+      History.v ~tops ~order ~commut
+
+(* Rebuild a document from call trees (specs cannot be recovered from the
+   opaque registry and must be supplied). *)
+let of_history ?(objects = []) h =
+  (* rebuild groups from the precedence relation: children with no mutual
+     precedence that sit between the same neighbours collapse into par
+     blocks; for the common builder output (chains) everything is Seq *)
+  let rec call_of_tree node =
+    let children = Call_tree.children node in
+    let prec = Call_tree.prec node in
+    let n = List.length children in
+    let before i j = List.mem (i, j) prec in
+    (* greedy grouping: consecutive indices with no ordering between them
+       form one parallel group *)
+    let rec group i acc cur =
+      if i >= n then List.rev (if cur = [] then acc else List.rev cur :: acc)
+      else if cur = [] then group (i + 1) acc [ i ]
+      else if List.for_all (fun j -> (not (before j i)) && not (before i j)) cur
+      then group (i + 1) acc (i :: cur)
+      else group (i + 1) (List.rev cur :: acc) [ i ]
+    in
+    let idx_groups = group 0 [] [] in
+    let arr = Array.of_list children in
+    {
+      c_obj = Obj_id.to_string (Action.obj (Call_tree.act node));
+      c_meth = Action.meth (Call_tree.act node);
+      c_args = Action.args (Call_tree.act node);
+      c_children =
+        List.map
+          (fun g ->
+            match g with
+            | [ i ] -> Seq_call (call_of_tree arr.(i))
+            | is -> Par_calls (List.map (fun i -> call_of_tree arr.(i)) is))
+          idx_groups;
+    }
+  in
+  let txns =
+    List.map
+      (fun tree ->
+        {
+          t_id = Ids.Action_id.top (Action.id (Call_tree.act tree));
+          t_calls = (call_of_tree tree).c_children;
+        })
+      (History.tops h)
+  in
+  let order =
+    Some
+      (List.map
+         (fun id -> (Ids.Action_id.top id, Ids.Action_id.path id))
+         (History.order h))
+  in
+  { objects; txns; order }
+
+(* -- printing ----------------------------------------------------------------- *)
+
+let rec pp_spec ppf = function
+  | Rw { reads; writes } ->
+      Fmt.pf ppf "rw reads = %a writes = %a"
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) reads
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) writes
+  | All_conflict -> Fmt.string ppf "allconflict"
+  | All_commute -> Fmt.string ppf "allcommute"
+  | Conflicts pairs ->
+      Fmt.pf ppf "conflicts = %a"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (a, b) -> Fmt.pf ppf "%s:%s" a b))
+        pairs
+  | Commutes pairs ->
+      Fmt.pf ppf "commutes = %a"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (a, b) -> Fmt.pf ppf "%s:%s" a b))
+        pairs
+  | Keyed inner -> Fmt.pf ppf "keyed %a" pp_spec inner
+
+let pp_value ppf = function
+  | Value.Str s -> Fmt.pf ppf "%S" s
+  | Value.Int i -> Fmt.int ppf i
+  | v -> Fmt.pf ppf "%S" (Value.to_string v)
+
+let rec pp_group ppf = function
+  | Seq_call c -> pp_call ppf c
+  | Par_calls cs ->
+      Fmt.pf ppf "par {@;<1 2>@[<v>%a@]@ }" (Fmt.list ~sep:Fmt.cut pp_call) cs
+
+and pp_call ppf c =
+  Fmt.pf ppf "%s.%s" c.c_obj c.c_meth;
+  if c.c_args <> [] then
+    Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") pp_value) c.c_args;
+  match c.c_children with
+  | [] -> ()
+  | children ->
+      Fmt.pf ppf " {@;<1 2>@[<v>%a@]@ }" (Fmt.list ~sep:Fmt.cut pp_group) children
+
+let pp ppf t =
+  List.iter
+    (fun (name, decl) -> Fmt.pf ppf "object %s %a@." name pp_spec decl)
+    t.objects;
+  List.iter
+    (fun txn ->
+      Fmt.pf ppf "@.txn %d {@;<1 2>@[<v>%a@]@ }@." txn.t_id
+        (Fmt.list ~sep:Fmt.cut pp_group) txn.t_calls)
+    t.txns;
+  match t.order with
+  | None -> ()
+  | Some refs ->
+      Fmt.pf ppf "@.order %a@."
+        (Fmt.list ~sep:Fmt.sp (fun ppf (top, path) ->
+             Fmt.pf ppf "%s"
+               (String.concat "." (List.map string_of_int (top :: path)))))
+        refs
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,50 @@
+(** AST of the history description language, convertible to and from the
+    core {!Ooser_core.History} representation.  See {!Parser} for the
+    grammar. *)
+
+open Ooser_core
+
+type spec_decl =
+  | Rw of { reads : string list; writes : string list }
+  | All_conflict
+  | All_commute
+  | Conflicts of (string * string) list
+      (** listed method pairs conflict, the rest commute *)
+  | Commutes of (string * string) list
+      (** listed method pairs commute, the rest conflict *)
+  | Keyed of spec_decl
+      (** refine by first argument: different keys always commute *)
+
+(** A child group: sequential children run one after another; the
+    members of a [par { ... }] block carry no mutual precedence and run
+    as parallel branches (Def. 9). *)
+type group = Seq_call of call | Par_calls of call list
+
+and call = {
+  c_obj : string;
+  c_meth : string;
+  c_args : Value.t list;
+  c_children : group list;
+}
+
+type txn = { t_id : int; t_calls : group list }
+
+type t = {
+  objects : (string * spec_decl) list;
+  txns : txn list;
+  order : (int * int list) list option;
+      (** (transaction id, path) per primitive; [None] = serial *)
+}
+
+val spec_of_decl : spec_decl -> Commutativity.spec
+val registry : t -> Commutativity.registry
+(** Undeclared objects default to all-conflict. *)
+
+val to_history : t -> History.t
+
+val of_history : ?objects:(string * spec_decl) list -> History.t -> t
+(** Rebuild a printable document from a history; commutativity specs are
+    opaque functions and must be re-supplied. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

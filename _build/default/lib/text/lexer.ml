@@ -1,0 +1,142 @@
+(* Hand-written lexer for the history description language (see
+   Parser for the grammar). *)
+
+type token =
+  | Ident of string
+  | String of string
+  | Int of int
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Colon
+  | Equals
+  | Semi
+  | Eof
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable peeked : (token * int) option;
+}
+
+exception Error of string
+
+let fail t fmt =
+  Fmt.kstr (fun msg -> raise (Error (Printf.sprintf "line %d: %s" t.line msg))) fmt
+
+let create src = { src; pos = 0; line = 1; peeked = None }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-' || c = '\''
+
+let rec skip_ws t =
+  if t.pos < String.length t.src then
+    match t.src.[t.pos] with
+    | ' ' | '\t' | '\r' ->
+        t.pos <- t.pos + 1;
+        skip_ws t
+    | '\n' ->
+        t.pos <- t.pos + 1;
+        t.line <- t.line + 1;
+        skip_ws t
+    | '#' ->
+        while t.pos < String.length t.src && t.src.[t.pos] <> '\n' do
+          t.pos <- t.pos + 1
+        done;
+        skip_ws t
+    | _ -> ()
+
+let lex_token t =
+  skip_ws t;
+  if t.pos >= String.length t.src then Eof
+  else
+    let c = t.src.[t.pos] in
+    match c with
+    | '{' -> t.pos <- t.pos + 1; Lbrace
+    | '}' -> t.pos <- t.pos + 1; Rbrace
+    | '(' -> t.pos <- t.pos + 1; Lparen
+    | ')' -> t.pos <- t.pos + 1; Rparen
+    | ',' -> t.pos <- t.pos + 1; Comma
+    | ':' -> t.pos <- t.pos + 1; Colon
+    | '=' -> t.pos <- t.pos + 1; Equals
+    | ';' -> t.pos <- t.pos + 1; Semi
+    | '"' ->
+        let buf = Buffer.create 16 in
+        let rec go i =
+          if i >= String.length t.src then fail t "unterminated string"
+          else
+            match t.src.[i] with
+            | '"' ->
+                t.pos <- i + 1;
+                String (Buffer.contents buf)
+            | '\n' -> fail t "newline in string"
+            | ch ->
+                Buffer.add_char buf ch;
+                go (i + 1)
+        in
+        go (t.pos + 1)
+    | c when (c >= '0' && c <= '9') || c = '-' ->
+        let start = t.pos in
+        t.pos <- t.pos + 1;
+        while
+          t.pos < String.length t.src
+          && t.src.[t.pos] >= '0'
+          && t.src.[t.pos] <= '9'
+        do
+          t.pos <- t.pos + 1
+        done;
+        (* an identifier may start with a digit only if it continues with
+           identifier characters that are not digits — treat "12ab" as an
+           identifier for action names like "1.2" handled via Ident *)
+        if t.pos < String.length t.src && is_ident_char t.src.[t.pos] then begin
+          while t.pos < String.length t.src && is_ident_char t.src.[t.pos] do
+            t.pos <- t.pos + 1
+          done;
+          Ident (String.sub t.src start (t.pos - start))
+        end
+        else Int (int_of_string (String.sub t.src start (t.pos - start)))
+    | c when is_ident_char c ->
+        let start = t.pos in
+        while t.pos < String.length t.src && is_ident_char t.src.[t.pos] do
+          t.pos <- t.pos + 1
+        done;
+        Ident (String.sub t.src start (t.pos - start))
+    | c -> fail t "unexpected character %C" c
+
+let next t =
+  match t.peeked with
+  | Some (tok, line) ->
+      t.peeked <- None;
+      t.line <- line;
+      tok
+  | None -> lex_token t
+
+let peek t =
+  match t.peeked with
+  | Some (tok, _) -> tok
+  | None ->
+      let tok = lex_token t in
+      t.peeked <- Some (tok, t.line);
+      tok
+
+let line t = t.line
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | String s -> Fmt.pf ppf "string %S" s
+  | Int i -> Fmt.pf ppf "integer %d" i
+  | Lbrace -> Fmt.string ppf "'{'"
+  | Rbrace -> Fmt.string ppf "'}'"
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Comma -> Fmt.string ppf "','"
+  | Colon -> Fmt.string ppf "':'"
+  | Equals -> Fmt.string ppf "'='"
+  | Semi -> Fmt.string ppf "';'"
+  | Eof -> Fmt.string ppf "end of input"

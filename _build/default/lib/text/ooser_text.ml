@@ -1,0 +1,5 @@
+(* Umbrella module for the textual history format. *)
+
+module Lexer = Lexer
+module Doc = Doc
+module Parser = Parser

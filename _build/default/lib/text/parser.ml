@@ -1,0 +1,223 @@
+(* Recursive-descent parser for the history description language.
+
+   Grammar (see Doc for an example):
+
+     file    ::= decl*
+     decl    ::= "object" IDENT spec
+               | "txn" INT "{" call* "}"
+               | "order" ref+
+     spec    ::= "rw" "reads" "=" idents "writes" "=" idents
+               | "allconflict" | "allcommute"
+               | "conflicts" "=" pairs
+               | "commutes" "=" pairs
+               | "keyed" spec
+     idents  ::= IDENT ("," IDENT)*
+     pairs   ::= IDENT ":" IDENT ("," IDENT ":" IDENT)*
+     call    ::= IDENT "." IDENT args? ("{" group* "}")? ";"?
+     group   ::= call | "par" "{" call* "}"
+     args    ::= "(" value ("," value)* ")"
+     value   ::= STRING | INT | IDENT
+     ref     ::= INT ("." INT)*        -- transaction id, then path
+
+   The dotted parts of call names split at the LAST dot: "Enc.v2.insert"
+   is object "Enc.v2", method "insert". *)
+
+open Lexer
+
+exception Error = Lexer.Error
+
+let fail lx fmt =
+  Fmt.kstr
+    (fun msg -> raise (Error (Printf.sprintf "line %d: %s" (Lexer.line lx) msg)))
+    fmt
+
+let expect lx want =
+  let tok = Lexer.next lx in
+  if tok <> want then
+    fail lx "expected %a, found %a" Lexer.pp_token want Lexer.pp_token tok
+
+let ident lx =
+  match Lexer.next lx with
+  | Ident s -> s
+  | tok -> fail lx "expected identifier, found %a" Lexer.pp_token tok
+
+let idents lx =
+  let rec go acc =
+    let acc = ident lx :: acc in
+    if Lexer.peek lx = Comma then begin
+      ignore (Lexer.next lx);
+      go acc
+    end
+    else List.rev acc
+  in
+  go []
+
+let pairs lx =
+  let rec go acc =
+    let a = ident lx in
+    expect lx Colon;
+    let b = ident lx in
+    let acc = (a, b) :: acc in
+    if Lexer.peek lx = Comma then begin
+      ignore (Lexer.next lx);
+      go acc
+    end
+    else List.rev acc
+  in
+  go []
+
+let rec spec lx =
+  match Lexer.next lx with
+  | Ident "rw" ->
+      (match ident lx with
+      | "reads" -> ()
+      | other -> fail lx "expected 'reads', found %S" other);
+      expect lx Equals;
+      let reads = idents lx in
+      (match ident lx with
+      | "writes" -> ()
+      | other -> fail lx "expected 'writes', found %S" other);
+      expect lx Equals;
+      let writes = idents lx in
+      Doc.Rw { reads; writes }
+  | Ident "allconflict" -> Doc.All_conflict
+  | Ident "allcommute" -> Doc.All_commute
+  | Ident "conflicts" ->
+      expect lx Equals;
+      Doc.Conflicts (pairs lx)
+  | Ident "commutes" ->
+      expect lx Equals;
+      Doc.Commutes (pairs lx)
+  | Ident "keyed" -> Doc.Keyed (spec lx)
+  | tok -> fail lx "expected a commutativity spec, found %a" Lexer.pp_token tok
+
+let value lx =
+  match Lexer.next lx with
+  | String s -> Ooser_core.Value.str s
+  | Int i -> Ooser_core.Value.int i
+  | Ident s -> Ooser_core.Value.str s
+  | tok -> fail lx "expected a value, found %a" Lexer.pp_token tok
+
+let split_call_name lx name =
+  match String.rindex_opt name '.' with
+  | Some i when i > 0 && i < String.length name - 1 ->
+      (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+  | _ -> fail lx "expected Object.method, found %S" name
+
+let rec call lx =
+  let name = ident lx in
+  let c_obj, c_meth = split_call_name lx name in
+  let c_args =
+    if Lexer.peek lx = Lparen then begin
+      ignore (Lexer.next lx);
+      let rec go acc =
+        let acc = value lx :: acc in
+        match Lexer.next lx with
+        | Comma -> go acc
+        | Rparen -> List.rev acc
+        | tok -> fail lx "expected ',' or ')', found %a" Lexer.pp_token tok
+      in
+      if Lexer.peek lx = Rparen then begin
+        ignore (Lexer.next lx);
+        []
+      end
+      else go []
+    end
+    else []
+  in
+  let c_children =
+    if Lexer.peek lx = Lbrace then begin
+      ignore (Lexer.next lx);
+      groups lx []
+    end
+    else []
+  in
+  if Lexer.peek lx = Semi then ignore (Lexer.next lx);
+  { Doc.c_obj; c_meth; c_args; c_children }
+
+(* a brace-delimited sequence of groups; consumes the closing brace *)
+and groups lx acc =
+  match Lexer.peek lx with
+  | Rbrace ->
+      ignore (Lexer.next lx);
+      List.rev acc
+  | Ident "par" ->
+      ignore (Lexer.next lx);
+      expect lx Lbrace;
+      let rec members acc =
+        if Lexer.peek lx = Rbrace then begin
+          ignore (Lexer.next lx);
+          List.rev acc
+        end
+        else members (call lx :: acc)
+      in
+      let block = members [] in
+      if Lexer.peek lx = Semi then ignore (Lexer.next lx);
+      groups lx (Doc.Par_calls block :: acc)
+  | _ -> groups lx (Doc.Seq_call (call lx) :: acc)
+
+let order_ref lx =
+  (* INT ("." INT)* lexes as Int when a single number, as Ident like
+     "1.2.3" otherwise *)
+  match Lexer.next lx with
+  | Int top -> (top, [])
+  | Ident s -> (
+      match List.map int_of_string (String.split_on_char '.' s) with
+      | top :: path -> (top, path)
+      | [] -> fail lx "empty order reference"
+      | exception _ -> fail lx "bad order reference %S" s)
+  | tok -> fail lx "expected an order reference, found %a" Lexer.pp_token tok
+
+let parse_string src =
+  let lx = Lexer.create src in
+  let objects = ref [] in
+  let txns = ref [] in
+  let order = ref None in
+  let rec decls () =
+    match Lexer.peek lx with
+    | Eof -> ()
+    | Ident "object" ->
+        ignore (Lexer.next lx);
+        let name = ident lx in
+        let s = spec lx in
+        objects := (name, s) :: !objects;
+        decls ()
+    | Ident "txn" ->
+        ignore (Lexer.next lx);
+        let id =
+          match Lexer.next lx with
+          | Int i -> i
+          | tok -> fail lx "expected a transaction id, found %a" Lexer.pp_token tok
+        in
+        expect lx Lbrace;
+        txns := { Doc.t_id = id; t_calls = groups lx [] } :: !txns;
+        decls ()
+    | Ident "order" ->
+        ignore (Lexer.next lx);
+        let rec go acc =
+          match Lexer.peek lx with
+          | Int _ | Ident _ -> go (order_ref lx :: acc)
+          | _ -> List.rev acc
+        in
+        order := Some (go []);
+        decls ()
+    | tok -> fail lx "expected 'object', 'txn' or 'order', found %a" Lexer.pp_token tok
+  in
+  match decls () with
+  | () ->
+      Ok
+        {
+          Doc.objects = List.rev !objects;
+          txns = List.rev !txns;
+          order = !order;
+        }
+  | exception Error msg -> Error msg
+
+let parse_history src =
+  match parse_string src with
+  | Error _ as e -> e
+  | Ok doc -> (
+      let h = Doc.to_history doc in
+      match Ooser_core.History.validate h with
+      | Ok () -> Ok h
+      | Error msg -> Error ("invalid history: " ^ msg))

@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the history description language.
+
+    {v
+    file    ::= decl*
+    decl    ::= "object" IDENT spec
+              | "txn" INT "{" call* "}"
+              | "order" ref+
+    spec    ::= "rw" "reads" "=" idents "writes" "=" idents
+              | "allconflict" | "allcommute"
+              | "conflicts" "=" pairs
+              | "commutes" "=" pairs
+              | "keyed" spec
+    call    ::= IDENT "." IDENT args? ("{" call* "}")? ";"?
+    args    ::= "(" value ("," value)* ")"
+    ref     ::= INT ("." INT)*     -- transaction id, then path
+    v}
+
+    Comments run from [#] to end of line.  The dotted call name splits at
+    the last dot: ["Enc.v2.insert"] is object ["Enc.v2"], method
+    ["insert"]. *)
+
+exception Error of string
+
+val parse_string : string -> (Doc.t, string) result
+
+val parse_history : string -> (Ooser_core.History.t, string) result
+(** Parse and validate (order covers exactly the primitives). *)

@@ -1,0 +1,1 @@
+lib/workload/ooser_workload.ml: Banking Compound_doc Document Enc_workload Enumerate Inventory Paper_examples Random_schedules

@@ -1,0 +1,1 @@
+lib/workload/banking.ml: Array Commutativity Database List Obj_id Ooser_adts Ooser_core Ooser_oodb Ooser_sim Printf Runtime Value

@@ -1,0 +1,1 @@
+lib/workload/banking.mli: Database Obj_id Ooser_adts Ooser_core Ooser_oodb Ooser_sim Runtime Value

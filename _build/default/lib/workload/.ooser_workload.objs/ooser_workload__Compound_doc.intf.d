@@ -1,0 +1,1 @@
+lib/workload/compound_doc.mli: Database Ooser_core Ooser_oodb Runtime

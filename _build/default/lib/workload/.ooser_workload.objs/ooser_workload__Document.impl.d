@@ -1,0 +1,1 @@
+lib/workload/document.ml: Action Array Buffer_pool Commutativity Database Disk List Obj_id Ooser_core Ooser_oodb Ooser_storage Page Printf Runtime Value

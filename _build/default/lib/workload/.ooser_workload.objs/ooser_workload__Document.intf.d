@@ -1,0 +1,1 @@
+lib/workload/document.mli: Database Obj_id Ooser_core Ooser_oodb Runtime

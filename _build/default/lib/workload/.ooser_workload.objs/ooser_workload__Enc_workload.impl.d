@@ -1,0 +1,1 @@
+lib/workload/enc_workload.ml: Database Encyclopedia Engine List Ooser_cc Ooser_core Ooser_oodb Ooser_sim Printf Value

@@ -1,0 +1,1 @@
+lib/workload/enc_workload.mli: Database Encyclopedia Ooser_core Ooser_oodb Ooser_sim Runtime

@@ -1,0 +1,1 @@
+lib/workload/enumerate.ml: Baselines Call_tree History List Ooser_core Printf Seq Serializability

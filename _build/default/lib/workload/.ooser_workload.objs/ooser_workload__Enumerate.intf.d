@@ -1,0 +1,1 @@
+lib/workload/enumerate.mli: Call_tree Commutativity Ids Ooser_core Seq

@@ -1,0 +1,1 @@
+lib/workload/inventory.ml: Action Adt_objects Array Commutativity Database List Obj_id Ooser_adts Ooser_core Ooser_oodb Ooser_sim Printf Runtime Value

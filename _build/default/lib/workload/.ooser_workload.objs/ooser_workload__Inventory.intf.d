@@ -1,0 +1,1 @@
+lib/workload/inventory.mli: Database Obj_id Ooser_core Ooser_oodb Ooser_sim Runtime Value

@@ -1,0 +1,1 @@
+lib/workload/paper_examples.ml: Action Call_tree Commutativity History Ids List Obj_id Ooser_core Value

@@ -1,0 +1,1 @@
+lib/workload/paper_examples.mli: Call_tree Commutativity History Ids Ooser_core

@@ -1,0 +1,1 @@
+lib/workload/random_schedules.ml: Action Array Baselines Call_tree Commutativity Fmt History List Obj_id Ooser_core Ooser_sim Printf Serializability String

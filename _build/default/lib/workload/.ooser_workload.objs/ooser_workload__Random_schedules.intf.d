@@ -1,0 +1,1 @@
+lib/workload/random_schedules.mli: Call_tree Commutativity History Ids Ooser_core Ooser_sim

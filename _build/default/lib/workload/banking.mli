@@ -1,0 +1,49 @@
+(** Banking workload: accounts with escrow semantics (the
+    financial-market side of Fig. 1 and the semantics-ablation
+    experiment E5). *)
+
+open Ooser_core
+open Ooser_oodb
+module Escrow = Ooser_adts.Escrow_counter
+module Rng = Ooser_sim.Rng
+module Dist = Ooser_sim.Dist
+
+type semantics = [ `Escrow | `Rw | `Conflict ]
+(** Commutativity granularity ablation: escrow (state-dependent),
+    read/write classification, or all-conflict (conventional). *)
+
+val account_obj : int -> Obj_id.t
+
+val register_account :
+  Database.t ->
+  semantics:semantics ->
+  int ->
+  balance:int ->
+  low:int ->
+  high:int ->
+  Escrow.t
+
+type params = {
+  accounts : int;
+  initial : int;
+  low : int;
+  high : int;
+  n_txns : int;
+  transfers_per_txn : int;
+  amount : int;
+  dist : Dist.t;
+}
+
+val default_params : params
+
+val setup : semantics:semantics -> params -> Database.t * Escrow.t array
+
+val transactions :
+  rng:Rng.t ->
+  params ->
+  (int * string * (Runtime.ctx -> Value.t)) list
+(** Transfer transactions: withdraw from one account, deposit to
+    another. *)
+
+val total_balance : Escrow.t array -> int
+(** Invariant: transfers preserve the sum. *)

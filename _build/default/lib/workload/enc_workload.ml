@@ -1,0 +1,101 @@
+(* Encyclopedia workloads: transaction mixes over the Fig. 2 application.
+
+   The mix mirrors the publication-environment motivation of §1: inserts
+   of new items, searches, in-place updates, and the long sequential read
+   (readSeq) that conflicts with every writer at the Enc level. *)
+
+open Ooser_core
+open Ooser_oodb
+module Rng = Ooser_sim.Rng
+module Dist = Ooser_sim.Dist
+
+type mix = {
+  p_insert : float;
+  p_search : float;
+  p_update : float;
+  p_readseq : float;
+}
+
+let insert_heavy = { p_insert = 0.6; p_search = 0.3; p_update = 0.1; p_readseq = 0.0 }
+let read_mostly = { p_insert = 0.1; p_search = 0.7; p_update = 0.2; p_readseq = 0.0 }
+let with_scans = { p_insert = 0.4; p_search = 0.3; p_update = 0.2; p_readseq = 0.1 }
+
+type params = {
+  mix : mix;
+  dist : Dist.t;  (* key popularity *)
+  ops_per_txn : int;
+  n_txns : int;
+  preload : int;  (* keys inserted before the measured run *)
+}
+
+let default_params =
+  {
+    mix = insert_heavy;
+    dist = Dist.uniform 200;
+    ops_per_txn = 4;
+    n_txns = 8;
+    preload = 50;
+  }
+
+let key_of i = Printf.sprintf "k%05d" i
+
+(* Preload runs as one transaction under a trivial protocol so the
+   measured run starts from a populated tree. *)
+let preload db enc ~keys =
+  if keys > 0 then begin
+    let body ctx =
+      for i = 0 to keys - 1 do
+        Encyclopedia.insert enc ctx ~key:(key_of i) ~text:("seed" ^ string_of_int i)
+      done;
+      Value.unit
+    in
+    let protocol = Ooser_cc.Protocol.unlocked () in
+    let out = Engine.run db ~protocol [ (999, "preload", body) ] in
+    match out.Engine.committed with
+    | [ 999 ] -> ()
+    | _ -> failwith "enc preload failed"
+  end
+
+type op = Insert of string | Search of string | Update of string | ReadSeq
+
+let pick_op rng p ~fresh_key =
+  let r = Rng.float rng in
+  let m = p.mix in
+  if r < m.p_insert then Insert (fresh_key ())
+  else if r < m.p_insert +. m.p_search then
+    Search (key_of (Dist.sample rng p.dist mod max 1 p.preload))
+  else if r < m.p_insert +. m.p_search +. m.p_update then
+    Update (key_of (Dist.sample rng p.dist mod max 1 p.preload))
+  else ReadSeq
+
+(* Generate the operation scripts up front (deterministic given the rng),
+   then wrap them as transaction bodies. *)
+let transactions ~rng p enc =
+  let fresh = ref p.preload in
+  let fresh_key () =
+    let k = !fresh in
+    incr fresh;
+    key_of k
+  in
+  List.init p.n_txns (fun i ->
+      let ops = List.init p.ops_per_txn (fun _ -> pick_op rng p ~fresh_key) in
+      let body ctx =
+        List.iter
+          (fun op ->
+            match op with
+            | Insert k -> Encyclopedia.insert enc ctx ~key:k ~text:("v" ^ k)
+            | Search k -> ignore (Encyclopedia.search enc ctx ~key:k)
+            | Update k -> ignore (Encyclopedia.update enc ctx ~key:k ~text:"upd")
+            | ReadSeq -> ignore (Encyclopedia.read_seq enc ctx))
+          ops;
+        Value.unit
+      in
+      (i + 1, Printf.sprintf "txn%d" (i + 1), body))
+
+(* Build a database + encyclopedia, preload it, and return everything
+   needed for a measured run. *)
+let setup ?(fanout = 4) ~rng p =
+  let db = Database.create () in
+  let enc = Encyclopedia.create ~fanout db in
+  preload db enc ~keys:p.preload;
+  (db, enc, transactions ~rng p enc)

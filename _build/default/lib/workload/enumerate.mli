@@ -1,0 +1,38 @@
+(** Exhaustive enumeration of interleavings for small transaction
+    systems: exact acceptance counts per serializability criterion, and
+    exhaustive verification of the inclusion theorems
+    (conventional ⊆ multilevel ⊆ oo). *)
+
+open Ooser_core
+
+val multinomial : int list -> int
+(** Number of interleavings of sequences with the given lengths. *)
+
+val interleavings :
+  ?granularity:[ `Primitive | `Subtransaction ] ->
+  Call_tree.t list ->
+  Ids.Action_id.t list Seq.t
+(** Every interleaving respecting per-transaction program order
+    ([`Subtransaction] keeps each top-level call's primitives
+    contiguous). *)
+
+val count_interleavings :
+  ?granularity:[ `Primitive | `Subtransaction ] -> Call_tree.t list -> int
+
+type exact = {
+  total : int;
+  oo : int;
+  conventional : int;
+  multilevel : int;
+  inclusions_hold : bool;
+      (** conventional ⊆ multilevel ⊆ oo over the full enumeration *)
+}
+
+val exact_acceptance :
+  ?granularity:[ `Primitive | `Subtransaction ] ->
+  ?max_interleavings:int ->
+  commut:Commutativity.registry ->
+  Call_tree.t list ->
+  exact
+(** @raise Invalid_argument when the interleaving count exceeds the cap
+    (default 20000). *)

@@ -1,0 +1,10 @@
+(* Umbrella module for the workload generators. *)
+
+module Enc_workload = Enc_workload
+module Banking = Banking
+module Random_schedules = Random_schedules
+module Document = Document
+module Compound_doc = Compound_doc
+module Inventory = Inventory
+module Enumerate = Enumerate
+module Paper_examples = Paper_examples

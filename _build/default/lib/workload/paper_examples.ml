@@ -1,0 +1,225 @@
+(* The paper's worked examples as reusable transaction systems, shared by
+   the test suite and the figure-regeneration harness (bench/).
+
+   Object names follow the paper: Enc, BpTree, Leaf11, Page4712, Item8,
+   Item9, LinkedList. *)
+
+open Ooser_core
+
+let o = Obj_id.v
+let aid top path = Ids.Action_id.v ~top ~path
+let k s = [ Value.str s ]
+
+(* Commutativity of the encyclopedia objects, per §2 and Example 1. *)
+let registry =
+  let keyed_insert_search =
+    Commutativity.by_key ~key_of:Commutativity.first_arg
+      (Commutativity.predicate ~name:"keyed" (fun a b ->
+           match (Action.meth a, Action.meth b) with
+           | "search", "search" -> true
+           | _ -> false))
+  in
+  let enc_spec =
+    Commutativity.predicate ~name:"enc" (fun a b ->
+        match (Action.meth a, Action.meth b) with
+        | "readSeq", "readSeq" -> true
+        | "readSeq", _ | _, "readSeq" -> false
+        | _ -> Commutativity.test keyed_insert_search a b)
+  in
+  let linkedlist_spec =
+    Commutativity.predicate ~name:"linkedlist" (fun a b ->
+        match (Action.meth a, Action.meth b) with
+        | "append", "append" -> true
+        | _ -> false)
+  in
+  let item_spec =
+    Commutativity.rw ~reads:[ "read" ] ~writes:[ "create"; "update" ]
+  in
+  Commutativity.fixed
+    [
+      ("Page4712",
+       Commutativity.rw ~reads:[ "read" ] ~writes:[ "readx"; "write"; "insert" ]);
+      ("Leaf11", keyed_insert_search);
+      ("BpTree", keyed_insert_search);
+      ("Item8", item_spec);
+      ("Item9", item_spec);
+      ("LinkedList", linkedlist_spec);
+      ("Enc", enc_spec);
+    ]
+
+(* -- Example 1 / Fig. 4 -------------------------------------------------------- *)
+
+(* T: Enc.insert(key) -> BpTree.insert(key) -> Leaf11.insert(key) ->
+   Page4712.readx; Page4712.write *)
+let insert_txn n key =
+  Call_tree.Build.(
+    top ~n
+      [
+        call (o "Enc") "insert" ~args:(k key)
+          [
+            call (o "BpTree") "insert" ~args:(k key)
+              [
+                call (o "Leaf11") "insert" ~args:(k key)
+                  [
+                    call (o "Page4712") "readx" [];
+                    call (o "Page4712") "write" [];
+                  ];
+              ];
+          ];
+      ])
+
+let search_txn n key =
+  Call_tree.Build.(
+    top ~n
+      [
+        call (o "Enc") "search" ~args:(k key)
+          [
+            call (o "BpTree") "search" ~args:(k key)
+              [
+                call (o "Leaf11") "search" ~args:(k key)
+                  [ call (o "Page4712") "read" [] ];
+              ];
+          ];
+      ])
+
+let insert_pages n = [ aid n [ 1; 1; 1; 1 ]; aid n [ 1; 1; 1; 2 ] ]
+let search_pages n = [ aid n [ 1; 1; 1; 1 ] ]
+
+(* Example 1, left of Fig. 4: two inserts of different keys; the page
+   conflict stops at the commuting leaf inserts. *)
+let example1_different_keys () =
+  let t1 = insert_txn 1 "DBMS" and t2 = insert_txn 2 "DBS" in
+  History.v ~tops:[ t1; t2 ]
+    ~order:(insert_pages 1 @ insert_pages 2)
+    ~commut:registry
+
+(* Example 1, right of Fig. 4: insert and search of the same key; the
+   conflict is inherited to the top-level transactions. *)
+let example1_same_key () =
+  let t3 = insert_txn 3 "DBS" and t4 = search_txn 4 "DBS" in
+  History.v ~tops:[ t3; t4 ]
+    ~order:(insert_pages 3 @ search_pages 4)
+    ~commut:registry
+
+(* -- Example 2 / Fig. 5 --------------------------------------------------------- *)
+
+let example2_tree () =
+  Call_tree.Build.(
+    top ~n:1
+      [
+        call (o "O1") "a1"
+          [
+            call (o "O2") "a11"
+              [ call (o "O3") "a111" []; call (o "O3") "a112" [] ];
+            call (o "O1") "a12" [];
+          ];
+        call (o "O4") "a2" [ call (o "O5") "a21" [] ];
+      ])
+
+(* -- Example 3 / Fig. 6 --------------------------------------------------------- *)
+
+(* a11 on O2 calls a112 back on O1, whose ancestor a1 is on O1: the
+   extension must break the cycle with a virtual object O1'. *)
+let example3_history () =
+  let t1 =
+    Call_tree.Build.(
+      top ~n:1
+        [ call (o "O1") "a1" [ call (o "O2") "a11" [ call (o "O1") "a112" [] ] ] ])
+  in
+  let t2 = Call_tree.Build.(top ~n:2 [ call (o "O1") "b" [] ]) in
+  History.v ~tops:[ t1; t2 ]
+    ~order:[ aid 1 [ 1; 1; 1 ]; aid 2 [ 1 ] ]
+    ~commut:(Commutativity.uniform Commutativity.all_conflict)
+
+(* -- Example 4 / Figs. 7-8 -------------------------------------------------------- *)
+
+(* T1: Enc.insert(DBMS)   = BpTree path + Item8.create + LinkedList.append
+   T2: Enc.update(DBMS)   = BpTree.search path + Item8.update
+   T3: Enc.insert(DBS)    = BpTree path + Item9.create + LinkedList.append
+   T4: Enc.readSeq        = LinkedList.readSeq -> Item8.read, Item9.read
+
+   Item data co-located with the leaf entries on Page4712 (Fig. 7). *)
+let example4_trees () =
+  let open Call_tree.Build in
+  let t1 =
+    top ~n:1
+      [
+        call (o "Enc") "insert" ~args:(k "DBMS")
+          [
+            call (o "BpTree") "insert" ~args:(k "DBMS")
+              [
+                call (o "Leaf11") "insert" ~args:(k "DBMS")
+                  [ call (o "Page4712") "readx" []; call (o "Page4712") "write" [] ];
+              ];
+            call (o "Item8") "create" [ call (o "Page4712") "insert" [] ];
+            call (o "LinkedList") "append" [];
+          ];
+      ]
+  in
+  let t2 =
+    top ~n:2
+      [
+        call (o "Enc") "update" ~args:(k "DBMS")
+          [
+            call (o "BpTree") "search" ~args:(k "DBMS")
+              [
+                call (o "Leaf11") "search" ~args:(k "DBMS")
+                  [ call (o "Page4712") "read" [] ];
+              ];
+            call (o "Item8") "update" [ call (o "Page4712") "write" [] ];
+          ];
+      ]
+  in
+  let t3 =
+    top ~n:3
+      [
+        call (o "Enc") "insert" ~args:(k "DBS")
+          [
+            call (o "BpTree") "insert" ~args:(k "DBS")
+              [
+                call (o "Leaf11") "insert" ~args:(k "DBS")
+                  [ call (o "Page4712") "readx" []; call (o "Page4712") "write" [] ];
+              ];
+            call (o "Item9") "create" [ call (o "Page4712") "insert" [] ];
+            call (o "LinkedList") "append" [];
+          ];
+      ]
+  in
+  let t4 =
+    top ~n:4
+      [
+        call (o "Enc") "readSeq"
+          [
+            call (o "LinkedList") "readSeq"
+              [
+                call (o "Item8") "read" [ call (o "Page4712") "read" [] ];
+                call (o "Item9") "read" [ call (o "Page4712") "read" [] ];
+              ];
+          ];
+      ]
+  in
+  (t1, t2, t3, t4)
+
+(* Serial execution of all four transactions: the baseline for the Fig. 8
+   dependency table. *)
+let example4_serial () =
+  let t1, t2, t3, t4 = example4_trees () in
+  let tops = [ t1; t2; t3; t4 ] in
+  History.v ~tops
+    ~order:(List.concat_map History.serial_primitives tops)
+    ~commut:registry
+
+(* The crossing interleaving of T1 and T3 (Fig. 7): page-level conflicts
+   in both directions under commuting callers — conventionally rejected,
+   oo-serializable. *)
+let example4_crossing () =
+  let t1, _, t3, _ = example4_trees () in
+  let order =
+    [
+      aid 1 [ 1; 1; 1; 1 ]; aid 1 [ 1; 1; 1; 2 ];
+      aid 3 [ 1; 1; 1; 1 ]; aid 3 [ 1; 1; 1; 2 ];
+      aid 3 [ 1; 2; 1 ]; aid 3 [ 1; 3 ];
+      aid 1 [ 1; 2; 1 ]; aid 1 [ 1; 3 ];
+    ]
+  in
+  History.v ~tops:[ t1; t3 ] ~order ~commut:registry

@@ -1,0 +1,45 @@
+(** The paper's worked examples as reusable transaction systems, shared by
+    the test suite and the figure-regeneration harness.
+
+    Object names follow the paper: Enc, BpTree, Leaf11, Page4712, Item8,
+    Item9, LinkedList. *)
+
+open Ooser_core
+
+val registry : Commutativity.registry
+(** Commutativity of the encyclopedia objects per §2 / Example 1. *)
+
+val insert_txn : int -> string -> Call_tree.t
+(** [T_n]: Enc.insert(key) → BpTree.insert → Leaf11.insert →
+    Page4712.readx; Page4712.write. *)
+
+val search_txn : int -> string -> Call_tree.t
+
+val insert_pages : int -> Ids.Action_id.t list
+(** The page actions of {!insert_txn} [n], in program order. *)
+
+val search_pages : int -> Ids.Action_id.t list
+
+val example1_different_keys : unit -> History.t
+(** Fig. 4 left: inserts of different keys — the page conflict stops at
+    the commuting leaf inserts. *)
+
+val example1_same_key : unit -> History.t
+(** Fig. 4 right: insert and search of one key — inherited to the top. *)
+
+val example2_tree : unit -> Call_tree.t
+(** Fig. 5: the example oo-transaction tree. *)
+
+val example3_history : unit -> History.t
+(** Fig. 6: the re-entrant call broken by a virtual object. *)
+
+val example4_trees : unit -> Call_tree.t * Call_tree.t * Call_tree.t * Call_tree.t
+(** Fig. 7: T1 insert(DBMS), T2 update(DBMS), T3 insert(DBS),
+    T4 readSeq. *)
+
+val example4_serial : unit -> History.t
+(** Serial execution, baseline of the Fig. 8 dependency table. *)
+
+val example4_crossing : unit -> History.t
+(** The crossing interleaving of T1/T3: conventionally rejected,
+    oo-serializable. *)

@@ -1,0 +1,182 @@
+(* Random transaction systems and random interleavings, for the
+   acceptance-rate experiment (E3) and for property tests.
+
+   The generated systems are two-level (root -> method on a mid-level
+   object -> page reads/writes), the common shape of the paper's
+   examples.  Mid-level commutativity is sampled with a configurable
+   density; pages always have read/write semantics.  Everything is
+   derived deterministically from the seed. *)
+
+open Ooser_core
+module Rng = Ooser_sim.Rng
+
+type params = {
+  n_txns : int;
+  calls_per_txn : int;
+  prims_per_call : int;
+  n_objects : int;
+  n_pages : int;
+  methods_per_object : int;
+  p_commute : float;  (* probability that two mid-level methods commute *)
+  p_write : float;  (* probability that a page access is a write *)
+}
+
+let default_params =
+  {
+    n_txns = 3;
+    calls_per_txn = 2;
+    prims_per_call = 2;
+    n_objects = 3;
+    n_pages = 4;
+    methods_per_object = 3;
+    p_commute = 0.5;
+    p_write = 0.5;
+  }
+
+let obj_name i = Printf.sprintf "M%d" i
+let page_name i = Printf.sprintf "P%d" i
+
+(* Deterministic commutativity of a method pair on one object: hash the
+   (seed, object, unordered pair) triple into a fresh stream. *)
+let pair_commutes ~seed ~obj m m' ~p =
+  let lo = min m m' and hi = max m m' in
+  let h = ((seed * 31) + obj) * 1009 in
+  let h = ((h * 31) + lo) * 2003 in
+  let h = ((h * 31) + hi) * 4001 in
+  Rng.float (Rng.create ~seed:h) < p
+
+let registry ~seed p =
+  Commutativity.registry (fun oid ->
+      let name = Obj_id.name oid in
+      if String.length name > 0 && name.[0] = 'P' then
+        Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ]
+      else if String.length name > 0 && name.[0] = 'M' then
+        let obj = int_of_string (String.sub name 1 (String.length name - 1)) in
+        Commutativity.predicate ~name:(Fmt.str "random-%d" obj) (fun a b ->
+            let mi a =
+              let m = Action.meth a in
+              int_of_string (String.sub m 1 (String.length m - 1))
+            in
+            pair_commutes ~seed ~obj (mi a) (mi b) ~p:p.p_commute)
+      else Commutativity.all_commute)
+
+let system ~seed p =
+  let rng = Rng.create ~seed in
+  let tops =
+    List.init p.n_txns (fun t ->
+        let calls =
+          List.init p.calls_per_txn (fun _ ->
+              let obj = Rng.int rng p.n_objects in
+              let m = Rng.int rng p.methods_per_object in
+              let prims =
+                List.init p.prims_per_call (fun _ ->
+                    let page = Rng.int rng p.n_pages in
+                    let meth =
+                      if Rng.float rng < p.p_write then "write" else "read"
+                    in
+                    Call_tree.Build.call (Obj_id.v (page_name page)) meth [])
+              in
+              Call_tree.Build.call
+                (Obj_id.v (obj_name obj))
+                (Printf.sprintf "m%d" m)
+                prims)
+        in
+        Call_tree.Build.top ~n:(t + 1) calls)
+  in
+  (tops, registry ~seed p)
+
+(* A random interleaving respecting per-transaction program order. *)
+let random_order rng tops =
+  let queues =
+    Array.of_list (List.map (fun t -> ref (History.serial_primitives t)) tops)
+  in
+  let rec go acc =
+    let nonempty =
+      Array.to_list queues |> List.filter (fun q -> !q <> [])
+    in
+    match nonempty with
+    | [] -> List.rev acc
+    | qs -> (
+        let q = Rng.pick rng qs in
+        match !q with
+        | x :: rest ->
+            q := rest;
+            go (x :: acc)
+        | [] -> go acc)
+  in
+  go []
+
+(* A random interleaving at subtransaction granularity: the primitives of
+   each mid-level call stay contiguous (as an open-nested protocol would
+   serialize them), only the calls of different transactions interleave.
+   This isolates the question the paper asks: given clean subtransactions,
+   which top-level interleavings does each criterion accept? *)
+let random_order_atomic rng tops =
+  let block_queues =
+    Array.of_list
+      (List.map
+         (fun t -> ref (List.map History.serial_primitives (Call_tree.children t)))
+         tops)
+  in
+  let rec go acc =
+    let nonempty =
+      Array.to_list block_queues |> List.filter (fun q -> !q <> [])
+    in
+    match nonempty with
+    | [] -> List.concat (List.rev acc)
+    | qs -> (
+        let q = Rng.pick rng qs in
+        match !q with
+        | block :: rest ->
+            q := rest;
+            go (block :: acc)
+        | [] -> go acc)
+  in
+  go []
+
+let history ~seed ?(order_seed = 1) p =
+  let tops, commut = system ~seed p in
+  let rng = Rng.create ~seed:(seed + (65537 * order_seed)) in
+  History.v ~tops ~order:(random_order rng tops) ~commut
+
+type acceptance = {
+  samples : int;
+  oo_accepted : int;
+  conventional_accepted : int;
+  multilevel_accepted : int;
+}
+
+let acceptance ?(granularity = `Primitive) ~seed ~samples p =
+  let tops, commut = system ~seed p in
+  let sample =
+    match granularity with
+    | `Primitive -> random_order
+    | `Subtransaction -> random_order_atomic
+  in
+  let rec go i acc =
+    if i >= samples then acc
+    else
+      let rng = Rng.create ~seed:(seed + (65537 * (i + 1))) in
+      let h = History.v ~tops ~order:(sample rng tops) ~commut in
+      let acc =
+        {
+          acc with
+          oo_accepted =
+            (acc.oo_accepted + if Serializability.oo_serializable h then 1 else 0);
+          conventional_accepted =
+            (acc.conventional_accepted
+            + if Baselines.conventional_serializable h then 1 else 0);
+          multilevel_accepted =
+            (acc.multilevel_accepted
+            + if Baselines.multilevel_serializable h then 1 else 0);
+        }
+      in
+      go (i + 1) acc
+  in
+  go 0
+    {
+      samples;
+      oo_accepted = 0;
+      conventional_accepted = 0;
+      multilevel_accepted = 0;
+    }

@@ -1,0 +1,52 @@
+(** Random transaction systems and random interleavings, for the
+    acceptance-rate experiment (E3) and for property tests.
+
+    Generated systems are two-level (root → method on a mid-level object →
+    page reads/writes).  Mid-level commutativity is sampled with a
+    configurable density; pages have read/write semantics.  Everything is
+    deterministic in the seed. *)
+
+open Ooser_core
+module Rng = Ooser_sim.Rng
+
+type params = {
+  n_txns : int;
+  calls_per_txn : int;
+  prims_per_call : int;
+  n_objects : int;
+  n_pages : int;
+  methods_per_object : int;
+  p_commute : float;
+  p_write : float;
+}
+
+val default_params : params
+
+val system : seed:int -> params -> Call_tree.t list * Commutativity.registry
+
+val random_order : Rng.t -> Call_tree.t list -> Ids.Action_id.t list
+(** A uniform interleaving respecting per-transaction program order. *)
+
+val random_order_atomic : Rng.t -> Call_tree.t list -> Ids.Action_id.t list
+(** An interleaving at subtransaction granularity: the primitives of each
+    mid-level call stay contiguous (as an open-nested protocol would
+    serialize them); only calls of different transactions interleave. *)
+
+val history : seed:int -> ?order_seed:int -> params -> History.t
+
+type acceptance = {
+  samples : int;
+  oo_accepted : int;
+  conventional_accepted : int;
+  multilevel_accepted : int;
+}
+
+val acceptance :
+  ?granularity:[ `Primitive | `Subtransaction ] ->
+  seed:int ->
+  samples:int ->
+  params ->
+  acceptance
+(** Fraction of random interleavings accepted by each criterion; the
+    paper's claim is [oo ⊇ conventional].  [`Subtransaction] granularity
+    keeps each mid-level call atomic, isolating the top-level question. *)

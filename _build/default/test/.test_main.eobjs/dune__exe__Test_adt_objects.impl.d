@@ -1,0 +1,1 @@
+test/test_adt_objects.ml: Adt_objects Alcotest Baselines Database Engine List Obj_id Ooser_adts Ooser_cc Ooser_core Ooser_oodb Ooser_sim Runtime Serializability Value

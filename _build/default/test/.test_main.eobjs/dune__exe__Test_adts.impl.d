@@ -1,0 +1,1 @@
+test/test_adts.ml: Action Alcotest Commutativity Directory Escrow_counter Fifo_queue Gen Ids Kv_set Obj_id Ooser_adts Ooser_core Option QCheck2 QCheck_alcotest Value

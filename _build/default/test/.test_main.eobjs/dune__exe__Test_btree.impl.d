@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Buffer_pool Disk Gen List Node Ooser_btree Ooser_storage Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_calltree.ml: Action Action_id Alcotest Call_tree List Obj_id Ooser_core Process_id

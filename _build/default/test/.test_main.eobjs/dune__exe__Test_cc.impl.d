@@ -1,0 +1,1 @@
+test/test_cc.ml: Action Alcotest Commutativity Ids List Obj_id Ooser_cc Ooser_core

@@ -1,0 +1,1 @@
+test/test_certifier.ml: Alcotest Banking Commutativity Database Engine List Obj_id Ooser_cc Ooser_core Ooser_oodb Ooser_sim Ooser_workload Runtime Serializability Value

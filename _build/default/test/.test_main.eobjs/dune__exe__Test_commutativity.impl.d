@@ -1,0 +1,1 @@
+test/test_commutativity.ml: Action Action_id Alcotest Commutativity Obj_id Ooser_core Process_id Value

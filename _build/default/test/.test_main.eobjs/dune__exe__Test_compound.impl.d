@@ -1,0 +1,1 @@
+test/test_compound.ml: Action Alcotest Baselines Compound_doc Database Engine History Ids List Ooser_cc Ooser_core Ooser_oodb Ooser_sim Ooser_workload Printf Runtime Serializability Value

@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Array Digraph Fmt Fun Int List Ooser_core QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_enc_api.ml: Alcotest Baselines Database Encyclopedia Engine List Ooser_cc Ooser_core Ooser_oodb Ooser_sim Printf Runtime Serializability Value

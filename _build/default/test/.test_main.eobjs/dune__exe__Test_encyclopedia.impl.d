@@ -1,0 +1,1 @@
+test/test_encyclopedia.ml: Action Alcotest Baselines Database Encyclopedia Engine Extension History List Ooser_cc Ooser_core Ooser_oodb Ooser_sim Printf Runtime Schedule Serializability Value

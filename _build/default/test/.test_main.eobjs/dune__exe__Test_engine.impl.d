@@ -1,0 +1,1 @@
+test/test_engine.ml: Action_id Alcotest Baselines Commutativity Database Engine History List Obj_id Ooser_cc Ooser_core Ooser_oodb Ooser_sim Runtime Serializability String Value

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Call_tree Commutativity Enumerate History List Obj_id Ooser_core Ooser_workload Paper_examples Printf Random_schedules

@@ -1,0 +1,1 @@
+test/test_extension.ml: Action Alcotest Call_tree Commutativity Extension History Ids List Obj_id Ooser_cc Ooser_core Ooser_oodb Printf Schedule Serializability Value

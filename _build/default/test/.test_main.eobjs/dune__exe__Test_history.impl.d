@@ -1,0 +1,1 @@
+test/test_history.ml: Action_id Alcotest Call_tree Commutativity History List Obj_id Ooser_core Serializability

@@ -1,0 +1,1 @@
+test/test_ids.ml: Action_id Alcotest List Obj_id Ooser_core Process_id

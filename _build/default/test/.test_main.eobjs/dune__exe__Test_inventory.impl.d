@@ -1,0 +1,1 @@
+test/test_inventory.ml: Alcotest Baselines Database Engine Inventory List Ooser_cc Ooser_core Ooser_oodb Ooser_sim Ooser_workload Printf Serializability Value

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Banking Database Enc_workload Encyclopedia Engine History Inventory List Ooser_cc Ooser_core Ooser_oodb Ooser_sim Ooser_workload Printf Serializability

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array List Ooser_core Ooser_sim Value

@@ -1,0 +1,1 @@
+test/test_paper.ml: Action Alcotest Baselines Call_tree Commutativity Extension History Ids List Obj_id Ooser_core Schedule Serializability Value

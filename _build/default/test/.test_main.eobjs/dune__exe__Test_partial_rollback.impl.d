@@ -1,0 +1,1 @@
+test/test_partial_rollback.ml: Adt_objects Alcotest Commutativity Database Encyclopedia Engine History List Obj_id Ooser_adts Ooser_cc Ooser_core Ooser_oodb Runtime Serializability String Value

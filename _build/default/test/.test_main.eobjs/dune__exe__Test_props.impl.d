@@ -1,0 +1,1 @@
+test/test_props.ml: Banking Baselines Database Enc_workload Engine History List Ooser_cc Ooser_core Ooser_oodb Ooser_sim Ooser_workload QCheck2 QCheck_alcotest Random_schedules Serializability

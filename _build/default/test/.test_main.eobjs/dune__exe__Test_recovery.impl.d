@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Gen List Logged_store Ooser_sim Ooser_storage Printf QCheck2 QCheck_alcotest Wal

@@ -1,0 +1,1 @@
+test/test_report.ml: Action Alcotest Call_tree Commutativity Fmt History Ids Obj_id Ooser_core Ooser_workload Paper_examples Report Schedule String

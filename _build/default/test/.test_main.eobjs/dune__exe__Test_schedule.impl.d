@@ -1,0 +1,1 @@
+test/test_schedule.ml: Action Action_id Alcotest Baselines Call_tree Commutativity Extension Fmt History List Obj_id Ooser_core Schedule Serializability

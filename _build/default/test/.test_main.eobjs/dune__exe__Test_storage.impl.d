@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Buffer_pool Bytes Disk Gen Hashtbl List Ooser_storage Option Page QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_text.ml: Action Alcotest Baselines Call_tree Commutativity Doc Gen History Ids List Obj_id Ooser_core Ooser_text Ooser_workload Parser QCheck2 QCheck_alcotest Serializability String Value

@@ -1,0 +1,1 @@
+test/test_woundwait.ml: Alcotest Baselines Commutativity Database Engine List Obj_id Ooser_cc Ooser_core Ooser_oodb Ooser_sim Ooser_workload Printf Runtime Serializability Value

@@ -1,0 +1,237 @@
+(* Unit and property tests for the B+ tree substrate. *)
+
+open Ooser_storage
+open Ooser_btree
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk_tree ?(max_entries = 4) ?(pool_capacity = 64) () =
+  let disk = Disk.create ~page_size:4096 () in
+  let pool = Buffer_pool.create ~capacity:pool_capacity disk in
+  Btree.create ~max_entries pool
+
+let key i = Printf.sprintf "k%04d" i
+
+let test_node_codec_roundtrip () =
+  let l = Node.leaf ~right_link:42 ~high_key:"m" [ ("a", "1"); ("b", "2") ] in
+  let l' = Node.decode (Node.encode l) in
+  check_bool "leaf roundtrip" true
+    (Node.entries l = Node.entries l'
+    && Node.right_link l' = Some 42
+    && Node.high_key l' = Some "m"
+    && Node.kind l' = Node.Leaf);
+  let n = Node.internal ~leftmost:7 [ ("g", "9"); ("p", "11") ] in
+  let n' = Node.decode (Node.encode n) in
+  check_bool "internal roundtrip" true
+    (Node.entries n' = Node.entries n
+    && Node.leftmost n' = Some 7
+    && Node.kind n' = Node.Internal
+    && Node.high_key n' = None)
+
+let test_node_split_leaf () =
+  let l = Node.leaf [ ("a", "1"); ("b", "2"); ("c", "3"); ("d", "4") ] in
+  let make_left, sep, right = Node.split_leaf l in
+  Alcotest.(check string) "separator" "c" sep;
+  let left = make_left 99 in
+  check_int "left size" 2 (Node.size left);
+  check_int "right size" 2 (Node.size right);
+  check_bool "left linked" true (Node.right_link left = Some 99);
+  check_bool "left high = sep" true (Node.high_key left = Some "c");
+  check_bool "left covers b" true (Node.covers left "b");
+  check_bool "left does not cover c" false (Node.covers left "c")
+
+let test_node_route () =
+  let n =
+    Node.internal ~leftmost:1 ~high_key:"z" ~right_link:50
+      [ ("g", "2"); ("p", "3") ]
+  in
+  check_bool "below first separator" true (Node.route n "a" = Node.Child 1);
+  check_bool "at separator" true (Node.route n "g" = Node.Child 2);
+  check_bool "between" true (Node.route n "m" = Node.Child 2);
+  check_bool "last" true (Node.route n "q" = Node.Child 3);
+  check_bool "beyond high key follows link" true
+    (Node.route n "z" = Node.Follow_right 50)
+
+let test_insert_search_small () =
+  let t = mk_tree () in
+  Btree.insert t "b" "2";
+  Btree.insert t "a" "1";
+  Btree.insert t "c" "3";
+  Alcotest.(check (option string)) "find a" (Some "1") (Btree.search t "a");
+  Alcotest.(check (option string)) "find c" (Some "3") (Btree.search t "c");
+  Alcotest.(check (option string)) "missing" None (Btree.search t "zz");
+  Btree.insert t "a" "10";
+  Alcotest.(check (option string)) "upsert" (Some "10") (Btree.search t "a")
+
+let test_splits_and_height () =
+  let t = mk_tree ~max_entries:4 () in
+  for i = 1 to 200 do
+    Btree.insert t (key i) (string_of_int i)
+  done;
+  let s = Btree.stats t in
+  check_bool "tree grew" true (s.Btree.height >= 3);
+  check_int "all keys" 200 s.Btree.keys;
+  check_bool "splits happened" true (Btree.splits t > 10);
+  check_bool "invariants" true (Btree.check_invariants t = Ok ());
+  for i = 1 to 200 do
+    check_bool (key i) true (Btree.search t (key i) = Some (string_of_int i))
+  done
+
+let test_descending_inserts () =
+  let t = mk_tree ~max_entries:4 () in
+  for i = 200 downto 1 do
+    Btree.insert t (key i) (string_of_int i)
+  done;
+  check_bool "invariants" true (Btree.check_invariants t = Ok ());
+  check_int "cardinal" 200 (Btree.cardinal t)
+
+let test_delete () =
+  let t = mk_tree ~max_entries:4 () in
+  for i = 1 to 50 do
+    Btree.insert t (key i) (string_of_int i)
+  done;
+  check_bool "delete present" true (Btree.delete t (key 25));
+  check_bool "delete absent" false (Btree.delete t (key 25));
+  Alcotest.(check (option string)) "gone" None (Btree.search t (key 25));
+  check_int "one fewer" 49 (Btree.cardinal t);
+  check_bool "invariants after delete" true (Btree.check_invariants t = Ok ())
+
+let test_delete_rebalances () =
+  let t = mk_tree ~max_entries:4 () in
+  for i = 1 to 64 do
+    Btree.insert t (key i) "v"
+  done;
+  (* drain most of the tree: merges and borrows must fire and the
+     structure must stay sound throughout *)
+  for i = 1 to 56 do
+    check_bool "deleted" true (Btree.delete t (key i));
+    check_bool "sound" true (Btree.check_invariants t = Ok ())
+  done;
+  check_bool "merges happened" true (Btree.merges t > 0);
+  check_int "remaining" 8 (Btree.cardinal t);
+  for i = 57 to 64 do
+    check_bool "still there" true (Btree.search t (key i) = Some "v")
+  done
+
+let test_root_collapse () =
+  (* a two-level tree whose leaves merge back into one collapses the
+     root; deeper trees keep their internal skeleton (lazy internal
+     rebalancing), but still shed leaves *)
+  let t = mk_tree ~max_entries:4 () in
+  for i = 1 to 8 do
+    Btree.insert t (key i) "v"
+  done;
+  let tall = (Btree.stats t).Btree.height in
+  check_bool "grew to two levels" true (tall = 2);
+  for i = 1 to 7 do
+    ignore (Btree.delete t (key i))
+  done;
+  check_bool "invariants" true (Btree.check_invariants t = Ok ());
+  let short = (Btree.stats t).Btree.height in
+  check_bool
+    (Printf.sprintf "height shrank (%d -> %d)" tall short)
+    true (short < tall);
+  check_bool "survivor" true (Btree.search t (key 8) = Some "v");
+  (* a deep tree sheds leaves on mass deletion even without internal
+     rebalancing *)
+  let t2 = mk_tree ~max_entries:4 () in
+  for i = 1 to 100 do
+    Btree.insert t2 (key i) "v"
+  done;
+  let before = (Btree.stats t2).Btree.leaves in
+  for i = 1 to 90 do
+    ignore (Btree.delete t2 (key i))
+  done;
+  check_bool "leaves shed" true ((Btree.stats t2).Btree.leaves < before);
+  check_bool "sound" true (Btree.check_invariants t2 = Ok ())
+
+let test_range_and_fold () =
+  let t = mk_tree ~max_entries:4 () in
+  for i = 1 to 60 do
+    Btree.insert t (key i) (string_of_int i)
+  done;
+  let r = Btree.range t ~lo:(key 10) ~hi:(key 20) in
+  check_int "range size" 10 (List.length r);
+  Alcotest.(check string) "first" (key 10) (fst (List.hd r));
+  let all = Btree.to_list t in
+  check_int "to_list size" 60 (List.length all);
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) all in
+  check_bool "to_list sorted" true (all = sorted)
+
+let test_tiny_pool_pressure () =
+  (* the tree must work with a pool holding only a handful of frames *)
+  let disk = Disk.create ~page_size:4096 () in
+  let pool = Buffer_pool.create ~capacity:4 disk in
+  let t = Btree.create ~max_entries:4 pool in
+  for i = 1 to 100 do
+    Btree.insert t (key i) (string_of_int i)
+  done;
+  check_bool "evictions under pressure" true (Buffer_pool.evictions pool > 0);
+  check_bool "still correct" true (Btree.check_invariants t = Ok ());
+  check_int "cardinal" 100 (Btree.cardinal t)
+
+(* Model-based property: tree = Map over random insert/delete/search. *)
+let prop_model =
+  let open QCheck2 in
+  let gen_ops =
+    Gen.(
+      list_size (int_bound 200)
+        (oneof
+           [
+             map (fun k -> `Insert (k mod 50)) (int_bound 1000);
+             map (fun k -> `Delete (k mod 50)) (int_bound 1000);
+           ]))
+  in
+  QCheck2.Test.make ~name:"btree agrees with Map model" ~count:60 gen_ops
+    (fun ops ->
+      let t = mk_tree ~max_entries:4 () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert k ->
+              Btree.insert t (key k) (string_of_int k);
+              model := (key k, string_of_int k) :: List.remove_assoc (key k) !model
+          | `Delete k ->
+              let present = List.mem_assoc (key k) !model in
+              let deleted = Btree.delete t (key k) in
+              assert (present = deleted);
+              model := List.remove_assoc (key k) !model)
+        ops;
+      Btree.check_invariants t = Ok ()
+      && List.for_all (fun (k, v) -> Btree.search t k = Some v) !model
+      && Btree.cardinal t = List.length !model)
+
+let prop_fill_factor =
+  let open QCheck2 in
+  QCheck2.Test.make ~name:"bulk load keeps nodes at least half full-ish"
+    ~count:20 (Gen.int_range 50 300) (fun n ->
+      let t = mk_tree ~max_entries:8 () in
+      for i = 1 to n do
+        Btree.insert t (key i) "v"
+      done;
+      let s = Btree.stats t in
+      s.Btree.keys = n && s.Btree.avg_fill > 0.3)
+
+let suites =
+  [
+    ( "btree",
+      [
+        Alcotest.test_case "node codec roundtrip" `Quick test_node_codec_roundtrip;
+        Alcotest.test_case "leaf split" `Quick test_node_split_leaf;
+        Alcotest.test_case "routing" `Quick test_node_route;
+        Alcotest.test_case "insert/search small" `Quick test_insert_search_small;
+        Alcotest.test_case "splits and height" `Quick test_splits_and_height;
+        Alcotest.test_case "descending inserts" `Quick test_descending_inserts;
+        Alcotest.test_case "delete" `Quick test_delete;
+        Alcotest.test_case "delete rebalances (merge/borrow)" `Quick
+          test_delete_rebalances;
+        Alcotest.test_case "root collapse" `Quick test_root_collapse;
+        Alcotest.test_case "range and fold" `Quick test_range_and_fold;
+        Alcotest.test_case "tiny buffer pool pressure" `Quick
+          test_tiny_pool_pressure;
+        QCheck_alcotest.to_alcotest prop_model;
+        QCheck_alcotest.to_alcotest prop_fill_factor;
+      ] );
+  ]

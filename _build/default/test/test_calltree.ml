@@ -1,0 +1,139 @@
+(* Unit tests for call trees (oo-transactions, Def. 2). *)
+
+open Ooser_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let o name = Obj_id.v name
+
+(* Fig. 5's transaction t1: root with children a11 (two children a111 with
+   two primitive children, a112) and a12 (primitive). *)
+let fig5 () =
+  Call_tree.Build.(
+    top ~n:1
+      [
+        call (o "O1") "a1"
+          [
+            call (o "O2") "a11" [ call (o "O3") "p1" []; call (o "O3") "p2" [] ];
+            call (o "O1") "a12" [];
+          ];
+        call (o "O4") "a2" [];
+      ])
+
+let test_structure () =
+  let t = fig5 () in
+  check_int "size (incl. root)" 7 (Call_tree.size t);
+  check_int "height" 3 (Call_tree.height t);
+  check_int "primitives" 4 (List.length (Call_tree.primitives t));
+  check_bool "validates" true (Call_tree.validate t = Ok ())
+
+let test_find_and_caller () =
+  let t = fig5 () in
+  let id = Action_id.v ~top:1 ~path:[ 1; 1; 2 ] in
+  (match Call_tree.find t id with
+  | Some node ->
+      Alcotest.(check string) "method" "p2" (Action.meth (Call_tree.act node))
+  | None -> Alcotest.fail "find failed");
+  let cm = Call_tree.caller_map t in
+  check_bool "caller of a1.1.1.2 is a1.1.1" true
+    (match Action_id.Map.find_opt id cm with
+    | Some p -> Action_id.equal p (Action_id.v ~top:1 ~path:[ 1; 1 ])
+    | None -> false);
+  check_bool "root not in caller map" true
+    (Action_id.Map.find_opt (Action_id.root 1) cm = None)
+
+let test_program_order () =
+  let t = fig5 () in
+  let pairs = Call_tree.program_order_pairs t in
+  let has a b =
+    List.exists
+      (fun (x, y) ->
+        Action_id.equal x (Action_id.v ~top:1 ~path:a)
+        && Action_id.equal y (Action_id.v ~top:1 ~path:b))
+      pairs
+  in
+  (* a1 (path [1]) precedes a2 (path [2]); descendants inherit. *)
+  check_bool "siblings ordered" true (has [ 1 ] [ 2 ]);
+  check_bool "descendant ordered" true (has [ 1; 1; 1 ] [ 2 ]);
+  check_bool "nested siblings" true (has [ 1; 1; 1 ] [ 1; 2 ]);
+  check_bool "no reverse" false (has [ 2 ] [ 1 ]);
+  (* leaves of the same parent are ordered by seq *)
+  check_bool "primitive pair" true (has [ 1; 1; 1 ] [ 1; 1; 2 ])
+
+let test_par_no_order () =
+  let t =
+    Call_tree.Build.(
+      top ~n:2
+        [
+          call (o "A") "m" ~prec:[]
+            [ call (o "B") "x" []; call (o "B") "y" [] ];
+        ])
+  in
+  (* children of m carry no precedence, but top's children are seq — only
+     one child, so no pairs from the root either *)
+  let pairs = Call_tree.program_order_pairs t in
+  check_int "no pairs" 0 (List.length pairs)
+
+let test_validate_failures () =
+  (* A cyclic precedence must be rejected. *)
+  let act id obj meth =
+    Action.v ~id ~obj ~meth ~process:(Process_id.main 1) ()
+  in
+  let root = Action_id.root 1 in
+  let c1 = Action_id.child root 1 and c2 = Action_id.child root 2 in
+  let bad_prec =
+    Call_tree.v
+      ~prec:[ (0, 1); (1, 0) ]
+      (act root (o "S") "t")
+      [
+        Call_tree.v (act c1 (o "A") "x") [];
+        Call_tree.v (act c2 (o "A") "y") [];
+      ]
+  in
+  check_bool "cyclic precedence rejected" true
+    (match Call_tree.validate bad_prec with Error _ -> true | Ok () -> false);
+  let bad_range =
+    Call_tree.v ~prec:[ (0, 5) ]
+      (act root (o "S") "t")
+      [ Call_tree.v (act c1 (o "A") "x") [] ]
+  in
+  check_bool "out-of-range precedence rejected" true
+    (match Call_tree.validate bad_range with Error _ -> true | Ok () -> false);
+  let bad_id =
+    Call_tree.v
+      (act root (o "S") "t")
+      [ Call_tree.v (act (Action_id.child (Action_id.root 9) 1) (o "A") "x") [] ]
+  in
+  check_bool "inconsistent child id rejected" true
+    (match Call_tree.validate bad_id with Error _ -> true | Ok () -> false)
+
+let test_branches () =
+  let t =
+    Call_tree.Build.(
+      top ~n:7
+        [
+          call (o "A") "m" ~branch:1 [];
+          call (o "A") "n" ~branch:2 [];
+        ])
+  in
+  match Call_tree.children t with
+  | [ c1; c2 ] ->
+      let p1 = Action.process (Call_tree.act c1) in
+      let p2 = Action.process (Call_tree.act c2) in
+      check_bool "different processes" false (Process_id.equal p1 p2);
+      check_int "same top" (Process_id.top p1) (Process_id.top p2)
+  | _ -> Alcotest.fail "expected two children"
+
+let suites =
+  [
+    ( "call_tree",
+      [
+        Alcotest.test_case "structure of Fig. 5" `Quick test_structure;
+        Alcotest.test_case "find and caller map" `Quick test_find_and_caller;
+        Alcotest.test_case "program order pairs" `Quick test_program_order;
+        Alcotest.test_case "parallel children unordered" `Quick test_par_no_order;
+        Alcotest.test_case "validation failures" `Quick test_validate_failures;
+        Alcotest.test_case "parallel branches get processes" `Quick test_branches;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+(* Unit tests for commutativity specifications (Def. 9). *)
+
+open Ooser_core
+
+let check_bool = Alcotest.(check bool)
+
+let mk ?(top = 1) ?(branch = 0) ?(args = []) ~path obj meth =
+  Action.v
+    ~id:(Action_id.v ~top ~path)
+    ~obj:(Obj_id.v obj) ~meth ~args
+    ~process:(Process_id.v ~top ~branch)
+    ()
+
+let test_rw () =
+  let s = Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ] in
+  let reg = Commutativity.uniform s in
+  let r1 = mk ~top:1 ~path:[ 1 ] "P" "read" in
+  let r2 = mk ~top:2 ~path:[ 1 ] "P" "read" in
+  let w1 = mk ~top:1 ~path:[ 2 ] "P" "write" in
+  let w2 = mk ~top:2 ~path:[ 2 ] "P" "write" in
+  check_bool "read/read commute" true (Commutativity.commutes reg r1 r2);
+  check_bool "read/write conflict" true (Commutativity.conflicts reg r1 w2);
+  check_bool "write/write conflict" true (Commutativity.conflicts reg w1 w2);
+  let u = mk ~top:2 ~path:[ 3 ] "P" "mystery" in
+  check_bool "unknown conflicts" true (Commutativity.conflicts reg r1 u)
+
+let test_same_process_never_conflicts () =
+  let reg = Commutativity.uniform Commutativity.all_conflict in
+  let a = mk ~top:1 ~path:[ 1 ] "P" "write" in
+  let b = mk ~top:1 ~path:[ 2 ] "P" "write" in
+  check_bool "same process commutes (Def. 9)" true
+    (Commutativity.commutes reg a b);
+  let c = mk ~top:1 ~branch:1 ~path:[ 3 ] "P" "write" in
+  check_bool "different branch conflicts" true
+    (Commutativity.conflicts reg a c);
+  let d = mk ~top:2 ~path:[ 1 ] "P" "write" in
+  check_bool "different transaction conflicts" true
+    (Commutativity.conflicts reg a d)
+
+let test_self_never_conflicts () =
+  let reg = Commutativity.uniform Commutativity.all_conflict in
+  let a = mk ~top:1 ~path:[ 1 ] "P" "write" in
+  check_bool "no self conflict" false (Commutativity.conflicts reg a a)
+
+let test_matrices () =
+  let conflict_spec =
+    Commutativity.of_conflict_matrix ~name:"m"
+      [ ("insert", "search"); ("insert", "delete") ]
+  in
+  let reg = Commutativity.uniform conflict_spec in
+  let i1 = mk ~top:1 ~path:[ 1 ] "L" "insert" in
+  let i2 = mk ~top:2 ~path:[ 1 ] "L" "insert" in
+  let s2 = mk ~top:2 ~path:[ 2 ] "L" "search" in
+  check_bool "unlisted pair commutes" true (Commutativity.commutes reg i1 i2);
+  check_bool "listed pair conflicts (either order)" true
+    (Commutativity.conflicts reg i1 s2 && Commutativity.conflicts reg s2 i1);
+  let commute_spec =
+    Commutativity.of_commute_matrix ~name:"m2" [ ("incr", "incr") ]
+  in
+  let reg2 = Commutativity.uniform commute_spec in
+  let a = mk ~top:1 ~path:[ 1 ] "C" "incr" in
+  let b = mk ~top:2 ~path:[ 1 ] "C" "incr" in
+  let c = mk ~top:2 ~path:[ 2 ] "C" "reset" in
+  check_bool "listed commute" true (Commutativity.commutes reg2 a b);
+  check_bool "unlisted conflict" true (Commutativity.conflicts reg2 a c)
+
+let test_by_key () =
+  (* Example 1: inserts of different keys commute at the node level even
+     though their page accesses conflict. *)
+  let spec =
+    Commutativity.by_key ~key_of:Commutativity.first_arg
+      (Commutativity.of_conflict_matrix ~name:"leaf"
+         [ ("insert", "insert"); ("insert", "search") ])
+  in
+  let reg = Commutativity.uniform spec in
+  let ins k top path =
+    mk ~top ~path ~args:[ Value.str k ] "Leaf11" "insert"
+  in
+  let search k top path =
+    mk ~top ~path ~args:[ Value.str k ] "Leaf11" "search"
+  in
+  check_bool "different keys commute" true
+    (Commutativity.commutes reg (ins "DBMS" 1 [ 1 ]) (ins "DBS" 2 [ 1 ]));
+  check_bool "same key conflicts" true
+    (Commutativity.conflicts reg (ins "DBS" 3 [ 1 ]) (search "DBS" 4 [ 1 ]));
+  check_bool "missing key falls back to inner" true
+    (Commutativity.conflicts reg
+       (mk ~top:5 ~path:[ 1 ] "Leaf11" "insert")
+       (mk ~top:6 ~path:[ 1 ] "Leaf11" "insert"))
+
+let test_registry_virtual_objects () =
+  let spec = Commutativity.of_commute_matrix ~name:"c" [ ("m", "m") ] in
+  let reg = Commutativity.fixed [ ("N", spec) ] in
+  let a =
+    Action.v
+      ~id:(Action_id.v ~top:1 ~path:[ 1 ])
+      ~obj:(Obj_id.virtualize (Obj_id.v "N") ~rank:1)
+      ~meth:"m" ~process:(Process_id.main 1) ()
+  in
+  let b =
+    Action.v
+      ~id:(Action_id.v ~top:2 ~path:[ 1 ])
+      ~obj:(Obj_id.virtualize (Obj_id.v "N") ~rank:1)
+      ~meth:"m" ~process:(Process_id.main 2) ()
+  in
+  check_bool "virtual object uses original's spec" true
+    (Commutativity.commutes reg a b)
+
+let test_fixed_default () =
+  let reg = Commutativity.fixed ~default:Commutativity.all_commute [] in
+  let a = mk ~top:1 ~path:[ 1 ] "X" "w" in
+  let b = mk ~top:2 ~path:[ 1 ] "X" "w" in
+  check_bool "default applies" true (Commutativity.commutes reg a b)
+
+let suites =
+  [
+    ( "commutativity",
+      [
+        Alcotest.test_case "read/write semantics" `Quick test_rw;
+        Alcotest.test_case "same process never conflicts" `Quick
+          test_same_process_never_conflicts;
+        Alcotest.test_case "no self conflicts" `Quick test_self_never_conflicts;
+        Alcotest.test_case "conflict and commute matrices" `Quick test_matrices;
+        Alcotest.test_case "keyed refinement (Example 1)" `Quick test_by_key;
+        Alcotest.test_case "virtual objects use original spec" `Quick
+          test_registry_virtual_objects;
+        Alcotest.test_case "fixed registry default" `Quick test_fixed_default;
+      ] );
+  ]

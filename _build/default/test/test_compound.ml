@@ -1,0 +1,156 @@
+(* Tests for the three-level compound document: semantic inheritance cut
+   short at two intermediate levels, parallel chapter layouts, partial
+   rollback through the level stack. *)
+
+open Ooser_core
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let open_protocol db = Protocol.open_nested ~reg:(Database.spec_registry db) ()
+
+let test_edits_in_different_chapters_commute () =
+  let db = Database.create () in
+  let book = Compound_doc.create ~chapters:3 ~sections_per_chapter:4 db in
+  let author c ctx =
+    Compound_doc.edit book ctx ~chapter:c ~section:0
+      ~text:(Printf.sprintf "by%d" c);
+    Value.unit
+  in
+  let config =
+    let p = open_protocol db in
+    {
+      (Engine.default_config p) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:5);
+    }
+  in
+  let out =
+    Engine.run ~config db ~protocol:config.Engine.protocol
+      [ (1, "a1", author 0); (2, "a2", author 1); (3, "a3", author 2) ]
+  in
+  check_int "all committed" 3 (List.length out.Engine.committed);
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Engine.history);
+  check_int "no top-level conflicts" 0
+    (Baselines.conflict_pairs out.Engine.history `Oo)
+
+let test_same_chapter_sections_commute_at_chapter () =
+  (* two authors in ONE chapter, different sections: their page accesses
+     collide (sections share the chapter page) but the chapter-level
+     edits commute — the dependency dies at the chapter *)
+  let db = Database.create () in
+  let book = Compound_doc.create ~chapters:2 ~sections_per_chapter:4 db in
+  let author s ctx =
+    Compound_doc.edit book ctx ~chapter:0 ~section:s
+      ~text:(Printf.sprintf "sec%d" s);
+    Value.unit
+  in
+  let config =
+    let p = open_protocol db in
+    {
+      (Engine.default_config p) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:6);
+    }
+  in
+  let out =
+    Engine.run ~config db ~protocol:config.Engine.protocol
+      [ (1, "a1", author 0); (2, "a2", author 1) ]
+  in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  check_bool "page conflicts exist" true
+    (Baselines.conflicting_primitive_pairs out.Engine.history > 0);
+  check_int "nothing reaches the top" 0
+    (Baselines.conflict_pairs out.Engine.history `Oo);
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Engine.history)
+
+let test_parallel_layout_reads_everything () =
+  let db = Database.create () in
+  let book = Compound_doc.create ~chapters:3 ~sections_per_chapter:2 db in
+  let writer ctx =
+    Compound_doc.edit book ctx ~chapter:1 ~section:1 ~text:"edited";
+    Value.unit
+  in
+  ignore (Engine.run db ~protocol:(open_protocol db) [ (1, "w", writer) ]);
+  let result = ref [] in
+  let layouter ctx =
+    result := Compound_doc.layout book ctx;
+    Value.unit
+  in
+  let out = Engine.run db ~protocol:(open_protocol db) [ (2, "l", layouter) ] in
+  Alcotest.(check (list int)) "committed" [ 2 ] out.Engine.committed;
+  check_int "three chapters" 3 (List.length !result);
+  check_bool "saw the edit" true
+    (List.exists (List.exists (fun s -> s = "edited")) !result);
+  (* the chapter layouts forked: distinct processes appear in the tree *)
+  let procs =
+    List.map Action.process (History.all_actions out.Engine.history)
+    |> List.sort_uniq Ids.Process_id.compare
+  in
+  check_bool "parallel branches used" true (List.length procs > 1)
+
+let test_layout_conflicts_with_edits () =
+  let db = Database.create () in
+  let book = Compound_doc.create ~chapters:2 ~sections_per_chapter:2 db in
+  let writer ctx =
+    Compound_doc.edit book ctx ~chapter:0 ~section:0 ~text:"new";
+    Value.unit
+  in
+  let layouter ctx =
+    ignore (Compound_doc.layout book ctx);
+    Value.unit
+  in
+  let config =
+    let p = open_protocol db in
+    {
+      (Engine.default_config p) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:9);
+    }
+  in
+  let out =
+    Engine.run ~config db ~protocol:config.Engine.protocol
+      [ (1, "edit", writer); (2, "layout", layouter) ]
+  in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  check_bool "dependency reaches the top" true
+    (Baselines.conflict_pairs out.Engine.history `Oo > 0);
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Engine.history)
+
+let test_abort_compensates_through_levels () =
+  let db = Database.create () in
+  let book = Compound_doc.create ~chapters:2 ~sections_per_chapter:2 db in
+  let doomed ctx =
+    Compound_doc.edit book ctx ~chapter:0 ~section:0 ~text:"overwritten";
+    Runtime.abort "no"
+  in
+  ignore (Engine.run db ~protocol:(open_protocol db) [ (1, "d", doomed) ]);
+  let reader ctx =
+    Alcotest.(check string)
+      "restored" "ch0 sec0"
+      (Compound_doc.read book ctx ~chapter:0 ~section:0);
+    Value.unit
+  in
+  let out = Engine.run db ~protocol:(open_protocol db) [ (2, "r", reader) ] in
+  Alcotest.(check (list int)) "reader ok" [ 2 ] out.Engine.committed
+
+let suites =
+  [
+    ( "compound_doc",
+      [
+        Alcotest.test_case "different chapters commute" `Quick
+          test_edits_in_different_chapters_commute;
+        Alcotest.test_case "sections commute at chapter level" `Quick
+          test_same_chapter_sections_commute_at_chapter;
+        Alcotest.test_case "parallel layout" `Quick
+          test_parallel_layout_reads_everything;
+        Alcotest.test_case "layout conflicts with edits" `Quick
+          test_layout_conflicts_with_edits;
+        Alcotest.test_case "abort compensates through levels" `Quick
+          test_abort_compensates_through_levels;
+      ] );
+  ]

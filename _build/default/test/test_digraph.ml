@@ -1,0 +1,148 @@
+(* Unit and property tests for the digraph/relation module. *)
+
+open Ooser_core
+
+module G = Digraph.Make (struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Fmt.int
+end)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let g_of = G.of_edges
+
+let test_basic () =
+  let g = g_of [ (1, 2); (2, 3) ] in
+  check_bool "mem" true (G.mem 1 2 g);
+  check_bool "not mem" false (G.mem 2 1 g);
+  check_int "cardinal" 2 (G.cardinal g);
+  check_int "vertices" 3 (G.nb_vertices g);
+  Alcotest.(check (list int)) "succ" [ 2 ] (G.succ 1 g);
+  Alcotest.(check (list int)) "pred" [ 2 ] (G.pred 3 g);
+  check_bool "add idempotent" true (G.equal g (G.add 1 2 g))
+
+let test_acyclic () =
+  check_bool "empty acyclic" true (G.is_acyclic G.empty);
+  check_bool "chain acyclic" true (G.is_acyclic (g_of [ (1, 2); (2, 3); (1, 3) ]));
+  check_bool "self-loop cyclic" false (G.is_acyclic (g_of [ (1, 1) ]));
+  check_bool "2-cycle" false (G.is_acyclic (g_of [ (1, 2); (2, 1) ]));
+  check_bool "longer cycle" false
+    (G.is_acyclic (g_of [ (1, 2); (2, 3); (3, 4); (4, 2) ]))
+
+let test_find_cycle () =
+  let g = g_of [ (1, 2); (2, 3); (3, 1); (3, 4) ] in
+  (match G.find_cycle g with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some c ->
+      check_bool "cycle closes" true
+        (let arr = Array.of_list c in
+         let n = Array.length arr in
+         n > 0
+         && G.mem arr.(n - 1) arr.(0) g
+         && Array.to_list (Array.init (n - 1) (fun i -> G.mem arr.(i) arr.(i + 1) g))
+            |> List.for_all Fun.id));
+  check_bool "acyclic gives none" true (G.find_cycle (g_of [ (5, 6) ]) = None)
+
+let test_topo () =
+  let g = g_of [ (1, 2); (1, 3); (3, 4); (2, 4) ] in
+  (match G.topo_sort g with
+  | None -> Alcotest.fail "expected a topological order"
+  | Some order ->
+      let posn = List.mapi (fun i v -> (v, i)) order in
+      let pos v = List.assoc v posn in
+      G.iter_edges (fun u v -> check_bool "edge respected" true (pos u < pos v)) g);
+  check_bool "cyclic has no topo" true (G.topo_sort (g_of [ (1, 2); (2, 1) ]) = None)
+
+let test_closure () =
+  let g = g_of [ (1, 2); (2, 3) ] in
+  let c = G.transitive_closure g in
+  check_bool "closure adds 1->3" true (G.mem 1 3 c);
+  check_bool "closure idempotent" true
+    (G.equal c (G.transitive_closure c))
+
+let test_restrict_union () =
+  let g = g_of [ (1, 2); (2, 3); (3, 4) ] in
+  let r = G.restrict (fun v -> v <= 3) g in
+  check_int "restricted edges" 2 (G.cardinal r);
+  let u = G.union r (g_of [ (9, 10) ]) in
+  check_bool "union has both" true (G.mem 1 2 u && G.mem 9 10 u);
+  check_bool "subset" true (G.subset r g);
+  check_bool "not subset" false (G.subset u g)
+
+let test_remove_vertex () =
+  let g = g_of [ (1, 2); (2, 3); (3, 1) ] in
+  let g' = G.remove_vertex 2 g in
+  check_bool "edges gone" true ((not (G.mem 1 2 g')) && not (G.mem 2 3 g'));
+  check_bool "other edge kept" true (G.mem 3 1 g');
+  check_bool "now acyclic" true (G.is_acyclic g')
+
+let test_reachable () =
+  let g = g_of [ (1, 2); (2, 3); (4, 1) ] in
+  Alcotest.(check (list int)) "reach from 1" [ 2; 3 ] (G.reachable 1 g);
+  Alcotest.(check (list int)) "reach from 3" [] (G.reachable 3 g)
+
+(* Property tests *)
+
+let arb_edges =
+  QCheck2.Gen.(list_size (int_bound 40) (pair (int_bound 12) (int_bound 12)))
+
+let prop_topo_iff_acyclic =
+  QCheck2.Test.make ~name:"topo_sort succeeds iff acyclic" ~count:200 arb_edges
+    (fun edges ->
+      let g = g_of edges in
+      (G.topo_sort g <> None) = G.is_acyclic g)
+
+let prop_cycle_is_real =
+  QCheck2.Test.make ~name:"find_cycle returns a closed walk" ~count:200
+    arb_edges (fun edges ->
+      let g = g_of edges in
+      match G.find_cycle g with
+      | None -> G.is_acyclic g
+      | Some c ->
+          let arr = Array.of_list c in
+          let n = Array.length arr in
+          n > 0
+          && G.mem arr.(n - 1) arr.(0) g
+          && List.for_all Fun.id
+               (List.init (max 0 (n - 1)) (fun i -> G.mem arr.(i) arr.(i + 1) g)))
+
+let prop_closure_monotone =
+  QCheck2.Test.make ~name:"closure contains original and is transitive"
+    ~count:200 arb_edges (fun edges ->
+      let g = g_of edges in
+      let c = G.transitive_closure g in
+      G.subset g c
+      && G.fold_edges
+           (fun u v ok ->
+             ok
+             && List.for_all (fun w -> G.mem u w c) (G.succ v c))
+           c true)
+
+let prop_union_commutative =
+  QCheck2.Test.make ~name:"union is commutative on edge sets" ~count:200
+    QCheck2.Gen.(pair arb_edges arb_edges)
+    (fun (e1, e2) ->
+      let a = g_of e1 and b = g_of e2 in
+      G.equal (G.union a b) (G.union b a))
+
+let suites =
+  [
+    ( "digraph",
+      [
+        Alcotest.test_case "basic operations" `Quick test_basic;
+        Alcotest.test_case "acyclicity" `Quick test_acyclic;
+        Alcotest.test_case "cycle extraction" `Quick test_find_cycle;
+        Alcotest.test_case "topological sort" `Quick test_topo;
+        Alcotest.test_case "transitive closure" `Quick test_closure;
+        Alcotest.test_case "restrict and union" `Quick test_restrict_union;
+        Alcotest.test_case "remove vertex" `Quick test_remove_vertex;
+        Alcotest.test_case "reachability" `Quick test_reachable;
+        QCheck_alcotest.to_alcotest prop_topo_iff_acyclic;
+        QCheck_alcotest.to_alcotest prop_cycle_is_real;
+        QCheck_alcotest.to_alcotest prop_closure_monotone;
+        QCheck_alcotest.to_alcotest prop_union_commutative;
+      ] );
+  ]

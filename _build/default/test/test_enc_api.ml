@@ -1,0 +1,174 @@
+(* Tests for the completed encyclopedia API: delete and range scans,
+   including their concurrency semantics (index-level phantoms) and
+   interaction with aborts. *)
+
+open Ooser_core
+open Ooser_oodb
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let open_protocol db = Protocol.open_nested ~reg:(Database.spec_registry db) ()
+
+let with_loaded ?(fanout = 4) n f =
+  let db = Database.create () in
+  let enc = Encyclopedia.create ~fanout db in
+  let loader ctx =
+    for i = 1 to n do
+      Encyclopedia.insert enc ctx
+        ~key:(Printf.sprintf "k%03d" i)
+        ~text:(Printf.sprintf "v%d" i)
+    done;
+    Value.unit
+  in
+  ignore (Engine.run db ~protocol:(Protocol.unlocked ()) [ (90, "load", loader) ]);
+  f db enc
+
+let test_delete_basic () =
+  with_loaded 20 (fun db enc ->
+      let body ctx =
+        check_bool "present before" true
+          (Encyclopedia.search enc ctx ~key:"k010" <> None);
+        check_bool "delete hits" true (Encyclopedia.delete enc ctx ~key:"k010");
+        check_bool "gone" true (Encyclopedia.search enc ctx ~key:"k010" = None);
+        check_bool "delete misses" false (Encyclopedia.delete enc ctx ~key:"k010");
+        Value.unit
+      in
+      let out = Engine.run db ~protocol:(open_protocol db) [ (1, "d", body) ] in
+      Alcotest.(check (list int)) "committed" [ 1 ] out.Engine.committed;
+      check_int "one fewer key" 19 (Encyclopedia.structure enc).Encyclopedia.keys;
+      (* the item disappears from readSeq too *)
+      let reader ctx =
+        check_int "items" 19 (List.length (Encyclopedia.read_seq enc ctx));
+        Value.unit
+      in
+      ignore (Engine.run db ~protocol:(open_protocol db) [ (2, "r", reader) ]))
+
+let test_delete_abort_restores () =
+  with_loaded 10 (fun db enc ->
+      let body ctx =
+        ignore (Encyclopedia.delete enc ctx ~key:"k005");
+        Runtime.abort "no"
+      in
+      ignore (Engine.run db ~protocol:(open_protocol db) [ (1, "d", body) ]);
+      let reader ctx =
+        check_bool "restored by compensation" true
+          (Encyclopedia.search enc ctx ~key:"k005" = Some "v5");
+        check_int "readSeq intact" 10 (List.length (Encyclopedia.read_seq enc ctx));
+        Value.unit
+      in
+      let out = Engine.run db ~protocol:(open_protocol db) [ (2, "r", reader) ] in
+      Alcotest.(check (list int)) "reader ok" [ 2 ] out.Engine.committed)
+
+let test_range_scan () =
+  with_loaded 30 (fun db enc ->
+      let body ctx =
+        let r = Encyclopedia.range enc ctx ~lo:"k010" ~hi:"k020" in
+        check_int "ten keys" 10 (List.length r);
+        (match r with
+        | (k, v) :: _ ->
+            check_bool "first" true (k = "k010" && v = "v10")
+        | [] -> Alcotest.fail "empty range");
+        check_bool "sorted" true
+          (List.sort compare r = r);
+        check_int "empty range" 0
+          (List.length (Encyclopedia.range enc ctx ~lo:"zzz" ~hi:"zzzz"));
+        Value.unit
+      in
+      let out = Engine.run db ~protocol:(open_protocol db) [ (1, "s", body) ] in
+      Alcotest.(check (list int)) "committed" [ 1 ] out.Engine.committed)
+
+let test_range_conflicts_with_insert () =
+  with_loaded 10 (fun db enc ->
+      let scanner ctx =
+        ignore (Encyclopedia.range enc ctx ~lo:"k000" ~hi:"k999");
+        Value.unit
+      in
+      let writer ctx =
+        Encyclopedia.insert enc ctx ~key:"k555" ~text:"new";
+        Value.unit
+      in
+      let config =
+        let p = open_protocol db in
+        {
+          (Engine.default_config p) with
+          Engine.strategy = Engine.Random_pick (Rng.create ~seed:3);
+        }
+      in
+      let out =
+        Engine.run ~config db ~protocol:config.Engine.protocol
+          [ (1, "scan", scanner); (2, "write", writer) ]
+      in
+      check_int "both committed" 2 (List.length out.Engine.committed);
+      (* the phantom: a top-level dependency exists between them *)
+      check_bool "scan/insert dependency" true
+        (Baselines.conflict_pairs out.Engine.history `Oo > 0);
+      check_bool "oo-serializable" true
+        (Serializability.oo_serializable out.Engine.history))
+
+let test_range_commutes_with_search () =
+  with_loaded 10 (fun db enc ->
+      let scanner ctx =
+        ignore (Encyclopedia.range enc ctx ~lo:"k000" ~hi:"k999");
+        Value.unit
+      in
+      let searcher ctx =
+        ignore (Encyclopedia.search enc ctx ~key:"k003");
+        Value.unit
+      in
+      let out =
+        Engine.run db ~protocol:(open_protocol db)
+          [ (1, "scan", scanner); (2, "search", searcher) ]
+      in
+      check_int "both committed" 2 (List.length out.Engine.committed);
+      check_int "readers do not conflict" 0
+        (Baselines.conflict_pairs out.Engine.history `Oo))
+
+let test_delete_insert_roundtrip_random () =
+  (* random interleavings of insert/delete on overlapping keys stay
+     consistent with a model *)
+  let ok = ref true in
+  for seed = 1 to 8 do
+    with_loaded ~fanout:2 6 (fun db enc ->
+        let body ctx =
+          ignore (Encyclopedia.delete enc ctx ~key:"k003");
+          Encyclopedia.insert enc ctx ~key:"x" ~text:"y";
+          ignore (Encyclopedia.delete enc ctx ~key:"x");
+          Value.unit
+        in
+        let config =
+          let p = open_protocol db in
+          {
+            (Engine.default_config p) with
+            Engine.strategy = Engine.Random_pick (Rng.create ~seed);
+          }
+        in
+        let out =
+          Engine.run ~config db ~protocol:config.Engine.protocol
+            [ (1, "a", body) ]
+        in
+        if
+          out.Engine.committed <> [ 1 ]
+          || (Encyclopedia.structure enc).Encyclopedia.keys <> 5
+        then ok := false)
+  done;
+  check_bool "all seeds consistent" true !ok
+
+let suites =
+  [
+    ( "enc_api",
+      [
+        Alcotest.test_case "delete" `Quick test_delete_basic;
+        Alcotest.test_case "delete undone on abort" `Quick
+          test_delete_abort_restores;
+        Alcotest.test_case "range scan" `Quick test_range_scan;
+        Alcotest.test_case "range conflicts with insert (phantom)" `Quick
+          test_range_conflicts_with_insert;
+        Alcotest.test_case "range commutes with search" `Quick
+          test_range_commutes_with_search;
+        Alcotest.test_case "delete/insert roundtrips" `Quick
+          test_delete_insert_roundtrip_random;
+      ] );
+  ]

@@ -1,0 +1,234 @@
+(* End-to-end tests for the encyclopedia application (Fig. 2) executed by
+   the engine under the concurrency control protocols. *)
+
+open Ooser_core
+open Ooser_oodb
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let key i = Printf.sprintf "k%03d" i
+
+let with_enc ?(fanout = 4) f =
+  let db = Database.create () in
+  let enc = Encyclopedia.create ~fanout db in
+  f db enc
+
+let open_protocol db = Protocol.open_nested ~reg:(Database.spec_registry db) ()
+let flat_protocol db = Protocol.flat_2pl ~reg:(Database.spec_registry db) ()
+
+let test_single_writer_then_read () =
+  with_enc (fun db enc ->
+      let body ctx =
+        for i = 1 to 30 do
+          Encyclopedia.insert enc ctx ~key:(key i) ~text:("text" ^ string_of_int i)
+        done;
+        Value.unit
+      in
+      let out = Engine.run db ~protocol:(open_protocol db) [ (1, "load", body) ] in
+      Alcotest.(check (list int)) "committed" [ 1 ] out.Engine.committed;
+      check_bool "history valid" true (History.validate out.Engine.history = Ok ());
+      let s = Encyclopedia.structure enc in
+      check_int "keys" 30 s.Encyclopedia.keys;
+      check_int "items" 30 s.Encyclopedia.items;
+      check_bool "tree grew" true (s.Encyclopedia.height >= 2);
+      (* read back in a second run *)
+      let reader ctx =
+        check_bool "found" true
+          (Encyclopedia.search enc ctx ~key:(key 17) = Some "text17");
+        check_bool "missing" true (Encyclopedia.search enc ctx ~key:"zzz" = None);
+        Value.unit
+      in
+      let out2 = Engine.run db ~protocol:(open_protocol db) [ (2, "read", reader) ] in
+      Alcotest.(check (list int)) "reader committed" [ 2 ] out2.Engine.committed)
+
+let test_history_oo_serializable_single () =
+  with_enc ~fanout:2 (fun db enc ->
+      let body ctx =
+        for i = 1 to 12 do
+          Encyclopedia.insert enc ctx ~key:(key i) ~text:"t"
+        done;
+        Value.unit
+      in
+      let out = Engine.run db ~protocol:(open_protocol db) [ (1, "load", body) ] in
+      Alcotest.(check (list int)) "committed" [ 1 ] out.Engine.committed;
+      check_bool "history valid" true (History.validate out.Engine.history = Ok ());
+      let v = Serializability.check out.Engine.history in
+      check_bool "oo-serializable" true v.Serializability.oo_serializable;
+      (* root growth re-enters BpTree: the extension materialises a
+         virtual object *)
+      let ext = Extension.extend out.Engine.history in
+      check_bool "virtual objects from grow" true
+        (Extension.virtual_objects ext <> []))
+
+let test_concurrent_inserts_different_keys () =
+  with_enc (fun db enc ->
+      let mk_body lo hi ctx =
+        for i = lo to hi do
+          Encyclopedia.insert enc ctx ~key:(key i) ~text:"x"
+        done;
+        Value.unit
+      in
+      let config =
+        let p = open_protocol db in
+        {
+          (Engine.default_config p) with
+          Engine.strategy = Engine.Random_pick (Rng.create ~seed:11);
+        }
+      in
+      let out =
+        Engine.run ~config db ~protocol:config.Engine.protocol
+          [
+            (1, "w1", mk_body 1 10);
+            (2, "w2", mk_body 11 20);
+            (3, "w3", mk_body 21 30);
+          ]
+      in
+      check_int "all committed" 3 (List.length out.Engine.committed);
+      check_bool "history valid" true (History.validate out.Engine.history = Ok ());
+      check_bool "oo-serializable" true
+        (Serializability.oo_serializable out.Engine.history);
+      let s = Encyclopedia.structure enc in
+      check_int "all keys present" 30 s.Encyclopedia.keys)
+
+let test_concurrent_flat_2pl () =
+  with_enc (fun db enc ->
+      let mk_body lo hi ctx =
+        for i = lo to hi do
+          Encyclopedia.insert enc ctx ~key:(key i) ~text:"x"
+        done;
+        Value.unit
+      in
+      let p = flat_protocol db in
+      let config =
+        {
+          (Engine.default_config p) with
+          Engine.strategy = Engine.Random_pick (Rng.create ~seed:5);
+        }
+      in
+      let out =
+        Engine.run ~config db ~protocol:p
+          [ (1, "w1", mk_body 1 8); (2, "w2", mk_body 9 16) ]
+      in
+      check_int "all committed" 2 (List.length out.Engine.committed);
+      check_bool "conventional-serializable" true
+        (Baselines.conventional_serializable out.Engine.history);
+      let s = Encyclopedia.structure enc in
+      check_int "all keys present" 16 s.Encyclopedia.keys)
+
+let test_update_and_search () =
+  with_enc (fun db enc ->
+      let writer ctx =
+        Encyclopedia.insert enc ctx ~key:"alpha" ~text:"one";
+        Encyclopedia.insert enc ctx ~key:"beta" ~text:"two";
+        check_bool "update hits" true
+          (Encyclopedia.update enc ctx ~key:"alpha" ~text:"ONE");
+        check_bool "update misses" false
+          (Encyclopedia.update enc ctx ~key:"gamma" ~text:"?");
+        Value.unit
+      in
+      let out = Engine.run db ~protocol:(open_protocol db) [ (1, "w", writer) ] in
+      Alcotest.(check (list int)) "committed" [ 1 ] out.Engine.committed;
+      let reader ctx =
+        check_bool "updated text" true
+          (Encyclopedia.search enc ctx ~key:"alpha" = Some "ONE");
+        Value.unit
+      in
+      ignore (Engine.run db ~protocol:(open_protocol db) [ (2, "r", reader) ]))
+
+let test_read_seq_sees_all () =
+  with_enc (fun db enc ->
+      let writer ctx =
+        for i = 1 to 5 do
+          Encyclopedia.insert enc ctx ~key:(key i) ~text:("v" ^ string_of_int i)
+        done;
+        Value.unit
+      in
+      ignore (Engine.run db ~protocol:(open_protocol db) [ (1, "w", writer) ]);
+      let seen = ref [] in
+      let reader ctx =
+        seen := Encyclopedia.read_seq enc ctx;
+        Value.unit
+      in
+      ignore (Engine.run db ~protocol:(open_protocol db) [ (2, "r", reader) ]);
+      Alcotest.(check (list string))
+        "insertion order" [ "v1"; "v2"; "v3"; "v4"; "v5" ] !seen)
+
+let test_read_seq_conflicts_with_insert () =
+  (* the phantom: a readSeq and an insert in parallel must produce a
+     dependency at the Enc level, and both orders are serializable *)
+  with_enc (fun db enc ->
+      let writer ctx =
+        Encyclopedia.insert enc ctx ~key:"a" ~text:"1";
+        Value.unit
+      in
+      let reader ctx =
+        ignore (Encyclopedia.read_seq enc ctx);
+        Value.unit
+      in
+      let out =
+        Engine.run db ~protocol:(open_protocol db)
+          [ (1, "w", writer); (2, "r", reader) ]
+      in
+      check_int "both committed" 2 (List.length out.Engine.committed);
+      let sched = Schedule.compute out.Engine.history in
+      let enc_sched = Schedule.find_exn sched (Encyclopedia.enc_object enc) in
+      check_bool "Enc-level dependency between T1 and T2" true
+        (Action.Rel.cardinal enc_sched.Schedule.txn_dep > 0);
+      check_bool "oo-serializable" true
+        (Serializability.oo_serializable out.Engine.history))
+
+let test_abort_rolls_back_insert () =
+  with_enc (fun db enc ->
+      let body ctx =
+        Encyclopedia.insert enc ctx ~key:"doomed" ~text:"x";
+        Runtime.abort "no thanks"
+      in
+      let out = Engine.run db ~protocol:(open_protocol db) [ (1, "w", body) ] in
+      check_int "aborted" 1 (List.length out.Engine.aborted);
+      let reader ctx =
+        check_bool "not found after abort" true
+          (Encyclopedia.search enc ctx ~key:"doomed" = None);
+        check_bool "readSeq empty" true (Encyclopedia.read_seq enc ctx = []);
+        Value.unit
+      in
+      let out2 = Engine.run db ~protocol:(open_protocol db) [ (2, "r", reader) ] in
+      Alcotest.(check (list int)) "reader committed" [ 2 ] out2.Engine.committed)
+
+let test_page_colocation () =
+  (* items live in the free slots of leaf pages: the number of pages is
+     far below one-per-item *)
+  with_enc ~fanout:8 (fun db enc ->
+      let body ctx =
+        for i = 1 to 16 do
+          Encyclopedia.insert enc ctx ~key:(key i) ~text:"payload"
+        done;
+        Value.unit
+      in
+      ignore (Engine.run db ~protocol:(open_protocol db) [ (1, "w", body) ]);
+      let s = Encyclopedia.structure enc in
+      check_bool "items co-located with leaves" true
+        (s.Encyclopedia.pages < s.Encyclopedia.items))
+
+let suites =
+  [
+    ( "encyclopedia",
+      [
+        Alcotest.test_case "load and read back" `Quick test_single_writer_then_read;
+        Alcotest.test_case "single history oo-serializable (grow/virtual)" `Quick
+          test_history_oo_serializable_single;
+        Alcotest.test_case "concurrent inserts, different keys" `Quick
+          test_concurrent_inserts_different_keys;
+        Alcotest.test_case "concurrent inserts under flat 2PL" `Quick
+          test_concurrent_flat_2pl;
+        Alcotest.test_case "update and search" `Quick test_update_and_search;
+        Alcotest.test_case "readSeq order" `Quick test_read_seq_sees_all;
+        Alcotest.test_case "readSeq conflicts with insert" `Quick
+          test_read_seq_conflicts_with_insert;
+        Alcotest.test_case "abort rolls back insert" `Quick
+          test_abort_rolls_back_insert;
+        Alcotest.test_case "item/page co-location" `Quick test_page_colocation;
+      ] );
+  ]

@@ -1,0 +1,153 @@
+(* Exhaustive-enumeration tests: exact interleaving counts, exact
+   acceptance ratios for the paper's Example 1, and the inclusion
+   theorems verified over FULL enumerations of small random systems. *)
+
+open Ooser_core
+open Ooser_workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let o = Obj_id.v
+
+let test_multinomial () =
+  check_int "2+2" 6 (Enumerate.multinomial [ 2; 2 ]);
+  check_int "4+4" 70 (Enumerate.multinomial [ 4; 4 ]);
+  check_int "2+2+2" 90 (Enumerate.multinomial [ 2; 2; 2 ]);
+  check_int "singleton" 1 (Enumerate.multinomial [ 5 ]);
+  check_int "empty" 1 (Enumerate.multinomial [])
+
+let test_enumeration_count_matches () =
+  let tree n =
+    Call_tree.Build.(
+      top ~n [ call (o "M") "m" [ call (o "P") "w" []; call (o "P") "w" [] ] ])
+  in
+  let tops = [ tree 1; tree 2 ] in
+  check_int "count formula" 6 (Enumerate.count_interleavings ~granularity:`Subtransaction tops
+                               |> fun _ -> Enumerate.count_interleavings tops);
+  let listed = List.of_seq (Enumerate.interleavings tops) in
+  check_int "enumerated = C(4,2)" 6 (List.length listed);
+  (* all distinct, all respect program order *)
+  check_int "distinct" 6 (List.length (List.sort_uniq compare listed));
+  List.iter
+    (fun order ->
+      let h = History.v ~tops ~order ~commut:(Commutativity.uniform Commutativity.all_commute) in
+      check_bool "valid order" true (History.validate h = Ok ()))
+    listed;
+  (* subtransaction granularity: each call is atomic -> 2 interleavings *)
+  check_int "atomic count" 2
+    (List.length
+       (List.of_seq (Enumerate.interleavings ~granularity:`Subtransaction tops)))
+
+let test_example1_exact_acceptance () =
+  (* the paper's Example 1 (different keys), exhaustively: EVERY
+     subtransaction-atomic interleaving is oo-serializable (inserts
+     commute at the leaf), while conventionally only the serial ones
+     pass *)
+  let t1 = Paper_examples.insert_txn 1 "DBMS" in
+  let t2 = Paper_examples.insert_txn 2 "DBS" in
+  let e =
+    Enumerate.exact_acceptance ~granularity:`Subtransaction
+      ~commut:Paper_examples.registry [ t1; t2 ]
+  in
+  check_int "two atomic interleavings" 2 e.Enumerate.total;
+  check_int "oo accepts all" 2 e.Enumerate.oo;
+  check_bool "inclusions" true e.Enumerate.inclusions_hold;
+  (* at primitive granularity oo accepts exactly the interleavings whose
+     page-level subtransactions are serializable *)
+  let e' =
+    Enumerate.exact_acceptance ~commut:Paper_examples.registry [ t1; t2 ]
+  in
+  check_int "C(4,2) interleavings" 6 e'.Enumerate.total;
+  check_bool "oo superset of conventional (exact)" true
+    (e'.Enumerate.oo >= e'.Enumerate.conventional);
+  check_bool "inclusions hold exhaustively" true e'.Enumerate.inclusions_hold
+
+let test_same_key_exact () =
+  (* same-key insert vs search: the conflict reaches the top, so oo and
+     conventional agree exactly on this pair *)
+  let t3 = Paper_examples.insert_txn 3 "DBS" in
+  let t4 = Paper_examples.search_txn 4 "DBS" in
+  let e =
+    Enumerate.exact_acceptance ~commut:Paper_examples.registry [ t3; t4 ]
+  in
+  check_bool "inclusions" true e.Enumerate.inclusions_hold;
+  check_bool "oo >= conventional" true (e.Enumerate.oo >= e.Enumerate.conventional);
+  check_bool "some rejected" true (e.Enumerate.oo < e.Enumerate.total)
+
+let test_inclusions_exhaustive_random () =
+  (* full enumerations of small random systems: the inclusion chain holds
+     on every single interleaving, not just sampled ones *)
+  let ok = ref true in
+  for seed = 1 to 12 do
+    let p =
+      {
+        Random_schedules.default_params with
+        Random_schedules.n_txns = 2;
+        calls_per_txn = 2;
+        prims_per_call = 2;
+        p_commute = 0.5;
+      }
+    in
+    let tops, commut = Random_schedules.system ~seed p in
+    let e = Enumerate.exact_acceptance ~commut tops in
+    if not e.Enumerate.inclusions_hold then ok := false;
+    if e.Enumerate.total <> 70 then ok := false
+  done;
+  check_bool "inclusions on 12 x 70 interleavings" true !ok
+
+let test_sampling_agrees_with_exact () =
+  (* the Random_schedules sampler, run long enough, lands near the exact
+     ratio *)
+  let p =
+    {
+      Random_schedules.default_params with
+      Random_schedules.n_txns = 2;
+      calls_per_txn = 2;
+      prims_per_call = 2;
+      p_commute = 0.6;
+    }
+  in
+  let tops, commut = Random_schedules.system ~seed:3 p in
+  let e = Enumerate.exact_acceptance ~commut tops in
+  let a = Random_schedules.acceptance ~seed:3 ~samples:400 p in
+  let exact_rate = float_of_int e.Enumerate.oo /. float_of_int e.Enumerate.total in
+  let sampled_rate =
+    float_of_int a.Random_schedules.oo_accepted /. 400.0
+  in
+  check_bool
+    (Printf.sprintf "sampled %.2f within 0.15 of exact %.2f" sampled_rate
+       exact_rate)
+    true
+    (abs_float (sampled_rate -. exact_rate) < 0.15)
+
+let test_cap_enforced () =
+  let tree n =
+    Call_tree.Build.(
+      top ~n (List.init 10 (fun _ -> call (o "P") "w" [])))
+  in
+  check_bool "cap" true
+    (match
+       Enumerate.exact_acceptance ~max_interleavings:100
+         ~commut:(Commutativity.uniform Commutativity.all_commute)
+         [ tree 1; tree 2 ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suites =
+  [
+    ( "enumerate",
+      [
+        Alcotest.test_case "multinomial" `Quick test_multinomial;
+        Alcotest.test_case "enumeration count" `Quick
+          test_enumeration_count_matches;
+        Alcotest.test_case "Example 1 exact acceptance" `Quick
+          test_example1_exact_acceptance;
+        Alcotest.test_case "same-key exact" `Quick test_same_key_exact;
+        Alcotest.test_case "inclusions hold exhaustively" `Quick
+          test_inclusions_exhaustive_random;
+        Alcotest.test_case "sampling agrees with exact" `Quick
+          test_sampling_agrees_with_exact;
+        Alcotest.test_case "interleaving cap" `Quick test_cap_enforced;
+      ] );
+  ]

@@ -1,0 +1,170 @@
+(* Deep tests of the virtual-object extension (Def. 5): multi-level
+   re-entrancy, virtual-object sharing across transactions, and the
+   faithfulness of the inherited dependencies. *)
+
+open Ooser_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let o = Obj_id.v
+let aid top path = Ids.Action_id.v ~top ~path
+
+let all_conflict = Commutativity.uniform Commutativity.all_conflict
+
+let test_no_cycles_no_virtuals () =
+  let t =
+    Call_tree.Build.(
+      top ~n:1 [ call (o "A") "m" [ call (o "B") "n" [] ] ])
+  in
+  let h = History.of_serial ~tops:[ t ] ~commut:all_conflict in
+  let ext = Extension.extend h in
+  check_int "no virtual objects" 0 (List.length (Extension.virtual_objects ext));
+  (* every action still on its own object *)
+  check_bool "A unchanged" true
+    (Ids.Action_id.Set.mem (aid 1 [ 1 ]) (Extension.acts_of ext (o "A")))
+
+let test_rank2_nesting () =
+  (* O.a -> O.b -> O.c: three levels on one object; ranks 0/1/2 produce
+     O' and O'' *)
+  let t =
+    Call_tree.Build.(
+      top ~n:1
+        [ call (o "O") "a" [ call (o "O") "b" [ call (o "O") "c" [] ] ] ])
+  in
+  let h = History.of_serial ~tops:[ t ] ~commut:all_conflict in
+  let ext = Extension.extend h in
+  let v1 = Obj_id.virtualize (o "O") ~rank:1 in
+  let v2 = Obj_id.virtualize (o "O") ~rank:2 in
+  check_int "two virtual objects" 2
+    (List.length (Extension.virtual_objects ext));
+  check_bool "b on O'" true
+    (Ids.Action_id.Set.mem (aid 1 [ 1; 1 ]) (Extension.acts_of ext v1));
+  check_bool "c on O''" true
+    (Ids.Action_id.Set.mem (aid 1 [ 1; 1; 1 ]) (Extension.acts_of ext v2));
+  check_bool "a stays on O" true
+    (Ids.Action_id.Set.mem (aid 1 [ 1 ]) (Extension.acts_of ext (o "O")));
+  (* duplicates: a is duplicated on both virtual objects, b on O'' *)
+  check_bool "a' on O'" true
+    (Ids.Action_id.Set.mem
+       (Ids.Action_id.virtualize (aid 1 [ 1 ]) ~rank:1)
+       (Extension.acts_of ext v1));
+  check_bool "a'' on O''" true
+    (Ids.Action_id.Set.mem
+       (Ids.Action_id.virtualize (aid 1 [ 1 ]) ~rank:2)
+       (Extension.acts_of ext v2));
+  check_bool "b'' on O''" true
+    (Ids.Action_id.Set.mem
+       (Ids.Action_id.virtualize (aid 1 [ 1; 1 ]) ~rank:2)
+       (Extension.acts_of ext v2));
+  (* single sequential transaction: trivially serializable *)
+  check_bool "oo-serializable" true (Serializability.oo_serializable h)
+
+let test_shared_virtual_across_txns () =
+  (* both transactions re-enter O at depth 1: their inner actions share
+     O' and their mutual conflict is preserved there *)
+  let tree n =
+    Call_tree.Build.(
+      top ~n [ call (o "O") "outer" [ call (o "O") "inner" [] ] ])
+  in
+  let h = History.of_serial ~tops:[ tree 1; tree 2 ] ~commut:all_conflict in
+  let ext = Extension.extend h in
+  let v1 = Obj_id.virtualize (o "O") ~rank:1 in
+  check_int "one shared virtual object" 1
+    (List.length (Extension.virtual_objects ext));
+  let acts = Extension.acts_of ext v1 in
+  check_bool "both inner actions share O'" true
+    (Ids.Action_id.Set.mem (aid 1 [ 1; 1 ]) acts
+    && Ids.Action_id.Set.mem (aid 2 [ 1; 1 ]) acts);
+  (* the cross-transaction conflict at O' orders the inner actions and
+     inherits to the outer ones (everything conflicts here) *)
+  let sched = Schedule.compute h in
+  let s = Schedule.find_exn sched v1 in
+  check_bool "inner deps at O'" true
+    (Action.Rel.mem (aid 1 [ 1; 1 ]) (aid 2 [ 1; 1 ]) s.Schedule.act_dep);
+  check_bool "serial run accepted" true (Serializability.oo_serializable h)
+
+let test_reentrant_conflict_rejected () =
+  (* interleave the two re-entrant transactions so the O-level and
+     O'-level conflicts cross: must be rejected *)
+  let tree n =
+    Call_tree.Build.(
+      top ~n
+        [
+          call (o "O") "outer"
+            [ call (o "P") "w1" []; call (o "O") "inner" [ call (o "P") "w2" [] ] ];
+        ])
+  in
+  let order =
+    [
+      aid 1 [ 1; 1 ];  (* T1 P.w1 *)
+      aid 2 [ 1; 1 ];  (* T2 P.w1 *)
+      aid 2 [ 1; 2; 1 ];  (* T2 inner P.w2 *)
+      aid 1 [ 1; 2; 1 ];  (* T1 inner P.w2 *)
+    ]
+  in
+  let h = History.v ~tops:[ tree 1; tree 2 ] ~order ~commut:all_conflict in
+  check_bool "well-formed" true (History.validate h = Ok ());
+  check_bool "crossed re-entrant conflict rejected" false
+    (Serializability.oo_serializable h)
+
+let test_duplicate_same_call_path_neutral () =
+  (* the ancestor is duplicated onto the virtual object but never
+     conflicts with its own descendant (Def. 5's exclusion, realised via
+     the call-path rule) *)
+  let t =
+    Call_tree.Build.(
+      top ~n:1 [ call (o "O") "outer" [ call (o "O") "inner" [] ] ])
+  in
+  let h = History.of_serial ~tops:[ t ] ~commut:all_conflict in
+  let sched = Schedule.compute h in
+  let v1 = Obj_id.virtualize (o "O") ~rank:1 in
+  let s = Schedule.find_exn sched v1 in
+  (* the duplicate outer' is present but has no dependency with inner *)
+  let dup = Ids.Action_id.virtualize (aid 1 [ 1 ]) ~rank:1 in
+  check_bool "duplicate present" true (Ids.Action_id.Set.mem dup s.Schedule.acts);
+  check_bool "no dep with own descendant" false
+    (Action.Rel.mem dup (aid 1 [ 1; 1 ]) s.Schedule.act_dep
+    || Action.Rel.mem (aid 1 [ 1; 1 ]) dup s.Schedule.act_dep)
+
+let test_engine_reentrancy_end_to_end () =
+  (* the BpTree root split exercises re-entrancy through the engine; run
+     enough inserts to split the root several times and check the
+     extension output on the real history *)
+  let db = Ooser_oodb.Database.create () in
+  let enc = Ooser_oodb.Encyclopedia.create ~fanout:2 db in
+  let body ctx =
+    for i = 1 to 10 do
+      Ooser_oodb.Encyclopedia.insert enc ctx
+        ~key:(Printf.sprintf "k%02d" i) ~text:"t"
+    done;
+    Value.unit
+  in
+  let protocol =
+    Ooser_cc.Protocol.open_nested
+      ~reg:(Ooser_oodb.Database.spec_registry db) ()
+  in
+  let out = Ooser_oodb.Engine.run db ~protocol [ (1, "w", body) ] in
+  Alcotest.(check (list int)) "committed" [ 1 ] out.Ooser_oodb.Engine.committed;
+  let ext = Extension.extend out.Ooser_oodb.Engine.history in
+  check_bool "virtual objects from grow" true
+    (Extension.virtual_objects ext <> []);
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Ooser_oodb.Engine.history)
+
+let suites =
+  [
+    ( "extension",
+      [
+        Alcotest.test_case "no cycles, no virtual objects" `Quick
+          test_no_cycles_no_virtuals;
+        Alcotest.test_case "rank-2 nesting" `Quick test_rank2_nesting;
+        Alcotest.test_case "shared virtual object across txns" `Quick
+          test_shared_virtual_across_txns;
+        Alcotest.test_case "crossed re-entrant conflict rejected" `Quick
+          test_reentrant_conflict_rejected;
+        Alcotest.test_case "ancestor duplicate is neutral" `Quick
+          test_duplicate_same_call_path_neutral;
+        Alcotest.test_case "engine re-entrancy end to end" `Quick
+          test_engine_reentrancy_end_to_end;
+      ] );
+  ]

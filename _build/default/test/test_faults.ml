@@ -1,0 +1,249 @@
+(* Failure injection: abort storms, resource pressure, exhausted budgets,
+   and Def. 12 equivalence sanity.  Whatever breaks mid-flight, the
+   committed history must stay well-formed and oo-serializable, and the
+   state must reflect exactly the committed transactions. *)
+
+open Ooser_core
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+module Buffer_pool = Ooser_storage.Buffer_pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let open_protocol db = Protocol.open_nested ~reg:(Database.spec_registry db) ()
+
+let test_abort_storm () =
+  (* half the writers abort themselves after doing real work; the survivors
+     and readers must see a consistent encyclopedia *)
+  let db = Database.create () in
+  let enc = Encyclopedia.create ~fanout:4 db in
+  let writer i ctx =
+    Encyclopedia.insert enc ctx
+      ~key:(Printf.sprintf "k%02d" i)
+      ~text:(Printf.sprintf "v%d" i);
+    if i mod 2 = 0 then Runtime.abort "injected failure" else Value.unit
+  in
+  let config =
+    let p = open_protocol db in
+    {
+      (Engine.default_config p) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:21);
+    }
+  in
+  let out =
+    Engine.run ~config db ~protocol:config.Engine.protocol
+      (List.init 8 (fun i -> (i + 1, Printf.sprintf "w%d" (i + 1), writer (i + 1))))
+  in
+  check_int "half committed" 4 (List.length out.Engine.committed);
+  check_int "half aborted" 4 (List.length out.Engine.aborted);
+  check_bool "history valid" true (History.validate out.Engine.history = Ok ());
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Engine.history);
+  (* the structure contains exactly the odd writers' items *)
+  let s = Encyclopedia.structure enc in
+  check_int "only committed inserts remain" 4 s.Encyclopedia.keys;
+  let reader ctx =
+    check_int "readSeq agrees" 4 (List.length (Encyclopedia.read_seq enc ctx));
+    List.iter
+      (fun i ->
+        let expect = if i mod 2 = 1 then Some (Printf.sprintf "v%d" i) else None in
+        check_bool
+          (Printf.sprintf "key k%02d" i)
+          true
+          (Encyclopedia.search enc ctx ~key:(Printf.sprintf "k%02d" i) = expect))
+      (List.init 8 (fun i -> i + 1));
+    Value.unit
+  in
+  let out2 = Engine.run db ~protocol:(open_protocol db) [ (99, "check", reader) ] in
+  Alcotest.(check (list int)) "reader ok" [ 99 ] out2.Engine.committed
+
+let test_buffer_pool_pressure () =
+  (* a pool of 3 frames under 3 concurrent writers: heavy eviction, same
+     results *)
+  let db = Database.create () in
+  let enc = Encyclopedia.create ~fanout:4 ~pool_capacity:3 db in
+  let writer lo ctx =
+    for i = lo to lo + 7 do
+      Encyclopedia.insert enc ctx ~key:(Printf.sprintf "k%03d" i) ~text:"x"
+    done;
+    Value.unit
+  in
+  let config =
+    let p = open_protocol db in
+    {
+      (Engine.default_config p) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:8);
+    }
+  in
+  let out =
+    Engine.run ~config db ~protocol:config.Engine.protocol
+      [ (1, "w1", writer 0); (2, "w2", writer 100); (3, "w3", writer 200) ]
+  in
+  check_int "all committed" 3 (List.length out.Engine.committed);
+  check_bool "evictions happened" true
+    (Buffer_pool.evictions (Encyclopedia.pool enc) > 0);
+  check_int "all keys present" 24 (Encyclopedia.structure enc).Encyclopedia.keys;
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Engine.history)
+
+let test_step_budget_exhaustion () =
+  let db = Database.create () in
+  let enc = Encyclopedia.create db in
+  let writer ctx =
+    for i = 0 to 50 do
+      Encyclopedia.insert enc ctx ~key:(Printf.sprintf "k%03d" i) ~text:"x"
+    done;
+    Value.unit
+  in
+  let p = open_protocol db in
+  let config = { (Engine.default_config p) with Engine.max_steps = 40 } in
+  let out = Engine.run ~config db ~protocol:p [ (1, "w", writer) ] in
+  check_int "aborted on budget" 1 (List.length out.Engine.aborted);
+  check_bool "reason" true
+    (match out.Engine.aborted with
+    | [ (1, reason) ] -> reason = "step budget"
+    | _ -> false);
+  (* everything undone *)
+  check_int "no keys" 0 (Encyclopedia.structure enc).Encyclopedia.keys
+
+let test_restart_budget_exhaustion () =
+  (* two transactions in a guaranteed lock-upgrade deadlock with zero
+     restarts allowed: at least one aborts permanently; state consistent *)
+  let db = Database.create () in
+  let state = ref 0 in
+  let read _ _ = Value.int !state in
+  let write ctx args =
+    match args with
+    | [ Value.Int v ] ->
+        let old = !state in
+        Runtime.on_undo ctx (fun () -> state := old);
+        state := v;
+        Value.unit
+    | _ -> invalid_arg "write"
+  in
+  Database.register db (Obj_id.v "R")
+    ~spec:(Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ])
+    [ ("read", Database.primitive read); ("write", Database.primitive write) ];
+  let body ctx =
+    let v = Value.to_int_exn (Runtime.call ctx (Obj_id.v "R") "read" []) in
+    ignore (Runtime.call ctx (Obj_id.v "R") "write" [ Value.int (v + 1) ]);
+    Value.unit
+  in
+  let p = Protocol.flat_2pl ~reg:(Database.spec_registry db) () in
+  let config = { (Engine.default_config p) with Engine.max_restarts = 0 } in
+  let out = Engine.run ~config db ~protocol:p [ (1, "a", body); (2, "b", body) ] in
+  check_int "state equals committed increments"
+    (List.length out.Engine.committed)
+    !state;
+  check_bool "committed history serializable" true
+    (Serializability.oo_serializable out.Engine.history)
+
+let test_equivalence_def12 () =
+  (* two different interleavings with the same dependencies are equivalent
+     (Def. 12); a conflicting reordering is not *)
+  let h_serial = Paper_examples.example4_serial () in
+  let s1 = Schedule.compute h_serial in
+  let s1' = Schedule.compute h_serial in
+  check_bool "reflexive" true (Schedule.equivalent s1 s1');
+  (* the crossing interleaving of T1/T3 has different participants, so
+     compare like with like: reorder only commuting page accesses *)
+  let t1, t2, t3, t4 = Paper_examples.example4_trees () in
+  let tops = [ t1; t2; t3; t4 ] in
+  let order = List.concat_map History.serial_primitives tops in
+  let h2 =
+    History.v ~tops ~order ~commut:Paper_examples.registry
+  in
+  check_bool "same order, equivalent" true
+    (Schedule.equivalent s1 (Schedule.compute h2));
+  (* run T2 before T1: the same-key dependency flips direction *)
+  let reordered =
+    List.concat_map History.serial_primitives [ t2; t1; t3; t4 ]
+  in
+  let h3 = History.v ~tops ~order:reordered ~commut:Paper_examples.registry in
+  check_bool "reordered conflict, NOT equivalent" false
+    (Schedule.equivalent s1 (Schedule.compute h3))
+
+let test_parallel_layout () =
+  let db = Database.create () in
+  let doc = Document.create ~sections:6 ~sections_per_page:3 db in
+  let layouter ctx = Value.int (List.length (Document.layout_par doc ctx)) in
+  let editor ctx =
+    Document.edit doc ctx ~section:4 ~text:"edited";
+    Value.unit
+  in
+  let config =
+    let p = open_protocol db in
+    {
+      (Engine.default_config p) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:12);
+    }
+  in
+  let out =
+    Engine.run ~config db ~protocol:config.Engine.protocol
+      [ (1, "layout", layouter); (2, "edit", editor) ]
+  in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  check_bool "layout read all sections" true
+    (List.assoc 1 out.Engine.results = Value.int 6);
+  check_bool "history valid" true (History.validate out.Engine.history = Ok ());
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Engine.history)
+
+(* Property: mixed workload with injected aborts and concurrent splits
+   over many seeds — the committed state must always equal the committed
+   transactions' inserts, and the history must check out. *)
+let prop_abort_storm_seeds =
+  QCheck2.Test.make ~name:"abort storms leave exactly the committed state"
+    ~count:25
+    (QCheck2.Gen.int_range 1 10_000)
+    (fun seed ->
+      let db = Database.create () in
+      let enc = Encyclopedia.create ~fanout:2 db in
+      let rng = Rng.create ~seed in
+      let dooms = Array.init 6 (fun _ -> Rng.bool rng) in
+      let writer i ctx =
+        Encyclopedia.insert enc ctx
+          ~key:(Printf.sprintf "k%02d" i)
+          ~text:(Printf.sprintf "v%d" i);
+        Encyclopedia.insert enc ctx
+          ~key:(Printf.sprintf "m%02d" i)
+          ~text:(Printf.sprintf "w%d" i);
+        if dooms.(i - 1) then Runtime.abort "doomed" else Value.unit
+      in
+      let config =
+        let p = open_protocol db in
+        {
+          (Engine.default_config p) with
+          Engine.strategy = Engine.Random_pick (Rng.create ~seed:(seed * 31));
+        }
+      in
+      let out =
+        Engine.run ~config db ~protocol:config.Engine.protocol
+          (List.init 6 (fun i -> (i + 1, Printf.sprintf "w%d" (i + 1), writer (i + 1))))
+      in
+      let committed = out.Engine.committed in
+      let expected_keys = 2 * List.length committed in
+      History.validate out.Engine.history = Ok ()
+      && Serializability.oo_serializable out.Engine.history
+      && (Encyclopedia.structure enc).Encyclopedia.keys = expected_keys)
+
+let suites =
+  [
+    ( "faults",
+      [
+        Alcotest.test_case "abort storm" `Quick test_abort_storm;
+        Alcotest.test_case "buffer pool pressure" `Quick
+          test_buffer_pool_pressure;
+        Alcotest.test_case "step budget exhaustion" `Quick
+          test_step_budget_exhaustion;
+        Alcotest.test_case "restart budget exhaustion" `Quick
+          test_restart_budget_exhaustion;
+        Alcotest.test_case "Def. 12 equivalence" `Quick test_equivalence_def12;
+        Alcotest.test_case "parallel layout under edits" `Quick
+          test_parallel_layout;
+        QCheck_alcotest.to_alcotest prop_abort_storm_seeds;
+      ] );
+  ]

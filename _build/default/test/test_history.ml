@@ -1,0 +1,112 @@
+(* Unit tests for histories. *)
+
+open Ooser_core
+
+let check_bool = Alcotest.(check bool)
+let o = Obj_id.v
+
+let two_txns () =
+  let t1 =
+    Call_tree.Build.(
+      top ~n:1
+        [ call (o "C") "incr" [ call (o "P") "read" []; call (o "P") "write" [] ] ])
+  in
+  let t2 =
+    Call_tree.Build.(
+      top ~n:2
+        [ call (o "C") "incr" [ call (o "P") "read" []; call (o "P") "write" [] ] ])
+  in
+  (t1, t2)
+
+let reg = Commutativity.uniform Commutativity.all_conflict
+
+let test_serial_history () =
+  let t1, t2 = two_txns () in
+  let h = History.of_serial ~tops:[ t1; t2 ] ~commut:reg in
+  check_bool "valid" true (History.validate h = Ok ());
+  Alcotest.(check int) "order covers primitives" 4 (List.length (History.order h));
+  (* serial order: T1's primitives first *)
+  let tops_in_order = List.map Action_id.top (History.order h) in
+  Alcotest.(check (list int)) "serial" [ 1; 1; 2; 2 ] tops_in_order
+
+let test_validate_rejects () =
+  let t1, t2 = two_txns () in
+  let p1 = Action_id.v ~top:1 ~path:[ 1; 1 ] in
+  let p2 = Action_id.v ~top:1 ~path:[ 1; 2 ] in
+  let q1 = Action_id.v ~top:2 ~path:[ 1; 1 ] in
+  let q2 = Action_id.v ~top:2 ~path:[ 1; 2 ] in
+  let mk order = History.v ~tops:[ t1; t2 ] ~order ~commut:reg in
+  check_bool "missing primitive" true
+    (match History.validate (mk [ p1; p2; q1 ]) with
+    | Error _ -> true
+    | Ok () -> false);
+  check_bool "duplicate" true
+    (match History.validate (mk [ p1; p1; p2; q1; q2 ]) with
+    | Error _ -> true
+    | Ok () -> false);
+  check_bool "non-primitive in order" true
+    (match
+       History.validate (mk [ Action_id.v ~top:1 ~path:[ 1 ]; p1; p2; q1; q2 ])
+     with
+    | Error _ -> true
+    | Ok () -> false);
+  check_bool "interleaved ok" true
+    (History.validate (mk [ p1; q1; p2; q2 ]) = Ok ())
+
+let test_spans () =
+  let t1, t2 = two_txns () in
+  let p1 = Action_id.v ~top:1 ~path:[ 1; 1 ] in
+  let p2 = Action_id.v ~top:1 ~path:[ 1; 2 ] in
+  let q1 = Action_id.v ~top:2 ~path:[ 1; 1 ] in
+  let q2 = Action_id.v ~top:2 ~path:[ 1; 2 ] in
+  let h = History.v ~tops:[ t1; t2 ] ~order:[ p1; q1; p2; q2 ] ~commut:reg in
+  let spans = History.span_map h in
+  let span id = Action_id.Map.find id spans in
+  Alcotest.(check (pair int int)) "primitive span" (0, 0) (span p1);
+  Alcotest.(check (pair int int))
+    "method span" (0, 2)
+    (span (Action_id.v ~top:1 ~path:[ 1 ]));
+  Alcotest.(check (pair int int)) "root span" (1, 3) (span (Action_id.root 2));
+  Alcotest.(check (pair int int)) "q2 span" (3, 3) (span q2)
+
+let test_is_serial () =
+  let t1, t2 = two_txns () in
+  let serial = History.of_serial ~tops:[ t1; t2 ] ~commut:reg in
+  check_bool "serial order" true (History.is_serial serial);
+  let p1 = Action_id.v ~top:1 ~path:[ 1; 1 ] in
+  let p2 = Action_id.v ~top:1 ~path:[ 1; 2 ] in
+  let q1 = Action_id.v ~top:2 ~path:[ 1; 1 ] in
+  let q2 = Action_id.v ~top:2 ~path:[ 1; 2 ] in
+  let interleaved =
+    History.v ~tops:[ t1; t2 ] ~order:[ p1; q1; p2; q2 ] ~commut:reg
+  in
+  check_bool "interleaved order" false (History.is_serial interleaved);
+  (* serial flag agrees with the per-object Def. 8 verdicts: for the
+     serial run every object is serial *)
+  let v = Serializability.check serial in
+  check_bool "objects serial" true
+    (List.for_all (fun ov -> ov.Serializability.serial) v.Serializability.objects);
+  let v' = Serializability.check interleaved in
+  check_bool "some object non-serial" true
+    (List.exists
+       (fun ov -> not ov.Serializability.serial)
+       v'.Serializability.objects)
+
+let test_top_ids () =
+  let t1, t2 = two_txns () in
+  let h = History.of_serial ~tops:[ t1; t2 ] ~commut:reg in
+  Alcotest.(check (list string))
+    "top ids" [ "T1"; "T2" ]
+    (List.map Action_id.to_string (History.top_ids h))
+
+let suites =
+  [
+    ( "history",
+      [
+        Alcotest.test_case "serial history" `Quick test_serial_history;
+        Alcotest.test_case "validation rejections" `Quick test_validate_rejects;
+        Alcotest.test_case "span computation" `Quick test_spans;
+        Alcotest.test_case "is_serial (Def. 8)" `Quick test_is_serial;
+        Alcotest.test_case "top ids" `Quick test_top_ids;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+(* Unit tests for identifiers. *)
+
+open Ooser_core
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_obj_id () =
+  let o = Obj_id.v "Page4712" in
+  check_string "name" "Page4712" (Obj_id.to_string o);
+  check_bool "not virtual" false (Obj_id.is_virtual o);
+  let o1 = Obj_id.virtualize o ~rank:1 in
+  check_string "prime" "Page4712'" (Obj_id.to_string o1);
+  check_bool "virtual" true (Obj_id.is_virtual o1);
+  check_bool "original strips rank" true
+    (Obj_id.equal o (Obj_id.original o1));
+  let o2 = Obj_id.virtualize o ~rank:2 in
+  check_string "double prime" "Page4712''" (Obj_id.to_string o2);
+  check_bool "distinct ranks differ" false (Obj_id.equal o1 o2)
+
+let test_action_id_paths () =
+  let t3 = Action_id.root 3 in
+  check_string "root" "T3" (Action_id.to_string t3);
+  let a31 = Action_id.child t3 1 in
+  let a312 = Action_id.child a31 2 in
+  check_string "child" "a3.1.2" (Action_id.to_string a312);
+  check_bool "parent" true
+    (match Action_id.parent a312 with
+    | Some p -> Action_id.equal p a31
+    | None -> false);
+  check_bool "root has no parent" true (Action_id.parent t3 = None);
+  Alcotest.(check int) "depth" 2 (Action_id.depth a312);
+  check_bool "is_root" true (Action_id.is_root t3);
+  check_bool "not is_root" false (Action_id.is_root a312)
+
+let test_ancestor () =
+  let t = Action_id.root 1 in
+  let a = Action_id.child t 1 in
+  let b = Action_id.child a 3 in
+  let c = Action_id.child t 2 in
+  let check_anc name expect x y =
+    check_bool name expect (Action_id.is_proper_ancestor x y)
+  in
+  check_anc "t anc a" true t a;
+  check_anc "t anc b" true t b;
+  check_anc "a anc b" true a b;
+  check_anc "a not anc a" false a a;
+  check_anc "b not anc a" false b a;
+  check_anc "a not anc c" false a c;
+  check_anc "cross-transaction" false (Action_id.root 2) a
+
+let test_virtual_action_ids () =
+  let a = Action_id.child (Action_id.root 1) 1 in
+  let a' = Action_id.virtualize a ~rank:1 in
+  check_string "prime" "a1.1'" (Action_id.to_string a');
+  check_bool "virtual" true (Action_id.is_virtual a');
+  check_bool "devirtualize" true
+    (Action_id.equal a (Action_id.devirtualize a'));
+  check_bool "distinct from original" false (Action_id.equal a a')
+
+let test_process_id () =
+  let p = Process_id.main 4 in
+  check_string "main" "p4" (Process_id.to_string p);
+  let q = Process_id.v ~top:4 ~branch:2 in
+  check_string "branch" "p4.2" (Process_id.to_string q);
+  check_bool "distinct" false (Process_id.equal p q);
+  check_bool "same" true (Process_id.equal q (Process_id.v ~top:4 ~branch:2))
+
+let test_ordering_total () =
+  (* compare is a total order consistent with equality *)
+  let ids =
+    [
+      Action_id.root 1;
+      Action_id.child (Action_id.root 1) 1;
+      Action_id.child (Action_id.root 1) 2;
+      Action_id.root 2;
+      Action_id.virtualize (Action_id.child (Action_id.root 1) 1) ~rank:1;
+    ]
+  in
+  let sorted = List.sort Action_id.compare ids in
+  Alcotest.(check int) "no dedup" (List.length ids) (List.length sorted);
+  List.iter
+    (fun x ->
+      check_bool "reflexive" true (Action_id.compare x x = 0))
+    ids
+
+let suites =
+  [
+    ( "ids",
+      [
+        Alcotest.test_case "object ids and virtual ranks" `Quick test_obj_id;
+        Alcotest.test_case "action id paths" `Quick test_action_id_paths;
+        Alcotest.test_case "ancestor relation" `Quick test_ancestor;
+        Alcotest.test_case "virtual action ids" `Quick test_virtual_action_ids;
+        Alcotest.test_case "process ids" `Quick test_process_id;
+        Alcotest.test_case "ordering is total" `Quick test_ordering_total;
+      ] );
+  ]

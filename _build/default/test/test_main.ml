@@ -1,0 +1,38 @@
+(* Test runner: aggregates the per-area suites. *)
+
+let () =
+  Alcotest.run "ooser"
+    (List.concat
+       [
+         Test_ids.suites;
+         Test_digraph.suites;
+         Test_calltree.suites;
+         Test_commutativity.suites;
+         Test_history.suites;
+         Test_schedule.suites;
+         Test_storage.suites;
+         Test_btree.suites;
+         Test_engine.suites;
+         Test_encyclopedia.suites;
+         Test_adts.suites;
+         Test_cc.suites;
+         Test_workload.suites;
+         Test_paper.suites;
+         Test_props.suites;
+         Test_text.suites;
+         Test_parallel.suites;
+         Test_recovery.suites;
+         Test_certifier.suites;
+         Test_adt_objects.suites;
+         Test_faults.suites;
+         Test_extension.suites;
+         Test_partial_rollback.suites;
+         Test_enc_api.suites;
+         Test_report.suites;
+         Test_misc.suites;
+         Test_woundwait.suites;
+         Test_compound.suites;
+         Test_inventory.suites;
+         Test_enumerate.suites;
+         Test_matrix.suites;
+       ])

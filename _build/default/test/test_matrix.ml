@@ -1,0 +1,143 @@
+(* The correctness matrix: every protocol × every workload, seeded.
+   Locking protocols must commit everything with the right final state
+   and a checkable history; the certifier must too; the unlocked engine
+   must at least keep state consistent with what committed. *)
+
+open Ooser_core
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+let check_bool = Alcotest.(check bool)
+
+type mode = Locking of string | Certify
+
+let modes =
+  [
+    (Locking "open", `Open);
+    (Locking "flat", `Flat);
+    (Locking "closed", `Closed);
+    (Certify, `Certify);
+  ]
+
+let protocol_of db = function
+  | `Open -> (Protocol.open_nested ~reg:(Database.spec_registry db) (), false)
+  | `Flat -> (Protocol.flat_2pl ~reg:(Database.spec_registry db) (), false)
+  | `Closed -> (Protocol.closed_nested ~reg:(Database.spec_registry db) (), false)
+  | `Certify -> (Protocol.unlocked (), true)
+
+let run_mode db mode txns ~seed =
+  let protocol, certify = protocol_of db mode in
+  let config =
+    {
+      (Engine.default_config protocol) with
+      Engine.certify;
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed);
+      Engine.max_restarts = 40;
+    }
+  in
+  Engine.run ~config db ~protocol txns
+
+let test_banking_matrix () =
+  List.iter
+    (fun (label, mode) ->
+      let name =
+        match label with Locking l -> l | Certify -> "certify"
+      in
+      for seed = 1 to 3 do
+        let p = { Banking.default_params with Banking.n_txns = 5 } in
+        let db, counters = Banking.setup ~semantics:`Rw p in
+        let txns = Banking.transactions ~rng:(Rng.create ~seed) p in
+        let out = run_mode db mode txns ~seed:(seed * 11) in
+        check_bool
+          (Printf.sprintf "banking/%s/%d all committed" name seed)
+          true
+          (List.length out.Engine.committed = 5);
+        check_bool
+          (Printf.sprintf "banking/%s/%d total" name seed)
+          true
+          (Banking.total_balance counters
+          = p.Banking.accounts * p.Banking.initial);
+        check_bool
+          (Printf.sprintf "banking/%s/%d history" name seed)
+          true
+          (History.validate out.Engine.history = Ok ()
+          && Serializability.oo_serializable out.Engine.history)
+      done)
+    modes
+
+let test_encyclopedia_matrix () =
+  List.iter
+    (fun (label, mode) ->
+      let name = match label with Locking l -> l | Certify -> "certify" in
+      let seed = 21 in
+      let p =
+        {
+          Enc_workload.default_params with
+          Enc_workload.n_txns = 4;
+          ops_per_txn = 2;
+          preload = 20;
+        }
+      in
+      let db, enc, txns = Enc_workload.setup ~rng:(Rng.create ~seed) p in
+      let out = run_mode db mode txns ~seed:(seed * 3) in
+      check_bool
+        (Printf.sprintf "enc/%s committed" name)
+        true
+        (List.length out.Engine.committed = 4);
+      check_bool
+        (Printf.sprintf "enc/%s history" name)
+        true
+        (History.validate out.Engine.history = Ok ()
+        && Serializability.oo_serializable out.Engine.history);
+      (* the structure stays consistent regardless of protocol *)
+      let s = Encyclopedia.structure enc in
+      check_bool
+        (Printf.sprintf "enc/%s keys >= preload" name)
+        true
+        (s.Encyclopedia.keys >= 20))
+    modes
+
+let test_inventory_matrix () =
+  List.iter
+    (fun (label, mode) ->
+      let name = match label with Locking l -> l | Certify -> "certify" in
+      let seed = 31 in
+      let db = Database.create () in
+      let inv, txns =
+        Inventory.setup ~rng:(Rng.create ~seed) Inventory.default_params db
+      in
+      let out = run_mode db mode txns ~seed:(seed * 7) in
+      check_bool
+        (Printf.sprintf "inv/%s committed" name)
+        true
+        (List.length out.Engine.committed
+        = Inventory.default_params.Inventory.n_txns);
+      (* conservation: every accepted order moved stock into the queue *)
+      let p = Inventory.default_params in
+      let remaining =
+        List.init p.Inventory.products (Inventory.stock_level inv)
+        |> List.fold_left ( + ) 0
+      in
+      let sold = (p.Inventory.products * p.Inventory.initial_stock) - remaining in
+      check_bool
+        (Printf.sprintf "inv/%s stock moved matches queue" name)
+        true
+        (sold = p.Inventory.qty * Inventory.pending_orders inv);
+      check_bool
+        (Printf.sprintf "inv/%s serializable" name)
+        true
+        (Serializability.oo_serializable out.Engine.history))
+    modes
+
+let suites =
+  [
+    ( "matrix",
+      [
+        Alcotest.test_case "banking x protocols" `Quick test_banking_matrix;
+        Alcotest.test_case "encyclopedia x protocols" `Quick
+          test_encyclopedia_matrix;
+        Alcotest.test_case "inventory x protocols" `Quick test_inventory_matrix;
+      ] );
+  ]

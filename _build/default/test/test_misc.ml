@@ -1,0 +1,135 @@
+(* Tests for the supporting utilities: values, PRNG, distributions,
+   statistics. *)
+
+open Ooser_core
+module Rng = Ooser_sim.Rng
+module Dist = Ooser_sim.Dist
+module Stats = Ooser_sim.Stats
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_value_ordering () =
+  let vs =
+    [ Value.unit; Value.bool false; Value.int 3; Value.str "a";
+      Value.pair (Value.int 1) (Value.str "x");
+      Value.list [ Value.int 1; Value.int 2 ] ]
+  in
+  List.iter (fun v -> check_int "reflexive" 0 (Value.compare v v)) vs;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_int "antisymmetric" 0
+            (compare (Value.compare a b) (-Value.compare b a)))
+        vs)
+    vs;
+  check_bool "int order" true (Value.compare (Value.int 1) (Value.int 2) < 0);
+  check_bool "accessors" true
+    (Value.to_int (Value.int 7) = Some 7
+    && Value.to_str (Value.int 7) = None
+    && Value.to_bool (Value.bool true) = Some true)
+
+let test_value_exn_accessors () =
+  check_int "to_int_exn" 5 (Value.to_int_exn (Value.int 5));
+  check_bool "to_str_exn raises" true
+    (match Value.to_str_exn (Value.int 5) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "to_list_exn" true
+    (Value.to_list_exn (Value.list [ Value.int 1 ]) = [ Value.int 1 ])
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys;
+  let c = Rng.create ~seed:43 in
+  let zs = List.init 50 (fun _ -> Rng.int c 1000) in
+  check_bool "different seed differs" true (xs <> zs)
+
+let test_rng_ranges () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    check_bool "in range" true (x >= 0 && x < 10);
+    let f = Rng.float rng in
+    check_bool "float range" true (f >= 0.0 && f < 1.0)
+  done;
+  check_bool "bad bound" true
+    (match Rng.int rng 0 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_rng_helpers () =
+  let rng = Rng.create ~seed:9 in
+  check_bool "pick member" true (List.mem (Rng.pick rng [ 1; 2; 3 ]) [ 1; 2; 3 ]);
+  let l = [ 1; 2; 3; 4; 5 ] in
+  let s = Rng.shuffle rng l in
+  Alcotest.(check (list int)) "shuffle is a permutation" l (List.sort compare s);
+  check_bool "pick empty raises" true
+    (match Rng.pick rng [] with exception Invalid_argument _ -> true | _ -> false)
+
+let test_dist_uniform () =
+  let rng = Rng.create ~seed:11 in
+  let d = Dist.uniform 10 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let x = Dist.sample rng d in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (c > 700 && c < 1300))
+    counts
+
+let test_dist_zipf_skew () =
+  let rng = Rng.create ~seed:13 in
+  let d = Dist.zipf ~theta:1.0 100 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let x = Dist.sample rng d in
+    counts.(x) <- counts.(x) + 1
+  done;
+  check_bool "head heavier than tail" true (counts.(0) > 10 * counts.(99));
+  check_bool "head heavier than middle" true (counts.(0) > 2 * counts.(9))
+
+let test_stats () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 6.0 ];
+  check_int "count" 3 (Stats.count s);
+  check_bool "mean" true (abs_float (Stats.mean s -. 4.0) < 1e-9);
+  check_bool "min/max" true
+    (Stats.min_value s = 2.0 && Stats.max_value s = 6.0);
+  check_bool "variance" true
+    (abs_float (Stats.variance s -. (8.0 /. 3.0)) < 1e-9);
+  let t = Stats.create () in
+  Stats.add_int t 10;
+  let m = Stats.merge s t in
+  check_int "merged count" 4 (Stats.count m);
+  check_bool "merged max" true (Stats.max_value m = 10.0)
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "a";
+  Stats.Counter.incr c "a";
+  Stats.Counter.incr ~by:5 c "b";
+  check_int "a" 2 (Stats.Counter.get c "a");
+  check_int "b" 5 (Stats.Counter.get c "b");
+  check_int "absent" 0 (Stats.Counter.get c "zzz");
+  Alcotest.(check (list (pair string int)))
+    "to_list sorted" [ ("a", 2); ("b", 5) ]
+    (Stats.Counter.to_list c)
+
+let suites =
+  [
+    ( "misc",
+      [
+        Alcotest.test_case "value ordering" `Quick test_value_ordering;
+        Alcotest.test_case "value accessors" `Quick test_value_exn_accessors;
+        Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+        Alcotest.test_case "rng helpers" `Quick test_rng_helpers;
+        Alcotest.test_case "uniform distribution" `Quick test_dist_uniform;
+        Alcotest.test_case "zipf skew" `Quick test_dist_zipf_skew;
+        Alcotest.test_case "streaming stats" `Quick test_stats;
+        Alcotest.test_case "counters" `Quick test_counter;
+      ] );
+  ]

@@ -1,0 +1,370 @@
+(* The paper's own worked examples, reproduced exactly with the paper's
+   object names: Example 1 / Fig. 4, Example 2 / Fig. 5, Example 3 /
+   Fig. 6, Example 4 / Figs. 7-8.  These are the ground truth the
+   implementation must match. *)
+
+open Ooser_core
+
+let check_bool = Alcotest.(check bool)
+let o = Obj_id.v
+let aid top path = Ids.Action_id.v ~top ~path
+
+(* Commutativity of the encyclopedia objects, per §2 and Example 1. *)
+let paper_registry =
+  let keyed_insert_search =
+    Commutativity.by_key ~key_of:Commutativity.first_arg
+      (Commutativity.predicate ~name:"keyed" (fun a b ->
+           match (Action.meth a, Action.meth b) with
+           | "search", "search" -> true
+           | _ -> false))
+  in
+  let enc_spec =
+    Commutativity.predicate ~name:"enc" (fun a b ->
+        match (Action.meth a, Action.meth b) with
+        | "readSeq", "readSeq" -> true
+        | "readSeq", _ | _, "readSeq" -> false
+        | _ -> Commutativity.test keyed_insert_search a b)
+  in
+  let linkedlist_spec =
+    Commutativity.predicate ~name:"linkedlist" (fun a b ->
+        match (Action.meth a, Action.meth b) with
+        | "append", "append" -> true
+        | _ -> false)
+  in
+  Commutativity.fixed
+    [
+      ("Page4712",
+       Commutativity.rw ~reads:[ "read" ] ~writes:[ "readx"; "write"; "insert" ]);
+      ("Leaf11", keyed_insert_search);
+      ("BpTree", keyed_insert_search);
+      ("Item8", Commutativity.rw ~reads:[ "read" ] ~writes:[ "create"; "update" ]);
+      ("Item9", Commutativity.rw ~reads:[ "read" ] ~writes:[ "create"; "update" ]);
+      ("LinkedList", linkedlist_spec);
+      ("Enc", enc_spec);
+    ]
+
+let k s = [ Value.str s ]
+
+(* -- Example 1 / Fig. 4 -------------------------------------------------------- *)
+
+(* T: Enc.insert(key) -> BpTree.insert(key) -> Leaf11.insert(key) ->
+   Page4712.readx; Page4712.write *)
+let insert_txn n key =
+  Call_tree.Build.(
+    top ~n
+      [
+        call (o "Enc") "insert" ~args:(k key)
+          [
+            call (o "BpTree") "insert" ~args:(k key)
+              [
+                call (o "Leaf11") "insert" ~args:(k key)
+                  [
+                    call (o "Page4712") "readx" [];
+                    call (o "Page4712") "write" [];
+                  ];
+              ];
+          ];
+      ])
+
+let search_txn n key =
+  Call_tree.Build.(
+    top ~n
+      [
+        call (o "Enc") "search" ~args:(k key)
+          [
+            call (o "BpTree") "search" ~args:(k key)
+              [
+                call (o "Leaf11") "search" ~args:(k key)
+                  [ call (o "Page4712") "read" [] ];
+              ];
+          ];
+      ])
+
+(* leaf-level page actions of the insert transaction [n] *)
+let ins_pages n = [ aid n [ 1; 1; 1; 1 ]; aid n [ 1; 1; 1; 2 ] ]
+let search_page n = [ aid n [ 1; 1; 1; 1 ] ]
+
+let test_example1_different_keys () =
+  (* T1 inserts DBMS, T2 inserts DBS; their page operations conflict on
+     Page4712 but the leaf-level inserts commute: the dependency is noted
+     at Leaf11 and inherited no further (Fig. 4, left). *)
+  let t1 = insert_txn 1 "DBMS" and t2 = insert_txn 2 "DBS" in
+  let h =
+    History.v ~tops:[ t1; t2 ]
+      ~order:(ins_pages 1 @ ins_pages 2)
+      ~commut:paper_registry
+  in
+  check_bool "well-formed" true (History.validate h = Ok ());
+  let sched = Schedule.compute h in
+  let page = Schedule.find_exn sched (o "Page4712") in
+  check_bool "dependency at Page4712" true
+    (Action.Rel.mem (aid 1 [ 1; 1; 1; 2 ]) (aid 2 [ 1; 1; 1; 1 ])
+       page.Schedule.txn_dep
+    || Action.Rel.cardinal page.Schedule.txn_dep > 0);
+  (* the transaction dependency at the page is between the two leaf
+     inserts *)
+  check_bool "inherited to Leaf11 actions" true
+    (Action.Rel.mem (aid 1 [ 1; 1; 1 ]) (aid 2 [ 1; 1; 1 ]) page.Schedule.txn_dep);
+  let leaf = Schedule.find_exn sched (o "Leaf11") in
+  check_bool "noted as action dependency at Leaf11" true
+    (Action.Rel.mem (aid 1 [ 1; 1; 1 ]) (aid 2 [ 1; 1; 1 ]) leaf.Schedule.act_dep);
+  (* the inserts commute: inheritance stops, nothing at BpTree *)
+  check_bool "no transaction dependency at Leaf11" true
+    (Action.Rel.is_empty leaf.Schedule.txn_dep);
+  let bptree = Schedule.find_exn sched (o "BpTree") in
+  check_bool "nothing at BpTree" true
+    (Action.Rel.is_empty bptree.Schedule.txn_dep
+    && Action.Rel.is_empty bptree.Schedule.act_dep);
+  check_bool "oo-serializable" true
+    (Serializability.check h).Serializability.oo_serializable
+
+let test_example1_same_key () =
+  (* T3 inserts DBS, T4 searches DBS: the page dependency is inherited all
+     the way to the top-level transactions (Fig. 4, right). *)
+  let t3 = insert_txn 3 "DBS" and t4 = search_txn 4 "DBS" in
+  let h =
+    History.v ~tops:[ t3; t4 ]
+      ~order:(ins_pages 3 @ search_page 4)
+      ~commut:paper_registry
+  in
+  let sched = Schedule.compute h in
+  let leaf = Schedule.find_exn sched (o "Leaf11") in
+  check_bool "conflict at Leaf11 inherited" true
+    (Action.Rel.mem (aid 3 [ 1; 1 ]) (aid 4 [ 1; 1 ]) leaf.Schedule.txn_dep);
+  let bptree = Schedule.find_exn sched (o "BpTree") in
+  check_bool "conflict at BpTree inherited" true
+    (Action.Rel.mem (aid 3 [ 1 ]) (aid 4 [ 1 ]) bptree.Schedule.txn_dep);
+  let enc = Schedule.find_exn sched (o "Enc") in
+  check_bool "dependency reaches the tops" true
+    (Action.Rel.mem (aid 3 []) (aid 4 []) enc.Schedule.txn_dep);
+  let v = Serializability.check h in
+  check_bool "oo-serializable" true v.Serializability.oo_serializable;
+  check_bool "witness T3 before T4" true
+    (v.Serializability.witness = Some [ aid 3 []; aid 4 [] ])
+
+(* -- Example 2 / Fig. 5: the shape of an oo-transaction ------------------------- *)
+
+let test_example2_tree_shape () =
+  let t =
+    Call_tree.Build.(
+      top ~n:1
+        [
+          call (o "O1") "a1"
+            [
+              call (o "O2") "a11"
+                [ call (o "O3") "a111" []; call (o "O3") "a112" [] ];
+              call (o "O1") "a12" [];
+            ];
+          call (o "O4") "a2" [ call (o "O5") "a21" [] ];
+        ])
+  in
+  check_bool "valid" true (Call_tree.validate t = Ok ());
+  Alcotest.(check int) "primitive count" 4 (List.length (Call_tree.primitives t));
+  (* precedence: a11 before a12 (left-to-right order of arcs) *)
+  let pairs = Call_tree.program_order_pairs t in
+  check_bool "a111 precedes a112" true
+    (List.exists
+       (fun (x, y) ->
+         Ids.Action_id.equal x (aid 1 [ 1; 1; 1 ])
+         && Ids.Action_id.equal y (aid 1 [ 1; 1; 2 ]))
+       pairs)
+
+(* -- Example 3 / Fig. 6: breaking the call cycle --------------------------------- *)
+
+let test_example3_extension () =
+  (* a11 on O1 calls (indirectly) a112 on O1: the extension moves a112 to
+     the virtual object O1' and duplicates the other O1 actions there *)
+  let t1 =
+    Call_tree.Build.(
+      top ~n:1
+        [
+          call (o "O1") "a1"
+            [ call (o "O2") "a11" [ call (o "O1") "a112" [] ] ];
+        ])
+  in
+  let t2 =
+    Call_tree.Build.(top ~n:2 [ call (o "O1") "b" [] ])
+  in
+  let h =
+    History.v ~tops:[ t1; t2 ]
+      ~order:[ aid 1 [ 1; 1; 1 ]; aid 2 [ 1 ] ]
+      ~commut:(Commutativity.uniform Commutativity.all_conflict)
+  in
+  let ext = Extension.extend h in
+  let v_o1 = Obj_id.virtualize (o "O1") ~rank:1 in
+  check_bool "O1' created" true
+    (List.exists (Obj_id.equal v_o1) (Extension.virtual_objects ext));
+  let acts = Extension.acts_of ext v_o1 in
+  check_bool "a112 moved to O1'" true (Ids.Action_id.Set.mem (aid 1 [ 1; 1; 1 ]) acts);
+  check_bool "a112 no longer on O1" true
+    (not (Ids.Action_id.Set.mem (aid 1 [ 1; 1; 1 ]) (Extension.acts_of ext (o "O1"))));
+  (* T2's action b is virtually duplicated onto O1', called by b *)
+  let b' = Ids.Action_id.virtualize (aid 2 [ 1 ]) ~rank:1 in
+  check_bool "b duplicated as b'" true (Ids.Action_id.Set.mem b' acts);
+  check_bool "b' called by b" true
+    (Extension.caller_of ext b' = Some (aid 2 [ 1 ]));
+  (* the dependency between a112 and b' at O1' is inherited to O1 via the
+     call edge: the whole history is still oo-serializable *)
+  check_bool "oo-serializable" true (Serializability.oo_serializable h)
+
+(* -- Example 4 / Figs. 7-8 -------------------------------------------------------- *)
+
+(* T1: Enc.insert(DBMS)   = BpTree path + Item8.create + LinkedList.append
+   T2: Enc.update(DBMS)   = BpTree.search path + Item8.update
+   T3: Enc.insert(DBS)    = BpTree path + Item9.create + LinkedList.append
+   T4: Enc.readSeq        = LinkedList.readSeq -> Item8.read, Item9.read
+
+   Item data are co-located with the leaf entries on Page4712 (Fig. 7). *)
+let example4_trees () =
+  let open Call_tree.Build in
+  let t1 =
+    top ~n:1
+      [
+        call (o "Enc") "insert" ~args:(k "DBMS")
+          [
+            call (o "BpTree") "insert" ~args:(k "DBMS")
+              [
+                call (o "Leaf11") "insert" ~args:(k "DBMS")
+                  [ call (o "Page4712") "readx" []; call (o "Page4712") "write" [] ];
+              ];
+            call (o "Item8") "create" [ call (o "Page4712") "insert" [] ];
+            call (o "LinkedList") "append" [];
+          ];
+      ]
+  in
+  let t2 =
+    top ~n:2
+      [
+        call (o "Enc") "update" ~args:(k "DBMS")
+          [
+            call (o "BpTree") "search" ~args:(k "DBMS")
+              [
+                call (o "Leaf11") "search" ~args:(k "DBMS")
+                  [ call (o "Page4712") "read" [] ];
+              ];
+            call (o "Item8") "update" [ call (o "Page4712") "write" [] ];
+          ];
+      ]
+  in
+  let t3 =
+    top ~n:3
+      [
+        call (o "Enc") "insert" ~args:(k "DBS")
+          [
+            call (o "BpTree") "insert" ~args:(k "DBS")
+              [
+                call (o "Leaf11") "insert" ~args:(k "DBS")
+                  [ call (o "Page4712") "readx" []; call (o "Page4712") "write" [] ];
+              ];
+            call (o "Item9") "create" [ call (o "Page4712") "insert" [] ];
+            call (o "LinkedList") "append" [];
+          ];
+      ]
+  in
+  let t4 =
+    top ~n:4
+      [
+        call (o "Enc") "readSeq"
+          [
+            call (o "LinkedList") "readSeq"
+              [
+                call (o "Item8") "read" [ call (o "Page4712") "read" [] ];
+                call (o "Item9") "read" [ call (o "Page4712") "read" [] ];
+              ];
+          ];
+      ]
+  in
+  (t1, t2, t3, t4)
+
+let serial_order tops = List.concat_map History.serial_primitives tops
+
+let test_example4_dependency_table () =
+  (* Fig. 8: where each dependency is recorded, run serially T1 T2 T3 T4 *)
+  let t1, t2, t3, t4 = example4_trees () in
+  let tops = [ t1; t2; t3; t4 ] in
+  let h = History.v ~tops ~order:(serial_order tops) ~commut:paper_registry in
+  check_bool "well-formed" true (History.validate h = Ok ());
+  let sched = Schedule.compute h in
+  let dep obj x y =
+    Action.Rel.mem x y (Schedule.find_exn sched (o obj)).Schedule.txn_dep
+  in
+  (* Leaf11: insert(DBMS)1 -> search(DBMS)2 recorded (same key);
+     insert(DBMS)1 vs insert(DBS)3 NOT recorded (commute) *)
+  check_bool "Leaf11: T1 insert vs T2 search" true
+    (dep "Leaf11" (aid 1 [ 1; 1 ]) (aid 2 [ 1; 1 ]));
+  check_bool "Leaf11: inserts of different keys stop" false
+    (dep "Leaf11" (aid 1 [ 1; 1 ]) (aid 3 [ 1; 1 ]));
+  (* BpTree: insert(DBMS)1 -> search(DBMS)2 *)
+  check_bool "BpTree: T1 vs T2" true (dep "BpTree" (aid 1 [ 1 ]) (aid 2 [ 1 ]));
+  (* Enc: T1 -> T2 (same key), T1 -> readSeq, T3 -> readSeq; T1 vs T3 free *)
+  check_bool "Enc: T1 -> T2" true (dep "Enc" (aid 1 []) (aid 2 []));
+  check_bool "Enc: T1 -> readSeq(T4)" true (dep "Enc" (aid 1 []) (aid 4 []));
+  check_bool "Enc: T3 -> readSeq(T4)" true (dep "Enc" (aid 3 []) (aid 4 []));
+  check_bool "Enc: T1 vs T3 commute" false (dep "Enc" (aid 1 []) (aid 3 []));
+  (* LinkedList: appends commute, readSeq depends on both *)
+  check_bool "LinkedList: T1 append -> T4 readSeq" true
+    (dep "LinkedList" (aid 1 [ 1 ]) (aid 4 [ 1 ]));
+  check_bool "LinkedList: appends commute" false
+    (dep "LinkedList" (aid 1 [ 1 ]) (aid 3 [ 1 ]));
+  (* Item8: the update(T2) / read(T4) dependency relates callers on
+     different objects (Enc.update vs LinkedList.readSeq): recorded as an
+     ADDED dependency at both Enc and LinkedList (Def. 15) *)
+  check_bool "Item8: T2 update -> T4 read" true
+    (dep "Item8" (aid 2 [ 1 ]) (aid 4 [ 1; 1 ]));
+  let added obj x y =
+    Action.Rel.mem x y (Schedule.find_exn sched (o obj)).Schedule.added_dep
+  in
+  check_bool "added at Enc" true (added "Enc" (aid 2 [ 1 ]) (aid 4 [ 1; 1 ]));
+  check_bool "added at LinkedList" true
+    (added "LinkedList" (aid 2 [ 1 ]) (aid 4 [ 1; 1 ]));
+  (* serial execution: everything is consistent *)
+  let v = Serializability.check h in
+  check_bool "oo-serializable" true v.Serializability.oo_serializable;
+  check_bool "conventional too (serial)" true
+    (Baselines.conventional_serializable h)
+
+let test_example4_crossing_interleaving () =
+  (* the headline: an interleaving whose page-level conflicts cross
+     (T1 before T3 on the leaf, T3 before T1 on the item slots) is
+     conventionally NOT serializable but IS oo-serializable, because both
+     crossings happen under commuting callers *)
+  let t1, _, t3, _ = example4_trees () in
+  let order =
+    [
+      (* T1 leaf pages first *)
+      aid 1 [ 1; 1; 1; 1 ]; aid 1 [ 1; 1; 1; 2 ];
+      (* T3 leaf pages *)
+      aid 3 [ 1; 1; 1; 1 ]; aid 3 [ 1; 1; 1; 2 ];
+      (* T3 item insert BEFORE T1's *)
+      aid 3 [ 1; 2; 1 ]; aid 3 [ 1; 3 ];
+      aid 1 [ 1; 2; 1 ]; aid 1 [ 1; 3 ];
+    ]
+  in
+  let h = History.v ~tops:[ t1; t3 ] ~order ~commut:paper_registry in
+  check_bool "well-formed" true (History.validate h = Ok ());
+  check_bool "conventionally rejected" false
+    (Baselines.conventional_serializable h);
+  check_bool "oo-serializable" true (Serializability.oo_serializable h);
+  (* and the conflicting-access count at top level is zero *)
+  Alcotest.(check int)
+    "no top-level conflicts" 0
+    (Baselines.conflict_pairs h `Oo)
+
+let suites =
+  [
+    ( "paper",
+      [
+        Alcotest.test_case "Example 1 / Fig. 4: different keys stop at Leaf11"
+          `Quick test_example1_different_keys;
+        Alcotest.test_case "Example 1 / Fig. 4: same key reaches the top" `Quick
+          test_example1_same_key;
+        Alcotest.test_case "Example 2 / Fig. 5: transaction tree" `Quick
+          test_example2_tree_shape;
+        Alcotest.test_case "Example 3 / Fig. 6: virtual objects" `Quick
+          test_example3_extension;
+        Alcotest.test_case "Example 4 / Fig. 8: dependency table" `Quick
+          test_example4_dependency_table;
+        Alcotest.test_case "Example 4 / Fig. 7: crossing interleaving" `Quick
+          test_example4_crossing_interleaving;
+      ] );
+  ]

@@ -1,0 +1,187 @@
+(* Cross-cutting property tests tying the checkers, the protocols and the
+   engine together:
+
+   - serial histories satisfy every criterion;
+   - conventional serializability implies oo-serializability (the paper's
+     "lower rate of conflicting accesses" direction: oo accepts a
+     superset);
+   - multi-level serializability and oo-serializability agree on the
+     layered systems the generator produces;
+   - histories produced by the open-nested protocol are always
+     oo-serializable; histories produced by flat 2PL are always
+     conventionally serializable (and hence oo-serializable). *)
+
+open Ooser_core
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+let params ~n_txns ~p_commute =
+  {
+    Random_schedules.default_params with
+    Random_schedules.n_txns;
+    p_commute;
+  }
+
+let gen_seed = QCheck2.Gen.int_range 1 1_000_000
+
+let prop_serial_accepted =
+  QCheck2.Test.make ~name:"serial histories accepted by all criteria" ~count:100
+    gen_seed (fun seed ->
+      let p = params ~n_txns:3 ~p_commute:0.5 in
+      let tops, commut = Random_schedules.system ~seed p in
+      let h = History.of_serial ~tops ~commut in
+      Serializability.oo_serializable h
+      && Baselines.conventional_serializable h
+      && Baselines.multilevel_serializable h)
+
+let prop_conventional_implies_oo =
+  QCheck2.Test.make ~name:"conventional-SR implies oo-SR" ~count:150 gen_seed
+    (fun seed ->
+      let p = params ~n_txns:3 ~p_commute:0.4 in
+      let h = Random_schedules.history ~seed p in
+      (not (Baselines.conventional_serializable h))
+      || Serializability.oo_serializable h)
+
+let prop_multilevel_included =
+  (* the paper's claim: "object-oriented serializability includes
+     multi-layer serializability" — every ml-serializable layered history
+     is oo-serializable; oo may accept strictly more because commuting
+     objects stop the inheritance at every object, not per level *)
+  QCheck2.Test.make ~name:"multilevel-SR implies oo-SR on layered systems"
+    ~count:150 gen_seed (fun seed ->
+      let p = params ~n_txns:3 ~p_commute:0.3 in
+      let h = Random_schedules.history ~seed p in
+      Baselines.is_layered h
+      && ((not (Baselines.multilevel_serializable h))
+         || Serializability.oo_serializable h))
+
+let prop_conventional_implies_multilevel =
+  QCheck2.Test.make ~name:"conventional-SR implies multilevel-SR" ~count:150
+    gen_seed (fun seed ->
+      let p = params ~n_txns:3 ~p_commute:0.3 in
+      let h = Random_schedules.history ~seed p in
+      (not (Baselines.conventional_serializable h))
+      || Baselines.multilevel_serializable h)
+
+let prop_commutativity_monotone =
+  (* more commutativity never turns an accepted schedule into a rejected
+     one: the sampled pair_commutes is threshold-monotone in p_commute, so
+     dependencies only shrink *)
+  QCheck2.Test.make ~name:"oo acceptance is monotone in commutativity"
+    ~count:100 gen_seed (fun seed ->
+      let mk p_commute =
+        let p = params ~n_txns:3 ~p_commute in
+        let tops, commut = Random_schedules.system ~seed p in
+        let rng = Rng.create ~seed:(seed * 7) in
+        History.v ~tops
+          ~order:(Random_schedules.random_order rng tops)
+          ~commut
+      in
+      let low = mk 0.2 and high = mk 0.8 in
+      (not (Serializability.oo_serializable low))
+      || Serializability.oo_serializable high)
+
+let prop_oo_witness_exists =
+  QCheck2.Test.make ~name:"accepted schedules have a serial witness" ~count:100
+    gen_seed (fun seed ->
+      let p = params ~n_txns:4 ~p_commute:0.6 in
+      let h = Random_schedules.history ~seed p in
+      let v = Serializability.check h in
+      (not v.Serializability.oo_serializable)
+      || (match v.Serializability.witness with
+         | Some w -> List.length w = 4
+         | None -> false))
+
+(* -- protocol-produced histories --------------------------------------------- *)
+
+let run_banking ~semantics ~protocol_of ~seed =
+  let p = { Banking.default_params with Banking.n_txns = 5 } in
+  let db, counters = Banking.setup ~semantics p in
+  let rng = Rng.create ~seed in
+  let txns = Banking.transactions ~rng p in
+  let protocol = protocol_of (Database.spec_registry db) in
+  let config =
+    {
+      (Engine.default_config protocol) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:(seed + 1));
+    }
+  in
+  let out = Engine.run ~config db ~protocol txns in
+  (out, counters, p)
+
+let prop_open_nested_histories_oo_serializable =
+  QCheck2.Test.make ~name:"open-nested protocol output is oo-serializable"
+    ~count:40 gen_seed (fun seed ->
+      let out, counters, p =
+        run_banking ~semantics:`Rw
+          ~protocol_of:(fun reg -> Protocol.open_nested ~reg ())
+          ~seed
+      in
+      History.validate out.Engine.history = Ok ()
+      && Serializability.oo_serializable out.Engine.history
+      && Banking.total_balance counters = p.Banking.accounts * p.Banking.initial)
+
+let prop_flat_histories_conventional =
+  QCheck2.Test.make ~name:"flat 2PL output is conventionally serializable"
+    ~count:40 gen_seed (fun seed ->
+      let out, _, _ =
+        run_banking ~semantics:`Rw
+          ~protocol_of:(fun reg -> Protocol.flat_2pl ~reg ())
+          ~seed
+      in
+      Baselines.conventional_serializable out.Engine.history
+      && Serializability.oo_serializable out.Engine.history)
+
+let prop_escrow_protocol_safe =
+  QCheck2.Test.make ~name:"escrow semantics never corrupt the total" ~count:40
+    gen_seed (fun seed ->
+      let out, counters, p =
+        run_banking ~semantics:`Escrow
+          ~protocol_of:(fun reg -> Protocol.open_nested ~reg ())
+          ~seed
+      in
+      ignore out;
+      Banking.total_balance counters = p.Banking.accounts * p.Banking.initial)
+
+let prop_enc_open_nested_oo =
+  QCheck2.Test.make ~name:"encyclopedia under open nesting is oo-serializable"
+    ~count:15 gen_seed (fun seed ->
+      let rng = Rng.create ~seed in
+      let p =
+        {
+          Enc_workload.default_params with
+          Enc_workload.n_txns = 4;
+          ops_per_txn = 3;
+          preload = 20;
+        }
+      in
+      let db, _enc, txns = Enc_workload.setup ~rng p in
+      let protocol = Protocol.open_nested ~reg:(Database.spec_registry db) () in
+      let config =
+        {
+          (Engine.default_config protocol) with
+          Engine.strategy = Engine.Random_pick (Rng.create ~seed:(seed * 3));
+        }
+      in
+      let out = Engine.run ~config db ~protocol txns in
+      History.validate out.Engine.history = Ok ()
+      && Serializability.oo_serializable out.Engine.history)
+
+let suites =
+  [
+    ( "properties",
+      [
+        QCheck_alcotest.to_alcotest prop_serial_accepted;
+        QCheck_alcotest.to_alcotest prop_conventional_implies_oo;
+        QCheck_alcotest.to_alcotest prop_multilevel_included;
+        QCheck_alcotest.to_alcotest prop_conventional_implies_multilevel;
+        QCheck_alcotest.to_alcotest prop_commutativity_monotone;
+        QCheck_alcotest.to_alcotest prop_oo_witness_exists;
+        QCheck_alcotest.to_alcotest prop_open_nested_histories_oo_serializable;
+        QCheck_alcotest.to_alcotest prop_flat_histories_conventional;
+        QCheck_alcotest.to_alcotest prop_escrow_protocol_safe;
+        QCheck_alcotest.to_alcotest prop_enc_open_nested_oo;
+      ] );
+  ]

@@ -1,0 +1,113 @@
+(* Tests for the explanation/report machinery: provenance of dependency
+   edges and cycle explanations. *)
+
+open Ooser_core
+open Ooser_workload
+
+let check_bool = Alcotest.(check bool)
+let o = Obj_id.v
+let aid top path = Ids.Action_id.v ~top ~path
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_provenance_sources () =
+  let h = Paper_examples.example1_same_key () in
+  let sched = Schedule.compute h in
+  (* page level: Axiom 1 *)
+  let page = Schedule.find_exn sched (o "Page4712") in
+  check_bool "page edge is Axiom1" true
+    (Action.Pair_map.find_opt
+       (aid 3 [ 1; 1; 1; 1 ], aid 4 [ 1; 1; 1; 1 ])
+       page.Schedule.act_src
+    = Some Schedule.Axiom1);
+  (* leaf level: inherited from the page *)
+  let leaf = Schedule.find_exn sched (o "Leaf11") in
+  check_bool "leaf edge inherited from page" true
+    (Action.Pair_map.find_opt
+       (aid 3 [ 1; 1; 1 ], aid 4 [ 1; 1; 1 ])
+       leaf.Schedule.act_src
+    = Some (Schedule.Inherited (o "Page4712")));
+  (* the witness of the page-level txn dep is the page action pair *)
+  check_bool "witness recorded" true
+    (Action.Pair_map.find_opt
+       (aid 3 [ 1; 1; 1 ], aid 4 [ 1; 1; 1 ])
+       page.Schedule.txn_src
+    = Some (aid 3 [ 1; 1; 1; 1 ], aid 4 [ 1; 1; 1; 1 ]))
+
+let test_program_order_source () =
+  let t =
+    Call_tree.Build.(
+      top ~n:1 [ call (o "A") "x" []; call (o "A") "y" [] ])
+  in
+  let h =
+    History.of_serial ~tops:[ t ]
+      ~commut:(Commutativity.uniform Commutativity.all_commute)
+  in
+  let sched = Schedule.compute h in
+  let a = Schedule.find_exn sched (o "A") in
+  check_bool "program order source" true
+    (Action.Pair_map.find_opt (aid 1 [ 1 ], aid 1 [ 2 ]) a.Schedule.act_src
+    = Some Schedule.Program_order)
+
+let test_explain_accepted () =
+  let h = Paper_examples.example1_different_keys () in
+  let text = Report.explain h in
+  check_bool "mentions serializable" true (contains text "oo-serializable: true");
+  check_bool "mentions Page4712" true (contains text "Page4712")
+
+let test_explain_rejected_lost_update () =
+  (* the lost-update page interleaving: the explanation names the cycle
+     and traces it to Axiom 1 *)
+  let reg =
+    Commutativity.fixed
+      [ ("P", Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ]);
+        ("C", Commutativity.of_commute_matrix ~name:"c" [ ("incr", "incr") ]) ]
+  in
+  let tree n =
+    Call_tree.Build.(
+      top ~n [ call (o "C") "incr" [ call (o "P") "read" []; call (o "P") "write" [] ] ])
+  in
+  let order =
+    [ aid 1 [ 1; 1 ]; aid 2 [ 1; 1 ]; aid 1 [ 1; 2 ]; aid 2 [ 1; 2 ] ]
+  in
+  let h = History.v ~tops:[ tree 1; tree 2 ] ~order ~commut:reg in
+  let text = Report.explain h in
+  check_bool "rejected" true (contains text "oo-serializable: false");
+  check_bool "names the culprit object" true (contains text "NOT oo-serializable");
+  check_bool "shows a cycle" true (contains text "cycle at");
+  check_bool "traces to Axiom 1" true (contains text "Axiom 1")
+
+let test_explain_inheritance_chain () =
+  (* same-key Example 1: the top-level dependency explanation descends
+     Enc -> BpTree -> Leaf11 -> Page4712 *)
+  let h = Paper_examples.example1_same_key () in
+  let sched = Schedule.compute h in
+  let text =
+    Fmt.str "%t" (fun ppf ->
+        Fmt.pf ppf "@[<v>";
+        Report.explain_edge sched (o "Enc")
+          (aid 3 [ 1 ], aid 4 [ 1 ])
+          ~depth:0 ppf;
+        Fmt.pf ppf "@]")
+  in
+  check_bool "mentions BpTree" true (contains text "BpTree");
+  check_bool "mentions Leaf11" true (contains text "Leaf11");
+  check_bool "mentions Page4712" true (contains text "Page4712");
+  check_bool "roots at Axiom 1" true (contains text "Axiom 1")
+
+let suites =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "provenance sources" `Quick test_provenance_sources;
+        Alcotest.test_case "program order source" `Quick test_program_order_source;
+        Alcotest.test_case "explain accepted history" `Quick test_explain_accepted;
+        Alcotest.test_case "explain rejected history" `Quick
+          test_explain_rejected_lost_update;
+        Alcotest.test_case "inheritance chain explanation" `Quick
+          test_explain_inheritance_chain;
+      ] );
+  ]

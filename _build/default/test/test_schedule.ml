@@ -1,0 +1,341 @@
+(* Integration tests for the schedule computation and the oo-serializability
+   checker (Defs. 6-16). *)
+
+open Ooser_core
+
+let check_bool = Alcotest.(check bool)
+let o = Obj_id.v
+let aid top path = Action_id.v ~top ~path
+
+(* Registry used throughout: pages have read/write semantics, the counter
+   object C has commuting increments, object D conflicts on everything. *)
+let page_rw = Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ]
+
+let reg =
+  Commutativity.fixed
+    [
+      ("PC", page_rw);
+      ("PD", page_rw);
+      ("C", Commutativity.of_commute_matrix ~name:"counter" [ ("incr", "incr") ]);
+      ("D", Commutativity.all_conflict);
+    ]
+
+(* T1: C.incr; D.set -- T2: D.set; C.incr, each method reading and writing
+   its page. *)
+let t1 () =
+  Call_tree.Build.(
+    top ~n:1
+      [
+        call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ];
+        call (o "D") "set" [ call (o "PD") "read" []; call (o "PD") "write" [] ];
+      ])
+
+let t2 () =
+  Call_tree.Build.(
+    top ~n:2
+      [
+        call (o "D") "set" [ call (o "PD") "read" []; call (o "PD") "write" [] ];
+        call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ];
+      ])
+
+(* The interleaving where the counter increments execute in the order
+   T1 then T2 but the D.sets in the order T2 then T1.  Conventionally this
+   is a serialization-graph cycle; with open nesting the commuting
+   increments stop the inheritance, so only T2 -> T1 survives. *)
+let crossing_history () =
+  let order =
+    [
+      aid 1 [ 1; 1 ]; aid 1 [ 1; 2 ];  (* T1: C.incr pages *)
+      aid 2 [ 1; 1 ]; aid 2 [ 1; 2 ];  (* T2: D.set pages *)
+      aid 1 [ 2; 1 ]; aid 1 [ 2; 2 ];  (* T1: D.set pages *)
+      aid 2 [ 2; 1 ]; aid 2 [ 2; 2 ];  (* T2: C.incr pages *)
+    ]
+  in
+  History.v ~tops:[ t1 (); t2 () ] ~order ~commut:reg
+
+let test_headline_open_nesting_wins () =
+  let h = crossing_history () in
+  check_bool "well-formed" true (History.validate h = Ok ());
+  check_bool "conventionally NOT serializable" false
+    (Baselines.conventional_serializable h);
+  let v = Serializability.check h in
+  check_bool "oo-serializable" true v.Serializability.oo_serializable;
+  (* and the witness orders T2 before T1, following the D conflict *)
+  match v.Serializability.witness with
+  | Some [ x; y ] ->
+      check_bool "witness is T2 T1" true
+        (Action_id.equal x (Action_id.root 2) && Action_id.equal y (Action_id.root 1))
+  | _ -> Alcotest.fail "expected a two-transaction witness"
+
+let test_dependency_stops_at_commuting_level () =
+  let h = crossing_history () in
+  let sched = Schedule.compute h in
+  (* at the page PC there is a transaction dependency between the incrs *)
+  let pc = Schedule.find_exn sched (o "PC") in
+  check_bool "txn dep at PC" true
+    (Action.Rel.mem (aid 1 [ 1 ]) (aid 2 [ 2 ]) pc.Schedule.txn_dep);
+  (* it becomes an action dependency at C ... *)
+  let c = Schedule.find_exn sched (o "C") in
+  check_bool "act dep at C inherited" true
+    (Action.Rel.mem (aid 1 [ 1 ]) (aid 2 [ 2 ]) c.Schedule.act_dep);
+  (* ... but the increments commute, so no transaction dependency at C *)
+  check_bool "txn dep at C empty" true
+    (Action.Rel.is_empty c.Schedule.txn_dep);
+  (* whereas at D the conflict propagates to the top-level transactions *)
+  let d = Schedule.find_exn sched (o "D") in
+  check_bool "txn dep at D reaches tops" true
+    (Action.Rel.mem (Action_id.root 2) (Action_id.root 1) d.Schedule.txn_dep)
+
+(* Lost update: the two increments' page operations interleave
+   r1 r2 w1 w2.  The page-level transaction dependency relation is cyclic:
+   the schedule must be rejected even though increments commute. *)
+let test_lost_update_rejected () =
+  let t1 =
+    Call_tree.Build.(
+      top ~n:1
+        [ call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ] ])
+  in
+  let t2 =
+    Call_tree.Build.(
+      top ~n:2
+        [ call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ] ])
+  in
+  let order =
+    [ aid 1 [ 1; 1 ]; aid 2 [ 1; 1 ]; aid 1 [ 1; 2 ]; aid 2 [ 1; 2 ] ]
+  in
+  let h = History.v ~tops:[ t1; t2 ] ~order ~commut:reg in
+  let v = Serializability.check h in
+  check_bool "lost update rejected" false v.Serializability.oo_serializable;
+  (* the failing object is the page *)
+  let bad =
+    List.filter
+      (fun ov -> not (Serializability.object_oo_serializable ov))
+      v.Serializability.objects
+  in
+  check_bool "page schedule is the culprit" true
+    (List.exists
+       (fun ov -> Obj_id.equal ov.Serializability.obj (o "PC"))
+       bad)
+
+let test_serialized_increments_accepted () =
+  let t1 =
+    Call_tree.Build.(
+      top ~n:1
+        [ call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ] ])
+  in
+  let t2 =
+    Call_tree.Build.(
+      top ~n:2
+        [ call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ] ])
+  in
+  let order =
+    [ aid 1 [ 1; 1 ]; aid 1 [ 1; 2 ]; aid 2 [ 1; 1 ]; aid 2 [ 1; 2 ] ]
+  in
+  let h = History.v ~tops:[ t1; t2 ] ~order ~commut:reg in
+  check_bool "accepted" true (Serializability.oo_serializable h);
+  check_bool "also conventionally fine" true
+    (Baselines.conventional_serializable h)
+
+let test_serial_history_is_everything () =
+  let h = History.of_serial ~tops:[ t1 (); t2 () ] ~commut:reg in
+  let v = Serializability.check h in
+  check_bool "oo-serializable" true v.Serializability.oo_serializable;
+  check_bool "conventional too" true (Baselines.conventional_serializable h);
+  List.iter
+    (fun ov ->
+      check_bool
+        (Fmt.str "serial at %a" Obj_id.pp ov.Serializability.obj)
+        true ov.Serializability.serial;
+      check_bool
+        (Fmt.str "conform at %a" Obj_id.pp ov.Serializability.obj)
+        true ov.Serializability.conform)
+    v.Serializability.objects
+
+let test_conform_violation_detected () =
+  (* Conformance (Def. 7) is a per-object notion: two ordered actions of
+     one transaction on the SAME object must execute in program order.
+     T1 increments C twice; executing the second increment's page
+     operations first violates n₃ at both PC and C. *)
+  let t =
+    Call_tree.Build.(
+      top ~n:1
+        [
+          call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ];
+          call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ];
+        ])
+  in
+  let bad = [ aid 1 [ 2; 1 ]; aid 1 [ 2; 2 ]; aid 1 [ 1; 1 ]; aid 1 [ 1; 2 ] ] in
+  let h = History.v ~tops:[ t ] ~order:bad ~commut:reg in
+  let v = Serializability.check h in
+  let conform_at name =
+    List.for_all
+      (fun ov ->
+        (not (Obj_id.equal ov.Serializability.obj (o name)))
+        || ov.Serializability.conform)
+      v.Serializability.objects
+  in
+  check_bool "PC non-conform" false (conform_at "PC");
+  check_bool "C non-conform" false (conform_at "C");
+  (* the program-order execution is conform everywhere *)
+  let good = [ aid 1 [ 1; 1 ]; aid 1 [ 1; 2 ]; aid 1 [ 2; 1 ]; aid 1 [ 2; 2 ] ] in
+  let h' = History.v ~tops:[ t ] ~order:good ~commut:reg in
+  let v' = Serializability.check h' in
+  check_bool "good order conform" true
+    (List.for_all (fun ov -> ov.Serializability.conform) v'.Serializability.objects)
+
+(* Re-entrant call: the insert on node N calls a rearrange on N itself
+   (the B-link father rearrangement of §2).  The extension must move the
+   inner action to a virtual object N' and the history must still check. *)
+let test_virtual_extension () =
+  let tree n =
+    Call_tree.Build.(
+      top ~n
+        [
+          call (o "N") "insert"
+            [
+              call (o "PN") "write" [];
+              call (o "N") "rearrange" [ call (o "PN") "write" [] ];
+            ];
+        ])
+  in
+  let order =
+    [ aid 1 [ 1; 1 ]; aid 1 [ 1; 2; 1 ]; aid 2 [ 1; 1 ]; aid 2 [ 1; 2; 1 ] ]
+  in
+  let reg =
+    Commutativity.fixed
+      [
+        ("PN", page_rw);
+        ("N", Commutativity.of_conflict_matrix ~name:"node"
+                [ ("insert", "insert"); ("insert", "rearrange");
+                  ("rearrange", "rearrange") ]);
+      ]
+  in
+  let h = History.v ~tops:[ tree 1; tree 2 ] ~order ~commut:reg in
+  let sched = Schedule.compute h in
+  let ext = Schedule.extension sched in
+  (* one virtual object N' exists and hosts both rearranges *)
+  (match Extension.virtual_objects ext with
+  | [ vn ] ->
+      check_bool "named N'" true (Obj_id.equal vn (Obj_id.virtualize (o "N") ~rank:1));
+      let acts = Extension.acts_of ext vn in
+      check_bool "hosts both rearranges and duplicates" true
+        (Action_id.Set.mem (aid 1 [ 1; 2 ]) acts
+        && Action_id.Set.mem (aid 2 [ 1; 2 ]) acts)
+  | l ->
+      Alcotest.failf "expected exactly one virtual object, got %d" (List.length l));
+  (* the real object N no longer contains the rearranges *)
+  check_bool "N lost the rearranges" true
+    (not (Action_id.Set.mem (aid 1 [ 1; 2 ]) (Extension.acts_of ext (o "N"))));
+  (* the interleaving serializes T1 before T2 everywhere: accepted *)
+  let v = Serializability.check h in
+  check_bool "oo-serializable" true v.Serializability.oo_serializable
+
+(* Same-call-path pairs never conflict: the rearrange and its calling
+   insert touch the same (virtual) object pair but belong to one call
+   path. *)
+let test_call_path_exclusion () =
+  check_bool "ancestor excluded" true
+    (Extension.same_call_path (aid 1 [ 1 ]) (aid 1 [ 1; 2 ]));
+  check_bool "virtual ids are devirtualised first" true
+    (Extension.same_call_path
+       (Action_id.virtualize (aid 1 [ 1 ]) ~rank:1)
+       (aid 1 [ 1; 2 ]));
+  check_bool "siblings not excluded" false
+    (Extension.same_call_path (aid 1 [ 1 ]) (aid 1 [ 2 ]));
+  check_bool "different transactions not excluded" false
+    (Extension.same_call_path (aid 1 [ 1 ]) (aid 2 [ 1; 1 ]))
+
+(* Added dependencies (Def. 15): a transaction dependency whose endpoints
+   are actions on DIFFERENT objects cannot become an action dependency
+   anywhere; it is recorded redundantly at both objects. *)
+let test_added_dependencies_present () =
+  (* T1: X.m -> P.write; T2: Y.n -> P.write.  The callers of the two
+     conflicting page writes live on X and Y respectively. *)
+  let reg =
+    Commutativity.fixed
+      [ ("P", page_rw); ("X", Commutativity.all_conflict);
+        ("Y", Commutativity.all_conflict) ]
+  in
+  let tx =
+    Call_tree.Build.(top ~n:1 [ call (o "X") "m" [ call (o "P") "write" [] ] ])
+  in
+  let ty =
+    Call_tree.Build.(top ~n:2 [ call (o "Y") "n" [ call (o "P") "write" [] ] ])
+  in
+  let h =
+    History.v ~tops:[ tx; ty ] ~order:[ aid 1 [ 1; 1 ]; aid 2 [ 1; 1 ] ]
+      ~commut:reg
+  in
+  let sched = Schedule.compute h in
+  let p = Schedule.find_exn sched (o "P") in
+  check_bool "txn dep at P between X.m and Y.n" true
+    (Action.Rel.mem (aid 1 [ 1 ]) (aid 2 [ 1 ]) p.Schedule.txn_dep);
+  let x = Schedule.find_exn sched (o "X") in
+  let y = Schedule.find_exn sched (o "Y") in
+  check_bool "added at X" true
+    (Action.Rel.mem (aid 1 [ 1 ]) (aid 2 [ 1 ]) x.Schedule.added_dep);
+  check_bool "added at Y" true
+    (Action.Rel.mem (aid 1 [ 1 ]) (aid 2 [ 1 ]) y.Schedule.added_dep);
+  (* but it is not an action dependency at either (endpoints on different
+     objects) *)
+  check_bool "not act dep at X" false
+    (Action.Rel.mem (aid 1 [ 1 ]) (aid 2 [ 1 ]) x.Schedule.act_dep);
+  check_bool "system still serializable" true
+    (Serializability.check h).Serializability.oo_serializable
+
+let test_multilevel_agrees_on_layered () =
+  (* the crossing history is strictly layered (all leaves at depth 2), so
+     the multi-level checker applies and must agree with the oo one *)
+  let h = crossing_history () in
+  check_bool "layered" true (Baselines.is_layered h);
+  check_bool "ml-serializable" true (Baselines.multilevel_serializable h);
+  (* and the lost-update history must be rejected by both *)
+  let t1 =
+    Call_tree.Build.(
+      top ~n:1
+        [ call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ] ])
+  in
+  let t2 =
+    Call_tree.Build.(
+      top ~n:2
+        [ call (o "C") "incr" [ call (o "PC") "read" []; call (o "PC") "write" [] ] ])
+  in
+  let order =
+    [ aid 1 [ 1; 1 ]; aid 2 [ 1; 1 ]; aid 1 [ 1; 2 ]; aid 2 [ 1; 2 ] ]
+  in
+  let h' = History.v ~tops:[ t1; t2 ] ~order ~commut:reg in
+  check_bool "ml rejects lost update" false (Baselines.multilevel_serializable h')
+
+let test_conflict_pair_counts () =
+  let h = crossing_history () in
+  let conv = Baselines.conflict_pairs h `Conventional in
+  let oo = Baselines.conflict_pairs h `Oo in
+  check_bool "oo strictly fewer top-level conflicts" true (oo < conv);
+  check_bool "oo has the surviving D conflict" true (oo >= 1)
+
+let suites =
+  [
+    ( "schedule",
+      [
+        Alcotest.test_case "headline: open nesting admits the crossing schedule"
+          `Quick test_headline_open_nesting_wins;
+        Alcotest.test_case "inheritance stops at commuting level" `Quick
+          test_dependency_stops_at_commuting_level;
+        Alcotest.test_case "lost update rejected" `Quick test_lost_update_rejected;
+        Alcotest.test_case "serialized increments accepted" `Quick
+          test_serialized_increments_accepted;
+        Alcotest.test_case "serial history conform+serial+oo" `Quick
+          test_serial_history_is_everything;
+        Alcotest.test_case "conformance violation detected" `Quick
+          test_conform_violation_detected;
+        Alcotest.test_case "virtual extension (re-entrant insert)" `Quick
+          test_virtual_extension;
+        Alcotest.test_case "call-path exclusion" `Quick test_call_path_exclusion;
+        Alcotest.test_case "added dependencies recorded" `Quick
+          test_added_dependencies_present;
+        Alcotest.test_case "multi-level checker agrees on layered" `Quick
+          test_multilevel_agrees_on_layered;
+        Alcotest.test_case "conflict pair counts (headline claim)" `Quick
+          test_conflict_pair_counts;
+      ] );
+  ]

@@ -1,0 +1,285 @@
+(* Tests for the textual history format: parsing, printing, round-trips,
+   and checking parsed schedules. *)
+
+open Ooser_core
+open Ooser_text
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let example1_src =
+  {|
+# Example 1 of the paper: two inserts of different keys
+object Page4712 rw reads = read writes = readx, write
+object Leaf11 keyed conflicts = insert:insert, insert:search
+object BpTree keyed conflicts = insert:insert, insert:search
+
+txn 1 {
+  BpTree.insert("DBMS") {
+    Leaf11.insert("DBMS") { Page4712.readx; Page4712.write }
+  }
+}
+txn 2 {
+  BpTree.insert("DBS") {
+    Leaf11.insert("DBS") { Page4712.readx; Page4712.write }
+  }
+}
+
+order 1.1.1.1 1.1.1.2 2.1.1.1 2.1.1.2
+|}
+
+let test_parse_example1 () =
+  match Parser.parse_history example1_src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok h ->
+      check_bool "valid" true (History.validate h = Ok ());
+      check_int "two transactions" 2 (List.length (History.tops h));
+      check_int "four primitives" 4 (List.length (History.order h));
+      (* same verdict as the hand-built Example 1 *)
+      check_bool "oo-serializable" true (Serializability.oo_serializable h);
+      check_int "no top-level conflicts" 0 (Baselines.conflict_pairs h `Oo)
+
+let test_parse_conflicting_order () =
+  (* the same-key scenario, interleaved so the page conflict crosses *)
+  let src =
+    {|
+object P rw reads = read writes = write
+object M allcommute
+txn 1 { M.a { P.read; P.write } }
+txn 2 { M.b { P.read; P.write } }
+order 1.1.1 2.1.1 1.1.2 2.1.2
+|}
+  in
+  match Parser.parse_history src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok h ->
+      (* lost update: both read before either writes *)
+      check_bool "rejected" false (Serializability.oo_serializable h)
+
+let test_serial_default () =
+  let src = {|
+object X allconflict
+txn 1 { X.m }
+txn 2 { X.m }
+|} in
+  match Parser.parse_history src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok h ->
+      check_bool "serial order derived" true (History.validate h = Ok ());
+      check_bool "accepted" true (Serializability.oo_serializable h)
+
+let test_parse_errors () =
+  let bad_cases =
+    [
+      ("missing brace", "txn 1 { X.m");
+      ("bad spec", "object X frobnicate");
+      ("bad call", "txn 1 { nodotname }");
+      ("unterminated string", {|txn 1 { X.m("abc }|});
+      ("garbage", "42 ???");
+      ("bad order ref", "txn 1 { X.m }\norder 1.x.2");
+    ]
+  in
+  List.iter
+    (fun (name, src) ->
+      check_bool name true
+        (match Parser.parse_string src with Error _ -> true | Ok _ -> false))
+    bad_cases;
+  (* order mentioning a non-primitive or missing actions fails validation *)
+  check_bool "incomplete order" true
+    (match Parser.parse_history "txn 1 { X.m; X.n }\norder 1.1" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_roundtrip_example1 () =
+  match Parser.parse_string example1_src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc -> (
+      let printed = Doc.to_string doc in
+      match Parser.parse_string printed with
+      | Error msg -> Alcotest.failf "reparse failed: %s@.%s" msg printed
+      | Ok doc2 ->
+          check_bool "same document" true (doc = doc2);
+          let h1 = Doc.to_history doc and h2 = Doc.to_history doc2 in
+          check_bool "same verdict" true
+            (Serializability.oo_serializable h1
+            = Serializability.oo_serializable h2))
+
+let test_of_history_roundtrip () =
+  (* a history from the random generator survives printing and reparsing *)
+  let p = Ooser_workload.Random_schedules.default_params in
+  let h = Ooser_workload.Random_schedules.history ~seed:5 p in
+  let doc = Doc.of_history h in
+  let printed = Doc.to_string doc in
+  match Parser.parse_string printed with
+  | Error msg -> Alcotest.failf "reparse failed: %s@.%s" msg printed
+  | Ok doc2 ->
+      let h2 = Doc.to_history doc2 in
+      check_bool "same trees" true
+        (List.equal
+           (fun a b ->
+             Call_tree.all_actions a = Call_tree.all_actions b)
+           (History.tops h) (History.tops h2));
+      check_bool "same order" true
+        (List.equal Ids.Action_id.equal (History.order h) (History.order h2))
+
+let test_spec_decls () =
+  let mk name = Doc.spec_of_decl name in
+  let act ?(top = 1) ?(args = []) meth =
+    Action.v
+      ~id:(Ids.Action_id.v ~top ~path:[ 1 ])
+      ~obj:(Obj_id.v "X") ~meth ~args
+      ~process:(Ids.Process_id.main top) ()
+  in
+  let rw = mk (Doc.Rw { reads = [ "r" ]; writes = [ "w" ] }) in
+  check_bool "rw reads commute" true
+    (Commutativity.test rw (act "r") (act ~top:2 "r"));
+  check_bool "rw write conflicts" false
+    (Commutativity.test rw (act "r") (act ~top:2 "w"));
+  let keyed = mk (Doc.Keyed (Doc.Conflicts [ ("m", "m") ])) in
+  check_bool "keyed different keys commute" true
+    (Commutativity.test keyed
+       (act ~args:[ Value.str "a" ] "m")
+       (act ~top:2 ~args:[ Value.str "b" ] "m"));
+  check_bool "keyed same key conflicts" false
+    (Commutativity.test keyed
+       (act ~args:[ Value.str "a" ] "m")
+       (act ~top:2 ~args:[ Value.str "a" ] "m"))
+
+let test_par_blocks () =
+  let src = {|
+object P rw reads = read writes = write
+txn 1 {
+  par {
+    P.write(1)
+    P.write(2)
+  }
+}
+txn 2 { P.read }
+order 1.1 2.1 1.2
+|} in
+  match Parser.parse_history src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok h ->
+      (* par members are distinct processes: the writes of T1 conflict
+         with each other, and the read caught between them creates a
+         T1 <-> T2 cycle *)
+      check_bool "rejected" false (Serializability.oo_serializable h);
+      (match History.tops h with
+      | [ t1; _ ] ->
+          let procs =
+            List.map Action.process (Call_tree.primitives t1)
+            |> List.sort_uniq Ids.Process_id.compare
+          in
+          check_int "two processes in T1" 2 (List.length procs);
+          check_int "no precedence between par members" 0
+            (List.length (Call_tree.prec t1))
+      | _ -> Alcotest.fail "expected two transactions");
+      (* the same system with T1's writes fully before the read passes *)
+      let ok_src = String.concat "\n"
+        [ "object P rw reads = read writes = write";
+          "txn 1 { par { P.write(1) P.write(2) } }";
+          "txn 2 { P.read }";
+          "order 1.1 1.2 2.1" ] in
+      (match Parser.parse_history ok_src with
+      | Error msg -> Alcotest.failf "parse failed: %s" msg
+      | Ok h2 -> check_bool "serial order accepted" true
+                   (Serializability.oo_serializable h2))
+
+let test_par_roundtrip () =
+  let src = {|
+object A allcommute
+txn 1 {
+  A.x
+  par {
+    A.y { A.z }
+    A.w
+  }
+  A.v
+}
+|} in
+  match Parser.parse_string src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc -> (
+      let printed = Doc.to_string doc in
+      match Parser.parse_string printed with
+      | Error msg -> Alcotest.failf "reparse failed: %s@.%s" msg printed
+      | Ok doc2 ->
+          check_bool "same document" true (doc = doc2);
+          let h = Doc.to_history doc and h2 = Doc.to_history doc2 in
+          check_bool "same trees" true
+            (List.equal
+               (fun a b -> Call_tree.all_actions a = Call_tree.all_actions b)
+               (History.tops h) (History.tops h2)))
+
+(* Property: random documents survive print -> parse. *)
+let prop_doc_roundtrip =
+  let open QCheck2 in
+  let gen_meth = Gen.oneofl [ "read"; "write"; "insert"; "m1"; "m2" ] in
+  let gen_obj = Gen.oneofl [ "A"; "B"; "C.D" ] in
+  let gen_args =
+    Gen.oneof
+      [
+        Gen.return [];
+        Gen.map (fun s -> [ Value.str s ]) (Gen.oneofl [ "k1"; "k2" ]);
+        Gen.map (fun i -> [ Value.int i ]) (Gen.int_bound 99);
+      ]
+  in
+  let rec gen_call depth =
+    let open Gen in
+    let* c_obj = gen_obj in
+    let* c_meth = gen_meth in
+    let* c_args = gen_args in
+    let* c_children =
+      if depth <= 0 then return []
+      else
+        let* n = int_bound 2 in
+        let* calls = list_size (return n) (gen_call (depth - 1)) in
+        let* par = bool in
+        return
+          (if par && List.length calls > 1 then [ Doc.Par_calls calls ]
+           else List.map (fun c -> Doc.Seq_call c) calls)
+    in
+    return { Doc.c_obj; c_meth; c_args; c_children }
+  in
+  let gen_doc =
+    let open Gen in
+    let* n_txns = int_range 1 3 in
+    let* txns =
+      list_size (return n_txns)
+        (let* calls = list_size (int_range 1 3) (gen_call 2) in
+         return (List.map (fun c -> Doc.Seq_call c) calls))
+    in
+    return
+      {
+        Doc.objects = [ ("A", Doc.All_commute); ("B", Doc.All_conflict) ];
+        txns = List.mapi (fun i t_calls -> { Doc.t_id = i + 1; t_calls }) txns;
+        order = None;
+      }
+  in
+  QCheck2.Test.make ~name:"random documents survive print/parse" ~count:100
+    gen_doc (fun doc ->
+      match Parser.parse_string (Doc.to_string doc) with
+      | Error _ -> false
+      | Ok doc2 ->
+          let h = Doc.to_history doc and h2 = Doc.to_history doc2 in
+          List.equal
+            (fun a b -> Call_tree.all_actions a = Call_tree.all_actions b)
+            (History.tops h) (History.tops h2))
+
+let suites =
+  [
+    ( "text",
+      [
+        Alcotest.test_case "parse Example 1" `Quick test_parse_example1;
+        Alcotest.test_case "lost update via order" `Quick
+          test_parse_conflicting_order;
+        Alcotest.test_case "serial order by default" `Quick test_serial_default;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "print/parse round-trip" `Quick test_roundtrip_example1;
+        Alcotest.test_case "of_history round-trip" `Quick test_of_history_roundtrip;
+        Alcotest.test_case "spec declarations" `Quick test_spec_decls;
+        Alcotest.test_case "par blocks (Def. 9)" `Quick test_par_blocks;
+        Alcotest.test_case "par round-trip" `Quick test_par_roundtrip;
+        QCheck_alcotest.to_alcotest prop_doc_roundtrip;
+      ] );
+  ]

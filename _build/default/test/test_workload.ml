@@ -1,0 +1,188 @@
+(* Tests for the workload generators: encyclopedia mixes, banking with
+   escrow, random schedule sampling, cooperative document editing. *)
+
+open Ooser_core
+open Ooser_oodb
+open Ooser_workload
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+module Dist = Ooser_sim.Dist
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_enc_workload_runs () =
+  let rng = Rng.create ~seed:3 in
+  let p = { Enc_workload.default_params with Enc_workload.n_txns = 4 } in
+  let db, _enc, txns = Enc_workload.setup ~rng p in
+  let protocol = Protocol.open_nested ~reg:(Database.spec_registry db) () in
+  let out = Engine.run db ~protocol txns in
+  check_int "all committed" 4 (List.length out.Engine.committed);
+  check_bool "history valid" true (History.validate out.Engine.history = Ok ());
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Engine.history)
+
+let test_enc_workload_deterministic () =
+  let run () =
+    let rng = Rng.create ~seed:9 in
+    let p = { Enc_workload.default_params with Enc_workload.n_txns = 3 } in
+    let db, _enc, txns = Enc_workload.setup ~rng p in
+    let protocol = Protocol.open_nested ~reg:(Database.spec_registry db) () in
+    let out = Engine.run db ~protocol txns in
+    List.map Ids.Action_id.to_string (History.order out.Engine.history)
+  in
+  Alcotest.(check (list string)) "same seed same history" (run ()) (run ())
+
+let test_banking_preserves_total () =
+  let p = Banking.default_params in
+  List.iter
+    (fun semantics ->
+      let db, counters = Banking.setup ~semantics p in
+      let rng = Rng.create ~seed:17 in
+      let txns = Banking.transactions ~rng p in
+      let protocol =
+        Protocol.open_nested ~reg:(Database.spec_registry db) ()
+      in
+      let out = Engine.run db ~protocol txns in
+      check_int "all committed" p.Banking.n_txns
+        (List.length out.Engine.committed);
+      check_int "total balance preserved"
+        (p.Banking.accounts * p.Banking.initial)
+        (Banking.total_balance counters))
+    [ `Escrow; `Rw; `Conflict ]
+
+let test_banking_escrow_fewer_conflicts () =
+  let p = { Banking.default_params with Banking.n_txns = 6 } in
+  let conflicts semantics =
+    let db, _ = Banking.setup ~semantics p in
+    let rng = Rng.create ~seed:23 in
+    let txns = Banking.transactions ~rng p in
+    let protocol = Protocol.open_nested ~reg:(Database.spec_registry db) () in
+    let out = Engine.run db ~protocol txns in
+    try List.assoc "lock.conflicts" out.Engine.metrics with Not_found -> 0
+  in
+  let escrow = conflicts `Escrow in
+  let all_conflict = conflicts `Conflict in
+  check_bool
+    (Printf.sprintf "escrow (%d) <= all-conflict (%d)" escrow all_conflict)
+    true (escrow <= all_conflict)
+
+let test_random_schedules_shapes () =
+  let p = Random_schedules.default_params in
+  let tops, commut = Random_schedules.system ~seed:1 p in
+  check_int "txn count" p.Random_schedules.n_txns (List.length tops);
+  List.iter
+    (fun t -> check_bool "valid tree" true (Call_tree.validate t = Ok ()))
+    tops;
+  let h = Random_schedules.history ~seed:1 p in
+  check_bool "valid history" true (History.validate h = Ok ());
+  ignore commut
+
+let test_random_order_respects_program_order () =
+  let p = Random_schedules.default_params in
+  let tops, _ = Random_schedules.system ~seed:2 p in
+  let rng = Rng.create ~seed:5 in
+  let order = Random_schedules.random_order rng tops in
+  (* within each transaction, primitives appear in program order *)
+  List.iter
+    (fun tree ->
+      let mine = History.serial_primitives tree in
+      let filtered =
+        List.filter
+          (fun id ->
+            List.exists (fun m -> Ids.Action_id.equal m id) mine)
+          order
+      in
+      check_bool "program order respected" true
+        (List.equal Ids.Action_id.equal filtered mine))
+    tops
+
+let test_acceptance_oo_superset () =
+  (* the paper's claim: every conventionally serializable interleaving is
+     oo-serializable, and usually strictly more are accepted *)
+  let p =
+    { Random_schedules.default_params with Random_schedules.p_commute = 0.7 }
+  in
+  let a = Random_schedules.acceptance ~seed:7 ~samples:60 p in
+  check_int "samples" 60 a.Random_schedules.samples;
+  check_bool
+    (Printf.sprintf "oo (%d) >= conventional (%d)"
+       a.Random_schedules.oo_accepted a.Random_schedules.conventional_accepted)
+    true
+    (a.Random_schedules.oo_accepted >= a.Random_schedules.conventional_accepted)
+
+let test_document_editing () =
+  let db = Database.create () in
+  let doc = Document.create ~sections:8 ~sections_per_page:4 db in
+  (* sections share pages *)
+  check_bool "co-location" true
+    (Document.section_page doc 0 = Document.section_page doc 1);
+  let author section ctx =
+    Document.edit doc ctx ~section ~text:(Printf.sprintf "by%d" section);
+    Value.unit
+  in
+  let protocol = Protocol.open_nested ~reg:(Database.spec_registry db) () in
+  let out =
+    Engine.run db ~protocol
+      [ (1, "author1", author 0); (2, "author2", author 1) ]
+  in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Engine.history);
+  (* the edits of different sections commute at document level: no
+     top-level dependency *)
+  check_int "no top-level conflict" 0
+    (Ooser_core.Baselines.conflict_pairs out.Engine.history `Oo);
+  let reader ctx =
+    let parts = Document.layout doc ctx in
+    Alcotest.(check (list string))
+      "layout sees the edits"
+      [ "by0"; "by1"; "section 2"; "section 3"; "section 4"; "section 5";
+        "section 6"; "section 7" ]
+      parts;
+    Value.unit
+  in
+  ignore (Engine.run db ~protocol:(Protocol.open_nested ~reg:(Database.spec_registry db) ())
+            [ (3, "layout", reader) ])
+
+let test_document_layout_conflicts () =
+  let db = Database.create () in
+  let doc = Document.create ~sections:4 db in
+  let protocol = Protocol.open_nested ~reg:(Database.spec_registry db) () in
+  let editor ctx =
+    Document.edit doc ctx ~section:2 ~text:"new";
+    Value.unit
+  in
+  let layouter ctx =
+    ignore (Document.layout doc ctx);
+    Value.unit
+  in
+  let out = Engine.run db ~protocol [ (1, "edit", editor); (2, "layout", layouter) ] in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  (* a top-level dependency exists between the editor and the layouter *)
+  check_bool "top-level dependency present" true
+    (Ooser_core.Baselines.conflict_pairs out.Engine.history `Oo > 0)
+
+let suites =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "encyclopedia workload runs" `Quick test_enc_workload_runs;
+        Alcotest.test_case "encyclopedia workload deterministic" `Quick
+          test_enc_workload_deterministic;
+        Alcotest.test_case "banking preserves total balance" `Quick
+          test_banking_preserves_total;
+        Alcotest.test_case "escrow lowers conflicts" `Quick
+          test_banking_escrow_fewer_conflicts;
+        Alcotest.test_case "random schedules well-formed" `Quick
+          test_random_schedules_shapes;
+        Alcotest.test_case "random order respects program order" `Quick
+          test_random_order_respects_program_order;
+        Alcotest.test_case "acceptance: oo superset of conventional" `Quick
+          test_acceptance_oo_superset;
+        Alcotest.test_case "cooperative document editing" `Quick
+          test_document_editing;
+        Alcotest.test_case "layout conflicts with edits" `Quick
+          test_document_layout_conflicts;
+      ] );
+  ]

@@ -1,0 +1,199 @@
+(* Tests for the wound-wait deadlock prevention policy. *)
+
+open Ooser_core
+open Ooser_oodb
+module Protocol = Ooser_cc.Protocol
+module Rng = Ooser_sim.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let o = Obj_id.v
+
+let register_cell db name init =
+  let state = ref init in
+  let read _ _ = Value.int !state in
+  let write ctx args =
+    match args with
+    | [ Value.Int v ] ->
+        let old = !state in
+        Runtime.on_undo ctx (fun () -> state := old);
+        state := v;
+        Value.unit
+    | _ -> invalid_arg "write"
+  in
+  Database.register db (o name)
+    ~spec:(Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ])
+    [ ("read", Database.primitive read); ("write", Database.primitive write) ];
+  state
+
+let ww_config ?(seed = 1) protocol =
+  {
+    (Engine.default_config protocol) with
+    Engine.deadlock = Engine.Wound_wait;
+    Engine.strategy = Engine.Random_pick (Rng.create ~seed);
+  }
+
+let test_wound_wait_resolves_crossing () =
+  (* the classic A/B crossing deadlock: under wound-wait no cycle ever
+     forms — the older transaction wounds the younger holder *)
+  let db = Database.create () in
+  let a = register_cell db "A" 0 in
+  let b = register_cell db "B" 0 in
+  let t1 ctx =
+    ignore (Runtime.call ctx (o "A") "write" [ Value.int 1 ]);
+    ignore (Runtime.call ctx (o "B") "write" [ Value.int 1 ]);
+    Value.unit
+  in
+  let t2 ctx =
+    ignore (Runtime.call ctx (o "B") "write" [ Value.int 2 ]);
+    ignore (Runtime.call ctx (o "A") "write" [ Value.int 2 ]);
+    Value.unit
+  in
+  let protocol = Protocol.flat_2pl ~reg:(Database.spec_registry db) () in
+  let config = ww_config protocol in
+  let out = Engine.run ~config db ~protocol [ (1, "t1", t1); (2, "t2", t2) ] in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  check_int "no detector deadlocks" 0
+    (try List.assoc "deadlocks" out.Engine.metrics with Not_found -> 0);
+  check_bool "serializable" true
+    (Baselines.conventional_serializable out.Engine.history);
+  check_bool "state consistent" true (!a > 0 && !b > 0)
+
+let test_wounds_counted () =
+  (* T2 (younger) grabs the lock first; T1 (older) wounds it *)
+  let db = Database.create () in
+  ignore (register_cell db "X" 0);
+  let slow ctx =
+    (* touch X early, then do other work so the older txn collides *)
+    ignore (Runtime.call ctx (o "X") "write" [ Value.int 2 ]);
+    ignore (Runtime.call ctx (o "X") "read" []);
+    ignore (Runtime.call ctx (o "X") "read" []);
+    Value.unit
+  in
+  let old_txn ctx =
+    ignore (Runtime.call ctx (o "X") "write" [ Value.int 1 ]);
+    Value.unit
+  in
+  let protocol = Protocol.flat_2pl ~reg:(Database.spec_registry db) () in
+  (* round-robin: let T2 start first by listing it first *)
+  let config =
+    { (Engine.default_config protocol) with Engine.deadlock = Engine.Wound_wait }
+  in
+  let out =
+    Engine.run ~config db ~protocol [ (2, "young", slow); (1, "old", old_txn) ]
+  in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  check_bool "a wound happened" true
+    ((try List.assoc "wounds" out.Engine.metrics with Not_found -> 0) > 0)
+
+let test_wound_wait_many_txns () =
+  (* a pile of read-modify-write increments: wound-wait must keep making
+     progress and end with the correct count *)
+  let db = Database.create () in
+  let cell = register_cell db "R" 0 in
+  let incr ctx _ =
+    let v = Value.to_int_exn (Runtime.call ctx (o "R") "read" []) in
+    ignore (Runtime.call ctx (o "R") "write" [ Value.int (v + 1) ]);
+    Value.unit
+  in
+  Database.register db (o "C")
+    ~spec:(Commutativity.of_commute_matrix ~name:"counter" [ ("incr", "incr") ])
+    [ ("incr", Database.composite incr) ];
+  let body ctx =
+    ignore (Runtime.call ctx (o "C") "incr" []);
+    Value.unit
+  in
+  let protocol = Protocol.open_nested ~reg:(Database.spec_registry db) () in
+  let config = ww_config ~seed:3 protocol in
+  let out =
+    Engine.run ~config db ~protocol
+      (List.init 6 (fun i -> (i + 1, Printf.sprintf "t%d" (i + 1), body)))
+  in
+  check_int "all committed" 6 (List.length out.Engine.committed);
+  check_int "correct count" 6 !cell;
+  check_bool "oo-serializable" true
+    (Serializability.oo_serializable out.Engine.history)
+
+let test_wait_die_resolves_crossing () =
+  let db = Database.create () in
+  let a = register_cell db "A" 0 in
+  let b = register_cell db "B" 0 in
+  let t1 ctx =
+    ignore (Runtime.call ctx (o "A") "write" [ Value.int 1 ]);
+    ignore (Runtime.call ctx (o "B") "write" [ Value.int 1 ]);
+    Value.unit
+  in
+  let t2 ctx =
+    ignore (Runtime.call ctx (o "B") "write" [ Value.int 2 ]);
+    ignore (Runtime.call ctx (o "A") "write" [ Value.int 2 ]);
+    Value.unit
+  in
+  let protocol = Protocol.flat_2pl ~reg:(Database.spec_registry db) () in
+  let config =
+    {
+      (Engine.default_config protocol) with
+      Engine.deadlock = Engine.Wait_die;
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:2);
+    }
+  in
+  let out = Engine.run ~config db ~protocol [ (1, "t1", t1); (2, "t2", t2) ] in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  check_int "no detector deadlocks" 0
+    (try List.assoc "deadlocks" out.Engine.metrics with Not_found -> 0);
+  check_bool "a young transaction died" true
+    ((try List.assoc "dies" out.Engine.metrics with Not_found -> 0) > 0);
+  check_bool "serializable" true
+    (Baselines.conventional_serializable out.Engine.history);
+  check_bool "state consistent" true (!a > 0 && !b > 0)
+
+let test_policies_agree_on_results () =
+  (* both policies produce correct (if different) schedules over many
+     seeds *)
+  let ok = ref true in
+  List.iter
+    (fun policy ->
+      for seed = 1 to 6 do
+        let db = Database.create () in
+        let p =
+          { Ooser_workload.Banking.default_params with
+            Ooser_workload.Banking.n_txns = 5 }
+        in
+        let db', counters = Ooser_workload.Banking.setup ~semantics:`Rw p in
+        ignore db;
+        let txns = Ooser_workload.Banking.transactions ~rng:(Rng.create ~seed) p in
+        let protocol =
+          Protocol.open_nested ~reg:(Database.spec_registry db') ()
+        in
+        let config =
+          {
+            (Engine.default_config protocol) with
+            Engine.deadlock = policy;
+            Engine.strategy = Engine.Random_pick (Rng.create ~seed:(seed * 5));
+          }
+        in
+        let out = Engine.run ~config db' ~protocol txns in
+        if
+          (not (Serializability.oo_serializable out.Engine.history))
+          || Ooser_workload.Banking.total_balance counters
+             <> p.Ooser_workload.Banking.accounts
+                * p.Ooser_workload.Banking.initial
+        then ok := false
+      done)
+    [ Engine.Detect; Engine.Wound_wait; Engine.Wait_die ];
+  check_bool "all policies sound" true !ok
+
+let suites =
+  [
+    ( "wound_wait",
+      [
+        Alcotest.test_case "resolves the crossing deadlock" `Quick
+          test_wound_wait_resolves_crossing;
+        Alcotest.test_case "wounds are counted" `Quick test_wounds_counted;
+        Alcotest.test_case "wait-die resolves the crossing" `Quick
+          test_wait_die_resolves_crossing;
+        Alcotest.test_case "many transactions make progress" `Quick
+          test_wound_wait_many_txns;
+        Alcotest.test_case "policies agree on correctness" `Quick
+          test_policies_agree_on_results;
+      ] );
+  ]
