@@ -4,6 +4,7 @@
      oosdb fmt FILE               reprint a file canonically
      oosdb run [options]          run an encyclopedia workload
      oosdb acceptance [options]   acceptance rates of random interleavings
+     oosdb lint [options]         static analysis of specs and programs
      oosdb demo                   the paper's Example 4, with dependency table
 *)
 
@@ -219,6 +220,65 @@ let acceptance_cmd =
        ~doc:"Acceptance rates of random interleavings per criterion.")
     Term.(const run $ samples $ seed $ p_commute $ atomic)
 
+(* -- lint --------------------------------------------------------------------- *)
+
+module Analysis = Ooser_analysis
+
+let lint_cmd =
+  let suite_conv =
+    Arg.enum
+      [ ("all", `All); ("banking", `Banking); ("inventory", `Inventory);
+        ("encyclopedia", `Encyclopedia) ]
+  in
+  let suite =
+    Arg.(value & opt suite_conv `All
+         & info [ "suite" ]
+             ~doc:"Registry to lint: all, banking, inventory, encyclopedia.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~doc:"Seed for the workload transaction mixes.")
+  in
+  let semantics_conv =
+    Arg.enum [ ("escrow", `Escrow); ("rw", `Rw); ("conflict", `Conflict) ]
+  in
+  let semantics =
+    Arg.(value & opt semantics_conv `Escrow
+         & info [ "semantics" ]
+             ~doc:"Banking commutativity level: escrow, rw, conflict.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Treat warnings as errors (exit non-zero).")
+  in
+  let run suite seed semantics strict =
+    let targets =
+      match suite with
+      | `All -> Lint_targets.all ~seed ()
+      | `Banking -> [ Lint_targets.banking ~semantics ~seed () ]
+      | `Inventory -> [ Lint_targets.inventory ~seed () ]
+      | `Encyclopedia -> [ Lint_targets.encyclopedia ~seed () ]
+    in
+    List.fold_left
+      (fun code t ->
+        let diags = Analysis.Lint.run t in
+        Analysis.Lint.report Fmt.stdout t diags;
+        let c =
+          if strict && Analysis.Diagnostic.warnings diags <> [] then 1
+          else Analysis.Lint.exit_code diags
+        in
+        max code c)
+      0 targets
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze commutativity specs and transaction programs: \
+          spec soundness (SPEC*), Def. 5 virtual-object extension sites \
+          (CALL*), and lock-order deadlock potential (DL*), without running \
+          the engine.")
+    Term.(const run $ suite $ seed $ semantics $ strict)
+
 (* -- demo --------------------------------------------------------------------- *)
 
 let demo_cmd =
@@ -254,6 +314,6 @@ let main =
        ~doc:
          "Object-oriented serializability toolkit (Rakow, Gu & Neuhold, ICDE \
           1990).")
-    [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; demo_cmd ]
+    [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; lint_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -37,7 +37,9 @@ let spec =
       (Commutativity.predicate ~name:"directory-keyed" (fun a b ->
            same_key_commutes (Action.meth a) (Action.meth b)))
   in
-  Commutativity.predicate ~name:"directory" (fun a b ->
+  Commutativity.predicate ~name:"directory"
+    ~vocab:[ "bind"; "unbind"; "lookup"; "list" ]
+    (fun a b ->
       match (Action.meth a, Action.meth b) with
       | "list", ("bind" | "unbind") | ("bind" | "unbind"), "list" -> false
       | "list", "list" | "list", "lookup" | "lookup", "list" -> true

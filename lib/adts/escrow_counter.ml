@@ -63,7 +63,9 @@ let is_read act =
    order from the current state keeps every prefix within bounds; a read
    conflicts with every update and commutes with reads. *)
 let spec t =
-  Commutativity.predicate ~name:"escrow-counter" (fun a b ->
+  Commutativity.predicate ~name:"escrow-counter"
+    ~vocab:[ "incr"; "decr"; "read"; "deposit"; "withdraw"; "balance" ]
+    (fun a b ->
       match (delta_of a, delta_of b) with
       | Some da, Some db ->
           can_apply t da && can_apply t db

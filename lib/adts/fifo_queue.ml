@@ -35,7 +35,9 @@ let peek t =
   | [] -> ( match List.rev t.back with x :: _ -> Some x | [] -> None)
 
 let spec t =
-  Commutativity.predicate ~name:"fifo-queue" (fun a b ->
+  Commutativity.predicate ~name:"fifo-queue"
+    ~vocab:[ "enqueue"; "dequeue"; "length" ]
+    (fun a b ->
       match (Action.meth a, Action.meth b) with
       | "enqueue", "dequeue" | "dequeue", "enqueue" -> not (is_empty t)
       | "enqueue", "enqueue" | "dequeue", "dequeue" -> false

@@ -1,0 +1,129 @@
+(* Static call-graph analysis: Def. 5 extension sites and the static
+   conflict graph between transaction types. *)
+
+open Ooser_core
+
+type site = {
+  txn : string;
+  obj : Obj_id.t;
+  outer_meth : string;
+  inner_meth : string;
+}
+
+let extension_sites (s : Summary.t) =
+  let sites = ref [] in
+  let rec descend (c : Summary.call) =
+    let o = Obj_id.original c.Summary.obj in
+    let rec find_reentrant (d : Summary.call) =
+      if Obj_id.equal (Obj_id.original d.Summary.obj) o then
+        sites :=
+          {
+            txn = s.Summary.name;
+            obj = o;
+            outer_meth = c.Summary.meth;
+            inner_meth = d.Summary.meth;
+          }
+          :: !sites;
+      List.iter find_reentrant d.Summary.children
+    in
+    List.iter find_reentrant c.Summary.children;
+    List.iter descend c.Summary.children
+  in
+  List.iter descend s.Summary.body;
+  (* a transaction repeating the same operation produces the same site
+     many times over; one report per distinct site is enough *)
+  List.sort_uniq compare (List.rev !sites)
+
+type edge = {
+  from_txn : string;
+  to_txn : string;
+  obj : Obj_id.t;
+  meths : string * string;
+}
+
+(* Probe action for one summary call: the summary's declared arguments,
+   a process derived from the summary index so distinct transactions are
+   distinct processes. *)
+let probe ~top (c : Summary.call) =
+  Action.v
+    ~id:(Action_id.v ~top ~path:[ 1 ])
+    ~obj:(Obj_id.original c.Summary.obj)
+    ~meth:c.Summary.meth ~args:c.Summary.args
+    ~process:(Process_id.main top) ()
+
+let conflict_edges reg summaries =
+  let indexed = List.mapi (fun i s -> (i + 1, s)) summaries in
+  let edges = ref [] in
+  List.iter
+    (fun (i, s) ->
+      List.iter
+        (fun (j, s') ->
+          if i < j then
+            List.iter
+              (fun o ->
+                if
+                  List.exists (Obj_id.equal o) (Summary.objects s')
+                  && not
+                       (List.exists
+                          (fun e ->
+                            e.from_txn = s.Summary.name
+                            && e.to_txn = s'.Summary.name
+                            && Obj_id.equal e.obj o)
+                          !edges)
+                then
+                  let witness =
+                    List.find_map
+                      (fun c ->
+                        List.find_map
+                          (fun c' ->
+                            if
+                              Commutativity.conflicts reg (probe ~top:i c)
+                                (probe ~top:j c')
+                            then Some (c.Summary.meth, c'.Summary.meth)
+                            else None)
+                          (Summary.calls_on s' o))
+                      (Summary.calls_on s o)
+                  in
+                  match witness with
+                  | Some meths ->
+                      edges :=
+                        {
+                          from_txn = s.Summary.name;
+                          to_txn = s'.Summary.name;
+                          obj = o;
+                          meths;
+                        }
+                        :: !edges
+                  | None -> ())
+              (Summary.objects s))
+        indexed)
+    indexed;
+  List.rev !edges
+
+let check summaries =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun (site : site) ->
+          Diagnostic.v ~code:"CALL001" ~severity:Diagnostic.Info
+            ~obj:(Obj_id.to_string site.obj)
+            ~meth:(site.outer_meth ^ "->" ^ site.inner_meth)
+            ~txn:site.txn
+            ~hint:
+              (Fmt.str
+                 "the runtime extension will move the inner %s onto virtual \
+                  object %s' and inherit its dependencies (Def. 5)"
+                 site.inner_meth
+                 (Obj_id.to_string site.obj))
+            (Fmt.str
+               "re-entrant access: %s on %s (indirectly) calls %s on the \
+                same object — a virtual object is required"
+               site.outer_meth
+               (Obj_id.to_string site.obj)
+               site.inner_meth))
+        (extension_sites s))
+    summaries
+
+let pp_edge ppf e =
+  Fmt.pf ppf "%s -- %s on %a (%s/%s)" e.from_txn e.to_txn Obj_id.pp e.obj
+    (fst e.meths) (snd e.meths)

@@ -1,0 +1,48 @@
+(** Static call-graph analysis over transaction summaries.
+
+    Two findings come out of the call trees alone:
+
+    - {b Def. 5 extension sites}: a call and one of its (indirect)
+      callees touch the same object.  At runtime the system must break
+      the re-entrant access with a virtual object (Example 3 / Fig. 6:
+      [a1] on [O1] indirectly calls [a112] on [O1], so [a112] moves to
+      the virtual [O1']); statically we report every such site so spec
+      authors know which objects need virtual duplicates — and which
+      dependencies will be inherited to the original.
+
+    - {b static conflict graph}: transaction types joined by an edge
+      whenever some object both touch has a method pair that the
+      commutativity registry does not commute.  Summaries of different
+      transactions are probed as actions of different processes, with
+      the summary's declared arguments, so keyed and escrow specs answer
+      precisely when arguments are given and conservatively when not. *)
+
+open Ooser_core
+
+type site = {
+  txn : string;
+  obj : Obj_id.t;  (** the re-entered object *)
+  outer_meth : string;
+  inner_meth : string;
+}
+
+val extension_sites : Summary.t -> site list
+(** Every (ancestor, descendant) call pair on one object, preorder. *)
+
+type edge = {
+  from_txn : string;
+  to_txn : string;
+  obj : Obj_id.t;
+  meths : string * string;  (** one witnessing conflicting method pair *)
+}
+
+val conflict_edges :
+  Commutativity.registry -> Summary.t list -> edge list
+(** One edge per (transaction pair, object): the first witnessing
+    non-commuting method pair.  Transaction pairs are unordered;
+    [from_txn] is the earlier summary. *)
+
+val check : Summary.t list -> Diagnostic.t list
+(** CALL001 (info) for every extension site. *)
+
+val pp_edge : Format.formatter -> edge -> unit

@@ -1,0 +1,44 @@
+(* Lint driver: spec soundness + call-graph analysis + deadlock
+   potential over one target, with a human-readable report. *)
+
+open Ooser_core
+
+type target = {
+  name : string;
+  objects : Spec_lint.object_info list;
+  registry : Commutativity.registry;
+  summaries : Summary.t list;
+}
+
+let target ~name ?(objects = []) ?(summaries = []) registry =
+  { name; objects; registry; summaries }
+
+let run t =
+  List.sort Diagnostic.compare
+    (List.concat
+       [
+         List.concat_map Spec_lint.check_spec t.objects;
+         Spec_lint.check_usage t.registry t.summaries;
+         Callgraph.check t.summaries;
+         Lock_order.check t.registry t.summaries;
+       ])
+
+let exit_code = Diagnostic.exit_code
+
+let report ppf t diags =
+  Fmt.pf ppf "lint %s: %d objects, %d transaction summaries@." t.name
+    (List.length t.objects)
+    (List.length t.summaries);
+  List.iter (fun d -> Fmt.pf ppf "  %a@." Diagnostic.pp d) diags;
+  (match Callgraph.conflict_edges t.registry t.summaries with
+  | [] -> if t.summaries <> [] then Fmt.pf ppf "  conflict graph: no edges@."
+  | edges ->
+      let n = List.length edges in
+      let cap = 12 in
+      Fmt.pf ppf "  conflict graph: %d edge%s@." n (if n = 1 then "" else "s");
+      List.iteri
+        (fun i e ->
+          if i < cap then Fmt.pf ppf "    %a@." Callgraph.pp_edge e)
+        edges;
+      if n > cap then Fmt.pf ppf "    ... and %d more@." (n - cap));
+  Fmt.pf ppf "  %a@." Diagnostic.pp_summary diags

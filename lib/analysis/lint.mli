@@ -1,0 +1,34 @@
+(** The lint driver: run every analysis family over one target.
+
+    A target bundles what the analyzer needs and nothing more — the
+    per-object specifications (with their registered method tables as
+    probing fallback), the commutativity registry, and the static
+    transaction summaries.  No engine, no storage: lint runs before any
+    execution, which is the point — a wrong spec is caught in CI, not
+    under traffic. *)
+
+open Ooser_core
+
+type target = {
+  name : string;  (** registry name, for the report header *)
+  objects : Spec_lint.object_info list;
+  registry : Commutativity.registry;
+  summaries : Summary.t list;
+}
+
+val target :
+  name:string ->
+  ?objects:Spec_lint.object_info list ->
+  ?summaries:Summary.t list ->
+  Commutativity.registry ->
+  target
+
+val run : target -> Diagnostic.t list
+(** All three analysis families, sorted errors-first. *)
+
+val report : Format.formatter -> target -> Diagnostic.t list -> unit
+(** Human-readable report: header, one line per diagnostic, the static
+    conflict graph, and a severity summary. *)
+
+val exit_code : Diagnostic.t list -> int
+(** [Diagnostic.exit_code]: non-zero iff an error is present. *)

@@ -1,0 +1,75 @@
+(* Static deadlock-potential detection: cycles in the union of the
+   per-transaction object-acquisition orders, restricted to contended
+   objects.  Static analogue of the runtime waits-for check in
+   lib/cc/deadlock.ml. *)
+
+open Ooser_core
+
+module G = Digraph.Make (struct
+  type t = Obj_id.t
+
+  let compare = Obj_id.compare
+  let pp = Obj_id.pp
+end)
+
+(* Objects on which each transaction statically conflicts with another
+   transaction; only those can make the transaction wait. *)
+let contended reg summaries =
+  let edges = Callgraph.conflict_edges reg summaries in
+  fun (s : Summary.t) ->
+    List.filter_map
+      (fun e ->
+        if
+          e.Callgraph.from_txn = s.Summary.name
+          || e.Callgraph.to_txn = s.Summary.name
+        then Some e.Callgraph.obj
+        else None)
+      edges
+
+let acquisition_orders reg summaries =
+  let contended_of = contended reg summaries in
+  List.map
+    (fun s ->
+      let c = contended_of s in
+      ( s.Summary.name,
+        List.filter (fun o -> List.exists (Obj_id.equal o) c)
+          (Summary.objects s) ))
+    summaries
+
+let graph orders =
+  List.fold_left
+    (fun g (_, order) ->
+      let rec add g = function
+        | [] -> g
+        | o :: rest -> add (List.fold_left (fun g p -> G.add o p g) g rest) rest
+      in
+      add g order)
+    G.empty orders
+
+let find_cycle reg summaries =
+  G.find_cycle (graph (acquisition_orders reg summaries))
+
+let check reg summaries =
+  let orders = acquisition_orders reg summaries in
+  match G.find_cycle (graph orders) with
+  | None -> []
+  | Some cycle ->
+      let on_cycle o = List.exists (Obj_id.equal o) cycle in
+      let culprits =
+        List.filter_map
+          (fun (name, order) ->
+            if List.length (List.filter on_cycle order) >= 2 then Some name
+            else None)
+          orders
+      in
+      [
+        Diagnostic.v ~code:"DL001" ~severity:Diagnostic.Warning
+          ~obj:(String.concat " -> " (List.map Obj_id.to_string cycle))
+          ~hint:
+            "acquire these objects in one global order (or rely on runtime \
+             deadlock detection and expect aborts under contention)"
+          (Fmt.str
+             "lock-order cycle: transactions %s acquire conflicting objects \
+              in inconsistent orders"
+             (String.concat ", " culprits));
+      ]

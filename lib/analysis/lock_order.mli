@@ -1,0 +1,31 @@
+(** Static deadlock-potential detection.
+
+    Under {!Ooser_cc.Protocol.open_nested} and [closed_nested], an
+    action's semantic lock is held until its caller completes, so a
+    transaction's conflicting calls acquire locks in program order and
+    release none before the last is taken — the classic hold-and-wait.
+    Runtime detection ([lib/cc/deadlock.ml]) finds the waits-for cycle
+    after transactions block; this is its static analogue: derive each
+    transaction summary's object-acquisition order, restricted to
+    contended objects (those with a static conflict edge to another
+    transaction — uncontended acquisitions can never contribute a wait),
+    take the union of the orders as a directed graph over objects, and
+    report its cycles.  An acyclic graph certifies the workload can
+    reach no lock-order deadlock at the object level; a cycle names the
+    objects to reorder. *)
+
+open Ooser_core
+
+val acquisition_orders :
+  Commutativity.registry ->
+  Summary.t list ->
+  (string * Obj_id.t list) list
+(** Per transaction, the first-touch order over its contended objects. *)
+
+val find_cycle :
+  Commutativity.registry -> Summary.t list -> Obj_id.t list option
+(** A cycle in the union of acquisition orders, if any. *)
+
+val check : Commutativity.registry -> Summary.t list -> Diagnostic.t list
+(** DL001 (warning) naming the cycle and the transactions whose orders
+    disagree. *)

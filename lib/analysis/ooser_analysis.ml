@@ -1,0 +1,8 @@
+(* Umbrella module for the static analysis library. *)
+
+module Diagnostic = Diagnostic
+module Summary = Summary
+module Spec_lint = Spec_lint
+module Callgraph = Callgraph
+module Lock_order = Lock_order
+module Lint = Lint

@@ -1,0 +1,151 @@
+(* Spec soundness checks (Def. 9): probe each specification over its
+   method vocabulary with synthesized two-process actions and flag
+   asymmetric answers, self-conflicting observers, and vocabulary gaps. *)
+
+open Ooser_core
+
+type object_info = {
+  obj : string;
+  spec : Commutativity.spec;
+  methods : string list;
+}
+
+(* Synthesized probe: a fixed action of transaction [top] invoking
+   [meth] with no arguments.  Distinct tops give distinct processes, so
+   Commutativity.test sees a genuine cross-transaction pair. *)
+let probe ~top obj meth =
+  Action.v
+    ~id:(Action_id.v ~top ~path:[ 1 ])
+    ~obj ~meth ~process:(Process_id.main top) ()
+
+let union_vocab vocab methods =
+  List.sort_uniq String.compare (vocab @ methods)
+
+let probe_vocab info =
+  union_vocab
+    (Option.value ~default:[] (Commutativity.vocabulary info.spec))
+    info.methods
+
+let probe_pairs ?(methods = []) spec f =
+  let vocab =
+    union_vocab (Option.value ~default:[] (Commutativity.vocabulary spec)) methods
+  in
+  let o = Obj_id.v "probe" in
+  List.concat_map
+    (fun m ->
+      List.filter_map
+        (fun m' -> f m m' (probe ~top:1 o m) (probe ~top:2 o m'))
+        vocab)
+    vocab
+
+let asymmetric_pairs ?methods spec =
+  probe_pairs ?methods spec (fun m m' a b ->
+      if
+        String.compare m m' <= 0
+        && Commutativity.test spec a b <> Commutativity.test spec b a
+      then Some (m, m')
+      else None)
+
+(* Methods whose name announces an observer: two concurrent invocations
+   leave any state unchanged in either order, so a self-conflict is
+   almost always an oversight (it serializes concurrent readers). *)
+let read_like =
+  [
+    "read"; "search"; "lookup"; "balance"; "length"; "list"; "contains";
+    "report"; "readSeq"; "range"; "get"; "find"; "value"; "peek";
+  ]
+
+let self_conflicting_reads ?methods spec =
+  List.sort_uniq String.compare
+    (probe_pairs ?methods spec (fun m m' a b ->
+         if m = m' && List.mem m read_like && not (Commutativity.test spec a b)
+         then Some m
+         else None))
+
+let check_spec info =
+  let spec_name = Commutativity.name info.spec in
+  let asym =
+    List.map
+      (fun (m, m') ->
+        Diagnostic.v ~code:"SPEC001" ~severity:Diagnostic.Error ~obj:info.obj
+          ~meth:(m ^ "/" ^ m')
+          ~hint:
+            (Fmt.str
+               "make spec %S answer identically for (%s, %s) and (%s, %s)"
+               spec_name m m' m' m)
+          (Fmt.str
+             "asymmetric commutativity: %s vs %s commute=%b but %s vs %s \
+              commute=%b (Def. 9 requires symmetry)"
+             m m'
+             (Commutativity.test info.spec
+                (probe ~top:1 (Obj_id.v info.obj) m)
+                (probe ~top:2 (Obj_id.v info.obj) m'))
+             m' m
+             (Commutativity.test info.spec
+                (probe ~top:1 (Obj_id.v info.obj) m')
+                (probe ~top:2 (Obj_id.v info.obj) m))))
+      (asymmetric_pairs ~methods:info.methods info.spec)
+  in
+  let selfc =
+    List.map
+      (fun m ->
+        Diagnostic.v ~code:"SPEC002" ~severity:Diagnostic.Warning ~obj:info.obj
+          ~meth:m
+          ~hint:
+            (Fmt.str "let %s commute with itself in spec %S if it is an \
+                      observer" m spec_name)
+          (Fmt.str
+             "read-like method %s conflicts with itself: concurrent %s \
+              invocations serialize" m m))
+      (self_conflicting_reads ~methods:info.methods info.spec)
+  in
+  asym @ selfc
+
+let check_usage reg summaries =
+  let diags = ref [] in
+  let seen_unknown = ref [] and seen_gap = ref [] in
+  List.iter
+    (fun s ->
+      Obj_id.Map.iter
+        (fun o meths ->
+          let oname = Obj_id.to_string o in
+          if not (Commutativity.known reg o) then begin
+            if not (List.mem oname !seen_unknown) then begin
+              seen_unknown := oname :: !seen_unknown;
+              diags :=
+                Diagnostic.v ~code:"SPEC004" ~severity:Diagnostic.Warning
+                  ~obj:oname ~txn:s.Summary.name
+                  ~hint:
+                    "register the object (or a name->spec entry) so lookups \
+                     stop resolving to the registry default"
+                  "object is not in the commutativity registry: lookups \
+                   resolve to the default spec"
+                :: !diags
+            end
+          end
+          else
+            let spec = Commutativity.spec_for reg o in
+            match Commutativity.vocabulary spec with
+            | None -> ()  (* opaque predicate: no declared vocabulary *)
+            | Some vocab ->
+                List.iter
+                  (fun m ->
+                    if (not (List.mem m vocab)) && not (List.mem (oname, m) !seen_gap)
+                    then begin
+                      seen_gap := (oname, m) :: !seen_gap;
+                      diags :=
+                        Diagnostic.v ~code:"SPEC003" ~severity:Diagnostic.Warning
+                          ~obj:oname ~meth:m ~txn:s.Summary.name
+                          ~hint:
+                            (Fmt.str
+                               "add %s to the vocabulary of spec %S (it \
+                                currently gets the conservative all-conflict \
+                                default)" m (Commutativity.name spec))
+                          "method used by workload is absent from the spec \
+                           vocabulary"
+                        :: !diags
+                    end)
+                  meths)
+        (Summary.methods_by_object s))
+    summaries;
+  List.rev !diags

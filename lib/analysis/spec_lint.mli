@@ -1,0 +1,51 @@
+(** Spec soundness checks (Def. 9).
+
+    Commutativity of actions is a symmetric relation — "the effect of each
+    is independent of their execution order" cannot hold in one order
+    only — so a specification answering differently for [(a, b)] and
+    [(b, a)] is wrong, not merely conservative: the dependency relations
+    built from it (Defs. 10, 11) would depend on probe order and the
+    runtime protocols could admit non-oo-serializable histories.
+
+    The analyzer probes each object's spec over its method vocabulary
+    with synthesized actions of two different processes (the Def. 9
+    same-process rule is deliberately bypassed via
+    {!Ooser_core.Commutativity.test}).  Probes carry no arguments, so
+    parameter-sensitive specs (escrow, keyed) answer for the
+    no-information case — exactly what they fall back to for methods the
+    analyzer knows nothing about. *)
+
+open Ooser_core
+
+type object_info = {
+  obj : string;  (** object name *)
+  spec : Commutativity.spec;
+  methods : string list;  (** registered method table, probing fallback *)
+}
+
+val probe_vocab : object_info -> string list
+(** Declared spec vocabulary united with the registered methods. *)
+
+val asymmetric_pairs :
+  ?methods:string list -> Commutativity.spec -> (string * string) list
+(** Method pairs [(m, m')] with [test s (m, m') <> test s (m', m)],
+    probed over the spec's vocabulary united with [methods].  Empty for
+    every sound spec — the property guard over shipped specs. *)
+
+val self_conflicting_reads :
+  ?methods:string list -> Commutativity.spec -> string list
+(** Read-like methods (read, search, lookup, balance, …) that do not
+    commute with themselves: two concurrent invocations would serialize
+    even though observers commute — almost always a spec oversight. *)
+
+val check_spec : object_info -> Diagnostic.t list
+(** SPEC001 (asymmetry, error) and SPEC002 (self-conflicting read,
+    warning) for one object. *)
+
+val check_usage :
+  Commutativity.registry -> Summary.t list -> Diagnostic.t list
+(** SPEC003: a summary invokes a method outside the declared vocabulary
+    of the object's spec (warning — the call silently falls into the
+    constructor's conservative default).  SPEC004: a summary touches an
+    object the registry does not know (warning — the lookup resolves to
+    the registry default). *)

@@ -1,0 +1,60 @@
+(* Static transaction summaries: named object × method call trees,
+   mirroring the [Runtime.call] structure of workload programs. *)
+
+open Ooser_core
+
+type call = {
+  obj : Obj_id.t;
+  meth : string;
+  args : Value.t list;
+  children : call list;
+}
+
+type t = { name : string; body : call list }
+
+let call ?(args = []) obj meth children = { obj; meth; args; children }
+let txn name body = { name; body }
+
+let rec iter_call f c =
+  f c;
+  List.iter (iter_call f) c.children
+
+let iter f t = List.iter (iter_call f) t.body
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun c -> acc := f !acc c) t;
+  !acc
+
+let objects t =
+  List.rev
+    (fold
+       (fun acc c ->
+         let o = Obj_id.original c.obj in
+         if List.exists (Obj_id.equal o) acc then acc else o :: acc)
+       [] t)
+
+let methods_by_object t =
+  fold
+    (fun m c ->
+      let o = Obj_id.original c.obj in
+      let ms = Option.value ~default:[] (Obj_id.Map.find_opt o m) in
+      if List.mem c.meth ms then m else Obj_id.Map.add o (ms @ [ c.meth ]) m)
+    Obj_id.Map.empty t
+
+let calls_on t o =
+  List.rev
+    (fold
+       (fun acc c ->
+         if Obj_id.equal (Obj_id.original c.obj) (Obj_id.original o) then
+           c :: acc
+         else acc)
+       [] t)
+
+let rec pp_call ppf c =
+  Fmt.pf ppf "%a.%s" Obj_id.pp c.obj c.meth;
+  if c.children <> [] then
+    Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp_call) c.children
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %a" t.name (Fmt.list ~sep:(Fmt.any "; ") pp_call) t.body

@@ -1,0 +1,43 @@
+(** Static transaction summaries: the object × method call trees a
+    transaction program can reach through [Runtime.call], without running
+    the engine.
+
+    The DSL mirrors the shape of the [lib/workload] transaction bodies
+    (and of [Call_tree.Build]): a summary is a named tree of method
+    invocations.  Arguments are optional; when present they let
+    parameter-sensitive specifications (escrow, keyed) answer precisely,
+    and when absent the analyzer probes conservatively with no
+    arguments.  A call on an object whose subtree calls the same object
+    again is a Def. 5 extension site (see {!Callgraph}). *)
+
+open Ooser_core
+
+type call = {
+  obj : Obj_id.t;
+  meth : string;
+  args : Value.t list;
+  children : call list;  (** calls issued by this method's body *)
+}
+
+type t = { name : string; body : call list }
+
+val call : ?args:Value.t list -> Obj_id.t -> string -> call list -> call
+val txn : string -> call list -> t
+
+val iter : (call -> unit) -> t -> unit
+(** Preorder over every call in the tree. *)
+
+val fold : ('a -> call -> 'a) -> 'a -> t -> 'a
+(** Preorder fold. *)
+
+val objects : t -> Obj_id.t list
+(** Distinct (de-virtualised) objects touched, in first-touch order —
+    the static analogue of the lock-acquisition order. *)
+
+val methods_by_object : t -> string list Obj_id.Map.t
+(** For each touched object, the distinct method names invoked on it. *)
+
+val calls_on : t -> Obj_id.t -> call list
+(** All calls on one object, preorder. *)
+
+val pp : Format.formatter -> t -> unit

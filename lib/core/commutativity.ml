@@ -6,25 +6,79 @@
 
 open Ids
 
-type spec = { name : string; commutes : Action.t -> Action.t -> bool }
+type spec = {
+  name : string;
+  commutes : Action.t -> Action.t -> bool;
+  vocab : string list option;
+      (* declared method vocabulary, when the constructor knows it;
+         queried by the static analyzer (SPEC* diagnostics) *)
+}
 
 let name s = s.name
-let make ~name commutes = { name; commutes }
+let make ?vocab ~name commutes = { name; commutes; vocab }
 let test s a a' = s.commutes a a'
+let vocabulary s = s.vocab
 
-let all_commute = { name = "all-commute"; commutes = (fun _ _ -> true) }
-let all_conflict = { name = "all-conflict"; commutes = (fun _ _ -> false) }
+let all_commute =
+  { name = "all-commute"; commutes = (fun _ _ -> true); vocab = None }
+
+let all_conflict =
+  { name = "all-conflict"; commutes = (fun _ _ -> false); vocab = None }
 
 let sym_mem pairs m m' =
   List.exists (fun (a, b) -> (a = m && b = m') || (a = m' && b = m)) pairs
 
+let vocab_of_pairs pairs =
+  List.sort_uniq String.compare
+    (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+
+(* Construction-time validation: a pair listed twice (in either order) is
+   at best redundant and usually a typo for a different pair — reject it
+   rather than silently accepting the duplicate. *)
+let check_pairs ~ctor pairs =
+  let rec go = function
+    | [] -> ()
+    | p :: rest ->
+        let a, b = p in
+        if sym_mem rest a b then
+          invalid_arg
+            (Printf.sprintf "Commutativity.%s: duplicate pair (%s, %s)" ctor a
+               b);
+        go rest
+  in
+  go pairs
+
 let of_conflict_matrix ~name pairs =
-  { name; commutes = (fun a a' -> not (sym_mem pairs (Action.meth a) (Action.meth a'))) }
+  check_pairs ~ctor:"of_conflict_matrix" pairs;
+  {
+    name;
+    commutes =
+      (fun a a' -> not (sym_mem pairs (Action.meth a) (Action.meth a')));
+    vocab = Some (vocab_of_pairs pairs);
+  }
 
 let of_commute_matrix ~name pairs =
-  { name; commutes = (fun a a' -> sym_mem pairs (Action.meth a) (Action.meth a')) }
+  check_pairs ~ctor:"of_commute_matrix" pairs;
+  {
+    name;
+    commutes = (fun a a' -> sym_mem pairs (Action.meth a) (Action.meth a'));
+    vocab = Some (vocab_of_pairs pairs);
+  }
 
 let rw ~reads ~writes =
+  (* a method classified both ways is self-contradictory: the reads list
+     would win silently, turning an intended write into a read *)
+  List.iter
+    (fun m ->
+      if List.mem m writes then
+        invalid_arg
+          (Printf.sprintf "Commutativity.rw: %s is both a read and a write" m))
+    reads;
+  let dup l =
+    List.exists (fun m -> List.length (List.filter (String.equal m) l) > 1) l
+  in
+  if dup reads || dup writes then
+    invalid_arg "Commutativity.rw: duplicate method";
   let kind m =
     if List.mem m reads then `Read
     else if List.mem m writes then `Write
@@ -38,6 +92,7 @@ let rw ~reads ~writes =
         | `Read, `Read -> true
         | `Read, `Write | `Write, `Read | `Write, `Write -> false
         | `Unknown, _ | _, `Unknown -> false);
+    vocab = Some (List.sort_uniq String.compare (reads @ writes));
   }
 
 (* Refine [inner]: actions addressing different keys always commute;
@@ -52,21 +107,29 @@ let by_key ~key_of inner =
         match (key_of a, key_of a') with
         | Some k, Some k' when not (Value.equal k k') -> true
         | _ -> inner.commutes a a');
+    vocab = inner.vocab;
   }
 
-let predicate ~name f = { name; commutes = f }
+let predicate ?vocab ~name f = { name; commutes = f; vocab }
 
 let first_arg a = match Action.args a with [] -> None | v :: _ -> Some v
 
 (* Registries map objects to their specification.  Virtual objects
-   (Def. 5) behave exactly like their originals. *)
-type registry = { spec_for : Obj_id.t -> spec }
+   (Def. 5) behave exactly like their originals.  [known] tells the static
+   analyzer whether a lookup resolves to a registered spec or falls back
+   to the registry's default. *)
+type registry = { spec_for : Obj_id.t -> spec; known : Obj_id.t -> bool }
 
-let registry spec_for =
-  { spec_for = (fun o -> spec_for (Obj_id.original o)) }
+let registry ?(known = fun _ -> true) spec_for =
+  {
+    spec_for = (fun o -> spec_for (Obj_id.original o));
+    known = (fun o -> known (Obj_id.original o));
+  }
 
 let fixed ?(default = all_conflict) table =
-  registry (fun o ->
+  registry
+    ~known:(fun o -> List.mem_assoc (Obj_id.name o) table)
+    (fun o ->
       match List.assoc_opt (Obj_id.name o) table with
       | Some s -> s
       | None -> default)
@@ -74,6 +137,7 @@ let fixed ?(default = all_conflict) table =
 let uniform spec = registry (fun _ -> spec)
 
 let spec_for r o = r.spec_for o
+let known r o = r.known o
 
 let commutes r a a' =
   (* actions on different objects never interact, hence commute *)

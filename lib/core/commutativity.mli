@@ -15,11 +15,21 @@ open Ids
 type spec
 
 val name : spec -> string
-val make : name:string -> (Action.t -> Action.t -> bool) -> spec
+
+val make :
+  ?vocab:string list -> name:string -> (Action.t -> Action.t -> bool) -> spec
+(** [vocab] declares the method names the specification was written for;
+    the static analyzer probes it and reports methods outside it. *)
 
 val test : spec -> Action.t -> Action.t -> bool
 (** Raw query of the specification ([true] = commute), without the
     same-process rule of {!commutes}.  Useful to compose specs. *)
+
+val vocabulary : spec -> string list option
+(** Declared method vocabulary: present for {!of_conflict_matrix},
+    {!of_commute_matrix} and {!rw} specs (and any constructor given
+    [?vocab]); [None] for opaque predicates.  Methods outside the
+    vocabulary fall into each constructor's conservative default. *)
 
 val all_commute : spec
 (** Every pair commutes — maximal concurrency, no dependencies. *)
@@ -28,14 +38,18 @@ val all_conflict : spec
 (** Every pair conflicts — degenerates to conventional serializability. *)
 
 val of_conflict_matrix : name:string -> (string * string) list -> spec
-(** Method pairs listed (symmetrically) conflict; all others commute. *)
+(** Method pairs listed (symmetrically) conflict; all others commute.
+    @raise Invalid_argument on a pair listed twice (in either order). *)
 
 val of_commute_matrix : name:string -> (string * string) list -> spec
-(** Method pairs listed (symmetrically) commute; all others conflict. *)
+(** Method pairs listed (symmetrically) commute; all others conflict.
+    @raise Invalid_argument on a pair listed twice (in either order). *)
 
 val rw : reads:string list -> writes:string list -> spec
 (** Classic read/write semantics: two actions conflict unless both are
-    reads.  Unknown methods conservatively conflict with everything. *)
+    reads.  Unknown methods conservatively conflict with everything.
+    @raise Invalid_argument when a method is listed twice or classified
+    both as a read and as a write. *)
 
 val by_key : key_of:(Action.t -> Value.t option) -> spec -> spec
 (** Refine a spec: actions addressing different keys always commute;
@@ -43,7 +57,8 @@ val by_key : key_of:(Action.t -> Value.t option) -> spec -> spec
     node-level semantics of Example 1 — inserts of different keys commute
     even when their data collide on the same page. *)
 
-val predicate : name:string -> (Action.t -> Action.t -> bool) -> spec
+val predicate :
+  ?vocab:string list -> name:string -> (Action.t -> Action.t -> bool) -> spec
 (** Arbitrary commutativity test ([true] = commute). *)
 
 val first_arg : Action.t -> Value.t option
@@ -53,14 +68,22 @@ val first_arg : Action.t -> Value.t option
     (Def. 5) behave exactly like their originals. *)
 type registry
 
-val registry : (Obj_id.t -> spec) -> registry
-(** The function receives de-virtualised identifiers. *)
+val registry : ?known:(Obj_id.t -> bool) -> (Obj_id.t -> spec) -> registry
+(** The functions receive de-virtualised identifiers.  [known] (default:
+    everything) tells {!known} whether a lookup resolves to a registered
+    specification rather than a fallback default. *)
 
 val fixed : ?default:spec -> (string * spec) list -> registry
 (** Lookup by object name; [default] (all-conflict) otherwise. *)
 
 val uniform : spec -> registry
 val spec_for : registry -> Obj_id.t -> spec
+
+val known : registry -> Obj_id.t -> bool
+(** Whether the object resolves to a registered specification.  [false]
+    means {!spec_for} falls back to the registry default — the static
+    analyzer flags such lookups (the object would silently get
+    all-conflict semantics, or worse, a wrong uniform spec). *)
 
 val commutes : registry -> Action.t -> Action.t -> bool
 (** Def. 9 in full: actions on different objects commute; same-process

@@ -51,6 +51,14 @@ let mem t oid = Obj_id.Map.mem oid t.objects
 
 let objects t = List.map fst (Obj_id.Map.bindings t.objects)
 
+let methods t oid =
+  match Obj_id.Map.find_opt oid t.objects with
+  | None -> []
+  | Some o -> List.map fst o.methods
+
+let spec t oid =
+  Option.map (fun o -> o.spec) (Obj_id.Map.find_opt oid t.objects)
+
 let find_meth t oid name =
   match Obj_id.Map.find_opt oid t.objects with
   | None -> Error (Fmt.str "unknown object %a" Obj_id.pp oid)
@@ -60,7 +68,9 @@ let find_meth t oid name =
       | None -> Error (Fmt.str "object %a has no method %s" Obj_id.pp oid name))
 
 let spec_registry ?(default = Commutativity.all_conflict) t =
-  Commutativity.registry (fun oid ->
+  Commutativity.registry
+    ~known:(fun oid -> Obj_id.Map.mem oid t.objects)
+    (fun oid ->
       match Obj_id.Map.find_opt oid t.objects with
       | Some o -> o.spec
       | None -> default)

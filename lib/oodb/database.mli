@@ -56,6 +56,13 @@ val register_or_replace :
 val mem : t -> Obj_id.t -> bool
 val objects : t -> Obj_id.t list
 
+val methods : t -> Obj_id.t -> string list
+(** Names of the registered methods; [[]] for unknown objects.  The
+    static analyzer uses this as the probing vocabulary for specs that
+    declare none. *)
+
+val spec : t -> Obj_id.t -> Commutativity.spec option
+
 val find_meth : t -> Obj_id.t -> string -> (meth, string) result
 
 val spec_registry : ?default:Commutativity.spec -> t -> Commutativity.registry

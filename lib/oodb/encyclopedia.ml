@@ -131,7 +131,9 @@ let node_spec =
              -> false
            | _ -> false))
   in
-  Commutativity.predicate ~name:"btree-node" (fun a b ->
+  Commutativity.predicate ~name:"btree-node"
+    ~vocab:[ "route"; "search"; "insert"; "delete"; "entriesFrom"; "rearrange" ]
+    (fun a b ->
       match (Action.meth a, Action.meth b) with
       | "route", _ | _, "route" -> true
       | "entriesFrom", ("entriesFrom" | "search")
@@ -307,7 +309,9 @@ let bptree_spec =
            | "search", "search" -> true
            | _ -> false))
   in
-  Commutativity.predicate ~name:"bptree" (fun a b ->
+  Commutativity.predicate ~name:"bptree"
+    ~vocab:[ "search"; "insert"; "delete"; "next"; "grow" ]
+    (fun a b ->
       match (Action.meth a, Action.meth b) with
       | "grow", "grow" -> false
       | "grow", _ | _, "grow" -> true  (* B-link root growth tolerance *)
@@ -472,7 +476,9 @@ let register_item t name ~pid =
 (* -- the linked list of items ------------------------------------------------------ *)
 
 let linkedlist_spec =
-  Commutativity.predicate ~name:"linked-list" (fun a b ->
+  Commutativity.predicate ~name:"linked-list"
+    ~vocab:[ "append"; "remove"; "readSeq" ]
+    (fun a b ->
       match (Action.meth a, Action.meth b) with
       | "append", "append" -> true  (* Fig. 8: no dependency between inserts *)
       | "readSeq", "readSeq" -> true
@@ -526,7 +532,9 @@ let enc_spec =
            | "search", "search" -> true
            | _ -> false))
   in
-  Commutativity.predicate ~name:"encyclopedia" (fun a b ->
+  Commutativity.predicate ~name:"encyclopedia"
+    ~vocab:[ "insert"; "search"; "update"; "delete"; "range"; "readSeq" ]
+    (fun a b ->
       match (Action.meth a, Action.meth b) with
       | ("readSeq" | "range"), ("readSeq" | "range") -> true
       | ("readSeq" | "range"), "search" | "search", ("readSeq" | "range") ->

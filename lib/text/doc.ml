@@ -52,12 +52,27 @@ type t = {
   order : (int * int list) list option;  (* top, path; None = serial *)
 }
 
+(* The text format is lenient: listing a pair in both orders (or a
+   method twice) is harmless in a description file, so canonicalise
+   before the constructors, which reject duplicates (they are almost
+   always typos in handwritten OCaml specs). *)
+let dedup_pairs pairs =
+  let canon (a, b) = if String.compare a b <= 0 then (a, b) else (b, a) in
+  List.sort_uniq compare (List.map canon pairs)
+
+let dedup = List.sort_uniq String.compare
+
 let rec spec_of_decl = function
-  | Rw { reads; writes } -> Commutativity.rw ~reads ~writes
+  | Rw { reads; writes } ->
+      let reads = dedup reads in
+      Commutativity.rw ~reads
+        ~writes:(List.filter (fun w -> not (List.mem w reads)) (dedup writes))
   | All_conflict -> Commutativity.all_conflict
   | All_commute -> Commutativity.all_commute
-  | Conflicts pairs -> Commutativity.of_conflict_matrix ~name:"conflicts" pairs
-  | Commutes pairs -> Commutativity.of_commute_matrix ~name:"commutes" pairs
+  | Conflicts pairs ->
+      Commutativity.of_conflict_matrix ~name:"conflicts" (dedup_pairs pairs)
+  | Commutes pairs ->
+      Commutativity.of_commute_matrix ~name:"commutes" (dedup_pairs pairs)
   | Keyed inner ->
       Commutativity.by_key ~key_of:Commutativity.first_arg (spec_of_decl inner)
 

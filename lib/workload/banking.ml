@@ -98,7 +98,10 @@ let transfer_body p ~pairs ctx =
     pairs;
   Value.unit
 
-let transactions ~rng p =
+(* The (source, destination) pairs of every transfer transaction —
+   shared by the executable bodies and the static summaries so the
+   analyzer sees exactly the program the engine would run. *)
+let transfer_plan ~rng p =
   List.init p.n_txns (fun i ->
       let pairs =
         List.init p.transfers_per_txn (fun _ ->
@@ -106,7 +109,33 @@ let transactions ~rng p =
             let dst = (src + 1 + Rng.int rng (p.accounts - 1)) mod p.accounts in
             (src, dst))
       in
-      (i + 1, Printf.sprintf "transfer%d" (i + 1), transfer_body p ~pairs))
+      (i + 1, pairs))
+
+let transactions ~rng p =
+  List.map
+    (fun (i, pairs) ->
+      (i, Printf.sprintf "transfer%d" i, transfer_body p ~pairs))
+    (transfer_plan ~rng p)
+
+module Summary = Ooser_analysis.Summary
+
+let static_summaries ~rng p =
+  List.map
+    (fun (i, pairs) ->
+      Summary.txn
+        (Printf.sprintf "transfer%d" i)
+        (List.concat_map
+           (fun (src, dst) ->
+             [
+               Summary.call
+                 ~args:[ Value.int p.amount ]
+                 (account_obj src) "withdraw" [];
+               Summary.call
+                 ~args:[ Value.int p.amount ]
+                 (account_obj dst) "deposit" [];
+             ])
+           pairs))
+    (transfer_plan ~rng p)
 
 let total_balance counters =
   Array.fold_left (fun acc c -> acc + Escrow.value c) 0 counters

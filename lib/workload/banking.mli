@@ -45,5 +45,11 @@ val transactions :
 (** Transfer transactions: withdraw from one account, deposit to
     another. *)
 
+val static_summaries :
+  rng:Rng.t -> params -> Ooser_analysis.Summary.t list
+(** Static call summaries of {!transactions}: an [rng] created from the
+    same seed yields summaries of exactly the transactions the engine
+    would run. *)
+
 val total_balance : Escrow.t array -> int
 (** Invariant: transfers preserve the sum. *)

@@ -68,9 +68,9 @@ let pick_op rng p ~fresh_key =
     Update (key_of (Dist.sample rng p.dist mod max 1 p.preload))
   else ReadSeq
 
-(* Generate the operation scripts up front (deterministic given the rng),
-   then wrap them as transaction bodies. *)
-let transactions ~rng p enc =
+(* Generate the operation scripts up front (deterministic given the rng) —
+   shared by the executable bodies and the static summaries. *)
+let plan ~rng p =
   let fresh = ref p.preload in
   let fresh_key () =
     let k = !fresh in
@@ -78,7 +78,11 @@ let transactions ~rng p enc =
     key_of k
   in
   List.init p.n_txns (fun i ->
-      let ops = List.init p.ops_per_txn (fun _ -> pick_op rng p ~fresh_key) in
+      (i + 1, List.init p.ops_per_txn (fun _ -> pick_op rng p ~fresh_key)))
+
+let transactions ~rng p enc =
+  List.map
+    (fun (i, ops) ->
       let body ctx =
         List.iter
           (fun op ->
@@ -90,7 +94,47 @@ let transactions ~rng p enc =
           ops;
         Value.unit
       in
-      (i + 1, Printf.sprintf "txn%d" (i + 1), body))
+      (i, Printf.sprintf "txn%d" i, body))
+    (plan ~rng p)
+
+module Summary = Ooser_analysis.Summary
+
+(* Static call summaries at the schema level (Enc, BpTree, LinkedList;
+   leaves, pages and items are created dynamically and stay below the
+   summary granularity).  BpTree.insert includes its potential re-entrant
+   grow — the Def. 5 extension site the analyzer must surface. *)
+let summary_of_op enc op =
+  let enc_o = Encyclopedia.enc_object enc in
+  let bptree = Encyclopedia.bptree_object enc in
+  let ll = Encyclopedia.linkedlist_object enc in
+  match op with
+  | Insert k ->
+      Summary.call
+        ~args:[ Value.str k; Value.str ("v" ^ k) ]
+        enc_o "insert"
+        [
+          Summary.call ~args:[ Value.str k ] bptree "insert"
+            [ Summary.call bptree "grow" [] ];
+          Summary.call ~args:[ Value.str k ] ll "append" [];
+        ]
+  | Search k ->
+      Summary.call ~args:[ Value.str k ] enc_o "search"
+        [ Summary.call ~args:[ Value.str k ] bptree "search" [] ]
+  | Update k ->
+      Summary.call
+        ~args:[ Value.str k; Value.str "upd" ]
+        enc_o "update"
+        [ Summary.call ~args:[ Value.str k ] bptree "search" [] ]
+  | ReadSeq ->
+      Summary.call enc_o "readSeq" [ Summary.call ll "readSeq" [] ]
+
+let static_summaries ~rng p enc =
+  List.map
+    (fun (i, ops) ->
+      Summary.txn
+        (Printf.sprintf "txn%d" i)
+        (List.map (summary_of_op enc) ops))
+    (plan ~rng p)
 
 (* Build a database + encyclopedia, preload it, and return everything
    needed for a measured run. *)

@@ -40,6 +40,13 @@ val transactions :
   (int * string * (Runtime.ctx -> Ooser_core.Value.t)) list
 (** Deterministic transaction scripts for {!Engine.run}. *)
 
+val static_summaries :
+  rng:Rng.t -> params -> Encyclopedia.t -> Ooser_analysis.Summary.t list
+(** Static call summaries of {!transactions} at the schema level (Enc,
+    BpTree, LinkedList); an [rng] created from the same seed yields the
+    same operation scripts.  BpTree.insert includes its potential
+    re-entrant grow call — the Def. 5 extension site of Example 3. *)
+
 val setup :
   ?fanout:int ->
   rng:Rng.t ->

@@ -47,7 +47,9 @@ let store_spec =
                false
            | _ -> false))
   in
-  Commutativity.predicate ~name:"store" (fun a b ->
+  Commutativity.predicate ~name:"store"
+    ~vocab:[ "place"; "fulfil"; "report" ]
+    (fun a b ->
       match (Action.meth a, Action.meth b) with
       | "report", _ | _, "report" -> false
       | _ -> Commutativity.test keyed a b)
@@ -165,21 +167,78 @@ let default_params =
     dist = Dist.uniform 4;
   }
 
+(* The product picks of every order transaction — shared by the
+   executable bodies and the static summaries. *)
+let order_plan ~rng p =
+  List.init p.n_txns (fun i ->
+      let picks =
+        List.init p.orders_per_txn (fun _ ->
+            Dist.sample rng p.dist mod p.products)
+      in
+      (i + 1, picks))
+
 let setup ~rng p db =
   let t = create ~products:p.products ~initial_stock:p.initial_stock db in
   let txns =
-    List.init p.n_txns (fun i ->
-        let picks =
-          List.init p.orders_per_txn (fun _ ->
-              Dist.sample rng p.dist mod p.products)
-        in
-        ( i + 1,
-          Printf.sprintf "order%d" (i + 1),
+    List.map
+      (fun (i, picks) ->
+        ( i,
+          Printf.sprintf "order%d" i,
           fun ctx ->
             List.iter
               (fun prod ->
                 ignore (place_order t ctx ~product:t.products.(prod) ~qty:p.qty))
               picks;
             Value.unit ))
+      (order_plan ~rng p)
   in
   (t, txns)
+
+module Summary = Ooser_analysis.Summary
+
+(* Static summary of one order: the place call and the calls its body
+   issues (catalog lookup, escrow stock debit, revenue credit, order
+   enqueue) — mirroring [create]'s [place] implementation. *)
+let place_summary t ~prod ~qty =
+  let name = Obj_id.name t.store in
+  let product = t.products.(prod) in
+  let price = 10 + prod in
+  Summary.call
+    ~args:[ Value.str product; Value.int qty ]
+    t.store "place"
+    [
+      Summary.call ~args:[ Value.str product ] (catalog_obj name) "lookup" [];
+      Summary.call ~args:[ Value.int qty ] (stock_obj name prod) "decr" [];
+      Summary.call
+        ~args:[ Value.int (price * qty) ]
+        (revenue_obj name) "incr" [];
+      Summary.call
+        ~args:[ Value.pair (Value.str product) (Value.int qty) ]
+        (orders_obj name) "enqueue" [];
+    ]
+
+let fulfil_summary t =
+  let name = Obj_id.name t.store in
+  Summary.txn "fulfil"
+    [
+      Summary.call t.store "fulfil"
+        [ Summary.call (orders_obj name) "dequeue" [] ];
+    ]
+
+let report_summary t =
+  let name = Obj_id.name t.store in
+  Summary.txn "report"
+    [
+      Summary.call t.store "report"
+        (List.init (Array.length t.products) (fun i ->
+             Summary.call (stock_obj name i) "read" []));
+    ]
+
+let static_summaries t ~rng p =
+  List.map
+    (fun (i, picks) ->
+      Summary.txn
+        (Printf.sprintf "order%d" i)
+        (List.map (fun prod -> place_summary t ~prod ~qty:p.qty) picks))
+    (order_plan ~rng p)
+  @ [ fulfil_summary t; report_summary t ]

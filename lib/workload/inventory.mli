@@ -47,3 +47,10 @@ val setup :
   params ->
   Database.t ->
   t * (int * string * (Runtime.ctx -> Value.t)) list
+
+val static_summaries :
+  t -> rng:Rng.t -> params -> Ooser_analysis.Summary.t list
+(** Static call summaries of the order transactions of {!setup} (an
+    [rng] created from the same seed reproduces the same product picks),
+    plus one fulfil and one report transaction to cover the full Store
+    method surface. *)

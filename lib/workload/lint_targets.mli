@@ -1,0 +1,28 @@
+(** Lint targets for the shipped workloads: each bundles the workload's
+    object registry (specs + method tables), its commutativity registry,
+    and the static transaction summaries, ready for
+    {!Ooser_analysis.Lint.run} — the inputs [oosdb lint] checks in CI
+    without running the engine. *)
+
+open Ooser_oodb
+module Analysis = Ooser_analysis
+
+val of_database :
+  name:string ->
+  ?summaries:Analysis.Summary.t list ->
+  Database.t ->
+  Analysis.Lint.target
+(** Target over any populated database: every registered object
+    contributes its spec and method table. *)
+
+val banking :
+  ?semantics:Banking.semantics -> seed:int -> unit -> Analysis.Lint.target
+
+val inventory : seed:int -> unit -> Analysis.Lint.target
+
+val encyclopedia : seed:int -> unit -> Analysis.Lint.target
+(** Built without preloading (no engine run): the analyzer sees the
+    schema-level objects plus the initial root leaf and page. *)
+
+val all : seed:int -> unit -> Analysis.Lint.target list
+(** The three targets above, the registries [oosdb lint] gates on. *)

@@ -6,5 +6,6 @@ module Random_schedules = Random_schedules
 module Document = Document
 module Compound_doc = Compound_doc
 module Inventory = Inventory
+module Lint_targets = Lint_targets
 module Enumerate = Enumerate
 module Paper_examples = Paper_examples

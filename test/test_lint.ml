@@ -1,0 +1,283 @@
+(* Static analyzer tests: every diagnostic code on minimal fixtures, the
+   Example 3 / Fig. 6 virtual-object case, the constructor validation of
+   Commutativity, and the guard that the shipped registries lint clean
+   (zero errors). *)
+
+open Ooser_core
+open Ooser_workload
+module A = Ooser_analysis
+module Diagnostic = A.Diagnostic
+module Summary = A.Summary
+module Spec_lint = A.Spec_lint
+module Callgraph = A.Callgraph
+module Lock_order = A.Lock_order
+module Lint = A.Lint
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let codes diags = List.map (fun d -> d.Diagnostic.code) diags
+let has_code c diags = List.mem c (codes diags)
+let o = Obj_id.v
+
+let info ?(methods = []) name spec = { Spec_lint.obj = name; spec; methods }
+
+(* -- SPEC001: asymmetric specification ------------------------------------- *)
+
+let asymmetric_spec =
+  (* commutes iff the FIRST action is "fast" — order-dependent, wrong *)
+  Commutativity.predicate ~name:"broken" ~vocab:[ "fast"; "slow" ]
+    (fun a _ -> Action.meth a = "fast")
+
+let test_spec001 () =
+  let diags = Spec_lint.check_spec (info "B" asymmetric_spec) in
+  check_bool "SPEC001 reported" true (has_code "SPEC001" diags);
+  check_bool "is an error" true (Diagnostic.errors diags <> []);
+  check_int "non-zero exit" 1 (Diagnostic.exit_code diags);
+  let sound = Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ] in
+  check_int "sound spec has no asymmetry" 0
+    (List.length (Spec_lint.asymmetric_pairs sound))
+
+(* -- SPEC002: read-like method conflicting with itself ----------------------- *)
+
+let test_spec002 () =
+  let spec =
+    Commutativity.predicate ~name:"grumpy" ~vocab:[ "read"; "write" ]
+      (fun _ _ -> false)
+  in
+  let diags = Spec_lint.check_spec (info "G" spec) in
+  check_bool "SPEC002 reported" true (has_code "SPEC002" diags);
+  check_bool "no error for self-conflict" true (Diagnostic.errors diags = []);
+  check_bool "read named" true
+    (List.exists
+       (fun d ->
+         d.Diagnostic.code = "SPEC002" && d.Diagnostic.loc.Diagnostic.meth = Some "read")
+       diags)
+
+(* -- SPEC003 / SPEC004: vocabulary gaps and unknown objects ------------------- *)
+
+let test_spec003_spec004 () =
+  let reg =
+    Commutativity.fixed
+      [ ("P", Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ]) ]
+  in
+  let s =
+    Summary.txn "t1"
+      [
+        Summary.call (o "P") "mystery" [];  (* not in the rw vocabulary *)
+        Summary.call (o "Q") "poke" [];  (* not in the registry at all *)
+      ]
+  in
+  let diags = Spec_lint.check_usage reg [ s ] in
+  check_bool "SPEC003 reported" true (has_code "SPEC003" diags);
+  check_bool "SPEC004 reported" true (has_code "SPEC004" diags);
+  check_bool "all warnings" true (Diagnostic.errors diags = []);
+  (* a method inside the vocabulary raises nothing *)
+  let ok = Summary.txn "t2" [ Summary.call (o "P") "read" [] ] in
+  check_int "clean usage" 0 (List.length (Spec_lint.check_usage reg [ ok ]))
+
+(* -- CALL001: Def. 5 extension sites (Example 3 / Fig. 6) --------------------- *)
+
+(* a1 on O1 calls a11 on O2, which calls a112 back on O1: the analyzer
+   must demand the virtual object O1', exactly like the runtime
+   extension on the same history (Paper_examples.example3_history). *)
+let test_call001_example3 () =
+  let s =
+    Summary.txn "T1"
+      [
+        Summary.call (o "O1") "a1"
+          [ Summary.call (o "O2") "a11" [ Summary.call (o "O1") "a112" [] ] ];
+      ]
+  in
+  let sites = Callgraph.extension_sites s in
+  check_int "one site" 1 (List.length sites);
+  let site = List.hd sites in
+  check_bool "site on O1" true (Obj_id.equal site.Callgraph.obj (o "O1"));
+  Alcotest.(check string) "outer" "a1" site.Callgraph.outer_meth;
+  Alcotest.(check string) "inner" "a112" site.Callgraph.inner_meth;
+  let diags = Callgraph.check [ s ] in
+  check_bool "CALL001 reported" true (has_code "CALL001" diags);
+  check_bool "hint names the virtual object" true
+    (List.exists
+       (fun d -> contains_sub d.Diagnostic.hint "O1'")
+       diags);
+  (* the runtime extension agrees: it creates the virtual object O1' *)
+  let ext = Extension.extend (Paper_examples.example3_history ()) in
+  check_bool "runtime extension also virtualises O1" true
+    (List.exists
+       (fun ob -> Obj_id.name ob = "O1" && Obj_id.is_virtual ob)
+       (Extension.virtual_objects ext))
+
+let test_call001_none () =
+  let s =
+    Summary.txn "flat"
+      [ Summary.call (o "A") "m" [ Summary.call (o "B") "n" [] ] ]
+  in
+  check_int "no site" 0 (List.length (Callgraph.extension_sites s))
+
+(* -- conflict graph ------------------------------------------------------------ *)
+
+let rw_reg =
+  Commutativity.fixed
+    [
+      ("P", Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ]);
+      ("Q", Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ]);
+    ]
+
+let test_conflict_edges () =
+  let t1 = Summary.txn "t1" [ Summary.call (o "P") "write" [] ] in
+  let t2 = Summary.txn "t2" [ Summary.call (o "P") "write" [] ] in
+  let t3 = Summary.txn "t3" [ Summary.call (o "Q") "read" [] ] in
+  let edges = Callgraph.conflict_edges rw_reg [ t1; t2; t3 ] in
+  check_int "one edge" 1 (List.length edges);
+  let e = List.hd edges in
+  Alcotest.(check string) "from" "t1" e.Callgraph.from_txn;
+  Alcotest.(check string) "to" "t2" e.Callgraph.to_txn;
+  (* two readers of Q do not conflict *)
+  let t4 = Summary.txn "t4" [ Summary.call (o "Q") "read" [] ] in
+  check_int "readers commute" 0
+    (List.length (Callgraph.conflict_edges rw_reg [ t3; t4 ]))
+
+(* -- DL001: static lock-order cycle ------------------------------------------- *)
+
+let test_dl001 () =
+  let t1 =
+    Summary.txn "t1"
+      [ Summary.call (o "P") "write" []; Summary.call (o "Q") "write" [] ]
+  in
+  let t2 =
+    Summary.txn "t2"
+      [ Summary.call (o "Q") "write" []; Summary.call (o "P") "write" [] ]
+  in
+  let diags = Lock_order.check rw_reg [ t1; t2 ] in
+  check_bool "DL001 reported" true (has_code "DL001" diags);
+  check_bool "cycle found" true
+    (Lock_order.find_cycle rw_reg [ t1; t2 ] <> None);
+  (* consistent acquisition order: no cycle *)
+  let t2' =
+    Summary.txn "t2"
+      [ Summary.call (o "P") "write" []; Summary.call (o "Q") "write" [] ]
+  in
+  check_int "consistent order clean" 0
+    (List.length (Lock_order.check rw_reg [ t1; t2' ]));
+  (* commuting accesses cannot deadlock, whatever the order *)
+  let c1 =
+    Summary.txn "c1"
+      [ Summary.call (o "P") "read" []; Summary.call (o "Q") "read" [] ]
+  in
+  let c2 =
+    Summary.txn "c2"
+      [ Summary.call (o "Q") "read" []; Summary.call (o "P") "read" [] ]
+  in
+  check_int "uncontended clean" 0 (List.length (Lock_order.check rw_reg [ c1; c2 ]))
+
+(* -- the full driver over a broken target --------------------------------------- *)
+
+let test_driver_exit_codes () =
+  let target =
+    Lint.target ~name:"fixture"
+      ~objects:[ info "B" asymmetric_spec ]
+      (Commutativity.fixed [ ("B", asymmetric_spec) ])
+  in
+  let diags = Lint.run target in
+  check_int "errors gate" 1 (Lint.exit_code diags);
+  let clean =
+    Lint.target ~name:"clean"
+      ~objects:
+        [ info "P" (Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ]) ]
+      rw_reg
+  in
+  check_int "clean exits zero" 0 (Lint.exit_code (Lint.run clean))
+
+(* -- constructor validation (construction-time spec hygiene) --------------------- *)
+
+let raises_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> true
+  | _ -> false
+
+let test_constructor_validation () =
+  check_bool "rw rejects read+write overlap" true
+    (raises_invalid (fun () ->
+         Commutativity.rw ~reads:[ "m" ] ~writes:[ "m" ]));
+  check_bool "rw rejects duplicate read" true
+    (raises_invalid (fun () ->
+         Commutativity.rw ~reads:[ "r"; "r" ] ~writes:[]));
+  check_bool "conflict matrix rejects duplicate pair" true
+    (raises_invalid (fun () ->
+         Commutativity.of_conflict_matrix ~name:"m"
+           [ ("a", "b"); ("a", "b") ]));
+  check_bool "conflict matrix rejects mirrored duplicate" true
+    (raises_invalid (fun () ->
+         Commutativity.of_conflict_matrix ~name:"m"
+           [ ("a", "b"); ("b", "a") ]));
+  check_bool "commute matrix rejects duplicate pair" true
+    (raises_invalid (fun () ->
+         Commutativity.of_commute_matrix ~name:"m"
+           [ ("x", "x"); ("x", "x") ]));
+  (* valid constructions still work and carry their vocabulary *)
+  let s = Commutativity.rw ~reads:[ "r" ] ~writes:[ "w" ] in
+  Alcotest.(check (option (list string)))
+    "rw vocabulary" (Some [ "r"; "w" ])
+    (Commutativity.vocabulary s);
+  let m = Commutativity.of_conflict_matrix ~name:"m" [ ("a", "b") ] in
+  Alcotest.(check (option (list string)))
+    "matrix vocabulary" (Some [ "a"; "b" ])
+    (Commutativity.vocabulary m)
+
+(* -- shipped registries lint clean (the acceptance guard) ------------------------- *)
+
+let shipped_target_clean name target () =
+  let diags = Lint.run target in
+  Alcotest.(check (list string))
+    (name ^ " has zero errors") []
+    (codes (Diagnostic.errors diags))
+
+(* -- property: every shipped spec answers symmetrically ---------------------------- *)
+
+let prop_shipped_specs_symmetric =
+  QCheck2.Test.make ~name:"shipped specs are symmetric (Def. 9)" ~count:20
+    (QCheck2.Gen.int_range 1 10_000)
+    (fun seed ->
+      List.for_all
+        (fun t ->
+          List.for_all
+            (fun oi ->
+              Spec_lint.asymmetric_pairs ~methods:oi.Spec_lint.methods
+                oi.Spec_lint.spec
+              = [])
+            t.Lint.objects)
+        (Lint_targets.all ~seed ()))
+
+let suites =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "SPEC001 asymmetric spec is an error" `Quick
+          test_spec001;
+        Alcotest.test_case "SPEC002 self-conflicting read" `Quick test_spec002;
+        Alcotest.test_case "SPEC003/SPEC004 vocabulary gaps" `Quick
+          test_spec003_spec004;
+        Alcotest.test_case "CALL001 Def. 5 extension site (Example 3)" `Quick
+          test_call001_example3;
+        Alcotest.test_case "no spurious extension site" `Quick test_call001_none;
+        Alcotest.test_case "static conflict graph" `Quick test_conflict_edges;
+        Alcotest.test_case "DL001 lock-order cycle" `Quick test_dl001;
+        Alcotest.test_case "driver exit codes" `Quick test_driver_exit_codes;
+        Alcotest.test_case "constructors reject bad vocabularies" `Quick
+          test_constructor_validation;
+        Alcotest.test_case "banking registry lints clean" `Quick
+          (shipped_target_clean "banking" (Lint_targets.banking ~seed:1 ()));
+        Alcotest.test_case "inventory registry lints clean" `Quick
+          (shipped_target_clean "inventory" (Lint_targets.inventory ~seed:1 ()));
+        Alcotest.test_case "encyclopedia registry lints clean" `Quick
+          (shipped_target_clean "encyclopedia"
+             (Lint_targets.encyclopedia ~seed:1 ()));
+        QCheck_alcotest.to_alcotest prop_shipped_specs_symmetric;
+      ] );
+  ]

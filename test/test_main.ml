@@ -35,4 +35,5 @@ let () =
          Test_inventory.suites;
          Test_enumerate.suites;
          Test_matrix.suites;
+         Test_lint.suites;
        ])
