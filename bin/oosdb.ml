@@ -4,6 +4,7 @@
      oosdb fmt FILE               reprint a file canonically
      oosdb run [options]          run an encyclopedia workload
      oosdb acceptance [options]   acceptance rates of random interleavings
+     oosdb bench [--json FILE]    certification scaling benchmark
      oosdb lint [options]         static analysis of specs and programs
      oosdb demo                   the paper's Example 4, with dependency table
 *)
@@ -220,6 +221,43 @@ let acceptance_cmd =
        ~doc:"Acceptance rates of random interleavings per criterion.")
     Term.(const run $ samples $ seed $ p_commute $ atomic)
 
+(* -- bench -------------------------------------------------------------------- *)
+
+let bench_cmd =
+  let n =
+    Arg.(value & opt int 600
+         & info [ "n" ] ~doc:"Transactions to commit through the certifier.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the result as JSON to $(docv).")
+  in
+  let run n json =
+    let samples =
+      List.filter (fun s -> s <= n) [ 50; 150; 300; 600; n ]
+      |> List.sort_uniq Int.compare
+    in
+    let r = Cert_bench.run ~n ~samples () in
+    Fmt.pr "%a@." Cert_bench.pp r;
+    (match json with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Cert_bench.to_json r);
+        output_string oc "\n";
+        close_out oc;
+        Fmt.pr "wrote %s@." file
+    | None -> ());
+    if r.Cert_bench.incremental_sublinear then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Certification scaling: incremental certify-per-commit cost vs \
+          history length, against the from-scratch checker.  Exits non-zero \
+          if the incremental cost is not sub-linear.")
+    Term.(const run $ n $ json)
+
 (* -- lint --------------------------------------------------------------------- *)
 
 module Analysis = Ooser_analysis
@@ -314,6 +352,6 @@ let main =
        ~doc:
          "Object-oriented serializability toolkit (Rakow, Gu & Neuhold, ICDE \
           1990).")
-    [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; lint_cmd; demo_cmd ]
+    [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; bench_cmd; lint_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -34,10 +34,10 @@ let same_key_commutes m m' =
 let spec =
   let keyed =
     Commutativity.by_key ~key_of:Commutativity.first_arg
-      (Commutativity.predicate ~name:"directory-keyed" (fun a b ->
+      (Commutativity.predicate ~stable:true ~name:"directory-keyed" (fun a b ->
            same_key_commutes (Action.meth a) (Action.meth b)))
   in
-  Commutativity.predicate ~name:"directory"
+  Commutativity.predicate ~stable:true ~name:"directory"
     ~vocab:[ "bind"; "unbind"; "lookup"; "list" ]
     (fun a b ->
       match (Action.meth a, Action.meth b) with

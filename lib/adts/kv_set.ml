@@ -57,6 +57,6 @@ let same_key_commutes m m' =
 
 let spec =
   Commutativity.by_key ~key_of:Commutativity.first_arg
-    (Commutativity.predicate ~name:"kv-set"
+    (Commutativity.predicate ~stable:true ~name:"kv-set"
        ~vocab:[ "insert"; "remove"; "contains" ]
        (fun a b -> same_key_commutes (Action.meth a) (Action.meth b)))

@@ -17,7 +17,17 @@
    execution.
 
    Conflicts between different transactions are decided by the
-   commutativity registry (Def. 9). *)
+   commutativity registry (Def. 9).
+
+   Representation.  Entries live in per-object hash buckets keyed by the
+   held action's (method, args) class, so a conflict probe touches only
+   the classes present on one object — and can dismiss a whole class
+   with a single raw commutativity test when the object's spec is
+   stable (the decision is then a function of the class alone; the
+   per-entry rules below only ever remove conflicts).  Release paths
+   are driven by secondary indexes (scope, retainer, top) instead of
+   whole-table scans: releasing marks entries dead in place, and the
+   buckets purge dead entries lazily the next time they are scanned. *)
 
 open Ooser_core
 
@@ -25,21 +35,69 @@ type entry = {
   action : Action.t;
   scope : Action_id.t;
   mutable retainer : Action_id.t;
+  mutable live : bool;
 }
 
-type t = { mutable by_obj : entry list Obj_id.Map.t }
+(* (method, args) — one bucket per commutativity class on each object *)
+type clazz = string * Value.t list
 
-let create () = { by_obj = Obj_id.Map.empty }
+type obj_locks = { buckets : (clazz, entry list ref) Hashtbl.t }
 
-let entries_on t obj =
-  match Obj_id.Map.find_opt obj t.by_obj with Some l -> l | None -> []
+type t = {
+  objs : (Obj_id.t, obj_locks) Hashtbl.t;
+  by_scope : (Action_id.t, entry list ref) Hashtbl.t;
+  by_retainer : (Action_id.t, entry list ref) Hashtbl.t;
+  by_top : (int, entry list ref) Hashtbl.t;
+  cache : Commutativity.cache option;
+      (* shared memo of raw spec decisions, used for the class-skip
+         probe; must wrap the registry passed to [conflicting] *)
+  mutable n_live : int;
+}
+
+let create ?cache () =
+  {
+    objs = Hashtbl.create 64;
+    by_scope = Hashtbl.create 64;
+    by_retainer = Hashtbl.create 64;
+    by_top = Hashtbl.create 16;
+    cache;
+    n_live = 0;
+  }
+
+let index tbl key e =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := e :: !r
+  | None -> Hashtbl.add tbl key (ref [ e ])
+
+(* drop dead entries from an index/bucket list in place *)
+let purge r = r := List.filter (fun e -> e.live) !r
+
+let obj_locks t obj =
+  match Hashtbl.find_opt t.objs obj with
+  | Some ol -> ol
+  | None ->
+      let ol = { buckets = Hashtbl.create 8 } in
+      Hashtbl.add t.objs obj ol;
+      ol
 
 let add t ~action ~scope =
-  let obj = Action.obj action in
-  t.by_obj <-
-    Obj_id.Map.add obj
-      ({ action; scope; retainer = Action.id action } :: entries_on t obj)
-      t.by_obj
+  let e = { action; scope; retainer = Action.id action; live = true } in
+  let ol = obj_locks t (Action.obj action) in
+  index ol.buckets (Action.meth action, Action.args action) e;
+  index t.by_scope scope e;
+  index t.by_retainer e.retainer e;
+  index t.by_top (Action_id.top scope) e;
+  t.n_live <- t.n_live + 1
+
+let entries_on t obj =
+  match Hashtbl.find_opt t.objs obj with
+  | None -> []
+  | Some ol ->
+      Hashtbl.fold
+        (fun _ r acc ->
+          purge r;
+          !r @ acc)
+        ol.buckets []
 
 (* Same transaction and one is an ancestor of (or equal to) the other. *)
 let call_path_related a b =
@@ -57,24 +115,61 @@ let retained_compatible entry requester_id =
      || Action_id.is_proper_ancestor entry.retainer requester_id)
 
 let conflicting reg t action =
-  let id = Action.id action in
-  List.filter
-    (fun e ->
-      (not (retained_compatible e id))
-      && (not (call_path_related (Action.id e.action) id))
-      && Commutativity.conflicts reg action e.action)
-    (entries_on t (Action.obj action))
+  match Hashtbl.find_opt t.objs (Action.obj action) with
+  | None -> []
+  | Some ol ->
+      let id = Action.id action in
+      let spec_stable =
+        Commutativity.stable
+          (Commutativity.spec_for reg (Action.obj action))
+      in
+      Hashtbl.fold
+        (fun _ r acc ->
+          purge r;
+          match !r with
+          | [] -> acc
+          | rep :: _ ->
+              (* one memoised raw-spec probe dismisses the whole class
+                 when the spec is stable: commutation at the spec level
+                 holds for every member, and the per-entry rules below
+                 only remove further conflicts, never add any *)
+              let class_commutes =
+                spec_stable
+                &&
+                match t.cache with
+                | Some c -> Commutativity.cached_test c action rep.action
+                | None ->
+                    Commutativity.test
+                      (Commutativity.spec_for reg (Action.obj action))
+                      action rep.action
+              in
+              if class_commutes then acc
+              else
+                List.fold_left
+                  (fun acc e ->
+                    if
+                      (not (retained_compatible e id))
+                      && (not (call_path_related (Action.id e.action) id))
+                      && Commutativity.conflicts reg action e.action
+                    then e :: acc
+                    else acc)
+                  acc !r)
+        ol.buckets []
 
-let release_scope t scope =
-  t.by_obj <-
-    Obj_id.Map.filter_map
-      (fun _ entries ->
-        match
-          List.filter (fun e -> not (Action_id.equal e.scope scope)) entries
-        with
-        | [] -> None
-        | l -> Some l)
-      t.by_obj
+let kill t e =
+  if e.live then begin
+    e.live <- false;
+    t.n_live <- t.n_live - 1
+  end
+
+let drain tbl key =
+  match Hashtbl.find_opt tbl key with
+  | None -> []
+  | Some r ->
+      Hashtbl.remove tbl key;
+      List.filter (fun e -> e.live) !r
+
+let release_scope t scope = List.iter (kill t) (drain t.by_scope scope)
 
 (* Completion of an action: every lock it retains moves up to its
    caller. *)
@@ -82,26 +177,19 @@ let escalate t finished =
   match Action_id.parent finished with
   | None -> ()
   | Some parent ->
-      Obj_id.Map.iter
-        (fun _ entries ->
-          List.iter
-            (fun e ->
-              if Action_id.equal e.retainer finished then e.retainer <- parent)
-            entries)
-        t.by_obj
+      List.iter
+        (fun e ->
+          e.retainer <- parent;
+          index t.by_retainer parent e)
+        (drain t.by_retainer finished)
 
-let release_top t top =
-  t.by_obj <-
-    Obj_id.Map.filter_map
-      (fun _ entries ->
-        match List.filter (fun e -> Action_id.top e.scope <> top) entries with
-        | [] -> None
-        | l -> Some l)
-      t.by_obj
+let release_top t top = List.iter (kill t) (drain t.by_top top)
 
-let all_entries t = Obj_id.Map.fold (fun _ es acc -> es @ acc) t.by_obj []
+let all_entries t =
+  Hashtbl.fold (fun obj _ objs -> obj :: objs) t.objs []
+  |> List.concat_map (entries_on t)
 
-let total t = List.length (all_entries t)
+let total t = t.n_live
 
 let pp ppf t =
   let pp_entry ppf e =

@@ -5,7 +5,14 @@
     the scope is the immediate caller: a lock taken for an operation on O
     is held until the calling subtransaction commits — precisely the span
     over which the paper's transaction dependencies at O matter.  In flat
-    2PL the scope is the top-level transaction. *)
+    2PL the scope is the top-level transaction.
+
+    Entries are bucketed per object by (method, args) class, with
+    secondary indexes on scope, retainer and top-level transaction: a
+    conflict probe touches only the classes held on one object (and can
+    dismiss an entire class with a single memoised raw commutativity
+    test when the object's spec is {!Commutativity.stable}), and the
+    release paths are index lookups rather than whole-table scans. *)
 
 open Ooser_core
 
@@ -16,11 +23,17 @@ type entry = {
       (** Moss's rule: the acquirer while it runs, then escalated to its
           caller on completion; never conflicts with the retainer's
           descendants *)
+  mutable live : bool;
+      (** cleared on release; dead entries are purged from the buckets
+          lazily, on the next scan that meets them *)
 }
 
 type t
 
-val create : unit -> t
+val create : ?cache:Commutativity.cache -> unit -> t
+(** [cache] memoises the raw spec probes behind the class-skip test; it
+    must wrap the same registry later passed to {!conflicting}. *)
+
 val add : t -> action:Action.t -> scope:Action_id.t -> unit
 val entries_on : t -> Obj_id.t -> entry list
 

@@ -62,7 +62,7 @@ let unlocked () =
 (* Shared skeleton: [wants_lock] decides which actions are locked at all;
    [scope_of] decides how long the lock lives. *)
 let lock_based ~name ~reg ~wants_lock ~scope_of () =
-  let table = Lock_table.create () in
+  let table = Lock_table.create ~cache:(Commutativity.cached reg) () in
   let counters = Stats.Counter.create () in
   let request action ~leaf =
     Stats.Counter.incr counters "requests";

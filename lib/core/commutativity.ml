@@ -12,18 +12,35 @@ type spec = {
   vocab : string list option;
       (* declared method vocabulary, when the constructor knows it;
          queried by the static analyzer (SPEC* diagnostics) *)
+  stable : bool;
+      (* the decision depends only on (method, args) pairs — never on
+         object state or call timing — so it may be memoized.  Matrix,
+         rw and all-* specs are stable by construction; opaque
+         predicates must opt in. *)
 }
 
 let name s = s.name
-let make ?vocab ~name commutes = { name; commutes; vocab }
+let make ?vocab ?(stable = false) ~name commutes =
+  { name; commutes; vocab; stable }
 let test s a a' = s.commutes a a'
 let vocabulary s = s.vocab
+let stable s = s.stable
 
 let all_commute =
-  { name = "all-commute"; commutes = (fun _ _ -> true); vocab = None }
+  {
+    name = "all-commute";
+    commutes = (fun _ _ -> true);
+    vocab = None;
+    stable = true;
+  }
 
 let all_conflict =
-  { name = "all-conflict"; commutes = (fun _ _ -> false); vocab = None }
+  {
+    name = "all-conflict";
+    commutes = (fun _ _ -> false);
+    vocab = None;
+    stable = true;
+  }
 
 let sym_mem pairs m m' =
   List.exists (fun (a, b) -> (a = m && b = m') || (a = m' && b = m)) pairs
@@ -55,6 +72,7 @@ let of_conflict_matrix ~name pairs =
     commutes =
       (fun a a' -> not (sym_mem pairs (Action.meth a) (Action.meth a')));
     vocab = Some (vocab_of_pairs pairs);
+    stable = true;
   }
 
 let of_commute_matrix ~name pairs =
@@ -63,6 +81,7 @@ let of_commute_matrix ~name pairs =
     name;
     commutes = (fun a a' -> sym_mem pairs (Action.meth a) (Action.meth a'));
     vocab = Some (vocab_of_pairs pairs);
+    stable = true;
   }
 
 let rw ~reads ~writes =
@@ -93,6 +112,7 @@ let rw ~reads ~writes =
         | `Read, `Write | `Write, `Read | `Write, `Write -> false
         | `Unknown, _ | _, `Unknown -> false);
     vocab = Some (List.sort_uniq String.compare (reads @ writes));
+    stable = true;
   }
 
 (* Refine [inner]: actions addressing different keys always commute;
@@ -108,9 +128,13 @@ let by_key ~key_of inner =
         | Some k, Some k' when not (Value.equal k k') -> true
         | _ -> inner.commutes a a');
     vocab = inner.vocab;
+    (* [key_of] may only look at the action's method and arguments, so the
+       refinement preserves the inner spec's stability *)
+    stable = inner.stable;
   }
 
-let predicate ?vocab ~name f = { name; commutes = f; vocab }
+let predicate ?vocab ?(stable = false) ~name f =
+  { name; commutes = f; vocab; stable }
 
 let first_arg a = match Action.args a with [] -> None | v :: _ -> Some v
 
@@ -147,3 +171,66 @@ let commutes r a a' =
 
 let conflicts r a a' =
   (not (Action_id.equal (Action.id a) (Action.id a'))) && not (commutes r a a')
+
+(* Memoized commutativity.
+
+   A stable spec's answer is a pure function of the two (method, args)
+   pairs and the (de-virtualised) object, so the raw spec query can be
+   cached under that key — turning the repeated probes of the incremental
+   certifier's conflict scan into hash lookups.  Unstable specs (escrow,
+   fifo: their predicates read the object's current state) bypass the
+   table entirely; the cache is then merely a pass-through, never a source
+   of stale answers. *)
+
+type class_key = {
+  k_obj : string; (* original object name — ranks share the spec *)
+  k_meth : string;
+  k_args : Value.t list;
+  k_meth' : string;
+  k_args' : Value.t list;
+}
+
+type cache = {
+  reg : registry;
+  table : (class_key, bool) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cached ?(size = 1024) reg = { reg; table = Hashtbl.create size; hits = 0; misses = 0 }
+let cache_registry c = c.reg
+let cache_stats c = (c.hits, c.misses)
+
+let class_key a a' =
+  {
+    k_obj = Obj_id.name (Obj_id.original (Action.obj a));
+    k_meth = Action.meth a;
+    k_args = Action.args a;
+    k_meth' = Action.meth a';
+    k_args' = Action.args a';
+  }
+
+(* Raw spec query (no same-process rule), memoized for stable specs. *)
+let cached_test c a a' =
+  let s = c.reg.spec_for (Action.obj a) in
+  if not s.stable then s.commutes a a'
+  else
+    let key = class_key a a' in
+    match Hashtbl.find_opt c.table key with
+    | Some b ->
+        c.hits <- c.hits + 1;
+        b
+    | None ->
+        c.misses <- c.misses + 1;
+        let b = s.commutes a a' in
+        Hashtbl.add c.table key b;
+        b
+
+let cached_commutes c a a' =
+  (not (Obj_id.equal (Action.obj a) (Action.obj a')))
+  || Process_id.equal (Action.process a) (Action.process a')
+  || cached_test c a a'
+
+let cached_conflicts c a a' =
+  (not (Action_id.equal (Action.id a) (Action.id a')))
+  && not (cached_commutes c a a')

@@ -17,9 +17,15 @@ type spec
 val name : spec -> string
 
 val make :
-  ?vocab:string list -> name:string -> (Action.t -> Action.t -> bool) -> spec
+  ?vocab:string list ->
+  ?stable:bool ->
+  name:string ->
+  (Action.t -> Action.t -> bool) ->
+  spec
 (** [vocab] declares the method names the specification was written for;
-    the static analyzer probes it and reports methods outside it. *)
+    the static analyzer probes it and reports methods outside it.
+    [stable] (default [false]) asserts the decision depends only on the
+    two (method, args) pairs — see {!stable}. *)
 
 val test : spec -> Action.t -> Action.t -> bool
 (** Raw query of the specification ([true] = commute), without the
@@ -30,6 +36,17 @@ val vocabulary : spec -> string list option
     {!of_commute_matrix} and {!rw} specs (and any constructor given
     [?vocab]); [None] for opaque predicates.  Methods outside the
     vocabulary fall into each constructor's conservative default. *)
+
+val stable : spec -> bool
+(** A stable specification's answer depends only on the two
+    (method, args) pairs — never on object state or call timing — so its
+    decisions may be memoized and, crucially, never change as the history
+    grows.  Matrix, read/write and all-* specs are stable by
+    construction; {!make}/{!predicate} specs must opt in via [?stable]
+    (escrow- and queue-style predicates that read the current object
+    state must not).  The incremental certifier requires every registered
+    spec to be stable and falls back to the from-scratch oracle
+    otherwise. *)
 
 val all_commute : spec
 (** Every pair commutes — maximal concurrency, no dependencies. *)
@@ -58,8 +75,14 @@ val by_key : key_of:(Action.t -> Value.t option) -> spec -> spec
     even when their data collide on the same page. *)
 
 val predicate :
-  ?vocab:string list -> name:string -> (Action.t -> Action.t -> bool) -> spec
-(** Arbitrary commutativity test ([true] = commute). *)
+  ?vocab:string list ->
+  ?stable:bool ->
+  name:string ->
+  (Action.t -> Action.t -> bool) ->
+  spec
+(** Arbitrary commutativity test ([true] = commute).  Pass [~stable:true]
+    only when the predicate inspects nothing beyond method names and
+    arguments. *)
 
 val first_arg : Action.t -> Value.t option
 (** Convenience [key_of] for methods whose first argument is the key. *)
@@ -92,3 +115,31 @@ val commutes : registry -> Action.t -> Action.t -> bool
 val conflicts : registry -> Action.t -> Action.t -> bool
 (** [conflicts r a a'] — distinct actions that do not commute.  An action
     never conflicts with itself. *)
+
+(** {2 Memoized queries}
+
+    A registry wrapper that caches raw spec answers under
+    (object, method, args, method', args') keys.  Only {!stable} specs
+    are memoized; unstable specs are passed through uncached, so the
+    cached queries always agree with the plain ones. *)
+
+type cache
+
+val cached : ?size:int -> registry -> cache
+(** Wrap a registry with a memo table ([size] is the initial capacity). *)
+
+val cache_registry : cache -> registry
+
+val cached_test : cache -> Action.t -> Action.t -> bool
+(** Memoized {!test} of the owning object's spec (no same-process rule):
+    the class-level probe used to skip whole buckets of commuting
+    actions. *)
+
+val cached_commutes : cache -> Action.t -> Action.t -> bool
+(** Memoized {!commutes} (Def. 9 in full). *)
+
+val cached_conflicts : cache -> Action.t -> Action.t -> bool
+(** Memoized {!conflicts}. *)
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] of the memo table so far. *)

@@ -44,6 +44,24 @@ module type S = sig
   val topo_sort : t -> vertex list option
   val reachable : vertex -> t -> vertex list
   val pp : Format.formatter -> t -> unit
+
+  module Incremental : sig
+    type g
+
+    val create : unit -> g
+    val add_vertex : g -> vertex -> unit
+    val mem_vertex : g -> vertex -> bool
+    val mem_edge : g -> vertex -> vertex -> bool
+    val succ : g -> vertex -> vertex list
+    val pred : g -> vertex -> vertex list
+    val nb_edges : g -> int
+    val nb_vertices : g -> int
+    val add_edge : g -> vertex -> vertex -> [ `Ok | `Cycle of vertex list ]
+    val remove_edge : g -> vertex -> vertex -> unit
+    val order : g -> vertex list
+    val valid : g -> bool
+    val to_graph : g -> t
+  end
 end
 
 module Make (V : ORDERED) : S with type vertex = V.t = struct
@@ -170,7 +188,30 @@ module Make (V : ORDERED) : S with type vertex = V.t = struct
       None
     with Cycle c -> Some c
 
-  let is_acyclic g = find_cycle g = None
+  (* Early-exit acyclicity: the same colored DFS as [find_cycle] but
+     without maintaining or reconstructing the witness path — the first
+     back edge aborts the whole traversal. *)
+  exception Cyclic
+
+  let is_acyclic g =
+    let white = ref (VSet.of_list (vertices g)) in
+    let grey = ref VSet.empty in
+    let rec visit v =
+      white := VSet.remove v !white;
+      grey := VSet.add v !grey;
+      VSet.iter
+        (fun w ->
+          if VSet.mem w !grey then raise Cyclic
+          else if VSet.mem w !white then visit w)
+        (adj v g.fwd);
+      grey := VSet.remove v !grey
+    in
+    try
+      while not (VSet.is_empty !white) do
+        visit (VSet.min_elt !white)
+      done;
+      true
+    with Cyclic -> false
 
   let topo_sort g =
     let verts = vertices g in
@@ -214,4 +255,189 @@ module Make (V : ORDERED) : S with type vertex = V.t = struct
   let pp ppf g =
     let pp_edge ppf (u, v) = Fmt.pf ppf "%a -> %a" V.pp u V.pp v in
     Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") pp_edge) (edges g)
+
+  (* Online cycle detection: a mutable graph maintaining a valid
+     topological order across single-edge insertions (Pearce & Kelly,
+     "A dynamic topological sort algorithm for directed acyclic graphs",
+     ACM JEA 2006).  Inserting [x -> y] when [ord y < ord x] explores only
+     the affected region [ord y .. ord x]: a forward search from [y]
+     bounded above by [ord x] either reaches [x] (a cycle — the structure
+     is left unchanged) or yields the vertices that must shift after a
+     backward search from [x]; the two deltas are re-sorted into the
+     union of their old positions.  Cost is proportional to the affected
+     region, not the graph — the property the incremental certifier
+     relies on for sub-linear per-commit certification.
+
+     [remove_edge] never invalidates the order (any topological order of
+     a graph is one of its subgraphs), which is what makes the
+     certifier's journal-based rollback of a failed certification
+     sound. *)
+  module Incremental = struct
+    module IMap = Map.Make (Int)
+
+    (* shadowed below by this module's own [add_vertex] *)
+    let persistent_add_vertex = add_vertex
+
+    type g = {
+      mutable ord : int VMap.t;  (* vertex -> position in the topo order *)
+      mutable rev : vertex IMap.t;  (* position -> vertex *)
+      mutable ifwd : VSet.t VMap.t;
+      mutable ibwd : VSet.t VMap.t;
+      mutable next : int;  (* next fresh position *)
+      mutable n_edges : int;
+    }
+
+    let create () =
+      {
+        ord = VMap.empty;
+        rev = IMap.empty;
+        ifwd = VMap.empty;
+        ibwd = VMap.empty;
+        next = 0;
+        n_edges = 0;
+      }
+
+    let nb_edges g = g.n_edges
+    let nb_vertices g = VMap.cardinal g.ord
+    let mem_vertex g v = VMap.mem v g.ord
+
+    let add_vertex g v =
+      if not (VMap.mem v g.ord) then begin
+        g.ord <- VMap.add v g.next g.ord;
+        g.rev <- IMap.add g.next v g.rev;
+        g.ifwd <- VMap.add v VSet.empty g.ifwd;
+        g.ibwd <- VMap.add v VSet.empty g.ibwd;
+        g.next <- g.next + 1
+      end
+
+    let iadj v m =
+      match VMap.find_opt v m with None -> VSet.empty | Some s -> s
+
+    let mem_edge g u v = VSet.mem v (iadj u g.ifwd)
+    let succ g v = VSet.elements (iadj v g.ifwd)
+    let pred g v = VSet.elements (iadj v g.ibwd)
+
+    let order g = List.map snd (IMap.bindings g.rev)
+
+    let valid g =
+      VMap.for_all
+        (fun u s ->
+          let ou = VMap.find u g.ord in
+          VSet.for_all (fun v -> ou < VMap.find v g.ord) s)
+        g.ifwd
+
+    let insert_adj g u v =
+      g.ifwd <- VMap.add u (VSet.add v (iadj u g.ifwd)) g.ifwd;
+      g.ibwd <- VMap.add v (VSet.add u (iadj v g.ibwd)) g.ibwd;
+      g.n_edges <- g.n_edges + 1
+
+    (* Forward DFS from [y] bounded above by [ub]: every path out of [y]
+       is ord-increasing (order validity), so a would-be cycle through the
+       new edge [x -> y] must stay inside the window and hit [x] at
+       position [ub].  Returns the affected vertices or the cycle
+       witness. *)
+    let forward g y ~x ~ub =
+      let parent = ref VMap.empty in
+      let seen = ref VSet.empty in
+      let rec go stack =
+        match stack with
+        | [] -> Ok !seen
+        | v :: rest ->
+            let nexts =
+              VSet.filter
+                (fun w ->
+                  (not (VSet.mem w !seen)) && VMap.find w g.ord <= ub)
+                (iadj v g.ifwd)
+            in
+            if VSet.exists (fun w -> V.compare w x = 0) nexts then begin
+              (* reconstruct y ⇝ v, then the cycle x -> y ⇝ v -> x *)
+              let rec path acc u =
+                if V.compare u y = 0 then u :: acc
+                else
+                  match VMap.find_opt u !parent with
+                  | Some p -> path (u :: acc) p
+                  | None -> u :: acc
+              in
+              Error (x :: path [] v)
+            end
+            else begin
+              VSet.iter
+                (fun w ->
+                  parent := VMap.add w v !parent;
+                  seen := VSet.add w !seen)
+                nexts;
+              go (VSet.elements nexts @ rest)
+            end
+      in
+      seen := VSet.add y !seen;
+      go [ y ]
+
+    let backward g x ~lb =
+      let seen = ref (VSet.singleton x) in
+      let rec go stack =
+        match stack with
+        | [] -> !seen
+        | v :: rest ->
+            let nexts =
+              VSet.filter
+                (fun w ->
+                  (not (VSet.mem w !seen)) && VMap.find w g.ord >= lb)
+                (iadj v g.ibwd)
+            in
+            seen := VSet.union !seen nexts;
+            go (VSet.elements nexts @ rest)
+      in
+      go [ x ]
+
+    let add_edge g x y =
+      if V.compare x y = 0 then `Cycle [ x ]
+      else begin
+        add_vertex g x;
+        add_vertex g y;
+        if mem_edge g x y then `Ok
+        else
+          let ox = VMap.find x g.ord and oy = VMap.find y g.ord in
+          if ox < oy then begin
+            insert_adj g x y;
+            `Ok
+          end
+          else
+            match forward g y ~x ~ub:ox with
+            | Error cycle -> `Cycle cycle
+            | Ok delta_f ->
+                let delta_b = backward g x ~lb:oy in
+                (* merge: the union of the old positions, re-filled with
+                   the backward delta first (keeping each delta's internal
+                   order), so every edge points forward again *)
+                let by_ord s =
+                  VSet.elements s
+                  |> List.map (fun v -> (VMap.find v g.ord, v))
+                  |> List.sort compare
+                in
+                let bs = by_ord delta_b and fs = by_ord delta_f in
+                let slots =
+                  List.sort Int.compare (List.map fst (bs @ fs))
+                in
+                List.iter2
+                  (fun slot (_, v) ->
+                    g.ord <- VMap.add v slot g.ord;
+                    g.rev <- IMap.add slot v g.rev)
+                  slots (bs @ fs);
+                insert_adj g x y;
+                `Ok
+      end
+
+    let remove_edge g u v =
+      if mem_edge g u v then begin
+        g.ifwd <- VMap.add u (VSet.remove v (iadj u g.ifwd)) g.ifwd;
+        g.ibwd <- VMap.add v (VSet.remove u (iadj v g.ibwd)) g.ibwd;
+        g.n_edges <- g.n_edges - 1
+      end
+
+    let to_graph g =
+      VMap.fold
+        (fun u s acc -> VSet.fold (fun v acc -> add u v acc) s acc)
+        g.ifwd
+        (VMap.fold (fun v _ acc -> persistent_add_vertex v acc) g.ord empty)
+  end
 end

@@ -81,6 +81,42 @@ module type S = sig
   (** Vertices reachable by a non-empty path. *)
 
   val pp : Format.formatter -> t -> unit
+
+  (** Mutable graph with online cycle detection (Pearce–Kelly dynamic
+      topological order).  [add_edge] costs time proportional to the
+      affected region of the order rather than the whole graph, which is
+      what makes incremental certification sub-linear per commit. *)
+  module Incremental : sig
+    type g
+
+    val create : unit -> g
+    val add_vertex : g -> vertex -> unit
+    val mem_vertex : g -> vertex -> bool
+    val mem_edge : g -> vertex -> vertex -> bool
+    val succ : g -> vertex -> vertex list
+    val pred : g -> vertex -> vertex list
+    val nb_edges : g -> int
+    val nb_vertices : g -> int
+
+    val add_edge : g -> vertex -> vertex -> [ `Ok | `Cycle of vertex list ]
+    (** Insert [x -> y], restoring a valid topological order.  On
+        [`Cycle ws] the graph is unchanged and [ws] is a witness cycle
+        [x -> y -> ... -> x] (as [x :: path]); a self-loop reports
+        [`Cycle [x]]. *)
+
+    val remove_edge : g -> vertex -> vertex -> unit
+    (** Deleting an edge never invalidates the order, so this is O(log n)
+        — the basis for cheap rollback of tentative insertions. *)
+
+    val order : g -> vertex list
+    (** Current topological order (a permutation of the vertices). *)
+
+    val valid : g -> bool
+    (** Debug invariant: every edge points forward in [order]. *)
+
+    val to_graph : g -> t
+    (** Snapshot as a persistent graph. *)
+  end
 end
 
 module Make (V : ORDERED) : S with type vertex = V.t

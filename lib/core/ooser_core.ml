@@ -13,5 +13,6 @@ module History = History
 module Extension = Extension
 module Schedule = Schedule
 module Serializability = Serializability
+module Incremental = Incremental
 module Baselines = Baselines
 module Report = Report

@@ -129,8 +129,8 @@ let derive_txn_dep ext act_dep =
     act_dep
     (Action.Rel.empty, Action.Pair_map.empty)
 
-let compute h =
-  let ext = Extension.extend h in
+let compute ?ext h =
+  let ext = match ext with Some e -> e | None -> Extension.extend h in
   let objs = Extension.objects ext in
   (* act state per object: relation + provenance *)
   let act0 =

@@ -40,7 +40,11 @@ type object_schedule = {
 
 type t
 
-val compute : History.t -> t
+val compute : ?ext:Extension.t -> History.t -> t
+(** [compute h] builds the dependency relations of [h]'s extension.
+    Pass [?ext] to reuse an [Extension.extend h] already at hand (it
+    must be the extension of [h]); the engine uses this to avoid
+    extending the same committed prefix twice. *)
 
 val extension : t -> Extension.t
 val objects : t -> object_schedule list

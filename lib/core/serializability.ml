@@ -120,7 +120,7 @@ let check_schedule sched =
   in
   { oo_serializable = ok; objects; witness = (if ok then top_witness sched else None) }
 
-let check h = check_schedule (Schedule.compute h)
+let check ?ext h = check_schedule (Schedule.compute ?ext h)
 
 let oo_serializable h = (check h).oo_serializable
 

@@ -34,8 +34,9 @@ type verdict = {
 val object_verdict : Extension.t -> Schedule.object_schedule -> object_verdict
 val check_schedule : Schedule.t -> verdict
 
-val check : History.t -> verdict
-(** [check h = check_schedule (Schedule.compute h)]. *)
+val check : ?ext:Extension.t -> History.t -> verdict
+(** [check h = check_schedule (Schedule.compute ?ext h)].  [?ext]
+    reuses an already-computed [Extension.extend h]. *)
 
 val oo_serializable : History.t -> bool
 

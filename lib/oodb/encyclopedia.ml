@@ -124,14 +124,14 @@ let register_page t pid =
 let node_spec =
   let keyed =
     Commutativity.by_key ~key_of:Commutativity.first_arg
-      (Commutativity.predicate ~name:"node-keyed" (fun a b ->
+      (Commutativity.predicate ~stable:true ~name:"node-keyed" (fun a b ->
            match (Action.meth a, Action.meth b) with
            | "search", "search" -> true
            | ("search" | "insert" | "delete"), ("search" | "insert" | "delete")
              -> false
            | _ -> false))
   in
-  Commutativity.predicate ~name:"btree-node"
+  Commutativity.predicate ~stable:true ~name:"btree-node"
     ~vocab:[ "route"; "search"; "insert"; "delete"; "entriesFrom"; "rearrange" ]
     (fun a b ->
       match (Action.meth a, Action.meth b) with
@@ -304,12 +304,12 @@ let rec register_node t pid node =
 let bptree_spec =
   let keyed =
     Commutativity.by_key ~key_of:Commutativity.first_arg
-      (Commutativity.predicate ~name:"bptree-keyed" (fun a b ->
+      (Commutativity.predicate ~stable:true ~name:"bptree-keyed" (fun a b ->
            match (Action.meth a, Action.meth b) with
            | "search", "search" -> true
            | _ -> false))
   in
-  Commutativity.predicate ~name:"bptree"
+  Commutativity.predicate ~stable:true ~name:"bptree"
     ~vocab:[ "search"; "insert"; "delete"; "next"; "grow" ]
     (fun a b ->
       match (Action.meth a, Action.meth b) with
@@ -476,7 +476,7 @@ let register_item t name ~pid =
 (* -- the linked list of items ------------------------------------------------------ *)
 
 let linkedlist_spec =
-  Commutativity.predicate ~name:"linked-list"
+  Commutativity.predicate ~stable:true ~name:"linked-list"
     ~vocab:[ "append"; "remove"; "readSeq" ]
     (fun a b ->
       match (Action.meth a, Action.meth b) with
@@ -527,12 +527,12 @@ let register_linkedlist t =
 let enc_spec =
   let keyed =
     Commutativity.by_key ~key_of:Commutativity.first_arg
-      (Commutativity.predicate ~name:"enc-keyed" (fun a b ->
+      (Commutativity.predicate ~stable:true ~name:"enc-keyed" (fun a b ->
            match (Action.meth a, Action.meth b) with
            | "search", "search" -> true
            | _ -> false))
   in
-  Commutativity.predicate ~name:"encyclopedia"
+  Commutativity.predicate ~stable:true ~name:"encyclopedia"
     ~vocab:[ "insert"; "search"; "update"; "delete"; "range"; "readSeq" ]
     (fun a b ->
       match (Action.meth a, Action.meth b) with

@@ -168,6 +168,9 @@ type config = {
          and retry otherwise.  The paper's §6 direction: a protocol that
          guarantees oo-serializability without locks (pair it with the
          unlocked protocol). *)
+  certify_oracle : bool;
+      (* force the from-scratch checker even when the incremental
+         certifier is applicable — the debugging / cross-checking mode *)
 }
 
 let default_config protocol =
@@ -179,17 +182,40 @@ let default_config protocol =
     sys = Obj_id.v "S";
     deadlock = Detect;
     certify = false;
+    certify_oracle = false;
   }
 
 type t = {
   db : Database.t;
   config : config;
   mutable txns : txn list;
-  mutable order : (int * int * Ids.Action_id.t) list;  (* reversed *)
+  mutable order : (int * int * Ids.Action_id.t * int) list;
+      (* reversed; (top, attempt, id, stamp).  The stamp is a monotone
+         global execution counter assigned when the primitive is
+         recorded: unlike a position in [order] it survives the removal
+         of aborted attempts' entries, so the incremental certifier can
+         use it as a stable span coordinate. *)
   mutable trees : (int * Call_tree.t) list;
   mutable steps : int;
   mutable clock : int;
+  mutable stamp : int;  (* next execution stamp *)
   mutable task_counter : int;
+  mutable cert : Incremental.t option;
+      (* the online certifier, tracking exactly the committed set; [None]
+         when certify is off, the oracle is forced, or an unstable spec
+         made incremental maintenance unsound *)
+  mutable last_reject : string option;
+      (* detailed reason of the last failed certification, computed from
+         the verdict that failed — the abort path reuses it instead of
+         re-deriving the extension for the report *)
+  mutable ext_memo : (Ids.Action_id.t list * Extension.t) option;
+      (* [Extension.extend] result of the last oracle-certified
+         committed-prefix order, keyed by that order; certifying the
+         same prefix again (the retry after a failed certification
+         replays it minus the aborted attempt's entries, and repeated
+         failures of independent transactions over an unchanged
+         committed set hit it exactly) reuses the extension instead of
+         recomputing it *)
   counters : Stats.Counter.t;
 }
 
@@ -293,7 +319,7 @@ let finish_abort (eng : t) txn ~retry reason =
   (* drop this attempt's recorded primitives *)
   eng.order <-
     List.filter
-      (fun (top, att, _) -> not (top = txn.top && att = txn.attempt))
+      (fun (top, att, _, _) -> not (top = txn.top && att = txn.attempt))
       eng.order;
   if retry && txn.attempt < eng.config.max_restarts then begin
     Stats.Counter.incr eng.counters "restarts";
@@ -372,8 +398,26 @@ let commit_txn (eng : t) txn v =
 
 (* Optimistic certification (config.certify): would committing this
    transaction keep the history of committed transactions
-   oo-serializable? *)
-let certification_passes (eng : t) txn =
+   oo-serializable?
+
+   Two paths.  The incremental certifier ([eng.cert]) appends only the
+   committing transaction's dependency edges under online cycle
+   detection — per-commit cost proportional to the new edges.  It is
+   exact only when every registered commutativity spec is stable
+   (state-reading specs like escrow can change old decisions), so the
+   engine re-checks stability at each commit and falls back to the
+   from-scratch oracle permanently once it no longer holds — the
+   certifier state would otherwise drift from the committed set. *)
+
+let all_specs_stable (eng : t) =
+  List.for_all
+    (fun o ->
+      match Database.spec eng.db o with
+      | Some s -> Commutativity.stable s
+      | None -> true)
+    (Database.objects eng.db)
+
+let certification_oracle (eng : t) txn =
   let committed_tops =
     (txn.top, txn.attempt)
     :: List.filter_map
@@ -387,13 +431,77 @@ let certification_passes (eng : t) txn =
   in
   let order =
     List.rev eng.order
-    |> List.filter_map (fun (top, att, id) ->
+    |> List.filter_map (fun (top, att, id, _) ->
            match List.assoc_opt top committed_tops with
            | Some final when final = att -> Some id
            | _ -> None)
   in
   let h = History.v ~tops:trees ~order ~commut:(Database.spec_registry eng.db) in
-  Serializability.oo_serializable h
+  (* extend once per certified prefix — memoised on the prefix order, so
+     re-certifying an unchanged committed set (the retry after a failed
+     certification) skips the recomputation — and keep the reason from
+     the verdict so the rollback path can build its abort report without
+     re-deriving the extension either *)
+  let ext =
+    match eng.ext_memo with
+    | Some (key, e) when key = order -> e
+    | _ ->
+        let e = Extension.extend h in
+        eng.ext_memo <- Some (order, e);
+        e
+  in
+  let verdict = Serializability.check ~ext h in
+  if verdict.Serializability.oo_serializable then true
+  else begin
+    (let reason =
+       match
+         List.find_opt
+           (fun (v : Serializability.object_verdict) ->
+             v.Serializability.cycle <> None)
+           verdict.Serializability.objects
+       with
+       | Some v ->
+           Fmt.str "certification failure: dependency cycle at %a" Obj_id.pp
+             v.Serializability.obj
+       | None -> "certification failure"
+     in
+     eng.last_reject <- Some reason);
+    false
+  end
+
+let certification_passes (eng : t) txn =
+  let incremental_path cert tree =
+    let prims =
+      List.rev eng.order
+      |> List.filter_map (fun (top, att, id, stamp) ->
+             if top = txn.top && att = txn.attempt then Some (id, stamp)
+             else None)
+    in
+    Stats.Counter.incr eng.counters "cert-incremental";
+    let o = Incremental.add_commit cert ~tree ~prims in
+    (match o.Incremental.rejection with
+    | Some r ->
+        eng.last_reject <-
+          Some (Fmt.str "certification failure: %a" Incremental.pp_rejection r)
+    | None -> ());
+    o.Incremental.accepted
+  in
+  match eng.cert with
+  | Some cert
+    when (not eng.config.certify_oracle)
+         && all_specs_stable eng
+         && List.mem_assoc txn.top eng.trees ->
+      incremental_path cert (List.assoc txn.top eng.trees)
+  | Some _ ->
+      (* no longer applicable: drop the certifier for good — after one
+         oracle-certified commit its state would miss that commit *)
+      eng.cert <- None;
+      Stats.Counter.incr eng.counters "cert-fallbacks";
+      Stats.Counter.incr eng.counters "cert-oracle";
+      certification_oracle eng txn
+  | None ->
+      Stats.Counter.incr eng.counters "cert-oracle";
+      certification_oracle eng txn
 
 (* -- frame completion ------------------------------------------------------------ *)
 
@@ -413,7 +521,12 @@ let deliver_to_parent eng txn task ~undo v =
                a proper compensation phase, retry *)
             Stats.Counter.incr eng.counters "certification-failures";
             eng.trees <- List.filter (fun (top, _) -> top <> txn.top) eng.trees;
-            abort_txn eng txn ~retry:true ~items:undo "certification failure"
+            let reason =
+              match eng.last_reject with
+              | Some r -> r
+              | None -> "certification failure"
+            in
+            abort_txn eng txn ~retry:true ~items:undo reason
           end)
   | Some (parent, slot) -> (
       task.tstatus <- Finished;
@@ -441,8 +554,11 @@ let complete_frame eng txn task v =
       (* runtime-primitive: a leaf of the call tree, entered into the
          execution order (Axiom 1); a transaction that called nothing is
          itself a leaf and is recorded too *)
-      if f.child_trees = [] then
-        eng.order <- (txn.top, txn.attempt, Action.id f.action) :: eng.order;
+      if f.child_trees = [] then begin
+        eng.order <-
+          (txn.top, txn.attempt, Action.id f.action, eng.stamp) :: eng.order;
+        eng.stamp <- eng.stamp + 1
+      end;
       let is_txn_root = rest = [] && task.t_parent = None in
       if not is_txn_root then Protocol.on_end eng.config.protocol f.action;
       let undo_contribution =
@@ -929,7 +1045,14 @@ let create ?(config : config option) db ~protocol bodies =
     trees = [];
     steps = 0;
     clock = 0;
+    stamp = 0;
     task_counter = 0;
+    cert =
+      (if config.certify && not config.certify_oracle then
+         Some (Incremental.create (Database.spec_registry db))
+       else None);
+    last_reject = None;
+    ext_memo = None;
     counters = Stats.Counter.create ();
   }
 
@@ -947,7 +1070,7 @@ let final_history (eng : t) =
   in
   let order =
     List.rev eng.order
-    |> List.filter_map (fun (top, att, id) ->
+    |> List.filter_map (fun (top, att, id, _) ->
            match List.assoc_opt top committed_tops with
            | Some final when final = att -> Some id
            | _ -> None)

@@ -52,7 +52,21 @@ type config = {
           written by a concurrent uncommitted transaction; rollbacks must
           therefore use LOGICAL undo (inverse deltas, compensations) —
           before-image restores can clobber a neighbour's update.  The
-          escrow/counted ADTs of {!Adt_objects} satisfy this. *)
+          escrow/counted ADTs of {!Adt_objects} satisfy this.
+
+          Certification normally runs the {!Ooser_core.Incremental}
+          certifier, which appends only the committing transaction's
+          dependency edges under online cycle detection; the engine falls
+          back to the from-scratch {!Serializability.check} oracle —
+          permanently, for the rest of the run — as soon as any
+          registered commutativity spec is unstable (state-reading
+          decisions, e.g. escrow), since cached conflict decisions would
+          then be unsound.  Counters ["cert-incremental"],
+          ["cert-oracle"] and ["cert-fallbacks"] record which path each
+          commit took. *)
+  certify_oracle : bool;
+      (** force the from-scratch checker even where the incremental
+          certifier applies — the debugging / cross-checking mode *)
 }
 
 val default_config : Protocol.t -> config

@@ -88,12 +88,12 @@ let register_section t name c s =
 let chapter_spec =
   let keyed =
     Commutativity.by_key ~key_of:Commutativity.first_arg
-      (Commutativity.predicate ~name:"chapter-keyed" (fun a b ->
+      (Commutativity.predicate ~stable:true ~name:"chapter-keyed" (fun a b ->
            match (Action.meth a, Action.meth b) with
            | "read", "read" -> true
            | _ -> false))
   in
-  Commutativity.predicate ~name:"chapter" (fun a b ->
+  Commutativity.predicate ~stable:true ~name:"chapter" (fun a b ->
       match (Action.meth a, Action.meth b) with
       | "layout", "layout" -> false
       | "layout", _ | _, "layout" -> false
@@ -129,12 +129,12 @@ let register_chapter t name c =
 let book_spec =
   let keyed =
     Commutativity.by_key ~key_of:Commutativity.first_arg
-      (Commutativity.predicate ~name:"book-keyed" (fun a b ->
+      (Commutativity.predicate ~stable:true ~name:"book-keyed" (fun a b ->
            match (Action.meth a, Action.meth b) with
            | "read", "read" -> true
            | _ -> false))
   in
-  Commutativity.predicate ~name:"book" (fun a b ->
+  Commutativity.predicate ~stable:true ~name:"book" (fun a b ->
       match (Action.meth a, Action.meth b) with
       | "layout", "layout" -> false
       | "layout", _ | _, "layout" -> false

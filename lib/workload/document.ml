@@ -75,12 +75,12 @@ let register_section t name i =
 let doc_spec =
   let keyed =
     Commutativity.by_key ~key_of:Commutativity.first_arg
-      (Commutativity.predicate ~name:"doc-keyed" (fun a b ->
+      (Commutativity.predicate ~stable:true ~name:"doc-keyed" (fun a b ->
            match (Action.meth a, Action.meth b) with
            | "read", "read" -> true
            | _ -> false))
   in
-  Commutativity.predicate ~name:"document" (fun a b ->
+  Commutativity.predicate ~stable:true ~name:"document" (fun a b ->
       match (Action.meth a, Action.meth b) with
       | ("layout" | "layoutPar"), _ | _, ("layout" | "layoutPar") -> false
       | _ -> Commutativity.test keyed a b)

@@ -39,7 +39,7 @@ let revenue_obj name = Obj_id.v (name ^ ".Revenue")
 let store_spec =
   let keyed =
     Commutativity.by_key ~key_of:Commutativity.first_arg
-      (Commutativity.predicate ~name:"store-keyed" (fun a b ->
+      (Commutativity.predicate ~stable:true ~name:"store-keyed" (fun a b ->
            match (Action.meth a, Action.meth b) with
            | "place", "place" ->
                (* same product: defer to the stock escrow below — at store
@@ -47,7 +47,7 @@ let store_spec =
                false
            | _ -> false))
   in
-  Commutativity.predicate ~name:"store"
+  Commutativity.predicate ~stable:true ~name:"store"
     ~vocab:[ "place"; "fulfil"; "report" ]
     (fun a b ->
       match (Action.meth a, Action.meth b) with

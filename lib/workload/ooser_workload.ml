@@ -9,3 +9,4 @@ module Inventory = Inventory
 module Lint_targets = Lint_targets
 module Enumerate = Enumerate
 module Paper_examples = Paper_examples
+module Cert_bench = Cert_bench

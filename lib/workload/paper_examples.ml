@@ -14,20 +14,20 @@ let k s = [ Value.str s ]
 let registry =
   let keyed_insert_search =
     Commutativity.by_key ~key_of:Commutativity.first_arg
-      (Commutativity.predicate ~name:"keyed" (fun a b ->
+      (Commutativity.predicate ~stable:true ~name:"keyed" (fun a b ->
            match (Action.meth a, Action.meth b) with
            | "search", "search" -> true
            | _ -> false))
   in
   let enc_spec =
-    Commutativity.predicate ~name:"enc" (fun a b ->
+    Commutativity.predicate ~stable:true ~name:"enc" (fun a b ->
         match (Action.meth a, Action.meth b) with
         | "readSeq", "readSeq" -> true
         | "readSeq", _ | _, "readSeq" -> false
         | _ -> Commutativity.test keyed_insert_search a b)
   in
   let linkedlist_spec =
-    Commutativity.predicate ~name:"linkedlist" (fun a b ->
+    Commutativity.predicate ~stable:true ~name:"linkedlist" (fun a b ->
         match (Action.meth a, Action.meth b) with
         | "append", "append" -> true
         | _ -> false)

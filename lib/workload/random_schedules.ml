@@ -52,7 +52,11 @@ let registry ~seed p =
         Commutativity.rw ~reads:[ "read" ] ~writes:[ "write" ]
       else if String.length name > 0 && name.[0] = 'M' then
         let obj = int_of_string (String.sub name 1 (String.length name - 1)) in
-        Commutativity.predicate ~name:(Fmt.str "random-%d" obj) (fun a b ->
+        (* [pair_commutes] is a pure function of (seed, object, methods),
+           so the spec is stable: safe to memoize and to certify
+           incrementally against *)
+        Commutativity.predicate ~stable:true ~name:(Fmt.str "random-%d" obj)
+          (fun a b ->
             let mi a =
               let m = Action.meth a in
               int_of_string (String.sub m 1 (String.length m - 1))

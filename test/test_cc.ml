@@ -57,6 +57,43 @@ let test_release_top () =
   Lock_table.release_top t 1;
   check_int "only T2's entry remains" 1 (Lock_table.total t)
 
+let test_lock_table_class_skip () =
+  (* many same-class readers: the probe for another reader must be
+     dismissible with a single memoised spec test (the rw spec is
+     stable), while a writer still finds every one of them *)
+  let cache = Commutativity.cached rw_reg in
+  let t = Lock_table.create ~cache () in
+  for i = 1 to 8 do
+    Lock_table.add t ~action:(act i [ 1 ] "P" "read") ~scope:(aid i [])
+  done;
+  check_int "readers all pass" 0
+    (List.length (Lock_table.conflicting rw_reg t (act 9 [ 1 ] "P" "read")));
+  check_int "writer finds all readers" 8
+    (List.length (Lock_table.conflicting rw_reg t (act 9 [ 2 ] "P" "write")));
+  (* a second probe of the same class pair hits the memo table *)
+  check_int "repeat probe still passes" 0
+    (List.length (Lock_table.conflicting rw_reg t (act 10 [ 1 ] "P" "read")));
+  let hits, _ = Commutativity.cache_stats cache in
+  check_bool "cache hits occur" true (hits > 0);
+  (* a dead entry is gone from subsequent probes (lazy purge) *)
+  Lock_table.release_top t 1;
+  check_int "seven live" 7 (Lock_table.total t);
+  check_int "writer finds the live ones" 7
+    (List.length (Lock_table.conflicting rw_reg t (act 9 [ 3 ] "P" "write")))
+
+let test_lock_table_escalate_index () =
+  (* after escalation the lock is retained by the caller: the caller's
+     other descendants pass, other transactions still conflict *)
+  let t = Lock_table.create () in
+  let a = act 1 [ 1; 1 ] "P" "write" in
+  Lock_table.add t ~action:a ~scope:(aid 1 []);
+  Lock_table.escalate t (aid 1 [ 1; 1 ]);
+  Lock_table.escalate t (aid 1 [ 1 ]);
+  check_int "sibling branch passes after escalation" 0
+    (List.length (Lock_table.conflicting rw_reg t (act 1 [ 2; 1 ] "P" "write")));
+  check_int "other txn still blocked" 1
+    (List.length (Lock_table.conflicting rw_reg t (act 2 [ 1 ] "P" "write")))
+
 let test_protocol_flat_vs_open_scope () =
   (* flat 2PL holds page locks to the end of the transaction; open
      nesting releases them when the calling subtransaction ends *)
@@ -138,6 +175,10 @@ let suites =
         Alcotest.test_case "lock table basics" `Quick test_lock_table_basics;
         Alcotest.test_case "call-path compatibility" `Quick test_lock_table_call_path;
         Alcotest.test_case "release by transaction" `Quick test_release_top;
+        Alcotest.test_case "class-bucket skip and lazy purge" `Quick
+          test_lock_table_class_skip;
+        Alcotest.test_case "escalation via retainer index" `Quick
+          test_lock_table_escalate_index;
         Alcotest.test_case "flat vs open lock scopes" `Quick
           test_protocol_flat_vs_open_scope;
         Alcotest.test_case "semantic locks at intermediate levels" `Quick

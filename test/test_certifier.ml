@@ -166,6 +166,100 @@ let test_certifier_rollback_restores_state () =
   check_bool "committed history serializable" true
     (Serializability.oo_serializable out.Engine.history)
 
+let metric out name =
+  try List.assoc name out.Engine.metrics with Not_found -> 0
+
+let test_certifier_uses_incremental_path () =
+  (* stable specs end to end: every commit must certify incrementally,
+     never via the from-scratch oracle *)
+  let db = Database.create () in
+  ignore (register_cell db "A" 0);
+  ignore (register_cell db "B" 0);
+  let config = certified_config ~seed:3 () in
+  let out =
+    Engine.run ~config db ~protocol:config.Engine.protocol
+      [
+        (1, "t1", fun ctx ->
+          ignore (Runtime.call ctx (o "A") "add" [ Value.int 1 ]);
+          ignore (Runtime.call ctx (o "B") "add" [ Value.int 1 ]);
+          Value.unit);
+        (2, "t2", fun ctx ->
+          ignore (Runtime.call ctx (o "B") "add" [ Value.int 1 ]);
+          Value.unit);
+      ]
+  in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  check_bool "incremental path taken" true (metric out "cert-incremental" > 0);
+  check_int "oracle never consulted" 0 (metric out "cert-oracle")
+
+let test_certifier_oracle_mode_agrees () =
+  (* certify_oracle forces the from-scratch checker; under the same seed
+     the two modes must take the same decisions commit for commit *)
+  for seed = 1 to 8 do
+    let run ~oracle =
+      let db = Database.create () in
+      let a = register_cell db "A" 0 in
+      let b = register_cell db "B" 0 in
+      let config =
+        { (certified_config ~seed ()) with Engine.certify_oracle = oracle }
+      in
+      let out =
+        Engine.run ~config db ~protocol:config.Engine.protocol
+          [
+            (1, "t1", fun ctx ->
+              ignore (Runtime.call ctx (o "A") "add" [ Value.int 1 ]);
+              ignore (Runtime.call ctx (o "B") "add" [ Value.int 1 ]);
+              Value.unit);
+            (2, "t2", fun ctx ->
+              ignore (Runtime.call ctx (o "B") "add" [ Value.int 1 ]);
+              ignore (Runtime.call ctx (o "A") "add" [ Value.int 1 ]);
+              Value.unit);
+          ]
+      in
+      (List.length out.Engine.committed, !a, !b,
+       metric out "certification-failures")
+    in
+    let inc = run ~oracle:false and orc = run ~oracle:true in
+    check_bool (Fmt.str "seed %d: modes agree" seed) true (inc = orc)
+  done
+
+let test_certifier_unstable_spec_falls_back () =
+  (* a state-reading spec (stable = false) makes cached decisions
+     unsound: the engine must abandon the incremental certifier and
+     certify with the oracle *)
+  let db = Database.create () in
+  ignore (register_cell db "A" 0);
+  let state = ref 0 in
+  let add ctx args =
+    match args with
+    | [ Value.Int v ] ->
+        Runtime.on_undo ctx (fun () -> state := !state - v);
+        state := !state + v;
+        Value.unit
+    | _ -> invalid_arg "add"
+  in
+  (* same decision table as all_conflict, but declared state-reading *)
+  let moody =
+    Commutativity.make ~name:"moody" (fun _ _ -> false)
+  in
+  Database.register db (o "M") ~spec:moody
+    [ ("add", Database.primitive add) ];
+  let config = certified_config ~seed:5 () in
+  let out =
+    Engine.run ~config db ~protocol:config.Engine.protocol
+      [
+        (1, "t1", fun ctx ->
+          ignore (Runtime.call ctx (o "M") "add" [ Value.int 1 ]);
+          Value.unit);
+        (2, "t2", fun ctx ->
+          ignore (Runtime.call ctx (o "A") "add" [ Value.int 1 ]);
+          Value.unit);
+      ]
+  in
+  check_int "both committed" 2 (List.length out.Engine.committed);
+  check_bool "fell back to the oracle" true (metric out "cert-oracle" > 0);
+  check_int "incremental path never used" 0 (metric out "cert-incremental")
+
 let suites =
   [
     ( "certifier",
@@ -178,5 +272,11 @@ let suites =
           test_certifier_banking_property;
         Alcotest.test_case "rollback restores state" `Quick
           test_certifier_rollback_restores_state;
+        Alcotest.test_case "incremental path taken on stable specs" `Quick
+          test_certifier_uses_incremental_path;
+        Alcotest.test_case "oracle mode agrees with incremental" `Quick
+          test_certifier_oracle_mode_agrees;
+        Alcotest.test_case "unstable spec forces oracle fallback" `Quick
+          test_certifier_unstable_spec_falls_back;
       ] );
   ]

@@ -36,4 +36,5 @@ let () =
          Test_enumerate.suites;
          Test_matrix.suites;
          Test_lint.suites;
+         Test_incremental.suites;
        ])
