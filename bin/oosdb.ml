@@ -7,6 +7,9 @@
      oosdb bench [--json FILE]    certification scaling benchmark
      oosdb lint [options]         static analysis of specs and programs
      oosdb demo                   the paper's Example 4, with dependency table
+     oosdb serve [options]        network transaction server (loopback/unix)
+     oosdb client [options]       one-shot scripted transaction against a server
+     oosdb loadgen [options]      closed-loop load generator against a server
 *)
 
 open Cmdliner
@@ -346,12 +349,302 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"The paper's Example 4 dependency table.")
     Term.(const run $ const ())
 
+(* -- serve / client / loadgen -------------------------------------------------- *)
+
+module Srv = Ooser_server.Server
+module Sclient = Ooser_server.Client
+module Loadgen = Ooser_server.Loadgen
+module Wire = Ooser_server.Wire
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Listen/connect on a unix-domain socket.")
+
+let port_arg =
+  Arg.(value & opt int 7707
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port on 127.0.0.1 (ignored with $(b,--socket)).")
+
+let addr_of socket port =
+  match socket with Some p -> Srv.Unix_sock p | None -> Srv.Tcp port
+
+let db_conv =
+  Arg.enum
+    [ ("encyclopedia", `Encyclopedia); ("banking", `Banking);
+      ("inventory", `Inventory) ]
+
+let server_protocol_conv =
+  Arg.enum
+    [ ("open", `Open); ("flat", `Flat); ("closed", `Closed);
+      ("certify", `Certify) ]
+
+let serve_cmd =
+  let db =
+    Arg.(value & opt db_conv `Encyclopedia
+         & info [ "db" ] ~doc:"Database: encyclopedia, banking, inventory.")
+  in
+  let protocol =
+    Arg.(value & opt server_protocol_conv `Open
+         & info [ "p"; "protocol" ]
+             ~doc:"Protocol: open, flat, closed, certify.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 32
+         & info [ "max-inflight" ]
+             ~doc:"Admission limit; further BEGINs queue.")
+  in
+  let timeout_ms =
+    Arg.(value & opt int 0
+         & info [ "timeout-ms" ]
+             ~doc:"Default transaction deadline (0 = none).")
+  in
+  let preload =
+    Arg.(value & opt int 200
+         & info [ "preload" ] ~doc:"Encyclopedia keys seeded before serving.")
+  in
+  let run socket port db protocol max_inflight timeout_ms preload =
+    let config =
+      {
+        (Srv.default_config (addr_of socket port)) with
+        Srv.db_kind = db;
+        protocol_kind = protocol;
+        max_inflight;
+        default_timeout_ms = timeout_ms;
+        preload;
+      }
+    in
+    let t = Srv.create config in
+    Fmt.pr "oosdb serve: %a db=%s protocol=%s max-inflight=%d@."
+      Srv.pp_addr config.Srv.addr
+      (Srv.db_kind_name db)
+      (Srv.protocol_kind_name protocol)
+      max_inflight;
+    (* drain on SIGINT/SIGTERM: the handler only raises a flag; the
+       loop initiates the shutdown at a quiet point *)
+    let stop = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop := true) in
+    (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+    while Srv.running t do
+      if !stop then Srv.initiate_shutdown t;
+      Srv.step t ~timeout:0.1
+    done;
+    let ok = Srv.certified t in
+    Fmt.pr "%s@." (Srv.stats_json ~certified:(Some ok) t);
+    if ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Network transaction server: sessions over a loopback TCP or \
+          unix-domain socket, multiplexed onto one engine.  Exits non-zero \
+          if the committed history fails certification.")
+    Term.(const run $ socket_arg $ port_arg $ db $ protocol $ max_inflight
+          $ timeout_ms $ preload)
+
+(* "Obj.meth arg.." with ints, true/false and bare strings as values *)
+let parse_call spec =
+  match String.split_on_char ' ' spec |> List.filter (fun s -> s <> "") with
+  | [] -> invalid_arg "empty --call"
+  | target :: raw_args ->
+      let obj, meth =
+        match String.index_opt target '.' with
+        | Some i ->
+            ( String.sub target 0 i,
+              String.sub target (i + 1) (String.length target - i - 1) )
+        | None -> invalid_arg ("--call " ^ spec ^ ": expected Obj.meth")
+      in
+      let value_of s =
+        match int_of_string_opt s with
+        | Some n -> Value.int n
+        | None -> (
+            match s with
+            | "true" -> Value.bool true
+            | "false" -> Value.bool false
+            | "()" -> Value.unit
+            | s -> Value.str s)
+      in
+      Wire.Call { obj; meth; args = List.map value_of raw_args }
+
+let client_cmd =
+  let calls =
+    Arg.(value & opt_all string []
+         & info [ "c"; "call" ] ~docv:"SPEC"
+             ~doc:
+               "A method call, e.g. 'Enc.search k00042' (repeatable; runs \
+                as one transaction).")
+  in
+  let timeout_ms =
+    Arg.(value & opt int 0 & info [ "timeout-ms" ] ~doc:"Transaction deadline.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print server statistics.")
+  in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to drain and exit.")
+  in
+  let run socket port calls timeout_ms stats shutdown =
+    let c = Sclient.connect (Srv.sockaddr_of (addr_of socket port)) in
+    let finish code =
+      Sclient.close c;
+      code
+    in
+    match Sclient.request c (Wire.Hello "oosdb-client") with
+    | Wire.Welcome { server; db; protocol } -> (
+        Fmt.pr "connected: %s db=%s protocol=%s@." server db protocol;
+        let rec txn () =
+          match calls with
+          | [] -> 0
+          | specs -> (
+              match
+                Sclient.request c (Wire.Begin { name = "cli"; timeout_ms })
+              with
+              | Wire.Begun { top } ->
+                  Fmt.pr "begun T%d@." top;
+                  run_calls (List.map parse_call specs)
+              | resp ->
+                  Fmt.epr "BEGIN refused: %a@." Wire.pp_response resp;
+                  1)
+        and run_calls = function
+          | [] -> (
+              match Sclient.request c Wire.Commit with
+              | Wire.Committed v ->
+                  Fmt.pr "committed: %a@." Value.pp v;
+                  0
+              | Wire.Aborted reason ->
+                  Fmt.pr "aborted: %s@." reason;
+                  1
+              | resp ->
+                  Fmt.epr "unexpected: %a@." Wire.pp_response resp;
+                  1)
+          | call :: rest -> (
+              match Sclient.request c call with
+              | Wire.Result v ->
+                  Fmt.pr "%a -> %a@." Wire.pp_request call Value.pp v;
+                  run_calls rest
+              | Wire.Failed msg ->
+                  Fmt.pr "%a failed: %s@." Wire.pp_request call msg;
+                  run_calls rest
+              | Wire.Aborted reason ->
+                  Fmt.pr "aborted: %s@." reason;
+                  1
+              | resp ->
+                  Fmt.epr "unexpected: %a@." Wire.pp_response resp;
+                  1)
+        in
+        let code = txn () in
+        if stats then (
+          match Sclient.request c Wire.Stats with
+          | Wire.Stats_json j -> Fmt.pr "%s@." j
+          | resp -> Fmt.epr "STATS: unexpected %a@." Wire.pp_response resp);
+        if shutdown then ignore (Sclient.request c Wire.Shutdown)
+        else ignore (Sclient.request c Wire.Bye);
+        finish code)
+    | resp ->
+        Fmt.epr "HELLO: unexpected %a@." Wire.pp_response resp;
+        finish 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "One-shot scripted transaction against a running server: HELLO, \
+          BEGIN, the given calls, COMMIT.")
+    Term.(const run $ socket_arg $ port_arg $ calls $ timeout_ms $ stats
+          $ shutdown)
+
+let loadgen_cmd =
+  let sessions =
+    Arg.(value & opt int 16
+         & info [ "sessions" ] ~doc:"Concurrent closed-loop sessions.")
+  in
+  let txns =
+    Arg.(value & opt int 8 & info [ "n"; "txns" ] ~doc:"Transactions per session.")
+  in
+  let calls =
+    Arg.(value & opt int 4 & info [ "calls" ] ~doc:"Calls per transaction.")
+  in
+  let db =
+    Arg.(value & opt db_conv `Encyclopedia
+         & info [ "db" ] ~doc:"Op mix: encyclopedia, banking, inventory.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let timeout_ms =
+    Arg.(value & opt int 0 & info [ "timeout-ms" ] ~doc:"BEGIN deadline.")
+  in
+  let keys =
+    Arg.(value & opt int 200
+         & info [ "keys" ] ~doc:"Server's encyclopedia preload count.")
+  in
+  let theta =
+    Arg.(value & opt float 0.8 & info [ "theta" ] ~doc:"Zipf skew over keys.")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Ask the server to drain and exit after the run.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the result as JSON to $(docv).")
+  in
+  let run socket port sessions txns calls db seed timeout_ms keys theta
+      shutdown json =
+    let cfg =
+      {
+        (Loadgen.default_cfg (Srv.sockaddr_of (addr_of socket port))) with
+        Loadgen.sessions;
+        txns_per_session = txns;
+        calls_per_txn = calls;
+        db_kind = db;
+        seed;
+        timeout_ms;
+        key_universe = keys;
+        theta;
+        shutdown;
+      }
+    in
+    let r = Loadgen.run cfg in
+    Fmt.pr
+      "loadgen: %d sessions, %d committed / %d aborted (%d calls, %d \
+       failed), %.2fs, %.1f txn/s@."
+      r.Loadgen.n_sessions r.Loadgen.committed r.Loadgen.aborted
+      r.Loadgen.calls r.Loadgen.failed_calls r.Loadgen.elapsed
+      r.Loadgen.throughput;
+    Fmt.pr "latency p50=%.4fs p95=%.4fs p99=%.4fs@."
+      (Loadgen.Stats.Histogram.quantile r.Loadgen.latency 0.50)
+      (Loadgen.Stats.Histogram.quantile r.Loadgen.latency 0.95)
+      (Loadgen.Stats.Histogram.quantile r.Loadgen.latency 0.99);
+    Fmt.pr "certified: %s@."
+      (match r.Loadgen.certified with
+      | Some true -> "true"
+      | Some false -> "FALSE"
+      | None -> "unknown");
+    (match json with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Loadgen.to_json r);
+        output_string oc "\n";
+        close_out oc;
+        Fmt.pr "wrote %s@." file
+    | None -> ());
+    if r.Loadgen.certified = Some true && r.Loadgen.committed > 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Closed-loop load generator: N concurrent sessions of BEGIN/CALL/\
+          COMMIT against a running server.  Exits non-zero unless \
+          transactions committed and the server certified the history \
+          oo-serializable.")
+    Term.(const run $ socket_arg $ port_arg $ sessions $ txns $ calls $ db
+          $ seed $ timeout_ms $ keys $ theta $ shutdown $ json)
+
 let main =
   Cmd.group
     (Cmd.info "oosdb" ~version:"1.0.0"
        ~doc:
          "Object-oriented serializability toolkit (Rakow, Gu & Neuhold, ICDE \
           1990).")
-    [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; bench_cmd; lint_cmd; demo_cmd ]
+    [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; bench_cmd; lint_cmd;
+      demo_cmd; serve_cmd; client_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval' main)

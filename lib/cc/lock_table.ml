@@ -185,6 +185,16 @@ let escalate t finished =
 
 let release_top t top = List.iter (kill t) (drain t.by_top top)
 
+(* Live entries held on behalf of one top-level transaction — the
+   post-mortem a server runs after killing a session: a dead transaction
+   must retain nothing. *)
+let live_for_top t top =
+  match Hashtbl.find_opt t.by_top top with
+  | None -> []
+  | Some r ->
+      purge r;
+      !r
+
 let all_entries t =
   Hashtbl.fold (fun obj _ objs -> obj :: objs) t.objs []
   |> List.concat_map (entries_on t)

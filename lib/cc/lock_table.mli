@@ -52,6 +52,10 @@ val escalate : t -> Action_id.t -> unit
 val release_top : t -> int -> unit
 (** Drop every entry belonging to a top-level transaction. *)
 
+val live_for_top : t -> int -> entry list
+(** Live entries held on behalf of one top-level transaction — after a
+    session abort this must be empty. *)
+
 val all_entries : t -> entry list
 val total : t -> int
 val pp : Format.formatter -> t -> unit

@@ -36,6 +36,7 @@ type step_result =
       Runtime.invocation
       * ((Value.t, string) result, step_result) Effect.Deep.continuation
   | Undo_reg of (unit -> unit) * (unit, step_result) Effect.Deep.continuation
+  | Yield_await of (unit, step_result) Effect.Deep.continuation
   | Done of Value.t
   | Raised of exn
 
@@ -56,6 +57,8 @@ let run_fiber (f : unit -> Value.t) : step_result =
               Some (fun (k : (a, step_result) continuation) -> Yield_try (inv, k))
           | Runtime.Register_undo g ->
               Some (fun (k : (a, step_result) continuation) -> Undo_reg (g, k))
+          | Runtime.Await ->
+              Some (fun (k : (a, step_result) continuation) -> Yield_await k)
           | _ -> None);
     }
 
@@ -95,10 +98,16 @@ type pending =
   | Not_started
   | Step of (unit -> step_result)
   | Request of Runtime.invocation * Action.t * reply
+  | Await_input of (unit, step_result) Effect.Deep.continuation
+      (* parked on [Runtime.await], resumed by [poke] *)
   | Joining
   | Idle
 
-type task_status = Runnable | Blocked | Finished
+(* [Awaiting] is a task parked on external input (a session waiting for
+   its client's next command): unlike [Blocked] it holds no lock request,
+   takes no part in deadlock detection, and is never a "stalled"
+   victim — only [poke] (or an abort) wakes it. *)
+type task_status = Runnable | Blocked | Awaiting | Finished
 
 (* A join point: the task forked [j_remaining] branches and resumes with
    all their results once they delivered. *)
@@ -137,6 +146,10 @@ type txn = {
       (* Some (retry, reason) while the compensation phase runs *)
   mutable first_step : int;  (* of the current attempt *)
   mutable commit_step : int;
+  mutable deadline : float option;
+      (* absolute time (config.now clock) past which the transaction is
+         aborted instead of being run further — the per-session deadline
+         of the network server; [check_deadlines] enforces it *)
 }
 
 type strategy =
@@ -171,6 +184,15 @@ type config = {
   certify_oracle : bool;
       (* force the from-scratch checker even when the incremental
          certifier is applicable — the debugging / cross-checking mode *)
+  now : unit -> float;
+      (* clock for transaction deadlines; the default never advances, so
+         deadlines are inert unless a real clock (e.g. Unix.gettimeofday)
+         is injected — keeps this library clock-free for batch runs *)
+  ext_memo_max : int;
+      (* longest committed-prefix order (in primitive actions) the
+         [ext_memo] below may retain; longer prefixes are certified
+         without memoisation so a long-lived engine cannot pin an
+         arbitrarily large extension in memory *)
 }
 
 let default_config protocol =
@@ -183,12 +205,19 @@ let default_config protocol =
     deadlock = Detect;
     certify = false;
     certify_oracle = false;
+    now = (fun () -> 0.0);
+    ext_memo_max = 4096;
   }
 
 type t = {
   db : Database.t;
   config : config;
   mutable txns : txn list;
+  mutable retired : (int * int) list;
+      (* (top, final attempt) of committed transactions dropped from
+         [txns] by {!retire}; their entries in [order]/[trees] still
+         belong to the committed history, so certification and
+         [final_history] must keep counting them *)
   mutable order : (int * int * Ids.Action_id.t * int) list;
       (* reversed; (top, attempt, id, stamp).  The stamp is a monotone
          global execution counter assigned when the primitive is
@@ -263,6 +292,7 @@ let rec execute_direct (eng : t) ctx (inv : Runtime.invocation) =
             | v -> drive (Effect.Deep.continue k (Ok v))
             | exception Runtime.Abort m ->
                 drive (Effect.Deep.continue k (Error m)))
+        | Yield_await _ -> failwith "compensation awaited external input"
       in
       drive (run_fiber (fun () -> m.Database.run ctx inv.Runtime.args))
 
@@ -340,6 +370,7 @@ let unwind_tasks txn =
       (match task.pending with
       | Request (_, _, Direct k) -> discontinue_quietly k
       | Request (_, _, Caught k) -> discontinue_quietly k
+      | Await_input k -> discontinue_quietly k
       | Request (_, _, To_parent) | Step _ | Not_started | Idle | Joining -> ());
       (match task.join with
       | Some j -> discontinue_quietly j.j_k
@@ -423,6 +454,7 @@ let certification_oracle (eng : t) txn =
     :: List.filter_map
          (fun x -> if x.status = Committed then Some (x.top, x.attempt) else None)
          eng.txns
+    @ eng.retired
   in
   let trees =
     List.filter (fun (top, _) -> List.mem_assoc top committed_tops) eng.trees
@@ -447,7 +479,12 @@ let certification_oracle (eng : t) txn =
     | Some (key, e) when key = order -> e
     | _ ->
         let e = Extension.extend h in
-        eng.ext_memo <- Some (order, e);
+        (* bounded retention: beyond the cap the memo is dropped rather
+           than grown — a long-running server would otherwise pin an
+           extension proportional to its whole committed history *)
+        if List.length order <= eng.config.ext_memo_max then
+          eng.ext_memo <- Some (order, e)
+        else eng.ext_memo <- None;
         e
   in
   let verdict = Serializability.check ~ext h in
@@ -836,6 +873,9 @@ let rec dispatch eng txn task r =
   | Undo_reg (g, k) ->
       (current_frame task).undo <- Restore g :: (current_frame task).undo;
       dispatch eng txn task (Effect.Deep.continue k ())
+  | Yield_await k ->
+      task.tstatus <- Awaiting;
+      task.pending <- Await_input k
   | Yield_par (invs, k) -> fork_branches eng txn task invs k
   | Yield_try (inv, k) ->
       let parent = current_frame task in
@@ -911,7 +951,7 @@ and propagate_failure eng txn task msg =
 let step (eng : t) txn task =
   eng.steps <- eng.steps + 1;
   match task.pending with
-  | Idle | Joining -> ()
+  | Idle | Joining | Await_input _ -> ()
   | Not_started ->
       Stats.Counter.incr eng.counters "starts";
       start_txn eng txn
@@ -947,7 +987,7 @@ let waits_for (eng : t) =
             ( task.t_id,
               List.sort_uniq Int.compare
                 (List.filter_map task_of_action task.waiting_for) )
-      | Runnable | Finished -> None)
+      | Runnable | Awaiting | Finished -> None)
     all_tasks
 
 let txn_of_task (eng : t) tid =
@@ -1009,7 +1049,7 @@ let retry_blocked (eng : t) =
     (fun (txn, task) ->
       match task.pending with
       | Request (inv, action, k) -> start_invocation eng txn task inv action k
-      | Not_started | Step _ | Idle | Joining -> ())
+      | Not_started | Step _ | Idle | Joining | Await_input _ -> ())
     blocked
 
 let create ?(config : config option) db ~protocol bodies =
@@ -1034,6 +1074,7 @@ let create ?(config : config option) db ~protocol bodies =
           aborting = None;
           first_step = -1;
           commit_step = -1;
+          deadline = None;
         })
       bodies
   in
@@ -1041,6 +1082,7 @@ let create ?(config : config option) db ~protocol bodies =
     db;
     config;
     txns;
+    retired = [];
     order = [];
     trees = [];
     steps = 0;
@@ -1062,6 +1104,7 @@ let final_history (eng : t) =
       (fun txn ->
         if txn.status = Committed then Some (txn.top, txn.attempt) else None)
       eng.txns
+    @ eng.retired
   in
   let trees =
     List.filter (fun (top, _) -> List.mem_assoc top committed_tops) eng.trees
@@ -1116,35 +1159,57 @@ let outcome_of (eng : t) =
           (Stats.Counter.to_list (Protocol.counters eng.config.protocol));
   }
 
+let runnable_units (eng : t) =
+  List.concat_map
+    (fun txn ->
+      match txn.status with
+      | Running when txn.resume_after <= eng.steps ->
+          if txn.tasks = [] then [ (txn, None) ]
+          else
+            List.filter_map
+              (fun task ->
+                match (task.tstatus, task.pending) with
+                | Runnable, (Step _ | Request _ | Not_started) ->
+                    Some (txn, Some task)
+                | _ -> None)
+              txn.tasks
+      | _ -> [])
+    eng.txns
+
+let parked (eng : t) =
+  List.exists
+    (fun txn -> txn.status = Running && txn.resume_after > eng.steps)
+    eng.txns
+
+let blocked_exists (eng : t) =
+  List.exists
+    (fun txn -> List.exists (fun t -> t.tstatus = Blocked) txn.tasks)
+    eng.txns
+
+let awaiting_exists (eng : t) =
+  List.exists
+    (fun txn -> List.exists (fun t -> t.tstatus = Awaiting) txn.tasks)
+    eng.txns
+
+let pick_unit (eng : t) units =
+  match eng.config.strategy with
+  | Round_robin -> List.nth units (eng.steps mod List.length units)
+  | Random_pick rng -> Rng.pick rng units
+  | Scripted script -> (
+      match !script with
+      | top :: rest -> (
+          match List.find_opt (fun (txn, _) -> txn.top = top) units with
+          | Some u ->
+              script := rest;
+              u
+          | None -> List.nth units (eng.steps mod List.length units))
+      | [] -> List.nth units (eng.steps mod List.length units))
+
 let run ?config db ~protocol bodies =
   let (eng : t) = create ?config db ~protocol bodies in
-  let runnable_units () =
-    List.concat_map
-      (fun txn ->
-        match txn.status with
-        | Running when txn.resume_after <= eng.steps ->
-            if txn.tasks = [] then [ (txn, None) ]
-            else
-              List.filter_map
-                (fun task ->
-                  match (task.tstatus, task.pending) with
-                  | Runnable, (Step _ | Request _ | Not_started) ->
-                      Some (txn, Some task)
-                  | _ -> None)
-                txn.tasks
-        | _ -> [])
-      eng.txns
-  in
-  let parked () =
-    List.exists
-      (fun txn -> txn.status = Running && txn.resume_after > eng.steps)
-      eng.txns
-  in
-  let blocked_exists () =
-    List.exists
-      (fun txn -> List.exists (fun t -> t.tstatus = Blocked) txn.tasks)
-      eng.txns
-  in
+  let runnable_units () = runnable_units eng in
+  let parked () = parked eng in
+  let blocked_exists () = blocked_exists eng in
   let rec loop () =
     if eng.steps >= eng.config.max_steps then begin
       (* out of budget: fail the stragglers, but keep stepping so their
@@ -1231,3 +1296,157 @@ let run ?config db ~protocol bodies =
   in
   loop ();
   outcome_of eng
+
+(* -- dynamic driving ----------------------------------------------------------------------
+
+   The network server grows the transaction set while the engine runs:
+   sessions [submit] interactive transactions whose bodies park on
+   [Runtime.await] between client commands, the server [poke]s them when
+   a command arrives and [pump]s the engine to quiescence after every
+   external event.  Deadlines ([set_deadline], against the injected
+   [config.now] clock) bound how long a session may hold the engine's
+   locks; an expired transaction is aborted through the normal
+   compensation path, so its locks are released and blocked waiters get
+   in via [retry_blocked]. *)
+
+let find_txn (eng : t) top = List.find_opt (fun x -> x.top = top) eng.txns
+
+let submit (eng : t) ~top ~name ?deadline body =
+  if find_txn eng top <> None then
+    invalid_arg (Printf.sprintf "Engine.submit: transaction %d exists" top);
+  eng.txns <-
+    eng.txns
+    @ [
+        {
+          top;
+          tname = name;
+          body;
+          tasks = [];
+          status = Running;
+          attempt = 0;
+          resume_after = 0;
+          result = None;
+          branch_counter = 0;
+          aborting = None;
+          first_step = -1;
+          commit_step = -1;
+          deadline;
+        };
+      ]
+
+let set_deadline (eng : t) ~top deadline =
+  match find_txn eng top with
+  | Some txn -> txn.deadline <- deadline
+  | None -> ()
+
+let txn_state (eng : t) top =
+  match find_txn eng top with
+  | None -> `Unknown
+  | Some txn -> (
+      match txn.status with
+      | Running -> `Running
+      | Committed -> `Committed (Option.value txn.result ~default:Value.unit)
+      | Aborted reason -> `Aborted reason)
+
+(* Wake the transaction's task parked on [Runtime.await], if any.  False
+   when nothing was awaiting — the transaction may be replaying an
+   earlier attempt or still working; the caller's mailbox keeps the
+   command and the body reaches it without the wake-up. *)
+let poke (eng : t) top =
+  match find_txn eng top with
+  | Some txn when txn.status = Running ->
+      List.exists
+        (fun task ->
+          match task.pending with
+          | Await_input k ->
+              task.pending <- Step (fun () -> Effect.Deep.continue k ());
+              task.tstatus <- Runnable;
+              true
+          | Not_started | Step _ | Request _ | Joining | Idle -> false)
+        txn.tasks
+  | Some _ | None -> false
+
+let abort_top (eng : t) ~top reason =
+  match find_txn eng top with
+  | Some txn when txn.status = Running && txn.aborting = None ->
+      abort_txn eng txn ~retry:false reason;
+      true
+  | Some _ | None -> false
+
+let check_deadlines (eng : t) =
+  let now = eng.config.now () in
+  List.iter
+    (fun txn ->
+      match (txn.status, txn.aborting, txn.deadline) with
+      | Running, None, Some d when now > d ->
+          Stats.Counter.incr eng.counters "deadline-aborts";
+          abort_txn eng txn ~retry:false "deadline exceeded"
+      | _ -> ())
+    eng.txns
+
+(* Step until quiescent: nothing runnable, no deadlock cycle to break,
+   no backoff park to sit out — every live task either [Awaiting] client
+   input or blocked on a lock whose release needs such input.  The batch
+   loop's "stalled" fallback (abort the longest-blocked transaction when
+   blocked tasks form no cycle) only fires when NO task awaits external
+   input: a session thinking between commands legitimately keeps others
+   waiting, and shooting those waiters would turn every think-time pause
+   into aborts.  Bounded by [config.max_steps] per call as a safety
+   valve; returns the number of steps taken. *)
+let pump (eng : t) =
+  let start = eng.steps in
+  let budget = eng.steps + eng.config.max_steps in
+  let rec loop () =
+    check_deadlines eng;
+    if eng.steps >= budget then ()
+    else begin
+      retry_blocked eng;
+      match runnable_units eng with
+      | [] ->
+          if blocked_exists eng && Deadlock.find_cycle (waits_for eng) <> None
+          then begin
+            resolve_deadlock eng;
+            loop ()
+          end
+          else if parked eng then begin
+            eng.steps <- eng.steps + 1;
+            loop ()
+          end
+          else if blocked_exists eng && not (awaiting_exists eng) then begin
+            resolve_deadlock eng;
+            loop ()
+          end
+      | units ->
+          (match pick_unit eng units with
+          | txn, None ->
+              eng.steps <- eng.steps + 1;
+              Stats.Counter.incr eng.counters "starts";
+              start_txn eng txn
+          | txn, Some task -> step eng txn task);
+          loop ()
+    end
+  in
+  loop ();
+  eng.steps - start
+
+(* Drop committed and aborted transactions the driver no longer needs —
+   a long-running server retires sessions so [eng.txns] (and the
+   per-transaction scan costs above) stay proportional to the live set.
+   The committed work itself stays in [eng.order]/[eng.trees]: the
+   certifier needs the full committed history. *)
+let deadline_of (eng : t) ~top =
+  match find_txn eng top with
+  | Some txn when txn.status = Running -> txn.deadline
+  | _ -> None
+
+let retire (eng : t) ~top =
+  match find_txn eng top with
+  | Some txn when txn.status <> Running ->
+      if txn.status = Committed then
+        eng.retired <- (txn.top, txn.attempt) :: eng.retired;
+      eng.txns <- List.filter (fun x -> x.top <> top) eng.txns;
+      true
+  | Some _ | None -> false
+
+let counters (eng : t) = eng.counters
+let steps (eng : t) = eng.steps

@@ -67,6 +67,16 @@ type config = {
   certify_oracle : bool;
       (** force the from-scratch checker even where the incremental
           certifier applies — the debugging / cross-checking mode *)
+  now : unit -> float;
+      (** clock for transaction deadlines; the default never advances,
+          so deadlines are inert unless a real clock (e.g.
+          [Unix.gettimeofday]) is injected — the library itself stays
+          clock-free for deterministic batch runs *)
+  ext_memo_max : int;
+      (** longest committed-prefix order (in primitive actions) the
+          oracle-certification extension memo may retain; longer
+          prefixes are certified without memoisation, so a long-lived
+          engine cannot pin an arbitrarily large extension in memory *)
 }
 
 val default_config : Protocol.t -> config
@@ -101,3 +111,83 @@ val run :
     [(id, name, body)] to completion (commit, permanent abort, or step
     budget), resolving deadlocks by aborting the youngest transaction in
     the waits-for cycle. *)
+
+(** {1 Dynamic driving}
+
+    The network server grows the transaction set while the engine runs:
+    sessions {!submit} interactive transactions whose bodies park on
+    {!Runtime.await} between client commands; the server {!poke}s them
+    when a command arrives and {!pump}s the engine to quiescence after
+    every external event. *)
+
+type t
+(** A live engine, created by {!create} and driven by {!pump}. *)
+
+val create :
+  ?config:config ->
+  Database.t ->
+  protocol:Protocol.t ->
+  (int * string * (Runtime.ctx -> Value.t)) list ->
+  t
+(** An engine over the given initial transactions (usually [[]] for a
+    server) that has not taken any steps yet. *)
+
+val submit :
+  t -> top:int -> name:string -> ?deadline:float -> (Runtime.ctx -> Value.t) -> unit
+(** Add a top-level transaction to a live engine.  [top] must be fresh
+    (unique per engine, and increasing submission order is what the
+    wound-wait/wait-die age comparisons go by).  [deadline] is an
+    absolute [config.now] time; see {!set_deadline}. *)
+
+val pump : t -> int
+(** Step until quiescent: nothing runnable, no deadlock cycle to break —
+    every live task either parked on {!Runtime.await} or blocked on a
+    lock whose release needs external input.  Unlike the batch loop,
+    blocked-without-cycle tasks are NOT treated as stalled while some
+    task awaits a client.  Bounded by [config.max_steps] steps per call
+    as a safety valve.  Returns the number of steps taken. *)
+
+val poke : t -> int -> bool
+(** Wake the transaction's task parked on {!Runtime.await}, if any;
+    false when nothing was awaiting (the transaction may be replaying an
+    earlier attempt — the caller's mailbox must make the command visible
+    to the body regardless). *)
+
+val abort_top : t -> top:int -> string -> bool
+(** Abort a running transaction from outside (client ABORT frame,
+    session drop, deadline): runs the normal compensation phase,
+    releases its locks, no retry.  False if it was not running. *)
+
+val set_deadline : t -> top:int -> float option -> unit
+(** Set or clear the transaction's deadline, an absolute time on the
+    [config.now] clock; {!check_deadlines} (called on every {!pump}
+    iteration) aborts expired transactions. *)
+
+val deadline_of : t -> top:int -> float option
+(** The transaction's current deadline while it is running — lets a
+    driver size its poll timeout so expiry fires on time. *)
+
+val check_deadlines : t -> unit
+(** Abort every running transaction whose deadline lies in the past.
+    {!pump} calls this on each iteration; exposed for drivers that want
+    deadline enforcement while the engine is otherwise idle. *)
+
+val txn_state :
+  t -> int -> [ `Running | `Committed of Value.t | `Aborted of string | `Unknown ]
+
+val retire : t -> top:int -> bool
+(** Forget a finished (committed or aborted) transaction so the live set
+    stays small in a long-running server.  Its committed work remains
+    part of the history and of certification.  False while the
+    transaction is still running (or unknown). *)
+
+val outcome_of : t -> outcome
+(** Snapshot of the committed/aborted sets, counters and history so
+    far — includes only transactions not yet {!retire}d. *)
+
+val final_history : t -> History.t
+(** The history of every committed transaction, including retired
+    ones. *)
+
+val counters : t -> Ooser_sim.Stats.Counter.t
+val steps : t -> int

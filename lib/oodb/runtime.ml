@@ -20,6 +20,7 @@ type _ Effect.t +=
   | Invoke_par : invocation list -> Value.t list Effect.t
   | Invoke_try : invocation -> (Value.t, string) result Effect.t
   | Register_undo : (unit -> unit) -> unit Effect.t
+  | Await : unit Effect.t
 
 exception Abort of string
 (* A transaction-level abort requested by user code or the system. *)
@@ -46,6 +47,13 @@ let try_call (_ : ctx) target meth_name args =
   Effect.perform (Invoke_try { target; meth_name; args })
 
 let on_undo (_ : ctx) f = Effect.perform (Register_undo f)
+
+(* Park the transaction until the engine is poked from outside
+   ([Engine.poke]) — the interactive counterpart of [call]: a session
+   body awaits the client's next command here.  The effect carries no
+   payload; the awakened body re-reads whatever mailbox it shares with
+   the driver, so a spurious wake-up is harmless. *)
+let await (_ : ctx) = Effect.perform Await
 
 let abort msg = raise (Abort msg)
 

@@ -24,6 +24,7 @@ type _ Effect.t +=
   | Invoke_par : invocation list -> Value.t list Effect.t
   | Invoke_try : invocation -> (Value.t, string) result Effect.t
   | Register_undo : (unit -> unit) -> unit Effect.t
+  | Await : unit Effect.t
 
 exception Abort of string
 (** Transaction-level abort requested by user code or the system. *)
@@ -56,5 +57,14 @@ val on_undo : ctx -> (unit -> unit) -> unit
 
 val abort : string -> 'a
 (** Abort the current transaction. *)
+
+val await : ctx -> unit
+(** Park the transaction until the engine is poked from outside
+    ({!Engine.poke}) — the interactive counterpart of {!call}: a network
+    session body awaits the client's next command here.  Wake-ups carry
+    no payload; the body re-reads the mailbox it shares with its driver,
+    so spurious wake-ups are harmless.  Only valid under {!Engine.pump}
+    driving; inside a batch {!Engine.run} nothing ever pokes, and an
+    awaiting transaction simply never commits. *)
 
 val pp_invocation : Format.formatter -> invocation -> unit

@@ -1,0 +1,19 @@
+(** Blocking request/response client over the {!Wire} protocol.
+
+    The socket is non-blocking underneath; {!recv} calls [on_wait]
+    between read attempts, so an in-process test can pass
+    [fun () -> Server.step server ~timeout:0.01] and run a full
+    client/server exchange on one thread. *)
+
+type t
+
+val connect :
+  ?on_wait:(unit -> unit) -> ?recv_timeout:float -> Unix.sockaddr -> t
+(** Defaults: [on_wait] sleeps 1ms; [recv_timeout] 30s. *)
+
+val send : t -> Wire.request -> unit
+val recv : t -> Wire.response
+(** @raise Failure on timeout, poisoned stream, or closed connection. *)
+
+val request : t -> Wire.request -> Wire.response
+val close : t -> unit

@@ -1,0 +1,380 @@
+(* Closed-loop load generator: N concurrent sessions over one
+   [Unix.select] loop, each running BEGIN → k CALLs → COMMIT in lock
+   step (a session issues its next request only after the previous
+   response arrives — the classic closed-loop client model, so offered
+   load adapts to server latency).
+
+   The op mix is driven by the deterministic [Ooser_sim] machinery:
+   a seeded splitmix64 stream per session and a Zipf distribution over
+   the server's preloaded key range, so runs are reproducible.
+
+   After every session finishes, a control connection fetches STATS
+   (whose [certified] field is the server's full oo-serializability
+   check over everything this run committed) and optionally sends
+   SHUTDOWN. *)
+
+module Rng = Ooser_sim.Rng
+module Dist = Ooser_sim.Dist
+module Stats = Ooser_sim.Stats
+open Ooser_core
+
+type cfg = {
+  sockaddr : Unix.sockaddr;
+  sessions : int;
+  txns_per_session : int;
+  calls_per_txn : int;
+  db_kind : Server.db_kind;  (* shapes the op mix *)
+  seed : int;
+  timeout_ms : int;  (* BEGIN timeout; 0 = server default *)
+  key_universe : int;  (* encyclopedia: the server's preload count *)
+  theta : float;  (* Zipf skew over existing keys *)
+  accounts : int;
+  products : int;
+  shutdown : bool;  (* send SHUTDOWN after the run *)
+}
+
+let default_cfg sockaddr =
+  {
+    sockaddr;
+    sessions = 16;
+    txns_per_session = 8;
+    calls_per_txn = 4;
+    db_kind = `Encyclopedia;
+    seed = 42;
+    timeout_ms = 0;
+    key_universe = 200;
+    theta = 0.8;
+    accounts = 10;
+    products = 4;
+    shutdown = false;
+  }
+
+type result = {
+  db : string;
+  protocol : string;
+  n_sessions : int;
+  committed : int;
+  aborted : int;
+  calls : int;
+  failed_calls : int;
+  elapsed : float;
+  throughput : float;  (* committed transactions per second *)
+  latency : Stats.Histogram.t;  (* BEGIN-to-decision, seconds *)
+  certified : bool option;  (* None when no STATS round ran *)
+  stats_json : string option;
+}
+
+(* -- per-session state machine ------------------------------------------------ *)
+
+type sess_state =
+  | Awaiting_welcome
+  | Awaiting_begun
+  | Awaiting_result of int  (* calls still to issue after this response *)
+  | Awaiting_commit
+  | Awaiting_closing
+  | Done
+
+type sess = {
+  sid : int;
+  fd : Unix.file_descr;
+  framer : Wire.Framer.t;
+  rng : Rng.t;
+  existing : Dist.t;  (* skewed choice among preloaded keys *)
+  mutable out : string;
+  mutable state : sess_state;
+  mutable txns_left : int;
+  mutable began : float;
+  mutable fresh : int;  (* fresh-key counter for inserts *)
+}
+
+type acc = {
+  mutable committed : int;
+  mutable aborted : int;
+  mutable calls : int;
+  mutable failed_calls : int;
+  mutable db : string;
+  mutable protocol : string;
+  latency : Stats.Histogram.t;
+}
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let queue_req sess req = sess.out <- sess.out ^ Wire.frame (Wire.encode_request req)
+
+let existing_key sess = Printf.sprintf "k%05d" (Dist.sample sess.rng sess.existing)
+
+let gen_call cfg sess : Wire.request =
+  match cfg.db_kind with
+  | `Encyclopedia ->
+      let pick = Rng.int sess.rng 100 in
+      if pick < 30 then begin
+        sess.fresh <- sess.fresh + 1;
+        Wire.Call
+          {
+            obj = "Enc";
+            meth = "insert";
+            args =
+              [
+                Value.str (Printf.sprintf "s%02dn%04d" sess.sid sess.fresh);
+                Value.str "fresh";
+              ];
+          }
+      end
+      else if pick < 70 then
+        Wire.Call
+          { obj = "Enc"; meth = "search"; args = [ Value.str (existing_key sess) ] }
+      else
+        Wire.Call
+          {
+            obj = "Enc";
+            meth = "update";
+            args = [ Value.str (existing_key sess); Value.str "updated" ];
+          }
+  | `Banking ->
+      let acct () = Rng.int sess.rng cfg.accounts in
+      let meth = if Rng.bool sess.rng then "deposit" else "withdraw" in
+      Wire.Call
+        {
+          obj = Printf.sprintf "Account%d" (acct ());
+          meth;
+          args = [ Value.int (1 + Rng.int sess.rng 5) ];
+        }
+  | `Inventory ->
+      Wire.Call
+        {
+          obj = "Store";
+          meth = "place";
+          args =
+            [
+              Value.str (Printf.sprintf "p%d" (Rng.int sess.rng cfg.products));
+              Value.int (1 + Rng.int sess.rng 3);
+            ];
+        }
+
+let issue_call cfg acc sess remaining =
+  acc.calls <- acc.calls + 1;
+  queue_req sess (gen_call cfg sess);
+  sess.state <- Awaiting_result remaining
+
+let next_txn cfg sess =
+  if sess.txns_left > 0 then begin
+    sess.txns_left <- sess.txns_left - 1;
+    sess.began <- Unix.gettimeofday ();
+    queue_req sess
+      (Wire.Begin
+         {
+           name = Printf.sprintf "lg%d.%d" sess.sid (sess.txns_left + 1);
+           timeout_ms = cfg.timeout_ms;
+         });
+    sess.state <- Awaiting_begun
+  end
+  else begin
+    queue_req sess Wire.Bye;
+    sess.state <- Awaiting_closing
+  end
+
+let decide acc sess ~ok =
+  Stats.Histogram.add acc.latency (Unix.gettimeofday () -. sess.began);
+  if ok then acc.committed <- acc.committed + 1
+  else acc.aborted <- acc.aborted + 1
+
+let on_response cfg acc sess (resp : Wire.response) =
+  match (resp, sess.state) with
+  | Wire.Welcome { db; protocol; _ }, Awaiting_welcome ->
+      acc.db <- db;
+      acc.protocol <- protocol;
+      next_txn cfg sess
+  | Wire.Begun _, Awaiting_begun ->
+      issue_call cfg acc sess (cfg.calls_per_txn - 1)
+  | (Wire.Result _ | Wire.Failed _), Awaiting_result remaining ->
+      (match resp with
+      | Wire.Failed _ -> acc.failed_calls <- acc.failed_calls + 1
+      | _ -> ());
+      if remaining > 0 then issue_call cfg acc sess (remaining - 1)
+      else begin
+        queue_req sess Wire.Commit;
+        sess.state <- Awaiting_commit
+      end
+  | Wire.Committed _, Awaiting_commit ->
+      decide acc sess ~ok:true;
+      next_txn cfg sess
+  | Wire.Aborted _, (Awaiting_result _ | Awaiting_commit | Awaiting_begun) ->
+      (* the engine's decision ends the transaction wherever we were *)
+      decide acc sess ~ok:false;
+      next_txn cfg sess
+  | Wire.Error { code = "shutting-down"; _ }, _ ->
+      queue_req sess Wire.Bye;
+      sess.state <- Awaiting_closing
+  | Wire.Closing, _ -> sess.state <- Done
+  | resp, _ ->
+      failwith
+        (Fmt.str "loadgen session %d: unexpected %a" sess.sid Wire.pp_response
+           resp)
+
+(* -- the loop ----------------------------------------------------------------- *)
+
+let run ?(tick = fun () -> ()) cfg =
+  if cfg.sessions <= 0 then invalid_arg "Loadgen.run: sessions";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let connect sid =
+    let fd = Unix.socket (Unix.domain_of_sockaddr cfg.sockaddr) Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd cfg.sockaddr
+     with e ->
+       Unix.close fd;
+       raise e);
+    Unix.set_nonblock fd;
+    (match cfg.sockaddr with
+    | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+    | _ -> ());
+    let rng = Rng.create ~seed:(cfg.seed + (1000 * sid)) in
+    let sess =
+      {
+        sid;
+        fd;
+        framer = Wire.Framer.create ();
+        rng;
+        existing = Dist.zipf ~theta:cfg.theta (max 1 cfg.key_universe);
+        out = "";
+        state = Awaiting_welcome;
+        txns_left = cfg.txns_per_session;
+        began = 0.0;
+        fresh = 0;
+      }
+    in
+    queue_req sess (Wire.Hello (Printf.sprintf "loadgen-%d" sid));
+    sess
+  in
+  let sessions = List.init cfg.sessions connect in
+  let acc =
+    {
+      committed = 0;
+      aborted = 0;
+      calls = 0;
+      failed_calls = 0;
+      db = "?";
+      protocol = "?";
+      latency = Stats.Histogram.create ();
+    }
+  in
+  let started = Unix.gettimeofday () in
+  let give_up = started +. 300.0 in
+  let live () = List.filter (fun s -> s.state <> Done) sessions in
+  let flush_out s =
+    if s.out <> "" then begin
+      match Unix.write_substring s.fd s.out 0 (String.length s.out) with
+      | n -> s.out <- String.sub s.out n (String.length s.out - n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> s.state <- Done  (* peer gone *)
+    end
+  in
+  let drain_frames s =
+    let popping = ref true in
+    while !popping && s.state <> Done do
+      match Wire.Framer.pop s.framer with
+      | Ok (Some payload) ->
+          on_response cfg acc s (Wire.decode_response payload)
+      | Ok None -> popping := false
+      | Error msg -> failwith ("loadgen: " ^ msg)
+    done
+  in
+  let read_sock s =
+    let buf = Bytes.create 65536 in
+    match Unix.read s.fd buf 0 (Bytes.length buf) with
+    | 0 -> s.state <- Done  (* server went away *)
+    | n ->
+        Wire.Framer.feed s.framer (Bytes.sub_string buf 0 n);
+        drain_frames s
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  while live () <> [] do
+    if Unix.gettimeofday () > give_up then
+      failwith "loadgen: run timed out after 300s";
+    tick ();
+    let ss = live () in
+    let rfds = List.map (fun s -> s.fd) ss in
+    let wfds = List.filter_map (fun s -> if s.out <> "" then Some s.fd else None) ss in
+    (match Unix.select rfds wfds [] 0.05 with
+    | r, w, _ ->
+        List.iter (fun s -> if List.mem s.fd w then flush_out s) ss;
+        List.iter (fun s -> if List.mem s.fd r then read_sock s) ss
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  done;
+  let elapsed = Unix.gettimeofday () -. started in
+  List.iter (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ()) sessions;
+  (* control round: STATS (with the server-side certification verdict),
+     then SHUTDOWN when asked *)
+  let certified, stats_json =
+    let on_wait () =
+      tick ();
+      Unix.sleepf 0.0005
+    in
+    match Client.connect ~on_wait cfg.sockaddr with
+    | exception Unix.Unix_error _ -> (None, None)
+    | c ->
+        let fin =
+          match Client.request c (Wire.Hello "loadgen-control") with
+          | Wire.Welcome _ -> (
+              match Client.request c Wire.Stats with
+              | Wire.Stats_json j ->
+                  (* the JSON is ours; a substring probe beats a parser *)
+                  let certified =
+                    if contains j "\"certified\": true" then Some true
+                    else if contains j "\"certified\": false" then Some false
+                    else None
+                  in
+                  (certified, Some j)
+              | _ -> (None, None))
+          | _ -> (None, None)
+        in
+        if cfg.shutdown then ignore (Client.request c Wire.Shutdown);
+        Client.close c;
+        fin
+  in
+  {
+    db = acc.db;
+    protocol = acc.protocol;
+    n_sessions = cfg.sessions;
+    committed = acc.committed;
+    aborted = acc.aborted;
+    calls = acc.calls;
+    failed_calls = acc.failed_calls;
+    elapsed;
+    throughput = (if elapsed > 0.0 then float_of_int acc.committed /. elapsed else 0.0);
+    latency = acc.latency;
+    certified;
+    stats_json;
+  }
+
+let to_json (r : result) =
+  let q p = Stats.Histogram.quantile r.latency p in
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"db\": %S," r.db;
+      Printf.sprintf "  \"protocol\": %S," r.protocol;
+      Printf.sprintf "  \"sessions\": %d," r.n_sessions;
+      Printf.sprintf "  \"txns_committed\": %d," r.committed;
+      Printf.sprintf "  \"txns_aborted\": %d," r.aborted;
+      Printf.sprintf "  \"calls\": %d," r.calls;
+      Printf.sprintf "  \"failed_calls\": %d," r.failed_calls;
+      Printf.sprintf "  \"elapsed_seconds\": %.3f," r.elapsed;
+      Printf.sprintf "  \"throughput_txn_per_s\": %.1f," r.throughput;
+      Printf.sprintf
+        "  \"latency_seconds\": {\"mean\": %.6f, \"p50\": %.6f, \"p95\": \
+         %.6f, \"p99\": %.6f, \"max\": %.6f},"
+        (Stats.Histogram.mean r.latency)
+        (q 0.50) (q 0.95) (q 0.99)
+        (Stats.Histogram.max_value r.latency);
+      Printf.sprintf "  \"certified\": %s"
+        (match r.certified with
+        | None -> "null"
+        | Some b -> if b then "true" else "false");
+      "}";
+    ]

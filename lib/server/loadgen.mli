@@ -1,0 +1,50 @@
+(** Closed-loop load generator: N concurrent sessions over one select
+    loop, each running BEGIN → k CALLs → COMMIT in lock step, with
+    deterministic (seeded) op mixes per database kind.  Emits the
+    numbers behind [BENCH_server.json]. *)
+
+module Stats = Ooser_sim.Stats
+
+type cfg = {
+  sockaddr : Unix.sockaddr;
+  sessions : int;
+  txns_per_session : int;
+  calls_per_txn : int;
+  db_kind : Server.db_kind;
+  seed : int;
+  timeout_ms : int;
+  key_universe : int;
+      (** encyclopedia: must match the server's preload count *)
+  theta : float;
+  accounts : int;
+  products : int;
+  shutdown : bool;  (** send SHUTDOWN once done *)
+}
+
+val default_cfg : Unix.sockaddr -> cfg
+(** 16 sessions, 8 txns each, 4 calls per txn, encyclopedia mix. *)
+
+type result = {
+  db : string;
+  protocol : string;
+  n_sessions : int;
+  committed : int;
+  aborted : int;
+  calls : int;
+  failed_calls : int;
+  elapsed : float;
+  throughput : float;
+  latency : Stats.Histogram.t;
+  certified : bool option;
+      (** the server's full oo-serializability verdict over everything
+          this run committed, from the post-run STATS round *)
+  stats_json : string option;
+}
+
+val run : ?tick:(unit -> unit) -> cfg -> result
+(** Drive all sessions to completion.  [tick] runs every loop iteration
+    — pass [fun () -> Server.step srv ~timeout:0.0] to load an
+    in-process server single-threaded.
+    @raise Failure if the run exceeds 300s or a stream is poisoned. *)
+
+val to_json : result -> string

@@ -1,0 +1,82 @@
+(* Server-side observability: event counters and wall-clock latency
+   histograms, exported as JSON over the wire (STATS) and at shutdown.
+
+   Commit latency is measured from the BEGIN frame to the commit (or
+   abort) decision; call latency from a CALL frame to its response being
+   queued — both therefore include engine queueing, lock waits and any
+   certification retries, which is what a client experiences. *)
+
+module Stats = Ooser_sim.Stats
+
+type t = {
+  counters : Stats.Counter.t;
+  commit_latency : Stats.Histogram.t;
+  call_latency : Stats.Histogram.t;
+  started : float;  (* server start, for uptime *)
+}
+
+let create ~now () =
+  {
+    counters = Stats.Counter.create ();
+    commit_latency = Stats.Histogram.create ();
+    call_latency = Stats.Histogram.create ();
+    started = now;
+  }
+
+let incr t key = Stats.Counter.incr t.counters key
+let observe_commit t seconds = Stats.Histogram.add t.commit_latency seconds
+let observe_call t seconds = Stats.Histogram.add t.call_latency seconds
+
+(* -- JSON -------------------------------------------------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_counters kvs =
+  String.concat ", "
+    (List.map (fun (k, v) -> Printf.sprintf "%S: %d" (escape k) v) kvs)
+
+let json_histogram h =
+  let q p = Stats.Histogram.quantile h p in
+  Printf.sprintf
+    "{\"count\": %d, \"mean\": %.9f, \"p50\": %.9f, \"p95\": %.9f, \"p99\": \
+     %.9f, \"max\": %.9f}"
+    (Stats.Histogram.count h) (Stats.Histogram.mean h) (q 0.50) (q 0.95)
+    (q 0.99)
+    (Stats.Histogram.max_value h)
+
+(* [engine] carries the engine + lock-protocol counters; [certified] is
+   the verdict of a full oo-serializability check of the committed
+   history when one was run (None while the server is live — the check
+   is a shutdown/STATS-time sweep, not per-commit). *)
+let to_json t ~now ~engine ~certified =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"uptime_seconds\": %.3f," (now -. t.started);
+      Printf.sprintf "  \"server\": {%s},"
+        (json_counters (Stats.Counter.to_list t.counters));
+      Printf.sprintf "  \"engine\": {%s}," (json_counters engine);
+      Printf.sprintf "  \"commit_latency_seconds\": %s,"
+        (json_histogram t.commit_latency);
+      Printf.sprintf "  \"call_latency_seconds\": %s,"
+        (json_histogram t.call_latency);
+      Printf.sprintf "  \"certified\": %s"
+        (match certified with
+        | None -> "null"
+        | Some b -> if b then "true" else "false");
+      "}";
+    ]

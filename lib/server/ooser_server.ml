@@ -1,0 +1,9 @@
+(** The network transaction server: wire protocol, sessions, the select
+    event loop, a blocking client and a closed-loop load generator. *)
+
+module Wire = Wire
+module Session = Session
+module Metrics = Metrics
+module Server = Server
+module Client = Client
+module Loadgen = Loadgen

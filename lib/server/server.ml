@@ -1,0 +1,555 @@
+(* The network transaction server: a single-threaded [Unix.select] event
+   loop multiplexing many client sessions onto one effects engine.
+
+   Each connection owns a {!Session.t}; its transaction body is the
+   command-log replay of {!Session.body}, submitted to the engine on
+   admission and poked whenever a frame arrives.  After every batch of
+   socket events the loop {!Engine.pump}s the engine to quiescence and
+   then flushes responses: call results strictly in call order, then the
+   transaction's commit/abort decision once [Engine.txn_state] resolves.
+
+   Admission control: at most [max_inflight] transactions run at once;
+   further BEGINs queue FIFO and their [Begun] reply is delayed — the
+   delayed response IS the backpressure, since a session cannot proceed
+   without its transaction id.
+
+   Graceful shutdown (SHUTDOWN frame or {!initiate_shutdown}): new
+   BEGINs are refused, queued admissions are cancelled, in-flight
+   transactions get a drain-grace deadline, and the loop exits once the
+   last one decides. *)
+
+open Ooser_core
+open Ooser_oodb
+module Protocol = Ooser_cc.Protocol
+module Stats = Ooser_sim.Stats
+
+type addr = Unix_sock of string | Tcp of int  (* loopback only *)
+
+let sockaddr_of = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let pp_addr ppf = function
+  | Unix_sock path -> Fmt.pf ppf "unix:%s" path
+  | Tcp port -> Fmt.pf ppf "tcp:127.0.0.1:%d" port
+
+type db_kind = [ `Encyclopedia | `Banking | `Inventory ]
+type protocol_kind = [ `Open | `Flat | `Closed | `Certify ]
+
+let db_kind_name = function
+  | `Encyclopedia -> "encyclopedia"
+  | `Banking -> "banking"
+  | `Inventory -> "inventory"
+
+let protocol_kind_name = function
+  | `Open -> "open"
+  | `Flat -> "flat"
+  | `Closed -> "closed"
+  | `Certify -> "certify"
+
+type config = {
+  addr : addr;
+  db_kind : db_kind;
+  protocol_kind : protocol_kind;
+  max_inflight : int;  (* admission limit; BEGINs queue beyond it *)
+  default_timeout_ms : int;  (* for BEGIN with timeout_ms = 0; 0 = none *)
+  drain_grace : float;  (* seconds granted to in-flight txns on shutdown *)
+  preload : int;  (* encyclopedia seed keys *)
+  fanout : int;
+  accounts : int;  (* banking *)
+  products : int;  (* inventory *)
+  name : string;  (* announced in WELCOME *)
+}
+
+let default_config addr =
+  {
+    addr;
+    db_kind = `Encyclopedia;
+    protocol_kind = `Open;
+    max_inflight = 32;
+    default_timeout_ms = 0;
+    drain_grace = 5.0;
+    preload = 200;
+    fanout = 4;
+    accounts = 10;
+    products = 4;
+    name = "oosdb";
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  framer : Wire.Framer.t;
+  session : Session.t;
+  mutable out : string;  (* bytes queued for the socket *)
+  mutable closing : bool;  (* close once [out] drains *)
+  mutable dead : bool;
+}
+
+type t = {
+  config : config;
+  db : Database.t;
+  engine : Engine.t;
+  protocol : Protocol.t;
+  metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  mutable next_sid : int;
+  mutable next_top : int;
+  admit_queue : conn Queue.t;
+  mutable inflight : int;
+  mutable draining : bool;
+  mutable stopped : bool;
+}
+
+(* -- database setup ----------------------------------------------------------- *)
+
+let build_db config =
+  let db = Database.create () in
+  (match config.db_kind with
+  | `Encyclopedia ->
+      let enc = Encyclopedia.create ~fanout:config.fanout db in
+      Ooser_workload.Enc_workload.preload db enc ~keys:config.preload
+  | `Banking ->
+      for i = 0 to config.accounts - 1 do
+        ignore
+          (Ooser_workload.Banking.register_account db ~semantics:`Escrow i
+             ~balance:100 ~low:0 ~high:1_000_000)
+      done
+  | `Inventory ->
+      ignore
+        (Ooser_workload.Inventory.create ~products:config.products db));
+  db
+
+let build_protocol config db =
+  let reg = Database.spec_registry db in
+  match config.protocol_kind with
+  | `Open -> Protocol.open_nested ~reg ()
+  | `Flat -> Protocol.flat_2pl ~reg ()
+  | `Closed -> Protocol.closed_nested ~reg ()
+  | `Certify -> Protocol.unlocked ()
+
+(* a peer closing mid-write must surface as EPIPE, not kill the process *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let create config =
+  ignore_sigpipe ();
+  let db = build_db config in
+  let protocol = build_protocol config db in
+  let engine_config =
+    {
+      (Engine.default_config protocol) with
+      Engine.deadlock = Engine.Wound_wait;
+      certify = config.protocol_kind = `Certify;
+      now = Unix.gettimeofday;
+    }
+  in
+  let engine = Engine.create ~config:engine_config db ~protocol [] in
+  let listen_fd =
+    match config.addr with
+    | Unix_sock path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        fd
+    | Tcp port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd
+  in
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  {
+    config;
+    db;
+    engine;
+    protocol;
+    metrics = Metrics.create ~now:(Unix.gettimeofday ()) ();
+    listen_fd;
+    conns = [];
+    next_sid = 0;
+    next_top = 1;
+    admit_queue = Queue.create ();
+    inflight = 0;
+    draining = false;
+    stopped = false;
+  }
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> invalid_arg "Server.port: not a TCP listener"
+
+(* -- responses ---------------------------------------------------------------- *)
+
+let send conn resp =
+  if not conn.dead then
+    conn.out <- conn.out ^ Wire.frame (Wire.encode_response resp)
+
+(* The phase is left alone: a dead connection's In_txn session still
+   owns an admission slot, released by [flush_session] once the abort
+   started here resolves. *)
+let kill t conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    match conn.session.Session.phase with
+    | Session.In_txn tr ->
+        ignore (Engine.abort_top t.engine ~top:tr.Session.top "client gone")
+    | _ -> ()
+  end
+
+(* -- observability ------------------------------------------------------------ *)
+
+let certified t = Serializability.oo_serializable (Engine.final_history t.engine)
+
+(* [certified] lets a caller that already ran the (expensive,
+   from-scratch) history check pass its verdict in instead of paying for
+   a second sweep. *)
+let stats_json ?certified:(verdict = None) t =
+  let engine_counters =
+    Stats.Counter.to_list (Engine.counters t.engine)
+    @ List.map
+        (fun (k, v) -> ("lock." ^ k, v))
+        (Stats.Counter.to_list (Protocol.counters t.protocol))
+    @ [ ("inflight", t.inflight); ("queued", Queue.length t.admit_queue) ]
+  in
+  let verdict = match verdict with Some _ -> verdict | None -> Some (certified t) in
+  Metrics.to_json t.metrics ~now:(Unix.gettimeofday ())
+    ~engine:engine_counters ~certified:verdict
+
+(* -- shutdown ----------------------------------------------------------------- *)
+
+let initiate_shutdown t =
+  if not t.draining then begin
+    t.draining <- true;
+    Metrics.incr t.metrics "shutdowns";
+    let now = Unix.gettimeofday () in
+    let grace = now +. t.config.drain_grace in
+    List.iter
+      (fun conn ->
+        match conn.session.Session.phase with
+        | Session.In_txn tr ->
+            Engine.set_deadline t.engine ~top:tr.Session.top (Some grace)
+        | Session.Begun_wait _ ->
+            (* cancelled: the admission queue is not drained *)
+            conn.session.Session.phase <- Session.Idle;
+            send conn
+              (Wire.Error { code = "shutting-down"; msg = "server draining" })
+        | _ -> ())
+      t.conns;
+    Queue.clear t.admit_queue
+  end
+
+(* -- request handling --------------------------------------------------------- *)
+
+let proto_error conn msg = send conn (Wire.Error { code = "protocol"; msg })
+
+let handle_request t conn (req : Wire.request) =
+  let session = conn.session in
+  match (req, session.Session.phase) with
+  | Wire.Hello client, Session.Fresh ->
+      session.Session.client <- client;
+      session.Session.phase <- Session.Idle;
+      send conn
+        (Wire.Welcome
+           {
+             server = t.config.name;
+             db = db_kind_name t.config.db_kind;
+             protocol = protocol_kind_name t.config.protocol_kind;
+           })
+  | Wire.Hello _, _ -> proto_error conn "HELLO already received"
+  | _, Session.Fresh -> proto_error conn "HELLO must come first"
+  | (Wire.Call _ | Wire.Commit | Wire.Abort _), Session.Dead_txn reason ->
+      (* the parked abort of a transaction that died between commands
+         answers whatever the client asked of it *)
+      session.Session.phase <- Session.Idle;
+      send conn (Wire.Aborted reason)
+  | Wire.Begin _, _ when t.draining ->
+      send conn (Wire.Error { code = "shutting-down"; msg = "server draining" })
+  | Wire.Begin { name; timeout_ms }, (Session.Idle | Session.Dead_txn _) ->
+      session.Session.phase <- Session.Begun_wait { name; timeout_ms };
+      Queue.add conn t.admit_queue;
+      Metrics.incr t.metrics "begins"
+  | Wire.Begin _, _ -> proto_error conn "transaction already in progress"
+  | Wire.Call { obj; meth; args }, Session.In_txn tr ->
+      Metrics.incr t.metrics "calls";
+      Session.push_call tr ~now:(Unix.gettimeofday ()) (Obj_id.v obj) meth args;
+      ignore (Engine.poke t.engine tr.Session.top)
+  | Wire.Commit, Session.In_txn tr ->
+      if tr.Session.commit_requested then proto_error conn "COMMIT already sent"
+      else begin
+        Session.push_commit tr;
+        ignore (Engine.poke t.engine tr.Session.top)
+      end
+  | Wire.Abort reason, Session.In_txn tr ->
+      tr.Session.abort_requested <- true;
+      ignore (Engine.abort_top t.engine ~top:tr.Session.top reason)
+  | (Wire.Call _ | Wire.Commit | Wire.Abort _), _ ->
+      proto_error conn "no transaction in progress"
+  | Wire.Stats, _ -> send conn (Wire.Stats_json (stats_json t))
+  | Wire.Shutdown, _ ->
+      initiate_shutdown t;
+      send conn Wire.Closing
+  | Wire.Bye, _ ->
+      (match session.Session.phase with
+      | Session.In_txn tr ->
+          ignore (Engine.abort_top t.engine ~top:tr.Session.top "client left")
+      | _ -> ());
+      send conn Wire.Closing;
+      conn.closing <- true
+
+(* -- admission ---------------------------------------------------------------- *)
+
+let admit t =
+  let admitted = ref 0 in
+  while
+    t.inflight < t.config.max_inflight && not (Queue.is_empty t.admit_queue)
+  do
+    let conn = Queue.pop t.admit_queue in
+    match conn.session.Session.phase with
+    | Session.Begun_wait { name; timeout_ms } when not conn.dead ->
+        let now = Unix.gettimeofday () in
+        let top = t.next_top in
+        t.next_top <- top + 1;
+        let ms =
+          if timeout_ms > 0 then timeout_ms else t.config.default_timeout_ms
+        in
+        let deadline =
+          if ms > 0 then Some (now +. (float_of_int ms /. 1000.)) else None
+        in
+        let tr = Session.new_txn ~top ~began:now in
+        Engine.submit t.engine ~top ~name ?deadline (Session.body tr);
+        conn.session.Session.phase <- Session.In_txn tr;
+        t.inflight <- t.inflight + 1;
+        incr admitted;
+        send conn (Wire.Begun { top })
+    | _ -> ()  (* died or was cancelled while queued *)
+  done;
+  !admitted
+
+(* -- response flushing -------------------------------------------------------- *)
+
+(* Release call results strictly in call order, then the transaction's
+   decision once the engine has one.  A decision frees the admission
+   slot; unflushed provisional results are dropped on abort — the single
+   [Aborted] frame answers whatever the client still had outstanding. *)
+let flush_session t conn =
+  match conn.session.Session.phase with
+  | Session.In_txn tr ->
+      let open Session in
+      let continue = ref true in
+      while !continue && tr.calls_flushed < tr.calls_sent do
+        match Hashtbl.find_opt tr.results tr.calls_flushed with
+        | Some r ->
+            (match Hashtbl.find_opt tr.call_at tr.calls_flushed with
+            | Some t0 ->
+                Metrics.observe_call t.metrics (Unix.gettimeofday () -. t0)
+            | None -> ());
+            send conn
+              (match r with
+              | Ok v -> Wire.Result v
+              | Error msg -> Wire.Failed msg);
+            tr.calls_flushed <- tr.calls_flushed + 1
+        | None -> continue := false
+      done;
+      (match Engine.txn_state t.engine tr.top with
+      | `Committed v ->
+          Metrics.incr t.metrics "commits";
+          Metrics.observe_commit t.metrics (Unix.gettimeofday () -. tr.began);
+          send conn (Wire.Committed v);
+          ignore (Engine.retire t.engine ~top:tr.top);
+          t.inflight <- t.inflight - 1;
+          conn.session.Session.phase <- Session.Idle
+      | `Aborted reason ->
+          Metrics.incr t.metrics "aborts";
+          Metrics.observe_commit t.metrics (Unix.gettimeofday () -. tr.began);
+          ignore (Engine.retire t.engine ~top:tr.top);
+          t.inflight <- t.inflight - 1;
+          (* answer the outstanding request if there is one; otherwise
+             park the reason — pushing it unsolicited would cross a
+             request already in flight and desynchronise the pairing *)
+          let outstanding =
+            tr.calls_flushed < tr.calls_sent || tr.commit_requested
+            || tr.abort_requested
+          in
+          if outstanding then begin
+            send conn (Wire.Aborted reason);
+            conn.session.Session.phase <- Session.Idle
+          end
+          else conn.session.Session.phase <- Session.Dead_txn reason
+      | `Running | `Unknown -> ())
+  | _ -> ()
+
+(* -- socket events ------------------------------------------------------------ *)
+
+let accept_loop t =
+  let again = ref true in
+  while !again do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        (match t.config.addr with
+        | Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+        | Unix_sock _ -> ());
+        let sid = t.next_sid in
+        t.next_sid <- sid + 1;
+        Metrics.incr t.metrics "connections";
+        t.conns <-
+          t.conns
+          @ [
+              {
+                fd;
+                framer = Wire.Framer.create ();
+                session = Session.create ~sid;
+                out = "";
+                closing = false;
+                dead = false;
+              };
+            ]
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        again := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let handle_read t conn =
+  let buf = Bytes.create 65536 in
+  let closed = ref false in
+  let again = ref true in
+  while !again && not !closed do
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | 0 ->
+        closed := true;
+        again := false
+    | n -> Wire.Framer.feed conn.framer (Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        again := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        closed := true;
+        again := false
+  done;
+  let popping = ref true in
+  while !popping do
+    match Wire.Framer.pop conn.framer with
+    | Ok (Some payload) -> (
+        match Wire.decode_request payload with
+        | req -> handle_request t conn req
+        | exception Failure msg ->
+            send conn (Wire.Error { code = "bad-frame"; msg });
+            conn.closing <- true;
+            popping := false)
+    | Ok None -> popping := false
+    | Error msg ->
+        send conn (Wire.Error { code = "bad-frame"; msg });
+        conn.closing <- true;
+        popping := false
+  done;
+  if !closed then kill t conn
+
+let handle_write t conn =
+  if conn.out <> "" then begin
+    match
+      Unix.write_substring conn.fd conn.out 0 (String.length conn.out)
+    with
+    | n -> conn.out <- String.sub conn.out n (String.length conn.out - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> kill t conn
+  end
+
+(* -- the loop ----------------------------------------------------------------- *)
+
+let nearest_deadline t =
+  List.fold_left
+    (fun acc conn ->
+      match conn.session.Session.phase with
+      | Session.In_txn tr -> (
+          match Engine.deadline_of t.engine ~top:tr.Session.top with
+          | Some d -> Some (match acc with None -> d | Some a -> Float.min a d)
+          | None -> acc)
+      | _ -> acc)
+    None t.conns
+
+let reap t =
+  List.iter
+    (fun conn ->
+      let idle =
+        match conn.session.Session.phase with
+        | Session.In_txn _ -> false
+        | _ -> true
+      in
+      if (conn.dead || (conn.closing && conn.out = "")) && idle then begin
+        (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+        conn.dead <- true;
+        t.conns <- List.filter (fun c -> c != conn) t.conns
+      end)
+    t.conns
+
+let finish_drain t =
+  (* everything decided: tell the remaining clients, flush what the
+     kernel will take in one pass, and stop *)
+  List.iter
+    (fun conn ->
+      if not conn.dead then begin
+        send conn Wire.Closing;
+        handle_write t conn;
+        try Unix.close conn.fd with Unix.Unix_error _ -> ()
+      end)
+    t.conns;
+  t.conns <- [];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.config.addr with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  t.stopped <- true
+
+let step t ~timeout =
+  if t.stopped then ()
+  else begin
+    let now = Unix.gettimeofday () in
+    let timeout =
+      match nearest_deadline t with
+      | Some d -> Float.max 0.0 (Float.min timeout (d -. now +. 0.001))
+      | None -> timeout
+    in
+    let live = List.filter (fun c -> not c.dead) t.conns in
+    let rfds = t.listen_fd :: List.map (fun c -> c.fd) live in
+    let wfds =
+      List.filter_map (fun c -> if c.out <> "" then Some c.fd else None) live
+    in
+    (match Unix.select rfds wfds [] timeout with
+    | r, w, _ ->
+        if List.mem t.listen_fd r then accept_loop t;
+        List.iter (fun c -> if List.mem c.fd r then handle_read t c) live;
+        ignore w
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* deadlines fire even when no socket event woke us *)
+    Engine.check_deadlines t.engine;
+    ignore (Engine.pump t.engine);
+    List.iter (fun c -> flush_session t c) t.conns;
+    (* freed slots admit queued BEGINs; their first attempt runs to its
+       first await immediately *)
+    while admit t > 0 do
+      ignore (Engine.pump t.engine);
+      List.iter (fun c -> flush_session t c) t.conns
+    done;
+    List.iter (fun c -> if not c.dead then handle_write t c) t.conns;
+    reap t;
+    if t.draining && t.inflight = 0 && Queue.is_empty t.admit_queue then
+      finish_drain t
+  end
+
+let running t = not t.stopped
+
+let serve t =
+  while running t do
+    step t ~timeout:0.1
+  done
+
+let close t = if not t.stopped then finish_drain t
+let engine t = t.engine
+let protocol t = t.protocol
+let metrics t = t.metrics
+let inflight t = t.inflight

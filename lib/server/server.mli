@@ -1,0 +1,76 @@
+(** The network transaction server: a single-threaded [Unix.select]
+    event loop multiplexing many client sessions onto one effects
+    engine, with admission control, per-session deadlines and graceful
+    shutdown.  See {!Wire} for the protocol and {!Session} for the
+    command-log bridge that makes engine-internal retries invisible to
+    clients. *)
+
+type addr = Unix_sock of string | Tcp of int
+(** [Tcp] binds the loopback interface only. *)
+
+val sockaddr_of : addr -> Unix.sockaddr
+val pp_addr : Format.formatter -> addr -> unit
+
+type db_kind = [ `Encyclopedia | `Banking | `Inventory ]
+type protocol_kind = [ `Open | `Flat | `Closed | `Certify ]
+
+val db_kind_name : db_kind -> string
+val protocol_kind_name : protocol_kind -> string
+
+type config = {
+  addr : addr;
+  db_kind : db_kind;
+  protocol_kind : protocol_kind;
+  max_inflight : int;
+      (** admission limit: transactions beyond it queue FIFO, their
+          [Begun] reply delayed as backpressure *)
+  default_timeout_ms : int;  (** for BEGIN with [timeout_ms = 0]; 0 = none *)
+  drain_grace : float;
+      (** seconds in-flight transactions get to finish on shutdown
+          before their deadline aborts them *)
+  preload : int;  (** encyclopedia seed keys, named [k%05d] *)
+  fanout : int;
+  accounts : int;  (** banking accounts, objects [Account%d] *)
+  products : int;  (** inventory products on object [Store] *)
+  name : string;
+}
+
+val default_config : addr -> config
+(** Encyclopedia over open nested locking, 32 in-flight, no default
+    timeout, 5s drain grace, 200 preloaded keys. *)
+
+type t
+
+val create : config -> t
+(** Build the database and engine and bind the listening socket.
+    @raise Unix.Unix_error when the address is unavailable. *)
+
+val port : t -> int
+(** The bound TCP port (useful with [Tcp 0]); raises for unix sockets. *)
+
+val step : t -> timeout:float -> unit
+(** One event-loop round: wait up to [timeout] seconds for socket
+    events (shortened to the nearest transaction deadline), ingest
+    frames, pump the engine, flush responses.  Exposed so tests can
+    drive the server in-process without threads. *)
+
+val serve : t -> unit
+(** [step] until shutdown completes. *)
+
+val running : t -> bool
+val initiate_shutdown : t -> unit
+val close : t -> unit
+(** Immediate shutdown: close every socket without draining. *)
+
+val stats_json : ?certified:bool option -> t -> string
+(** Pass [~certified:(Some v)] to reuse an already-computed
+    {!certified} verdict instead of re-running the full check. *)
+
+val certified : t -> bool
+(** Full oo-serializability check of the committed history so far —
+    from-scratch, so minutes not milliseconds on long histories. *)
+
+val engine : t -> Ooser_oodb.Engine.t
+val protocol : t -> Ooser_cc.Protocol.t
+val metrics : t -> Metrics.t
+val inflight : t -> int

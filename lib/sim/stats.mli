@@ -15,6 +15,27 @@ val max_value : t -> float
 val merge : t -> t -> t
 val pp : Format.formatter -> t -> unit
 
+(** Latency histogram with geometric buckets (eight per octave, fixed
+    512-slot footprint): quantiles are bucket-midpoint estimates within
+    ~9% relative error, clamped to the observed min/max.  Values are in
+    seconds. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0,1]; 0.0 on an empty histogram. *)
+
+  val merge : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
 (** Counters keyed by string, for event tallies. *)
 module Counter : sig
   type t

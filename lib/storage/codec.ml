@@ -23,6 +23,21 @@ module Writer = struct
     u16 b (String.length s);
     Buffer.add_string b s
 
+  (* u32-length-prefixed string, for payloads that can exceed the u16
+     range of [string] *)
+  let lstring b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  (* full-range OCaml int, little-endian two's complement over 8 bytes *)
+  let i64 b v =
+    let x = Int64.of_int v in
+    for i = 0 to 7 do
+      Buffer.add_char b
+        (Char.chr
+           (Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xFFL)))
+    done
+
   let contents b = Buffer.contents b
 end
 
@@ -56,6 +71,25 @@ module Reader = struct
     let s = String.sub r.data r.pos len in
     r.pos <- r.pos + len;
     s
+
+  let lstring r =
+    let len = u32 r in
+    ensure r len;
+    let s = String.sub r.data r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let i64 r =
+    ensure r 8;
+    let x = ref 0L in
+    for i = 7 downto 0 do
+      x :=
+        Int64.logor
+          (Int64.shift_left !x 8)
+          (Int64.of_int (Char.code r.data.[r.pos + i]))
+    done;
+    r.pos <- r.pos + 8;
+    Int64.to_int !x
 
   let at_end r = r.pos = String.length r.data
 end

@@ -11,6 +11,12 @@ module Writer : sig
   val string : t -> string -> unit
   (** u16 length prefix + bytes. *)
 
+  val lstring : t -> string -> unit
+  (** u32 length prefix + bytes, for payloads beyond the u16 range. *)
+
+  val i64 : t -> int -> unit
+  (** Full-range OCaml int, 8 bytes little-endian two's complement. *)
+
   val contents : t -> string
 end
 
@@ -25,5 +31,7 @@ module Reader : sig
   val u16 : t -> int
   val u32 : t -> int
   val string : t -> string
+  val lstring : t -> string
+  val i64 : t -> int
   val at_end : t -> bool
 end

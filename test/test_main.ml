@@ -37,4 +37,5 @@ let () =
          Test_matrix.suites;
          Test_lint.suites;
          Test_incremental.suites;
+         Test_server.suites;
        ])
