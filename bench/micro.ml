@@ -110,12 +110,49 @@ let explain_test =
   Test.make ~name:"report/explain"
     (Staged.stage (fun () -> ignore (Report.explain h)))
 
+(* One commutativity decision, memoised-probe path vs the dense table a
+   static atlas preloads (Engine.preload_atlas) — the per-request cost
+   the one-probe class skip pays at every lock request. *)
+let commut_probe_test, commut_table_test =
+  let mk top obj meth =
+    Action.v
+      ~id:(Ids.Action_id.v ~top ~path:[ 1 ])
+      ~obj ~meth ~args:[ Value.int 0 ]
+      ~process:(Ids.Process_id.main top)
+      ()
+  in
+  let pairs =
+    List.concat_map
+      (fun name ->
+        let obj = Obj_id.v name in
+        [
+          (mk 1 obj "read", mk 2 obj "write");
+          (mk 1 obj "write", mk 2 obj "write");
+          (mk 1 obj "read", mk 2 obj "read");
+        ])
+      [ "HOT"; "W1"; "W2"; "W3" ]
+  in
+  let test name cache =
+    (* warm outside the staged thunk so steady-state lookups are timed *)
+    List.iter (fun (a, b) -> ignore (Commutativity.cached_test cache a b)) pairs;
+    Test.make ~name
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (a, b) -> ignore (Commutativity.cached_test cache a b))
+             pairs))
+  in
+  let probe_cache = Commutativity.cached Cert_bench.registry in
+  let table_cache = Commutativity.cached Cert_bench.registry in
+  Commutativity.preload table_cache (Cert_bench.atlas_table ~n:8 ());
+  ( test "commutativity/12-probe-lookups" probe_cache,
+    test "commutativity/12-atlas-lookups" table_cache )
+
 let tests =
   Test.make_grouped ~name:"ooser"
     [
       checker_test; extension_test; conventional_test; random_history_test;
       btree_insert_test; btree_search_test; engine_test; page_test;
-      recovery_test; explain_test;
+      recovery_test; explain_test; commut_probe_test; commut_table_test;
     ]
 
 let run ?(quota = 0.5) () =

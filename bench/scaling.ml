@@ -39,4 +39,9 @@ let () =
   if not r.Cert_bench.incremental_sublinear then begin
     Fmt.epr "scaling: incremental per-commit cost is NOT sub-linear@.";
     exit 1
+  end;
+  if not r.Cert_bench.atlas.Cert_bench.parity then begin
+    Fmt.epr
+      "scaling: engine with preloaded atlas diverged from the probe path@.";
+    exit 1
   end

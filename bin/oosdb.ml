@@ -6,6 +6,7 @@
      oosdb acceptance [options]   acceptance rates of random interleavings
      oosdb bench [--json FILE]    certification scaling benchmark
      oosdb lint [options]         static analysis of specs and programs
+     oosdb analyze [options]      whole-workload static conflict atlas
      oosdb demo                   the paper's Example 4, with dependency table
      oosdb serve [options]        network transaction server (loopback/unix)
      oosdb client [options]       one-shot scripted transaction against a server
@@ -261,55 +262,65 @@ let bench_cmd =
           if the incremental cost is not sub-linear.")
     Term.(const run $ n $ json)
 
-(* -- lint --------------------------------------------------------------------- *)
+(* -- lint / analyze ----------------------------------------------------------- *)
 
 module Analysis = Ooser_analysis
 
-let lint_cmd =
+(* arguments shared by [lint] and [analyze] — one vocabulary, one
+   exit-code mapping (Analysis.Lint.exit_code) for both *)
+let suite_arg =
   let suite_conv =
     Arg.enum
       [ ("all", `All); ("banking", `Banking); ("inventory", `Inventory);
         ("encyclopedia", `Encyclopedia) ]
   in
-  let suite =
-    Arg.(value & opt suite_conv `All
-         & info [ "suite" ]
-             ~doc:"Registry to lint: all, banking, inventory, encyclopedia.")
-  in
-  let seed =
-    Arg.(value & opt int 1
-         & info [ "seed" ] ~doc:"Seed for the workload transaction mixes.")
-  in
+  Arg.(value & opt suite_conv `All
+       & info [ "suite" ]
+           ~doc:"Registry to analyze: all, banking, inventory, encyclopedia.")
+
+let lint_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~doc:"Seed for the workload transaction mixes.")
+
+let semantics_arg =
   let semantics_conv =
     Arg.enum [ ("escrow", `Escrow); ("rw", `Rw); ("conflict", `Conflict) ]
   in
-  let semantics =
-    Arg.(value & opt semantics_conv `Escrow
-         & info [ "semantics" ]
-             ~doc:"Banking commutativity level: escrow, rw, conflict.")
+  Arg.(value & opt semantics_conv `Escrow
+       & info [ "semantics" ]
+           ~doc:"Banking commutativity level: escrow, rw, conflict.")
+
+let strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ] ~doc:"Treat warnings as errors (exit non-zero).")
+
+let lint_targets suite seed semantics =
+  match suite with
+  | `All -> Lint_targets.all ~seed ()
+  | `Banking -> [ Lint_targets.banking ~semantics ~seed () ]
+  | `Inventory -> [ Lint_targets.inventory ~seed () ]
+  | `Encyclopedia -> [ Lint_targets.encyclopedia ~seed () ]
+
+let lint_cmd =
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ]
+             ~doc:"Output: text (human report) or json (one diagnostic per \
+                   line).")
   in
-  let strict =
-    Arg.(value & flag
-         & info [ "strict" ] ~doc:"Treat warnings as errors (exit non-zero).")
-  in
-  let run suite seed semantics strict =
-    let targets =
-      match suite with
-      | `All -> Lint_targets.all ~seed ()
-      | `Banking -> [ Lint_targets.banking ~semantics ~seed () ]
-      | `Inventory -> [ Lint_targets.inventory ~seed () ]
-      | `Encyclopedia -> [ Lint_targets.encyclopedia ~seed () ]
-    in
+  let run suite seed semantics strict format =
     List.fold_left
       (fun code t ->
         let diags = Analysis.Lint.run t in
-        Analysis.Lint.report Fmt.stdout t diags;
-        let c =
-          if strict && Analysis.Diagnostic.warnings diags <> [] then 1
-          else Analysis.Lint.exit_code diags
-        in
-        max code c)
-      0 targets
+        (match format with
+        | `Text -> Analysis.Lint.report Fmt.stdout t diags
+        | `Json ->
+            List.iter
+              (fun d -> print_endline (Analysis.Diagnostic.to_json d))
+              diags);
+        max code (Analysis.Lint.exit_code ~strict diags))
+      0
+      (lint_targets suite seed semantics)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -318,7 +329,68 @@ let lint_cmd =
           spec soundness (SPEC*), Def. 5 virtual-object extension sites \
           (CALL*), and lock-order deadlock potential (DL*), without running \
           the engine.")
-    Term.(const run $ suite $ seed $ semantics $ strict)
+    Term.(const run $ suite_arg $ lint_seed_arg $ semantics_arg $ strict_arg
+          $ format)
+
+let analyze_cmd =
+  let format =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json); ("dot", `Dot) ]) `Text
+         & info [ "format" ]
+             ~doc:"Output: text (atlas report), json (one document per \
+                   suite), or dot (conflict graph).")
+  in
+  let budget =
+    Arg.(value & opt int 20_000
+         & info [ "max-interleavings" ]
+             ~doc:"Exhaustive-replay budget per transaction pair; pairs \
+                   above it are reported unknown, never safe.")
+  in
+  let run suite seed semantics strict format budget =
+    List.fold_left
+      (fun code t ->
+        let atlas = Analysis.Atlas.build ~max_interleavings:budget t in
+        (match format with
+        | `Text -> Fmt.pr "%a@." Analysis.Atlas.pp atlas
+        | `Json -> print_endline (Analysis.Atlas.to_json atlas)
+        | `Dot -> print_string (Analysis.Atlas.to_dot atlas));
+        (* an unsafe pair is a warning: raw interleavings of the two
+           types can violate oo-serializability, so the pair depends on
+           the concurrency-control protocol for correctness.  Errors are
+           reserved for defects (asymmetric specs, table contradictions);
+           the lint exit-code mapping then applies to both commands. *)
+        let diags =
+          atlas.Analysis.Atlas.diagnostics
+          @ List.map
+              (fun (e : Analysis.Atlas.entry) ->
+                Analysis.Diagnostic.v ~code:"ATLAS001"
+                  ~severity:Analysis.Diagnostic.Warning
+                  ~txn:(fst e.Analysis.Atlas.pair ^ "/"
+                        ^ snd e.Analysis.Atlas.pair)
+                  ~hint:
+                    "run these transaction types under a locking protocol \
+                     or certification, or strengthen the commutativity \
+                     specs"
+                  "two concurrent instances admit a non-oo-serializable \
+                   interleaving (witness schedule in the atlas)")
+              (Analysis.Atlas.unsafe_entries atlas)
+        in
+        max code (Analysis.Lint.exit_code ~strict diags))
+      0
+      (lint_targets suite seed semantics)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Whole-workload static conflict atlas: interprocedural dependency \
+          inheritance (Defs. 10-13) over the workload's transaction \
+          summaries, a safety verdict or minimal witness schedule per \
+          transaction pair, a precomputed conflict table for engine \
+          preloading, and the HOT001/COMP001 rules.  Exits non-zero on any \
+          unsafe pair (error), or on warnings under --strict — the same \
+          mapping as lint.")
+    Term.(const run $ suite_arg $ lint_seed_arg $ semantics_arg $ strict_arg
+          $ format $ budget)
 
 (* -- demo --------------------------------------------------------------------- *)
 
@@ -645,6 +717,6 @@ let main =
          "Object-oriented serializability toolkit (Rakow, Gu & Neuhold, ICDE \
           1990).")
     [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; bench_cmd; lint_cmd;
-      demo_cmd; serve_cmd; client_cmd; loadgen_cmd ]
+      analyze_cmd; demo_cmd; serve_cmd; client_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval' main)

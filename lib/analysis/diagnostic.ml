@@ -40,7 +40,48 @@ let compare a b =
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds
 let warnings ds = List.filter (fun d -> d.severity = Warning) ds
-let exit_code ds = if errors ds = [] then 0 else 1
+
+(* The one exit-code mapping, shared by `oosdb lint` and `oosdb analyze`:
+   errors exit 1, warnings exit 0 — unless [strict] promotes them. *)
+let exit_code ?(strict = false) ds =
+  if errors ds <> [] then 1
+  else if strict && warnings ds <> [] then 1
+  else 0
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let field name v rest =
+    match v with
+    | None -> rest
+    | Some v -> Printf.sprintf "%S: \"%s\"" name (json_escape v) :: rest
+  in
+  let fields =
+    Printf.sprintf "\"code\": \"%s\"" (json_escape d.code)
+    :: Printf.sprintf "\"severity\": \"%s\"" (severity_label d.severity)
+    :: field "obj" d.loc.obj
+         (field "meth" d.loc.meth
+            (field "txn" d.loc.txn
+               [
+                 Printf.sprintf "\"message\": \"%s\"" (json_escape d.message);
+                 Printf.sprintf "\"hint\": \"%s\"" (json_escape d.hint);
+               ]))
+  in
+  "{" ^ String.concat ", " fields ^ "}"
 
 let pp_location ppf loc =
   let parts =

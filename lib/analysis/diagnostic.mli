@@ -17,7 +17,16 @@
       its (indirect) callees touch the same object; the system must
       introduce a virtual object.
     - [DL001] (warning): a cycle in the static object-acquisition order —
-      deadlock potential under the locking protocols. *)
+      deadlock potential under the locking protocols.
+    - [HOT001] (warning): a conflict that climbs through one or more
+      non-commuting caller levels all the way into a top-level
+      transaction dependency — dependency inheritance (Def. 11) never
+      stops, so every such pair of transactions serializes on the
+      object: a contention hotspot.
+    - [COMP001] (warning): a method invoked as a nested subtransaction
+      (depth >= 2) without a registered compensation — under open
+      nesting its lock is released when the caller completes, so a
+      later abort of the top cannot soundly undo it. *)
 
 type severity = Error | Warning | Info
 
@@ -53,9 +62,22 @@ val compare : t -> t -> int
 val errors : t list -> t list
 val warnings : t list -> t list
 
-val exit_code : t list -> int
-(** 1 when any error is present, 0 otherwise — the [oosdb lint] contract
-    that lets CI gate on spec soundness. *)
+val exit_code : ?strict:bool -> t list -> int
+(** The single exit-code mapping shared by [oosdb lint] and
+    [oosdb analyze]: 1 when any error is present, 0 otherwise; [strict]
+    (default [false]) promotes warnings to the failing side.  Infos
+    never affect the exit code. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping, shared by every hand-rolled serializer in
+    the analyzer. *)
+
+val to_json : t -> string
+(** One-line JSON object
+    [{"code": ..., "severity": ..., "obj": ..., "meth": ..., "txn": ...,
+    "message": ..., "hint": ...}] with absent location fields omitted —
+    the machine-readable form shared by [oosdb lint --format json] and
+    [oosdb analyze --format json]. *)
 
 val pp : Format.formatter -> t -> unit
 (** [error SPEC001 Obj.meth: message (hint: ...)] on one line. *)

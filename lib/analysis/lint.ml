@@ -23,7 +23,7 @@ let run t =
          Lock_order.check t.registry t.summaries;
        ])
 
-let exit_code = Diagnostic.exit_code
+let exit_code ?strict ds = Diagnostic.exit_code ?strict ds
 
 let report ppf t diags =
   Fmt.pf ppf "lint %s: %d objects, %d transaction summaries@." t.name

@@ -30,5 +30,7 @@ val report : Format.formatter -> target -> Diagnostic.t list -> unit
 (** Human-readable report: header, one line per diagnostic, the static
     conflict graph, and a severity summary. *)
 
-val exit_code : Diagnostic.t list -> int
-(** [Diagnostic.exit_code]: non-zero iff an error is present. *)
+val exit_code : ?strict:bool -> Diagnostic.t list -> int
+(** [Diagnostic.exit_code]: non-zero iff an error is present (or, under
+    [~strict:true], a warning) — the one mapping shared by the [lint]
+    and [analyze] subcommands. *)

@@ -6,3 +6,6 @@ module Spec_lint = Spec_lint
 module Callgraph = Callgraph
 module Lock_order = Lock_order
 module Lint = Lint
+module Effects = Effects
+module Inherit = Inherit
+module Atlas = Atlas

@@ -8,6 +8,10 @@ type object_info = {
   obj : string;
   spec : Commutativity.spec;
   methods : string list;
+  compensated : string list option;
+      (* methods with a registered compensation policy; [None] when the
+         target was built without method-table information (the COMP001
+         rule then stays silent for the object) *)
 }
 
 (* Synthesized probe: a fixed action of transaction [top] invoking

@@ -21,6 +21,10 @@ type object_info = {
   obj : string;  (** object name *)
   spec : Commutativity.spec;
   methods : string list;  (** registered method table, probing fallback *)
+  compensated : string list option;
+      (** methods with a registered compensation policy; [None] when the
+          method table is unknown — the COMP001 rule then stays silent
+          for this object *)
 }
 
 val probe_vocab : object_info -> string list

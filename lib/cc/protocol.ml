@@ -115,6 +115,14 @@ let open_nested ~reg () =
     ~scope_of ()
 
 let table t = t.table
+
+let preload t tbl =
+  match t.table with
+  | None -> ()
+  | Some lt -> (
+      match Lock_table.cache lt with
+      | Some c -> Commutativity.preload c tbl
+      | None -> ())
 let request t action ~leaf = t.request action ~leaf
 let on_end t action = t.on_end action
 let on_top_commit t top = t.on_top_commit top

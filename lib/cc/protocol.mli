@@ -45,6 +45,11 @@ val counters : t -> Stats.Counter.t
 
 val table : t -> Lock_table.t option
 
+val preload : t -> Commutativity.table -> unit
+(** Install a precomputed conflict table into the lock table's memo
+    cache, so the one-probe class skip answers from the table instead
+    of probing the spec.  No-op for lock-free protocols. *)
+
 val unlocked : unit -> t
 val flat_2pl : reg:Commutativity.registry -> unit -> t
 val closed_nested : reg:Commutativity.registry -> unit -> t

@@ -17,14 +17,21 @@ type spec = {
          object state or call timing — so it may be memoized.  Matrix,
          rw and all-* specs are stable by construction; opaque
          predicates must opt in. *)
+  meth_only : bool;
+      (* stronger than [stable]: the decision depends only on the two
+         METHOD NAMES (arguments ignored), so it can be compiled into a
+         dense method x method table.  Matrix, rw and all-* specs
+         qualify; [by_key] refinements and argument-reading predicates
+         do not. *)
 }
 
 let name s = s.name
-let make ?vocab ?(stable = false) ~name commutes =
-  { name; commutes; vocab; stable }
+let make ?vocab ?(stable = false) ?(meth_only = false) ~name commutes =
+  { name; commutes; vocab; stable; meth_only }
 let test s a a' = s.commutes a a'
 let vocabulary s = s.vocab
 let stable s = s.stable
+let meth_only s = s.meth_only
 
 let all_commute =
   {
@@ -32,6 +39,7 @@ let all_commute =
     commutes = (fun _ _ -> true);
     vocab = None;
     stable = true;
+    meth_only = true;
   }
 
 let all_conflict =
@@ -40,6 +48,7 @@ let all_conflict =
     commutes = (fun _ _ -> false);
     vocab = None;
     stable = true;
+    meth_only = true;
   }
 
 let sym_mem pairs m m' =
@@ -73,6 +82,7 @@ let of_conflict_matrix ~name pairs =
       (fun a a' -> not (sym_mem pairs (Action.meth a) (Action.meth a')));
     vocab = Some (vocab_of_pairs pairs);
     stable = true;
+    meth_only = true;
   }
 
 let of_commute_matrix ~name pairs =
@@ -82,6 +92,7 @@ let of_commute_matrix ~name pairs =
     commutes = (fun a a' -> sym_mem pairs (Action.meth a) (Action.meth a'));
     vocab = Some (vocab_of_pairs pairs);
     stable = true;
+    meth_only = true;
   }
 
 let rw ~reads ~writes =
@@ -113,6 +124,7 @@ let rw ~reads ~writes =
         | `Unknown, _ | _, `Unknown -> false);
     vocab = Some (List.sort_uniq String.compare (reads @ writes));
     stable = true;
+    meth_only = true;
   }
 
 (* Refine [inner]: actions addressing different keys always commute;
@@ -129,12 +141,14 @@ let by_key ~key_of inner =
         | _ -> inner.commutes a a');
     vocab = inner.vocab;
     (* [key_of] may only look at the action's method and arguments, so the
-       refinement preserves the inner spec's stability *)
+       refinement preserves the inner spec's stability — but the decision
+       now reads arguments, so it is never method-only *)
     stable = inner.stable;
+    meth_only = false;
   }
 
-let predicate ?vocab ?(stable = false) ~name f =
-  { name; commutes = f; vocab; stable }
+let predicate ?vocab ?(stable = false) ?(meth_only = false) ~name f =
+  { name; commutes = f; vocab; stable; meth_only }
 
 let first_arg a = match Action.args a with [] -> None | v :: _ -> Some v
 
@@ -182,6 +196,124 @@ let conflicts r a a' =
    table entirely; the cache is then merely a pass-through, never a source
    of stale answers. *)
 
+(* Precomputed conflict tables.
+
+   The static analyzer (the conflict atlas) knows, ahead of any run,
+   every (object, method, method') class a workload can produce.  For
+   specs whose decision is a pure function of the method-name pair
+   ([meth_only]), those answers compile into a dense per-object boolean
+   matrix; at runtime the memoizing cache consults the matrix before its
+   own hash table, turning the certifier's and lock table's per-call
+   spec probes into two array reads.  Cells the atlas did not cover (and
+   every arg-sensitive or unstable spec) fall through to the normal
+   probe path, so preloading can never change an answer — only where it
+   comes from. *)
+
+type table_entry = {
+  e_obj : string;  (* original object name *)
+  e_meth : string;
+  e_meth' : string;
+  e_commutes : bool;
+}
+
+type obj_table = {
+  idx : (string, int) Hashtbl.t;  (* method name -> matrix index *)
+  width : int;
+  cells : int array;  (* 0 = not covered, 1 = commute, 2 = conflict *)
+}
+
+type table = (string, obj_table) Hashtbl.t
+
+let table_of_entries entries =
+  let meths_of = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let prev =
+        match Hashtbl.find_opt meths_of e.e_obj with Some l -> l | None -> []
+      in
+      Hashtbl.replace meths_of e.e_obj (e.e_meth :: e.e_meth' :: prev))
+    entries;
+  let tbl : table = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun obj meths ->
+      let meths = List.sort_uniq String.compare meths in
+      let width = List.length meths in
+      let idx = Hashtbl.create width in
+      List.iteri (fun i m -> Hashtbl.add idx m i) meths;
+      Hashtbl.add tbl obj { idx; width; cells = Array.make (width * width) 0 })
+    meths_of;
+  List.iter
+    (fun e ->
+      let ot = Hashtbl.find tbl e.e_obj in
+      let i = Hashtbl.find ot.idx e.e_meth
+      and j = Hashtbl.find ot.idx e.e_meth' in
+      let v = if e.e_commutes then 1 else 2 in
+      let set k =
+        if ot.cells.(k) <> 0 && ot.cells.(k) <> v then
+          invalid_arg
+            (Printf.sprintf
+               "Commutativity.table_of_entries: contradictory entries for \
+                (%s, %s, %s)"
+               e.e_obj e.e_meth e.e_meth');
+        ot.cells.(k) <- v
+      in
+      (* Def. 9 is symmetric: fill both orientations *)
+      set ((i * ot.width) + j);
+      set ((j * ot.width) + i))
+    entries;
+  tbl
+
+let table_entries tbl =
+  let out = ref [] in
+  Hashtbl.iter
+    (fun obj ot ->
+      let meths = Array.make ot.width "" in
+      Hashtbl.iter (fun m i -> meths.(i) <- m) ot.idx;
+      for i = 0 to ot.width - 1 do
+        for j = i to ot.width - 1 do
+          match ot.cells.((i * ot.width) + j) with
+          | 0 -> ()
+          | c ->
+              out :=
+                {
+                  e_obj = obj;
+                  e_meth = meths.(i);
+                  e_meth' = meths.(j);
+                  e_commutes = c = 1;
+                }
+                :: !out
+        done
+      done)
+    tbl;
+  List.sort compare !out
+
+let table_stats tbl =
+  let objs = Hashtbl.length tbl in
+  let cells =
+    Hashtbl.fold
+      (fun _ ot acc ->
+        acc + Array.fold_left (fun n c -> if c <> 0 then n + 1 else n) 0 ot.cells)
+      tbl 0
+  in
+  (objs, cells)
+
+let table_lookup tbl a a' =
+  match
+    Hashtbl.find_opt tbl (Obj_id.name (Obj_id.original (Action.obj a)))
+  with
+  | None -> None
+  | Some ot -> (
+      match
+        ( Hashtbl.find_opt ot.idx (Action.meth a),
+          Hashtbl.find_opt ot.idx (Action.meth a') )
+      with
+      | Some i, Some j -> (
+          match ot.cells.((i * ot.width) + j) with
+          | 1 -> Some true
+          | 2 -> Some false
+          | _ -> None)
+      | _ -> None)
+
 type class_key = {
   k_obj : string; (* original object name — ranks share the spec *)
   k_meth : string;
@@ -193,13 +325,21 @@ type class_key = {
 type cache = {
   reg : registry;
   table : (class_key, bool) Hashtbl.t;
+  mutable atlas : table option;
   mutable hits : int;
   mutable misses : int;
+  mutable atlas_hits : int;
 }
 
-let cached ?(size = 1024) reg = { reg; table = Hashtbl.create size; hits = 0; misses = 0 }
+let cached ?(size = 1024) reg =
+  { reg; table = Hashtbl.create size; atlas = None; hits = 0; misses = 0;
+    atlas_hits = 0 }
+
 let cache_registry c = c.reg
 let cache_stats c = (c.hits, c.misses)
+let preload c tbl = c.atlas <- Some tbl
+let preloaded c = c.atlas
+let atlas_hits c = c.atlas_hits
 
 let class_key a a' =
   {
@@ -210,21 +350,33 @@ let class_key a a' =
     k_args' = Action.args a';
   }
 
-(* Raw spec query (no same-process rule), memoized for stable specs. *)
+(* Raw spec query (no same-process rule), memoized for stable specs.
+   A preloaded atlas table answers first — but only for specs whose
+   decision is method-only, since the table is keyed by method names. *)
 let cached_test c a a' =
   let s = c.reg.spec_for (Action.obj a) in
   if not s.stable then s.commutes a a'
   else
-    let key = class_key a a' in
-    match Hashtbl.find_opt c.table key with
+    let from_atlas =
+      match c.atlas with
+      | Some tbl when s.meth_only -> table_lookup tbl a a'
+      | _ -> None
+    in
+    match from_atlas with
     | Some b ->
-        c.hits <- c.hits + 1;
+        c.atlas_hits <- c.atlas_hits + 1;
         b
-    | None ->
-        c.misses <- c.misses + 1;
-        let b = s.commutes a a' in
-        Hashtbl.add c.table key b;
-        b
+    | None -> (
+        let key = class_key a a' in
+        match Hashtbl.find_opt c.table key with
+        | Some b ->
+            c.hits <- c.hits + 1;
+            b
+        | None ->
+            c.misses <- c.misses + 1;
+            let b = s.commutes a a' in
+            Hashtbl.add c.table key b;
+            b)
 
 let cached_commutes c a a' =
   (not (Obj_id.equal (Action.obj a) (Action.obj a')))

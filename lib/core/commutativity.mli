@@ -19,13 +19,16 @@ val name : spec -> string
 val make :
   ?vocab:string list ->
   ?stable:bool ->
+  ?meth_only:bool ->
   name:string ->
   (Action.t -> Action.t -> bool) ->
   spec
 (** [vocab] declares the method names the specification was written for;
     the static analyzer probes it and reports methods outside it.
     [stable] (default [false]) asserts the decision depends only on the
-    two (method, args) pairs — see {!stable}. *)
+    two (method, args) pairs — see {!stable}.  [meth_only] (default
+    [false]) additionally asserts arguments are ignored — see
+    {!meth_only}. *)
 
 val test : spec -> Action.t -> Action.t -> bool
 (** Raw query of the specification ([true] = commute), without the
@@ -47,6 +50,14 @@ val stable : spec -> bool
     state must not).  The incremental certifier requires every registered
     spec to be stable and falls back to the from-scratch oracle
     otherwise. *)
+
+val meth_only : spec -> bool
+(** Stronger than {!stable}: the answer is a pure function of the two
+    METHOD NAMES, arguments ignored, so the whole specification compiles
+    into a dense method x method boolean matrix (see {!table}).  Matrix,
+    read/write and all-* specs qualify by construction; {!by_key}
+    refinements read arguments and never do; {!make}/{!predicate} specs
+    opt in via [?meth_only]. *)
 
 val all_commute : spec
 (** Every pair commutes — maximal concurrency, no dependencies. *)
@@ -77,11 +88,13 @@ val by_key : key_of:(Action.t -> Value.t option) -> spec -> spec
 val predicate :
   ?vocab:string list ->
   ?stable:bool ->
+  ?meth_only:bool ->
   name:string ->
   (Action.t -> Action.t -> bool) ->
   spec
 (** Arbitrary commutativity test ([true] = commute).  Pass [~stable:true]
     only when the predicate inspects nothing beyond method names and
+    arguments, and [~meth_only:true] only when it ignores even the
     arguments. *)
 
 val first_arg : Action.t -> Value.t option
@@ -116,6 +129,41 @@ val conflicts : registry -> Action.t -> Action.t -> bool
 (** [conflicts r a a'] — distinct actions that do not commute.  An action
     never conflicts with itself. *)
 
+(** {2 Precomputed conflict tables}
+
+    The static conflict atlas compiles, for every workload-reachable
+    object whose spec is {!stable} and {!meth_only}, the full
+    method x method commutativity matrix into a dense table.  A table
+    {!preload}ed into a {!cache} answers probes with two array reads;
+    uncovered cells (and every arg-sensitive or unstable spec) fall
+    through to the normal memoized probe, so preloading never changes an
+    answer — only where it comes from. *)
+
+type table_entry = {
+  e_obj : string;  (** original object name (ranks share the spec) *)
+  e_meth : string;
+  e_meth' : string;
+  e_commutes : bool;
+}
+
+type table
+
+val table_of_entries : table_entry list -> table
+(** Build a dense table.  Entries are symmetrized (Def. 9).
+    @raise Invalid_argument on two entries contradicting each other. *)
+
+val table_entries : table -> table_entry list
+(** The covered cells, one entry per unordered method pair, sorted. *)
+
+val table_stats : table -> int * int
+(** [(objects, covered cells)] — cells counted per orientation. *)
+
+val table_lookup : table -> Action.t -> Action.t -> bool option
+(** Raw table answer for two same-object actions; [None] when the
+    object or either method is not covered.  The caller must ensure the
+    object's runtime spec is {!meth_only} — the table is keyed by method
+    names alone. *)
+
 (** {2 Memoized queries}
 
     A registry wrapper that caches raw spec answers under
@@ -129,6 +177,16 @@ val cached : ?size:int -> registry -> cache
 (** Wrap a registry with a memo table ([size] is the initial capacity). *)
 
 val cache_registry : cache -> registry
+
+val preload : cache -> table -> unit
+(** Install a precomputed conflict table: subsequent {!cached_test}
+    probes on stable {!meth_only} specs consult it before the memo
+    table. *)
+
+val preloaded : cache -> table option
+
+val atlas_hits : cache -> int
+(** Probes answered by the preloaded table (i.e. spec probes eliminated). *)
 
 val cached_test : cache -> Action.t -> Action.t -> bool
 (** Memoized {!test} of the owning object's spec (no same-process rule):

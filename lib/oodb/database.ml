@@ -59,6 +59,14 @@ let methods t oid =
 let spec t oid =
   Option.map (fun o -> o.spec) (Obj_id.Map.find_opt oid t.objects)
 
+let compensated_methods t oid =
+  match Obj_id.Map.find_opt oid t.objects with
+  | None -> []
+  | Some o ->
+      List.filter_map
+        (fun (name, m) -> if Option.is_some m.compensate then Some name else None)
+        o.methods
+
 let find_meth t oid name =
   match Obj_id.Map.find_opt oid t.objects with
   | None -> Error (Fmt.str "unknown object %a" Obj_id.pp oid)

@@ -63,6 +63,11 @@ val methods : t -> Obj_id.t -> string list
 
 val spec : t -> Obj_id.t -> Commutativity.spec option
 
+val compensated_methods : t -> Obj_id.t -> string list
+(** Names of registered methods that carry a compensation; the COMP001
+    lint compares these against the methods reachable from open-nested
+    abort paths. *)
+
 val find_meth : t -> Obj_id.t -> string -> (meth, string) result
 
 val spec_registry : ?default:Commutativity.spec -> t -> Commutativity.registry

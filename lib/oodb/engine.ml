@@ -1098,6 +1098,35 @@ let create ?(config : config option) db ~protocol bodies =
     counters = Stats.Counter.create ();
   }
 
+(* Install a precomputed conflict table (built by the static conflict
+   atlas) into both runtime probe sites: the incremental certifier's
+   memo cache and the locking protocol's lock-table cache.  Covered
+   probes become array lookups; everything else keeps the normal path,
+   so the engine's decisions cannot change — only their cost. *)
+let preload_atlas (eng : t) tbl =
+  (match eng.cert with
+  | Some c -> Commutativity.preload (Incremental.cache c) tbl
+  | None -> ());
+  Protocol.preload eng.config.protocol tbl;
+  let _, cells = Commutativity.table_stats tbl in
+  Stats.Counter.incr ~by:cells eng.counters "atlas-cells"
+
+let atlas_hits (eng : t) =
+  let cert_hits =
+    match eng.cert with
+    | Some c -> Commutativity.atlas_hits (Incremental.cache c)
+    | None -> 0
+  in
+  let lock_hits =
+    match Protocol.table eng.config.protocol with
+    | Some lt -> (
+        match Ooser_cc.Lock_table.cache lt with
+        | Some c -> Commutativity.atlas_hits c
+        | None -> 0)
+    | None -> 0
+  in
+  cert_hits + lock_hits
+
 let final_history (eng : t) =
   let committed_tops =
     List.filter_map
@@ -1205,8 +1234,9 @@ let pick_unit (eng : t) units =
           | None -> List.nth units (eng.steps mod List.length units))
       | [] -> List.nth units (eng.steps mod List.length units))
 
-let run ?config db ~protocol bodies =
+let run ?config ?atlas db ~protocol bodies =
   let (eng : t) = create ?config db ~protocol bodies in
+  (match atlas with Some tbl -> preload_atlas eng tbl | None -> ());
   let runnable_units () = runnable_units eng in
   let parked () = parked eng in
   let blocked_exists () = blocked_exists eng in
@@ -1295,6 +1325,10 @@ let run ?config db ~protocol bodies =
     end
   in
   loop ();
+  (match atlas with
+  | Some _ ->
+      Stats.Counter.incr ~by:(atlas_hits eng) eng.counters "atlas-hits"
+  | None -> ());
   outcome_of eng
 
 (* -- dynamic driving ----------------------------------------------------------------------

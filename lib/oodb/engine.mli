@@ -103,6 +103,7 @@ type outcome = {
 
 val run :
   ?config:config ->
+  ?atlas:Commutativity.table ->
   Database.t ->
   protocol:Protocol.t ->
   (int * string * (Runtime.ctx -> Value.t)) list ->
@@ -110,7 +111,8 @@ val run :
 (** [run db ~protocol txns] executes the given top-level transactions
     [(id, name, body)] to completion (commit, permanent abort, or step
     budget), resolving deadlocks by aborting the youngest transaction in
-    the waits-for cycle. *)
+    the waits-for cycle.  [atlas] preloads a precomputed conflict table
+    (see {!preload_atlas}) before the first step. *)
 
 (** {1 Dynamic driving}
 
@@ -184,6 +186,20 @@ val retire : t -> top:int -> bool
 val outcome_of : t -> outcome
 (** Snapshot of the committed/aborted sets, counters and history so
     far — includes only transactions not yet {!retire}d. *)
+
+val preload_atlas : t -> Commutativity.table -> unit
+(** Install a statically precomputed conflict table (the atlas of
+    {!Ooser_analysis.Atlas}) into the engine's commutativity caches —
+    both the incremental certifier's and the lock table's — before any
+    step runs.  Covered (stable, method-only) class pairs are then
+    answered by a dense table lookup instead of a runtime spec probe;
+    uncovered pairs fall back to the memoised probe path unchanged, so
+    preloading never alters an engine's decisions, only how they are
+    computed.  The ["atlas-cells"] counter records the table size. *)
+
+val atlas_hits : t -> int
+(** Number of conflict decisions answered from the preloaded atlas
+    (certifier + lock table), for parity/benchmark reporting. *)
 
 val final_history : t -> History.t
 (** The history of every committed transaction, including retired

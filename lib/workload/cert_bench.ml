@@ -56,6 +56,17 @@ type point = { upto : int; seconds : float }
 (* [upto]: number of committed transactions; [seconds]: mean per-commit
    certification time (incremental) or one full-check time (scratch) *)
 
+type atlas_parity = {
+  atlas_n : int;  (* transactions in each engine run *)
+  parity : bool;  (* identical commit and abort sets *)
+  committed : int;
+  aborted : int;
+  atlas_hits : int;  (* decisions answered from the table *)
+  table_cells : int;
+  probe_ns : float;  (* memoised spec-probe decision *)
+  table_ns : float;  (* dense-table decision *)
+}
+
 type result = {
   n_txns : int;
   chunk : int;
@@ -67,6 +78,7 @@ type result = {
   len_growth : float;  (* history-length ratio between those endpoints *)
   incremental_sublinear : bool;
   scratch_superlinear : bool;
+  atlas : atlas_parity;
 }
 
 let time f =
@@ -117,6 +129,147 @@ let growth points =
        float_of_int last.upto /. float_of_int first.upto)
   | _ -> (1., 1.)
 
+(* -- Atlas parity: probe path vs preloaded conflict table -------------------
+
+   The same chain workload, run through the live engine (open-nested
+   locking + incremental certification) twice: once deciding
+   commutativity by memoised runtime spec probes, once with the
+   statically compiled conflict table installed up front
+   (Engine.preload_atlas).  The table may only change HOW decisions are
+   computed, never WHAT they are — both runs must commit and abort
+   exactly the same transactions.  The lookup comparison then times the
+   two decision paths directly on a shared cache. *)
+
+module Db = Ooser_oodb.Database
+module Engine = Ooser_oodb.Engine
+module Runtime = Ooser_oodb.Runtime
+module Protocol = Ooser_cc.Protocol
+module Analysis = Ooser_analysis
+
+let chain_db n =
+  let db = Db.create () in
+  let cell name =
+    let state = ref 0 in
+    let read _ _ = Value.int !state in
+    let write ctx args =
+      match args with
+      | [ Value.Int v ] ->
+          let old = !state in
+          Runtime.on_undo ctx (fun () -> state := old);
+          state := v;
+          Value.unit
+      | _ -> invalid_arg "cert_bench: write"
+    in
+    Db.register db (Obj_id.v name) ~spec:rw
+      [ ("read", Db.primitive read); ("write", Db.primitive write) ]
+  in
+  cell "HOT";
+  for i = 1 to n do
+    cell (Printf.sprintf "W%d" i)
+  done;
+  db
+
+let chain_bodies n =
+  List.init n (fun k ->
+      let i = k + 1 in
+      let body ctx =
+        ignore (Runtime.call ctx hot "read" []);
+        ignore (Runtime.call ctx (w i) "write" [ Value.int i ]);
+        if i > 1 then
+          ignore (Runtime.call ctx (w (i - 1)) "write" [ Value.int i ]);
+        Value.unit
+      in
+      (i, Printf.sprintf "chain%d" i, body))
+
+let chain_summaries n =
+  List.init n (fun k ->
+      let i = k + 1 in
+      Analysis.Summary.txn
+        (Printf.sprintf "chain%d" i)
+        (Analysis.Summary.call hot "read" []
+         :: Analysis.Summary.call (w i) "write" []
+         ::
+         (if i > 1 then [ Analysis.Summary.call (w (i - 1)) "write" [] ]
+          else [])))
+
+let atlas_table ?(n = 40) () =
+  let db = chain_db n in
+  let target =
+    Analysis.Lint.target ~name:"cert-bench" ~summaries:(chain_summaries n)
+      (Db.spec_registry db)
+  in
+  (Analysis.Atlas.build target).Analysis.Atlas.table
+
+let lookup_pairs () =
+  let mk top obj meth =
+    Action.v
+      ~id:(Ids.Action_id.v ~top ~path:[ 1 ])
+      ~obj ~meth ~args:[ Value.int 0 ]
+      ~process:(Ids.Process_id.main top)
+      ()
+  in
+  List.concat_map
+    (fun obj ->
+      [
+        (mk 1 obj "read", mk 2 obj "write");
+        (mk 1 obj "write", mk 2 obj "write");
+        (mk 1 obj "read", mk 2 obj "read");
+      ])
+    [ hot; w 1; w 2; w 3 ]
+
+let lookup_bench tbl =
+  let pairs = lookup_pairs () in
+  let reps = 20_000 in
+  let time c =
+    (* first pass warms the memo (probe path) / pays nothing (table) *)
+    List.iter (fun (a, b) -> ignore (Commutativity.cached_test c a b)) pairs;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      List.iter (fun (a, b) -> ignore (Commutativity.cached_test c a b)) pairs
+    done;
+    (Unix.gettimeofday () -. t0)
+    *. 1e9
+    /. float_of_int (reps * List.length pairs)
+  in
+  let probe_c = Commutativity.cached registry in
+  let table_c = Commutativity.cached registry in
+  Commutativity.preload table_c tbl;
+  (time probe_c, time table_c)
+
+let atlas_run ?(n = 40) () =
+  let tbl = atlas_table ~n () in
+  let run_engine atlas =
+    let db = chain_db n in
+    let protocol = Protocol.open_nested ~reg:(Db.spec_registry db) () in
+    let config =
+      { (Engine.default_config protocol) with Engine.certify = true }
+    in
+    Engine.run ~config ?atlas db ~protocol (chain_bodies n)
+  in
+  let probe_out = run_engine None in
+  let atlas_out = run_engine (Some tbl) in
+  let commits o = List.sort Int.compare o.Engine.committed in
+  let aborts o = List.sort compare (List.map fst o.Engine.aborted) in
+  let parity =
+    commits probe_out = commits atlas_out
+    && aborts probe_out = aborts atlas_out
+  in
+  let atlas_hits =
+    Option.value ~default:0 (List.assoc_opt "atlas-hits" atlas_out.Engine.metrics)
+  in
+  let _, table_cells = Commutativity.table_stats tbl in
+  let probe_ns, table_ns = lookup_bench tbl in
+  {
+    atlas_n = n;
+    parity;
+    committed = List.length atlas_out.Engine.committed;
+    aborted = List.length atlas_out.Engine.aborted;
+    atlas_hits;
+    table_cells;
+    probe_ns;
+    table_ns;
+  }
+
 let run ?(n = 600) ?(chunk = 50) ?(samples = [ 50; 150; 300; 600 ]) () =
   let samples = List.filter (fun s -> s <= n) samples in
   let incremental, act_edges = run_incremental ~n ~chunk in
@@ -138,6 +291,7 @@ let run ?(n = 600) ?(chunk = 50) ?(samples = [ 50; 150; 300; 600 ]) () =
        linear certifier still fails it from ~4x history growth on *)
     incremental_sublinear = inc_growth < Float.max (len_growth /. 2.) 2.0;
     scratch_superlinear = scratch_growth >= scratch_len_growth;
+    atlas = atlas_run ();
   }
 
 let json_points name points =
@@ -160,7 +314,14 @@ let to_json r =
       Printf.sprintf "  \"scratch_growth\": %.3f," r.scratch_growth;
       Printf.sprintf "  \"len_growth\": %.3f," r.len_growth;
       Printf.sprintf "  \"incremental_sublinear\": %b," r.incremental_sublinear;
-      Printf.sprintf "  \"scratch_superlinear\": %b" r.scratch_superlinear;
+      Printf.sprintf "  \"scratch_superlinear\": %b," r.scratch_superlinear;
+      Printf.sprintf
+        "  \"atlas\": {\"n\": %d, \"parity\": %b, \"committed\": %d, \
+         \"aborted\": %d, \"atlas_hits\": %d, \"table_cells\": %d, \
+         \"probe_ns\": %.1f, \"table_ns\": %.1f}"
+        r.atlas.atlas_n r.atlas.parity r.atlas.committed r.atlas.aborted
+        r.atlas.atlas_hits r.atlas.table_cells r.atlas.probe_ns
+        r.atlas.table_ns;
       "}";
     ]
 
@@ -177,5 +338,13 @@ let pp ppf r =
     r.scratch;
   Fmt.pf ppf "growth: incremental %.2fx vs history %.2fx (sublinear: %b)@,"
     r.inc_growth r.len_growth r.incremental_sublinear;
-  Fmt.pf ppf "        scratch %.2fx (superlinear: %b)@]" r.scratch_growth
-    r.scratch_superlinear
+  Fmt.pf ppf "        scratch %.2fx (superlinear: %b)@,"
+    r.scratch_growth r.scratch_superlinear;
+  Fmt.pf ppf
+    "atlas parity (%d txns): %s — %d committed, %d aborted, %d table hits@,"
+    r.atlas.atlas_n
+    (if r.atlas.parity then "identical to probe path" else "MISMATCH")
+    r.atlas.committed r.atlas.aborted r.atlas.atlas_hits;
+  Fmt.pf ppf
+    "conflict lookup: probe %.1f ns vs table %.1f ns (%d cells)@]"
+    r.atlas.probe_ns r.atlas.table_ns r.atlas.table_cells

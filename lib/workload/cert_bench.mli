@@ -11,6 +11,20 @@ type point = { upto : int; seconds : float }
     certification time (incremental series) or one full-check wall time
     (scratch series). *)
 
+type atlas_parity = {
+  atlas_n : int;  (** transactions in each engine run *)
+  parity : bool;
+      (** the run with the statically compiled conflict table preloaded
+          ({!Ooser_oodb.Engine.preload_atlas}) committed and aborted
+          exactly the same transactions as the runtime-probe run *)
+  committed : int;
+  aborted : int;
+  atlas_hits : int;  (** conflict decisions answered from the table *)
+  table_cells : int;  (** dense-table coverage *)
+  probe_ns : float;  (** mean memoised spec-probe decision time *)
+  table_ns : float;  (** mean dense-table decision time *)
+}
+
 type result = {
   n_txns : int;
   chunk : int;  (** commits averaged per incremental point *)
@@ -24,6 +38,7 @@ type result = {
       (** [inc_growth < max (len_growth / 2) 2.0] — the floor absorbs
           timer noise on short runs *)
   scratch_superlinear : bool;  (** scratch grows at least with length *)
+  atlas : atlas_parity;
 }
 
 val tree : int -> Call_tree.t
@@ -31,6 +46,15 @@ val tree : int -> Call_tree.t
     own W{i}, write predecessor's W{i-1}. *)
 
 val registry : Commutativity.registry
+
+val atlas_table : ?n:int -> unit -> Commutativity.table
+(** The chain workload's conflict table, compiled by the static atlas
+    ({!Ooser_analysis.Atlas.build}) from its transaction summaries —
+    what {!atlas_run} preloads into the engine. *)
+
+val atlas_run : ?n:int -> unit -> atlas_parity
+(** The engine parity experiment on its own (default 40 transactions);
+    {!run} embeds its result. *)
 
 val run : ?n:int -> ?chunk:int -> ?samples:int list -> unit -> result
 (** Default: 600 transactions, chunks of 50, from-scratch samples at

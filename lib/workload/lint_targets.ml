@@ -15,6 +15,7 @@ let object_infos db =
             Analysis.Spec_lint.obj = Obj_id.to_string o;
             spec;
             methods = Database.methods db o;
+            compensated = Some (Database.compensated_methods db o);
           })
         (Database.spec db o))
     (Database.objects db)

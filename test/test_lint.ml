@@ -25,7 +25,8 @@ let codes diags = List.map (fun d -> d.Diagnostic.code) diags
 let has_code c diags = List.mem c (codes diags)
 let o = Obj_id.v
 
-let info ?(methods = []) name spec = { Spec_lint.obj = name; spec; methods }
+let info ?(methods = []) ?compensated name spec =
+  { Spec_lint.obj = name; spec; methods; compensated }
 
 (* -- SPEC001: asymmetric specification ------------------------------------- *)
 

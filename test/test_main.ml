@@ -36,6 +36,7 @@ let () =
          Test_enumerate.suites;
          Test_matrix.suites;
          Test_lint.suites;
+         Test_atlas.suites;
          Test_incremental.suites;
          Test_server.suites;
        ])
