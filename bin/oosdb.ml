@@ -9,6 +9,7 @@
      oosdb analyze [options]      whole-workload static conflict atlas
      oosdb demo                   the paper's Example 4, with dependency table
      oosdb serve [options]        network transaction server (loopback/unix)
+     oosdb recover DIR [options]  replay and re-certify a durable directory
      oosdb client [options]       one-shot scripted transaction against a server
      oosdb loadgen [options]      closed-loop load generator against a server
 *)
@@ -474,7 +475,14 @@ let serve_cmd =
     Arg.(value & opt int 200
          & info [ "preload" ] ~doc:"Encyclopedia keys seeded before serving.")
   in
-  let run socket port db protocol max_inflight timeout_ms preload =
+  let durable =
+    Arg.(value & opt (some string) None
+         & info [ "durable" ] ~docv:"DIR"
+             ~doc:
+               "Journal commits to $(docv)/oplog.bin; on boot, recover \
+                $(docv)'s snapshot and stable log before serving.")
+  in
+  let run socket port db protocol max_inflight timeout_ms preload durable =
     let config =
       {
         (Srv.default_config (addr_of socket port)) with
@@ -483,14 +491,26 @@ let serve_cmd =
         max_inflight;
         default_timeout_ms = timeout_ms;
         preload;
+        durable_dir = durable;
       }
     in
     let t = Srv.create config in
-    Fmt.pr "oosdb serve: %a db=%s protocol=%s max-inflight=%d@."
+    Fmt.pr "oosdb serve: %a db=%s protocol=%s max-inflight=%d%s@."
       Srv.pp_addr config.Srv.addr
       (Srv.db_kind_name db)
       (Srv.protocol_kind_name protocol)
-      max_inflight;
+      max_inflight
+      (match durable with Some d -> " durable=" ^ d | None -> "");
+    (match Srv.last_recovery t with
+    | Some r ->
+        Fmt.pr
+          "recovered: %d winners (%d snapshot-deduped), %d undone, \
+           re-certified=%b@."
+          (List.length r.Engine.rec_winners)
+          r.Engine.skipped_attempts
+          (List.length r.Engine.undone)
+          r.Engine.recertified
+    | None -> ());
     (* drain on SIGINT/SIGTERM: the handler only raises a flag; the
        loop initiates the shutdown at a quiet point *)
     let stop = ref false in
@@ -512,7 +532,94 @@ let serve_cmd =
           unix-domain socket, multiplexed onto one engine.  Exits non-zero \
           if the committed history fails certification.")
     Term.(const run $ socket_arg $ port_arg $ db $ protocol $ max_inflight
-          $ timeout_ms $ preload)
+          $ timeout_ms $ preload $ durable)
+
+(* -- recover ------------------------------------------------------------------- *)
+
+module Oplog = Ooser_recovery.Oplog
+module RSnapshot = Ooser_recovery.Snapshot
+module Recovery = Ooser_recovery.Recovery
+
+let recover_cmd =
+  let dir =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Durable directory (oplog.bin / snapshot.bin).")
+  in
+  let db =
+    Arg.(value & opt db_conv `Encyclopedia
+         & info [ "db" ]
+             ~doc:"Database the log was recorded against: encyclopedia, \
+                   banking, inventory.")
+  in
+  let protocol =
+    Arg.(value & opt server_protocol_conv `Open
+         & info [ "p"; "protocol" ]
+             ~doc:"Protocol: open, flat, closed, certify.")
+  in
+  let preload =
+    Arg.(value & opt int 200
+         & info [ "preload" ] ~doc:"Encyclopedia keys the server preloads.")
+  in
+  let checkpoint =
+    Arg.(value & flag
+         & info [ "checkpoint" ]
+             ~doc:"After a successful replay, fold the winners into the \
+                   snapshot and truncate the log.")
+  in
+  let run dir db protocol preload checkpoint =
+    let config =
+      {
+        (Srv.default_config (Srv.Tcp 0)) with
+        Srv.db_kind = db;
+        protocol_kind = protocol;
+        preload;
+      }
+    in
+    let database = Srv.build_db config in
+    let proto = Srv.build_protocol config database in
+    let snapshot = RSnapshot.load ~dir in
+    let records = Oplog.load ~dir in
+    Fmt.pr "log:        %d stable records@." (List.length records);
+    Fmt.pr "snapshot:   %d entries@."
+      (match snapshot with
+      | Some s -> List.length s.RSnapshot.entries
+      | None -> 0);
+    let _, report =
+      Engine.recover ?snapshot database ~protocol:proto
+        (Oplog.of_records records)
+    in
+    let plan = report.Engine.plan in
+    Fmt.pr "winners:    %d replayed, %d snapshot-deduped@."
+      (List.length report.Engine.rec_winners)
+      report.Engine.skipped_attempts;
+    Fmt.pr "aborted:    %d compensated at their logged decision@."
+      (List.length plan.Recovery.aborted);
+    Fmt.pr "losers:     %d undone (in flight at the crash)@."
+      (List.length report.Engine.undone);
+    Fmt.pr "replayed:   %d root calls (%d failures)@."
+      report.Engine.replayed_calls report.Engine.replay_failures;
+    Fmt.pr "re-certified oo-serializable: %b@." report.Engine.recertified;
+    let ok = report.Engine.recertified && report.Engine.replay_failures = 0 in
+    if ok && checkpoint then begin
+      let base =
+        Option.value snapshot ~default:RSnapshot.empty
+      in
+      let snap = Recovery.snapshot_of ~base plan in
+      RSnapshot.save ~dir snap;
+      (try Sys.remove (Oplog.log_file ~dir) with Sys_error _ -> ());
+      Fmt.pr "checkpointed: %d snapshot entries, log truncated@."
+        (List.length snap.RSnapshot.entries)
+    end;
+    if ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Replay a durable directory's snapshot and stable operation log \
+          through a fresh engine, report the winners / losers, and \
+          re-certify the recovered history.  Exits non-zero if replay \
+          fails or the history is not oo-serializable.")
+    Term.(const run $ dir $ db $ protocol $ preload $ checkpoint)
 
 (* "Obj.meth arg.." with ints, true/false and bare strings as values *)
 let parse_call spec =
@@ -717,6 +824,7 @@ let main =
          "Object-oriented serializability toolkit (Rakow, Gu & Neuhold, ICDE \
           1990).")
     [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; bench_cmd; lint_cmd;
-      analyze_cmd; demo_cmd; serve_cmd; client_cmd; loadgen_cmd ]
+      analyze_cmd; demo_cmd; serve_cmd; recover_cmd; client_cmd;
+      loadgen_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -116,6 +116,12 @@ let open_nested ~reg () =
 
 let table t = t.table
 
+(* No live lock entries: the state a correct recovery must leave the
+   rebuilt lock table in once every replayed transaction is decided —
+   loser entries in particular must all be gone. *)
+let quiescent t =
+  match t.table with None -> true | Some lt -> Lock_table.total lt = 0
+
 let preload t tbl =
   match t.table with
   | None -> ()

@@ -45,6 +45,11 @@ val counters : t -> Stats.Counter.t
 
 val table : t -> Lock_table.t option
 
+val quiescent : t -> bool
+(** No live lock entries (trivially true for lock-free protocols) — the
+    state a rebuilt lock table must be in after recovery has decided
+    every replayed transaction: in particular, no loser entries. *)
+
 val preload : t -> Commutativity.table -> unit
 (** Install a precomputed conflict table into the lock table's memo
     cache, so the one-probe class skip answers from the table instead

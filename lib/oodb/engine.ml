@@ -26,6 +26,10 @@ module Protocol = Ooser_cc.Protocol
 module Deadlock = Ooser_cc.Deadlock
 module Rng = Ooser_sim.Rng
 module Stats = Ooser_sim.Stats
+module Oplog = Ooser_recovery.Oplog
+module Snapshot = Ooser_recovery.Snapshot
+module Recovery = Ooser_recovery.Recovery
+module Crash = Ooser_recovery.Crash
 
 type step_result =
   | Yield of Runtime.invocation * (Value.t, step_result) Effect.Deep.continuation
@@ -246,6 +250,11 @@ type t = {
          committed set hit it exactly) reuses the extension instead of
          recomputing it *)
   counters : Stats.Counter.t;
+  mutable journal : Oplog.t option;
+      (* the durable operation log: BEGIN / root-level CALL (with its
+         registered compensation) / SUBCOMMIT / COMMIT / ABORT, forced
+         at top commit.  [None] (the default) costs one branch per
+         site. *)
 }
 
 type outcome = {
@@ -261,6 +270,30 @@ type outcome = {
 }
 
 let trace = ref false
+
+(* -- operation journaling -----------------------------------------------------
+
+   Log sites: BEGIN at each attempt start, CALL when a root-level
+   (depth-1) frame completes — that is the moment the subtransaction
+   commits at its level and its locks may be released, so it is also the
+   last moment physical undo would be sound — COMMIT (forced) and ABORT
+   at the top-level decisions.  The compensation phase is never
+   journaled: its effects are the logical inverse of records already in
+   the log, and recovery re-derives them from the replayed calls. *)
+
+let journal_append (eng : t) record =
+  match eng.journal with
+  | Some j ->
+      ignore (Oplog.append j record);
+      Stats.Counter.incr eng.counters "log-appends"
+  | None -> ()
+
+let journal_force (eng : t) =
+  match eng.journal with
+  | Some j ->
+      Oplog.force j;
+      Stats.Counter.incr eng.counters "log-forces"
+  | None -> ()
 
 (* -- helpers ----------------------------------------------------------------- *)
 
@@ -343,6 +376,8 @@ let tree_of_frame f =
    records, and either schedule a restart with backoff or fail for
    good. *)
 let finish_abort (eng : t) txn ~retry reason =
+  journal_append eng
+    (Oplog.Abort { top = txn.top; attempt = txn.attempt; reason });
   txn.aborting <- None;
   txn.tasks <- [];
   Protocol.on_top_abort eng.config.protocol txn.top;
@@ -421,6 +456,8 @@ let abort_txn (eng : t) txn ~retry ?items reason =
 
 let commit_txn (eng : t) txn v =
   txn.commit_step <- eng.steps;
+  journal_append eng (Oplog.Commit { top = txn.top; attempt = txn.attempt });
+  journal_force eng;
   Stats.Counter.incr eng.counters "commits";
   Protocol.on_top_commit eng.config.protocol txn.top;
   txn.status <- Committed;
@@ -607,6 +644,56 @@ let complete_frame eng txn task v =
             | Database.Keep_undo -> f.undo)
         | None -> f.undo
       in
+      (* journal the subtransaction commit.  A root-level (depth-1) call
+         completion is the unit recovery replays — CALL carries the
+         registered compensation; deeper composite frames leave
+         SUBCOMMIT markers.  Frames of the compensation phase are not
+         journaled. *)
+      (if eng.journal <> None && txn.aborting = None then
+         let id = Action.id f.action in
+         let depth = Ids.Action_id.depth id in
+         if depth >= 1 then begin
+           let comp_inv =
+             match undo_contribution with
+             | [ Compensate inv ] ->
+                 Some
+                   {
+                     Oplog.obj = inv.Runtime.target;
+                     meth = inv.Runtime.meth_name;
+                     args = inv.Runtime.args;
+                   }
+             | _ -> None
+           in
+           if depth = 1 then
+             let seq =
+               match List.rev (Ids.Action_id.path id) with
+               | i :: _ -> i
+               | [] -> 0
+             in
+             journal_append eng
+               (Oplog.Call
+                  {
+                    top = txn.top;
+                    attempt = txn.attempt;
+                    seq;
+                    inv =
+                      {
+                        Oplog.obj = Action.obj f.action;
+                        meth = Action.meth f.action;
+                        args = Action.args f.action;
+                      };
+                    comp = comp_inv;
+                  })
+           else if f.child_trees <> [] then
+             journal_append eng
+               (Oplog.Subcommit
+                  {
+                    top = txn.top;
+                    attempt = txn.attempt;
+                    path = Ids.Action_id.path id;
+                    comp = comp_inv;
+                  })
+         end);
       let parent_frame =
         match rest with
         | pf :: _ -> Some pf
@@ -751,6 +838,8 @@ let fresh_task (eng : t) txn ~process ~parent =
 let start_txn (eng : t) txn =
   let root_id = Ids.Action_id.root txn.top in
   let process = Ids.Process_id.main txn.top in
+  journal_append eng
+    (Oplog.Begin { top = txn.top; attempt = txn.attempt; name = txn.tname });
   txn.first_step <- eng.steps;
   txn.branch_counter <- 0;
   let action =
@@ -1096,7 +1185,11 @@ let create ?(config : config option) db ~protocol bodies =
     last_reject = None;
     ext_memo = None;
     counters = Stats.Counter.create ();
+    journal = None;
   }
+
+let set_journal (eng : t) j = eng.journal <- j
+let journal (eng : t) = eng.journal
 
 (* Install a precomputed conflict table (built by the static conflict
    atlas) into both runtime probe sites: the incremental certifier's
@@ -1234,8 +1327,9 @@ let pick_unit (eng : t) units =
           | None -> List.nth units (eng.steps mod List.length units))
       | [] -> List.nth units (eng.steps mod List.length units))
 
-let run ?config ?atlas db ~protocol bodies =
+let run ?config ?atlas ?journal db ~protocol bodies =
   let (eng : t) = create ?config db ~protocol bodies in
+  eng.journal <- journal;
   (match atlas with Some tbl -> preload_atlas eng tbl | None -> ());
   let runnable_units () = runnable_units eng in
   let parked () = parked eng in
@@ -1484,3 +1578,187 @@ let retire (eng : t) ~top =
 
 let counters (eng : t) = eng.counters
 let steps (eng : t) = eng.steps
+
+(* -- durable recovery ---------------------------------------------------------
+
+   [recover] turns a stable operation log (plus an optional snapshot)
+   back into a live engine: analysis ([Recovery.analyze]) classifies the
+   logged attempts; redo replays every logged root call of every attempt
+   in original log order through real engine dispatch ("repeating
+   history" at the method level — winners' reads may depend on committed
+   subtransactions of attempts that later aborted, so losers' calls are
+   replayed too); the decision points re-commit winners and re-abort the
+   stably-aborted; attempts still in flight at the crash are losers and
+   are aborted after the schedule, which drives the engine's own
+   multi-level undo — compensations for their committed subtransactions,
+   newest first (the reverse inheritance order of Defs. 10-13), as
+   re-registered during the replay itself.  Physical before-images for
+   uncommitted primitive actions are the page layer's business
+   ([Logged_store.recover]); at this layer an uncommitted primitive
+   simply never made it into the log.
+
+   Replay runs each attempt as a live transaction fed from a Session-
+   style command queue; the body re-reads its queue from the start on
+   every engine attempt, so certification retries replay identically.
+   Because replay is driven to quiescence between calls it is serial,
+   and the lock set held at any point is a subset of the original run's
+   — anything granted then is granted now. *)
+
+type replay_item = Replay_call of Oplog.invocation | Replay_finish
+
+type feed = { mutable items : replay_item array; mutable n : int }
+
+let feed_push fd it =
+  if fd.n = Array.length fd.items then begin
+    let bigger = Array.make (max 8 (2 * Array.length fd.items)) Replay_finish in
+    Array.blit fd.items 0 bigger 0 fd.n;
+    fd.items <- bigger
+  end;
+  fd.items.(fd.n) <- it;
+  fd.n <- fd.n + 1
+
+let replay_body failures fd ctx =
+  let i = ref 0 in
+  let rec loop last =
+    if !i < fd.n then begin
+      let item = fd.items.(!i) in
+      incr i;
+      match item with
+      | Replay_finish -> last
+      | Replay_call inv -> (
+          match
+            Runtime.try_call ctx inv.Oplog.obj inv.Oplog.meth inv.Oplog.args
+          with
+          | Ok v -> loop v
+          | Error _ ->
+              incr failures;
+              loop last)
+    end
+    else begin
+      Runtime.await ctx;
+      loop last
+    end
+  in
+  loop Value.unit
+
+type recovery_report = {
+  plan : Recovery.plan;
+  replayed_calls : int;
+  skipped_attempts : int;
+  replay_failures : int;
+  rec_winners : (int * int) list;
+  undone : (int * int) list;
+  recertified : bool;
+}
+
+let recover ?config ?snapshot ?crash ?(recertify = true) db ~protocol oplog =
+  let config =
+    match config with Some c -> c | None -> default_config protocol
+  in
+  let eng = create ~config db ~protocol [] in
+  let records = Oplog.stable oplog in
+  let applied = match snapshot with Some s -> Snapshot.keys s | None -> [] in
+  let plan = Recovery.analyze ~applied records in
+  let replayed = ref 0 in
+  let failures = ref 0 in
+  (* snapshot restore: serial replay of the compacted winners, commit
+     order *)
+  (match snapshot with
+  | Some s ->
+      List.iter
+        (fun (e : Snapshot.entry) ->
+          let fd = { items = Array.make 8 Replay_finish; n = 0 } in
+          List.iter (fun inv -> feed_push fd (Replay_call inv)) e.Snapshot.calls;
+          feed_push fd Replay_finish;
+          submit eng ~top:e.Snapshot.top ~name:e.Snapshot.name
+            (replay_body failures fd);
+          ignore (pump eng);
+          (match txn_state eng e.Snapshot.top with
+          | `Committed _ -> Stats.Counter.incr eng.counters "recovered-snapshot"
+          | _ -> Stats.Counter.incr eng.counters "recovery-replay-failures");
+          ignore (retire eng ~top:e.Snapshot.top))
+        s.Snapshot.entries
+  | None -> ());
+  (* redo: repeat history in original log order *)
+  let feeds : (int * int, feed) Hashtbl.t = Hashtbl.create 16 in
+  let feed_of (a : Recovery.attempt) =
+    match Hashtbl.find_opt feeds (a.Recovery.top, a.Recovery.attempt) with
+    | Some fd -> fd
+    | None ->
+        let fd = { items = Array.make 8 Replay_finish; n = 0 } in
+        Hashtbl.add feeds (a.Recovery.top, a.Recovery.attempt) fd;
+        fd
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Recovery.Start a when not a.Recovery.skip ->
+          submit eng ~top:a.Recovery.top ~name:a.Recovery.name
+            (replay_body failures (feed_of a));
+          ignore (pump eng)
+      | Recovery.Start _ -> ()
+      | Recovery.Replay (a, inv, _) when not a.Recovery.skip ->
+          feed_push (feed_of a) (Replay_call inv);
+          incr replayed;
+          ignore (poke eng a.Recovery.top);
+          ignore (pump eng)
+      | Recovery.Replay _ -> ()
+      | Recovery.Decide a when not a.Recovery.skip -> (
+          match a.Recovery.disposition with
+          | Recovery.Committed ->
+              feed_push (feed_of a) Replay_finish;
+              ignore (poke eng a.Recovery.top);
+              ignore (pump eng);
+              (match txn_state eng a.Recovery.top with
+              | `Committed _ ->
+                  Stats.Counter.incr eng.counters "recovered-winners"
+              | _ ->
+                  Stats.Counter.incr eng.counters "recovery-replay-failures");
+              ignore (retire eng ~top:a.Recovery.top)
+          | Recovery.Aborted reason ->
+              ignore (abort_top eng ~top:a.Recovery.top ("recovery: " ^ reason));
+              ignore (pump eng);
+              Stats.Counter.incr eng.counters "recovered-aborts";
+              ignore (retire eng ~top:a.Recovery.top)
+          | Recovery.Incomplete -> ())
+      | Recovery.Decide _ -> ())
+    plan.Recovery.schedule;
+  (* multi-level undo: the losers (in flight at the crash), reverse
+     begin order; aborting each drives the engine's compensation phase
+     over the undo items re-registered during replay *)
+  let undone = ref [] in
+  List.iter
+    (fun (top, att) ->
+      match
+        List.find_opt
+          (fun a -> Recovery.key a = (top, att))
+          plan.Recovery.attempts
+      with
+      | Some a when not a.Recovery.skip ->
+          Crash.point crash Crash.Mid_undo;
+          ignore (abort_top eng ~top "recovery: in flight at crash");
+          ignore (pump eng);
+          undone := (top, att) :: !undone;
+          Stats.Counter.incr eng.counters "recovered-losers";
+          ignore (retire eng ~top)
+      | _ -> ())
+    (List.rev plan.Recovery.losers);
+  (* acceptance oracle: the recovered committed history must still be
+     oo-serializable (Vbox-style re-verification) *)
+  let recertified =
+    if recertify then (Serializability.check (final_history eng)).oo_serializable
+    else true
+  in
+  Stats.Counter.incr eng.counters "recoveries";
+  let report =
+    {
+      plan;
+      replayed_calls = !replayed;
+      skipped_attempts = List.length plan.Recovery.skipped;
+      replay_failures = !failures;
+      rec_winners = plan.Recovery.winners;
+      undone = List.rev !undone;
+      recertified;
+    }
+  in
+  (eng, report)

@@ -104,6 +104,7 @@ type outcome = {
 val run :
   ?config:config ->
   ?atlas:Commutativity.table ->
+  ?journal:Ooser_recovery.Oplog.t ->
   Database.t ->
   protocol:Protocol.t ->
   (int * string * (Runtime.ctx -> Value.t)) list ->
@@ -112,7 +113,8 @@ val run :
     [(id, name, body)] to completion (commit, permanent abort, or step
     budget), resolving deadlocks by aborting the youngest transaction in
     the waits-for cycle.  [atlas] preloads a precomputed conflict table
-    (see {!preload_atlas}) before the first step. *)
+    (see {!preload_atlas}) before the first step; [journal] attaches a
+    durable operation log (see {!set_journal}). *)
 
 (** {1 Dynamic driving}
 
@@ -207,3 +209,59 @@ val final_history : t -> History.t
 
 val counters : t -> Ooser_sim.Stats.Counter.t
 val steps : t -> int
+
+(** {1 Durability}
+
+    With a journal attached the engine writes a logical, method-level
+    operation log: BEGIN at each attempt start, CALL (with the
+    registered compensation) when a root-level call completes — the
+    moment it commits at its level — SUBCOMMIT markers for deeper
+    composite subtransactions, and COMMIT (forced) / ABORT at the top
+    decisions.  {!recover} replays such a log through real engine
+    dispatch: redo repeats history (every logged call, in log order),
+    then the transactions in flight at the crash are aborted through the
+    normal compensation phase — multi-level undo in reverse inheritance
+    order, using the compensations re-registered during replay.
+    Counters: ["log-appends"], ["log-forces"], ["recoveries"],
+    ["recovered-winners"], ["recovered-aborts"], ["recovered-losers"],
+    ["recovered-snapshot"], ["recovery-replay-failures"]. *)
+
+val set_journal : t -> Ooser_recovery.Oplog.t option -> unit
+(** Attach (or detach) the operation journal.  Attach before the first
+    submission; the compensation phase is never journaled. *)
+
+val journal : t -> Ooser_recovery.Oplog.t option
+
+type recovery_report = {
+  plan : Ooser_recovery.Recovery.plan;
+  replayed_calls : int;
+  skipped_attempts : int;  (** deduped against the snapshot *)
+  replay_failures : int;
+      (** replayed calls that failed where the original succeeded —
+          0 on any log the engine itself wrote *)
+  rec_winners : (int * int) list;  (** (top, attempt), commit order *)
+  undone : (int * int) list;  (** losers compensated away *)
+  recertified : bool;
+      (** the recovered committed history passes
+          {!Ooser_core.Serializability.check} (true when [recertify]
+          was disabled) *)
+}
+
+val recover :
+  ?config:config ->
+  ?snapshot:Ooser_recovery.Snapshot.t ->
+  ?crash:Ooser_recovery.Crash.t ->
+  ?recertify:bool ->
+  Database.t ->
+  protocol:Protocol.t ->
+  Ooser_recovery.Oplog.t ->
+  t * recovery_report
+(** [recover db ~protocol log] rebuilds a live engine from the stable
+    prefix of [log] (restoring [snapshot] first, and skipping logged
+    attempts the snapshot already covers — idempotence by
+    (top, attempt) dedup).  [db] must be the same freshly-built database
+    the original engine started from.  The returned engine has no
+    journal attached and holds no locks for any undone loser; attach a
+    fresh journal with {!set_journal} to resume journaling.  [crash]
+    arms the [Mid_undo] fault-injection site.
+    @raise Ooser_recovery.Crash.Crashed when the armed site fires. *)

@@ -1,0 +1,6 @@
+(* Umbrella module for the durability / recovery subsystem. *)
+
+module Crash = Crash
+module Oplog = Oplog
+module Snapshot = Snapshot
+module Recovery = Recovery

@@ -1,0 +1,90 @@
+(** Logical, method-level operation log.
+
+    Records the semantic history of the engine — BEGIN, root-level
+    method CALL with the registered compensation, subtransaction COMMIT
+    markers, top COMMIT (forced) and ABORT.  Open nesting's recovery
+    discipline needs the log at this level: a committed subtransaction
+    released its locks, so redo replays the call through the real engine
+    dispatch and undo invokes the compensation — physical images only
+    cover uncommitted primitive actions (see {!Ooser_storage.Wal}).
+
+    The crash model mirrors [Wal]: exactly the forced prefix survives
+    {!crash}.  With a file backend, {!force} flushes and fsyncs; a torn
+    final frame on disk is dropped by {!load}. *)
+
+open Ooser_core
+
+type lsn = int
+
+type invocation = { obj : Obj_id.t; meth : string; args : Value.t list }
+
+type record =
+  | Begin of { top : int; attempt : int; name : string }
+  | Call of {
+      top : int;
+      attempt : int;
+      seq : int;  (** child index under the transaction root *)
+      inv : invocation;
+      comp : invocation option;
+          (** the compensation the method registered (an [Inverse]) *)
+    }
+  | Subcommit of {
+      top : int;
+      attempt : int;
+      path : int list;  (** hierarchical action number (Def. 2) *)
+      comp : invocation option;
+    }
+  | Commit of { top : int; attempt : int }
+  | Abort of { top : int; attempt : int; reason : string }
+
+type t
+
+val create : ?file:string -> unit -> t
+(** In-memory log; [file] attaches an append-only file backend. *)
+
+val open_dir : dir:string -> t
+(** The standard per-directory log file, created if missing. *)
+
+val of_records : record list -> t
+(** An in-memory log holding the given records, all stable. *)
+
+val append : t -> record -> lsn
+val force : t -> unit
+(** Everything appended so far becomes stable (file backend: flush +
+    fsync). *)
+
+val close : t -> unit
+
+val size : t -> int
+val stable_size : t -> int
+
+val appends : t -> int
+val forces : t -> int
+
+val all : t -> record list
+val stable : t -> record list
+(** Oldest first. *)
+
+val crash : t -> t
+(** The log as seen after a crash: only the forced prefix remains. *)
+
+val load : dir:string -> record list
+(** Stable records from [dir]'s log file; a truncated final frame (torn
+    unforced append) ends the scan silently.  [[]] when absent. *)
+
+val log_file : dir:string -> string
+val rec_file : dir:string -> string
+
+val set_injector : t -> Crash.t option -> unit
+(** Arm (or clear) a fault injector consulted at the append/force
+    sites. *)
+
+val encode_invocation : invocation -> string
+val decode_invocation : string -> invocation
+
+val encode_record : record -> string
+val decode_record : string -> record
+(** @raise Failure on corrupt input. *)
+
+val pp_record : Format.formatter -> record -> unit
+val pp_invocation : Format.formatter -> invocation -> unit

@@ -1,0 +1,87 @@
+(* Logical snapshot: the committed history compacted to one entry per
+   winner.
+
+   Taken only at quiescent points (a drained server, or right after a
+   completed recovery), where every attempt in the log is decided.  The
+   committed projection of the history is certified oo-serializable at
+   that point, i.e. equivalent to the serial execution of the winners in
+   commit order — which is exactly what restoring from a snapshot does:
+   replay each entry's root calls serially, in commit order, through the
+   engine.  Aborted attempts have zero net effect (their compensations
+   ran) and are dropped.
+
+   Stored as one codec blob, written to a temp file and renamed, so a
+   crash during checkpointing leaves the previous snapshot intact. *)
+
+open Ooser_storage
+
+type entry = {
+  top : int;
+  attempt : int;  (* final attempt in the source log, for dedup keys *)
+  name : string;
+  calls : Oplog.invocation list;  (* root-level calls, execution order *)
+}
+
+type t = { next_top : int; entries : entry list (* commit order *) }
+
+let empty = { next_top = 1; entries = [] }
+
+let keys t = List.map (fun e -> (e.top, e.attempt)) t.entries
+
+let file ~dir = Filename.concat dir "snapshot.bin"
+
+let encode t =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u32 w t.next_top;
+  Codec.Writer.u32 w (List.length t.entries);
+  List.iter
+    (fun e ->
+      Codec.Writer.u32 w e.top;
+      Codec.Writer.u16 w e.attempt;
+      Codec.Writer.string w e.name;
+      Codec.Writer.u32 w (List.length e.calls);
+      List.iter
+        (fun inv -> Codec.Writer.lstring w (Oplog.encode_invocation inv))
+        e.calls)
+    t.entries;
+  Codec.Writer.contents w
+
+let decode s =
+  let r = Codec.Reader.create s in
+  let next_top = Codec.Reader.u32 r in
+  let n = Codec.Reader.u32 r in
+  let entries =
+    List.init n (fun _ ->
+        let top = Codec.Reader.u32 r in
+        let attempt = Codec.Reader.u16 r in
+        let name = Codec.Reader.string r in
+        let k = Codec.Reader.u32 r in
+        let calls =
+          List.init k (fun _ ->
+              Oplog.decode_invocation (Codec.Reader.lstring r))
+        in
+        { top; attempt; name; calls })
+  in
+  { next_top; entries }
+
+let save ~dir t =
+  if not (Sys.file_exists dir) then (
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = file ~dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (encode t);
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with _ -> ());
+  close_out oc;
+  Sys.rename tmp path
+
+let load ~dir =
+  let path = file ~dir in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let raw = really_input_string ic (in_channel_length ic) in
+    close_in_noerr ic;
+    match decode raw with t -> Some t | exception Failure _ -> None
+  end

@@ -1,0 +1,33 @@
+(** Logical snapshot: the committed history compacted to one entry per
+    winner, in commit order.
+
+    Valid only when taken at a quiescent point (drained server, or right
+    after a completed recovery): the committed projection is then
+    certified oo-serializable, i.e. equivalent to the serial execution
+    of the winners in commit order — which is exactly how a snapshot is
+    restored.  Saved atomically (temp file + rename). *)
+
+type entry = {
+  top : int;
+  attempt : int;  (** final attempt in the source log (dedup key) *)
+  name : string;
+  calls : Oplog.invocation list;  (** root-level calls, execution order *)
+}
+
+type t = { next_top : int; entries : entry list (** commit order *) }
+
+val empty : t
+
+val keys : t -> (int * int) list
+(** [(top, attempt)] of every entry — the already-applied set to skip
+    during log replay. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Failure on corrupt input. *)
+
+val save : dir:string -> t -> unit
+val load : dir:string -> t option
+(** [None] when absent or unreadable. *)
+
+val file : dir:string -> string

@@ -33,11 +33,22 @@ type config = {
   accounts : int;  (** banking accounts, objects [Account%d] *)
   products : int;  (** inventory products on object [Store] *)
   name : string;
+  durable_dir : string option;
+      (** journal commits to [DIR/oplog.bin]; boot recovers the
+          directory's snapshot + stable log through the engine, then
+          checkpoints (folds the winners into [DIR/snapshot.bin] and
+          restarts the log); a graceful drain checkpoints again *)
 }
 
 val default_config : addr -> config
 (** Encyclopedia over open nested locking, 32 in-flight, no default
-    timeout, 5s drain grace, 200 preloaded keys. *)
+    timeout, 5s drain grace, 200 preloaded keys, not durable. *)
+
+val build_db : config -> Ooser_oodb.Database.t
+(** The configured database, freshly built and preloaded — exactly the
+    state recovery replays a log against ([oosdb recover] shares it). *)
+
+val build_protocol : config -> Ooser_oodb.Database.t -> Ooser_cc.Protocol.t
 
 type t
 
@@ -74,3 +85,7 @@ val engine : t -> Ooser_oodb.Engine.t
 val protocol : t -> Ooser_cc.Protocol.t
 val metrics : t -> Metrics.t
 val inflight : t -> int
+
+val last_recovery : t -> Ooser_oodb.Engine.recovery_report option
+(** The boot-time recovery report when the server was created with
+    [durable_dir] set; [None] for an in-memory server. *)

@@ -7,10 +7,19 @@
    the cache and the unforced log suffix; [recover] then runs
 
      analysis — find the transactions with a stable COMMIT;
-     redo      — reapply every stable update in log order (repeating
-                 history, idempotent thanks to slot-targeted writes);
+     redo      — reapply every stable update AND compensation in log
+                 order (repeating history, idempotent thanks to
+                 slot-targeted writes);
      undo      — roll back the losers' updates in reverse order using the
-                 before images, logging ABORT records.
+                 before images.
+
+   Every undo — live abort or recovery — writes a CLR (compensation log
+   record) carrying [undo_next], the lsn of the update it reverses.
+   During recovery the CLR is forced before the page write, so a crash in
+   the middle of recovery itself is recoverable: the next recovery's undo
+   floor for a loser is the minimum [undo_next] of its stable CLRs, and
+   only updates strictly below the floor are compensated — never the same
+   update twice.
 
    After recovery the durable state contains exactly the committed
    transactions' effects — atomicity and durability under steal /
@@ -20,14 +29,14 @@ type txn_state = Active | Committing | Finished
 
 type t = {
   durable : Disk.t;
-  mutable cache : (Disk.page_id * Bytes.t) list;  (* volatile page images *)
+  cache : (Disk.page_id, Bytes.t) Hashtbl.t;  (* volatile page images *)
   wal : Wal.t;
   mutable active : (int * txn_state) list;
 }
 
 let create ?(page_size = 4096) () =
-  { durable = Disk.create ~page_size (); cache = []; wal = Wal.create ();
-    active = [] }
+  { durable = Disk.create ~page_size (); cache = Hashtbl.create 64;
+    wal = Wal.create (); active = [] }
 
 let wal t = t.wal
 let durable t = t.durable
@@ -36,11 +45,11 @@ let alloc_page t = Disk.alloc t.durable
 
 (* Volatile view of a page: cached image or a copy of the durable one. *)
 let page_image t pid =
-  match List.assoc_opt pid t.cache with
+  match Hashtbl.find_opt t.cache pid with
   | Some b -> b
   | None ->
       let b = Disk.read t.durable pid in
-      t.cache <- (pid, b) :: t.cache;
+      Hashtbl.replace t.cache pid b;
       b
 
 let read t pid slot = Page.get (Page.of_bytes (page_image t pid)) slot
@@ -77,27 +86,27 @@ let commit t txn =
   Wal.force t.wal;
   t.active <- (txn, Finished) :: List.remove_assoc txn t.active
 
-(* Roll back a live transaction using the volatile cache, logging a
-   compensation record (an update whose after-image is the restored
-   value) for every reversal so that redo's "repeating history" also
-   repeats the rollback. *)
+(* Roll back a live transaction using the volatile cache, logging a CLR
+   for every reversal so that redo's "repeating history" also repeats
+   the rollback. *)
 let abort t txn =
   check_active t txn;
   let undos =
     List.rev
       (List.filter_map
-         (fun (_, r) ->
+         (fun (lsn, r) ->
            match r with
-           | Wal.Update { txn = x; page; slot; before; after } when x = txn ->
-               Some (page, slot, before, after)
+           | Wal.Update { txn = x; page; slot; before; _ } when x = txn ->
+               Some (lsn, page, slot, before)
            | _ -> None)
          (Wal.all t.wal))
   in
   List.iter
-    (fun (pid, slot, before, after) ->
+    (fun (lsn, pid, slot, before) ->
       ignore
         (Wal.append t.wal
-           (Wal.Update { txn; page = pid; slot; before = after; after = before }));
+           (Wal.Clr
+              { txn; page = pid; slot; restore = before; undo_next = lsn }));
       apply_slot (Page.of_bytes (page_image t pid)) slot before)
     undos;
   ignore (Wal.append t.wal (Wal.Abort txn));
@@ -108,13 +117,13 @@ let abort t txn =
    the log covering the page's changes must be stable before the page
    is. *)
 let flush_page t pid =
-  match List.assoc_opt pid t.cache with
+  match Hashtbl.find_opt t.cache pid with
   | Some b ->
       Wal.force t.wal;
       Disk.write t.durable pid b
   | None -> ()
 
-let flush_all t = List.iter (fun (pid, _) -> flush_page t pid) t.cache
+let flush_all t = Hashtbl.iter (fun pid _ -> flush_page t pid) t.cache
 
 (* Fuzzy checkpoint: flush every cached page, force the log, and record
    the set of still-active transactions.  Analysis then starts at the
@@ -134,7 +143,8 @@ let checkpoint t =
 
 (* A crash: volatile state is lost, only forced log records remain. *)
 let crash t =
-  { durable = t.durable; cache = []; wal = Wal.crash t.wal; active = [] }
+  { durable = t.durable; cache = Hashtbl.create 64; wal = Wal.crash t.wal;
+    active = [] }
 
 (* -- recovery ------------------------------------------------------------------ *)
 
@@ -145,7 +155,7 @@ type recovery_report = {
   undone : int;
 }
 
-let recover t =
+let recover ?(on_undo = fun (_ : Wal.lsn) -> ()) t =
   let full_log = Wal.stable t.wal in
   (* start the redo scan at the last checkpoint: pages were flushed
      there, so earlier updates are already durable *)
@@ -180,7 +190,26 @@ let recover t =
       (begun @ checkpoint_active)
     |> List.sort_uniq Int.compare
   in
-  (* redo: repeat history in log order on the durable pages *)
+  (* per-loser undo floor: the minimum [undo_next] of its stable CLRs.
+     Updates at or above the floor were already compensated (by a live
+     abort or by a recovery that crashed mid-undo) — their CLRs are in
+     the log and redo repeats their effect. *)
+  let floor_of =
+    let floors = Hashtbl.create 8 in
+    List.iter
+      (fun (_, r) ->
+        match r with
+        | Wal.Clr { txn; undo_next; _ } ->
+            let cur =
+              Option.value (Hashtbl.find_opt floors txn) ~default:max_int
+            in
+            Hashtbl.replace floors txn (min cur undo_next)
+        | _ -> ())
+      full_log;
+    fun txn -> Option.value (Hashtbl.find_opt floors txn) ~default:max_int
+  in
+  (* redo: repeat history in log order on the durable pages — updates and
+     compensations alike *)
   let redone = ref 0 in
   List.iter
     (fun (_, r) ->
@@ -190,24 +219,34 @@ let recover t =
           apply_slot (Page.of_bytes img) slot after;
           Disk.write t.durable pid img;
           incr redone
+      | Wal.Clr { page = pid; slot; restore; _ } ->
+          let img = Disk.read t.durable pid in
+          apply_slot (Page.of_bytes img) slot restore;
+          Disk.write t.durable pid img;
+          incr redone
       | _ -> ())
     log;
-  (* undo the losers, newest first, logging compensation records so a
-     crash during or after recovery replays the rollback too *)
+  (* undo the losers, newest first, below each loser's floor.  The CLR is
+     forced BEFORE the page write: if we crash between the two, the next
+     recovery sees the CLR, redoes its restore, and skips this update —
+     each update is compensated exactly once across any number of
+     crashes. *)
   let undone = ref 0 in
   List.iter
-    (fun (_, r) ->
+    (fun (lsn, r) ->
       match r with
-      | Wal.Update { txn; page = pid; slot; before; after }
-        when List.mem txn losers ->
+      | Wal.Update { txn; page = pid; slot; before; _ }
+        when List.mem txn losers && lsn < floor_of txn ->
           ignore
             (Wal.append t.wal
-               (Wal.Update
-                  { txn; page = pid; slot; before = after; after = before }));
+               (Wal.Clr
+                  { txn; page = pid; slot; restore = before; undo_next = lsn }));
+          Wal.force t.wal;
           let img = Disk.read t.durable pid in
           apply_slot (Page.of_bytes img) slot before;
           Disk.write t.durable pid img;
-          incr undone
+          incr undone;
+          on_undo lsn
       | _ -> ())
     (List.rev full_log);
   List.iter (fun x -> ignore (Wal.append t.wal (Wal.Abort x))) losers;

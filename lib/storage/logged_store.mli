@@ -29,7 +29,8 @@ val commit : t -> int -> unit
 (** Log COMMIT and force the log. *)
 
 val abort : t -> int -> unit
-(** Roll back a live transaction from its before images. *)
+(** Roll back a live transaction from its before images, logging a
+    {!Wal.Clr} per reversal. *)
 
 val flush_page : t -> Disk.page_id -> unit
 (** Steal: write a (possibly uncommitted) cached image to the durable
@@ -52,9 +53,14 @@ type recovery_report = {
   undone : int;
 }
 
-val recover : t -> recovery_report
+val recover : ?on_undo:(Wal.lsn -> unit) -> t -> recovery_report
 (** Idempotent: recovering an already-recovered store changes nothing
-    (repeating history + undoing an empty loser set). *)
+    (repeating history + undoing an empty loser set).  Undo writes a
+    forced {!Wal.Clr} before each compensating page write, so a crash
+    during recovery itself is recoverable and no update is ever
+    compensated twice.  [on_undo] is invoked with the lsn of each update
+    just after its compensation completes — the crash-injection tests
+    use it to kill recovery mid-undo. *)
 
 val read_durable : t -> Disk.page_id -> int -> string option
 (** Durable view, for post-crash inspection. *)

@@ -22,18 +22,40 @@ type record =
   | Commit of int
   | Abort of int
   | Checkpoint of int list  (* transactions active at checkpoint time *)
+  | Clr of {
+      txn : int;
+      page : Disk.page_id;
+      slot : int;
+      restore : string option;  (* the before-image being reinstalled *)
+      undo_next : lsn;  (* lsn of the Update this record compensates *)
+    }
 
+(* Records live in a growable array (appends are the commit-path hot
+   spot); [base] tracks the lsn of recs.(0) so truncation can drop a
+   prefix without renumbering. *)
 type t = {
-  mutable entries : (lsn * record) list;  (* newest first *)
+  mutable recs : (lsn * record) array;
+  mutable len : int;
   mutable next_lsn : lsn;
-  mutable stable_lsn : lsn;  (* entries with lsn < stable_lsn survive a crash *)
+  mutable stable_lsn : lsn;  (* records with lsn < stable_lsn survive a crash *)
 }
 
-let create () = { entries = []; next_lsn = 0; stable_lsn = 0 }
+let create () =
+  { recs = [||]; len = 0; next_lsn = 0; stable_lsn = 0 }
+
+let ensure_capacity t =
+  if t.len = Array.length t.recs then begin
+    let cap = max 16 (2 * Array.length t.recs) in
+    let recs = Array.make cap (0, Commit 0) in
+    Array.blit t.recs 0 recs 0 t.len;
+    t.recs <- recs
+  end
 
 let append t record =
   let lsn = t.next_lsn in
-  t.entries <- (lsn, record) :: t.entries;
+  ensure_capacity t;
+  t.recs.(t.len) <- (lsn, record);
+  t.len <- t.len + 1;
   t.next_lsn <- lsn + 1;
   lsn
 
@@ -42,20 +64,31 @@ let force t = t.stable_lsn <- t.next_lsn
 let next_lsn t = t.next_lsn
 let stable_lsn t = t.stable_lsn
 
-let all t = List.rev t.entries
+let to_list t = Array.to_list (Array.sub t.recs 0 t.len)
 
-let stable t =
-  List.filter (fun (lsn, _) -> lsn < t.stable_lsn) (List.rev t.entries)
+let all t = to_list t
+
+let stable t = List.filter (fun (lsn, _) -> lsn < t.stable_lsn) (to_list t)
 
 (* Drop every record below [upto] (log truncation after a quiescent
-   checkpoint). *)
+   checkpoint).  O(n), but only runs at checkpoint time. *)
 let truncate t ~upto =
-  t.entries <- List.filter (fun (lsn, _) -> lsn >= upto) t.entries
+  let kept =
+    Array.of_list
+      (List.filter (fun (lsn, _) -> lsn >= upto) (to_list t))
+  in
+  t.recs <- kept;
+  t.len <- Array.length kept
 
 (* The log as it looks after a crash: only forced records remain. *)
 let crash t =
+  let kept =
+    Array.of_list
+      (List.filter (fun (lsn, _) -> lsn < t.stable_lsn) (to_list t))
+  in
   {
-    entries = List.filter (fun (lsn, _) -> lsn < t.stable_lsn) t.entries;
+    recs = kept;
+    len = Array.length kept;
     next_lsn = t.stable_lsn;
     stable_lsn = t.stable_lsn;
   }
@@ -90,7 +123,14 @@ let encode_record r =
   | Checkpoint active ->
       Codec.Writer.u8 w 5;
       Codec.Writer.u16 w (List.length active);
-      List.iter (Codec.Writer.u32 w) active);
+      List.iter (Codec.Writer.u32 w) active
+  | Clr { txn; page; slot; restore; undo_next } ->
+      Codec.Writer.u8 w 6;
+      Codec.Writer.u32 w txn;
+      Codec.Writer.u32 w page;
+      Codec.Writer.u16 w slot;
+      opt_string restore;
+      Codec.Writer.u32 w undo_next);
   Codec.Writer.contents w
 
 let decode_record s =
@@ -112,6 +152,13 @@ let decode_record s =
   | 5 ->
       let n = Codec.Reader.u16 r in
       Checkpoint (List.init n (fun _ -> Codec.Reader.u32 r))
+  | 6 ->
+      let txn = Codec.Reader.u32 r in
+      let page = Codec.Reader.u32 r in
+      let slot = Codec.Reader.u16 r in
+      let restore = opt_string () in
+      let undo_next = Codec.Reader.u32 r in
+      Clr { txn; page; slot; restore; undo_next }
   | k -> failwith (Printf.sprintf "Wal.decode_record: bad tag %d" k)
 
 let pp_record ppf = function
@@ -128,3 +175,10 @@ let pp_record ppf = function
       in
       Fmt.pf ppf "UPDATE txn=%d page=%d slot=%d %a -> %a" txn page slot o
         before o after
+  | Clr { txn; page; slot; restore; undo_next } ->
+      let o ppf = function
+        | None -> Fmt.string ppf "_"
+        | Some s -> Fmt.pf ppf "%S" s
+      in
+      Fmt.pf ppf "CLR txn=%d page=%d slot=%d restore=%a undo-next=%d" txn page
+        slot o restore undo_next

@@ -20,6 +20,18 @@ type record =
   | Abort of int
   | Checkpoint of int list
       (** transactions active at checkpoint time *)
+  | Clr of {
+      txn : int;
+      page : Disk.page_id;
+      slot : int;
+      restore : string option;  (** the before-image being reinstalled *)
+      undo_next : lsn;  (** lsn of the {!Update} this record compensates *)
+    }
+      (** Compensation log record: written (and forced) before each undo
+          page write, so a crash during rollback or recovery never
+          compensates the same update twice — the next recovery's undo
+          floor for the transaction is the minimum [undo_next] of its
+          stable CLRs. *)
 
 type t
 

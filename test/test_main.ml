@@ -39,4 +39,5 @@ let () =
          Test_atlas.suites;
          Test_incremental.suites;
          Test_server.suites;
+         Test_crash.suites;
        ])

@@ -29,6 +29,8 @@ let test_wal_codec_roundtrip () =
       Wal.Update { txn = 7; page = 3; slot = 2; before = Some "yy"; after = None };
       Wal.Commit 7;
       Wal.Abort 9;
+      Wal.Clr { txn = 7; page = 3; slot = 2; restore = Some "x"; undo_next = 1 };
+      Wal.Clr { txn = 7; page = 3; slot = 2; restore = None; undo_next = 0 };
     ]
   in
   List.iter
@@ -206,6 +208,77 @@ let test_checkpoint_active_loser_undone () =
   check_slot "post-checkpoint update undone" None
     (Logged_store.read_durable s' p 1)
 
+(* A crash in the middle of recovery's own undo pass.  Every undo writes
+   a forced CLR before its page write, so the second recovery starts its
+   undo below the floor left by the first: across both runs each of the
+   loser's updates is compensated exactly once, and the durable state
+   still ends with exactly the committed effects. *)
+let test_clr_double_crash () =
+  let exception Power_cut in
+  let s = Logged_store.create () in
+  let p = Logged_store.alloc_page s in
+  Logged_store.begin_txn s 1;
+  Logged_store.write s ~txn:1 ~page:p ~slot:0 (Some "committed");
+  Logged_store.commit s 1;
+  Logged_store.begin_txn s 2;
+  for slot = 1 to 4 do
+    Logged_store.write s ~txn:2 ~page:p ~slot (Some (Printf.sprintf "dirty%d" slot))
+  done;
+  (* steal the dirty page, keep T2's updates stable but uncommitted *)
+  Wal.force (Logged_store.wal s);
+  Logged_store.flush_all s;
+  let s1 = Logged_store.crash s in
+  let undone1 = ref [] in
+  (match
+     Logged_store.recover s1 ~on_undo:(fun lsn ->
+         undone1 := lsn :: !undone1;
+         if List.length !undone1 = 2 then raise Power_cut)
+   with
+  | _ -> Alcotest.fail "expected a crash mid-undo"
+  | exception Power_cut -> ());
+  check_int "first recovery died after 2 compensations" 2
+    (List.length !undone1);
+  (* crash again: only forced records survive — which includes the CLRs *)
+  let s2 = Logged_store.crash s1 in
+  let undone2 = ref [] in
+  let report =
+    Logged_store.recover s2 ~on_undo:(fun lsn -> undone2 := lsn :: !undone2)
+  in
+  Alcotest.(check (list int)) "loser still found" [ 2 ]
+    report.Logged_store.losers;
+  let both = !undone1 @ !undone2 in
+  check_int "every update compensated across the two runs" 4
+    (List.length both);
+  check_bool "no update compensated twice" true
+    (List.length (List.sort_uniq Int.compare both) = 4);
+  check_slot "committed value intact" (Some "committed")
+    (Logged_store.read_durable s2 p 0);
+  for slot = 1 to 4 do
+    check_slot
+      (Printf.sprintf "dirty slot %d gone" slot)
+      None
+      (Logged_store.read_durable s2 p slot)
+  done;
+  (* a third recovery is a clean no-op *)
+  let r3 = Logged_store.recover s2 in
+  check_int "third recovery undoes nothing" 0 r3.Logged_store.undone
+
+(* Live abort leaves CLRs; a crash right after must not re-undo. *)
+let test_abort_clrs_bound_undo () =
+  let s = Logged_store.create () in
+  let p = Logged_store.alloc_page s in
+  Logged_store.begin_txn s 1;
+  Logged_store.write s ~txn:1 ~page:p ~slot:0 (Some "temp");
+  Logged_store.abort s 1;
+  Wal.force (Logged_store.wal s);
+  let s' = Logged_store.crash s in
+  let undone = ref 0 in
+  let report = Logged_store.recover s' ~on_undo:(fun _ -> incr undone) in
+  check_int "aborted txn is not a loser" 0
+    (List.length report.Logged_store.losers);
+  check_int "nothing re-undone" 0 !undone;
+  check_slot "abort's effect durable" None (Logged_store.read_durable s' p 0)
+
 let suites =
   [
     ( "recovery",
@@ -224,6 +297,10 @@ let suites =
           test_checkpoint_bounds_redo;
         Alcotest.test_case "checkpoint-straddling loser undone" `Quick
           test_checkpoint_active_loser_undone;
+        Alcotest.test_case "CLRs make double crash recoverable" `Quick
+          test_clr_double_crash;
+        Alcotest.test_case "abort CLRs bound recovery undo" `Quick
+          test_abort_clrs_bound_undo;
         QCheck_alcotest.to_alcotest prop_recovery_atomic;
       ] );
   ]

@@ -273,6 +273,79 @@ let test_e2e_commit () =
       | r -> Alcotest.failf "BYE: %a" Wire.pp_response r);
       Client.close c)
 
+(* Durable server: commit through incarnation one, drop it WITHOUT
+   draining (the kill -9 model — no checkpoint runs), then boot a second
+   incarnation on the same directory: recovery must replay the committed
+   transaction from the journal alone, and the value must be readable
+   over the wire. *)
+let test_e2e_durable_restart () =
+  let dir = Filename.temp_file "oosdb_dur" "" in
+  Sys.remove dir;
+  let mk_config () =
+    {
+      (Server.default_config (Server.Unix_sock (temp_sock ()))) with
+      Server.preload = 10;
+      durable_dir = Some dir;
+    }
+  in
+  let config1 = mk_config () in
+  let srv1 = Server.create config1 in
+  let c = connect srv1 config1 in
+  (match Client.request c (Wire.Hello "dur") with
+  | Wire.Welcome _ -> ()
+  | r -> Alcotest.failf "HELLO: %a" Wire.pp_response r);
+  (match Client.request c (Wire.Begin { name = "t"; timeout_ms = 0 }) with
+  | Wire.Begun _ -> ()
+  | r -> Alcotest.failf "BEGIN: %a" Wire.pp_response r);
+  (match
+     Client.request c
+       (Wire.Call
+          {
+            obj = "Enc";
+            meth = "insert";
+            args = [ Value.str "zz-dur"; Value.str "persisted" ];
+          })
+   with
+  | Wire.Result _ -> ()
+  | r -> Alcotest.failf "CALL insert: %a" Wire.pp_response r);
+  (match Client.request c Wire.Commit with
+  | Wire.Committed _ -> ()
+  | r -> Alcotest.failf "COMMIT: %a" Wire.pp_response r);
+  Client.close c;
+  (* srv1 is abandoned here: no drain, no checkpoint — only the forced
+     journal survives, exactly as after kill -9 *)
+  let config2 = mk_config () in
+  with_server config2 (fun srv2 ->
+      (match Server.last_recovery srv2 with
+      | Some r ->
+          check_int "one winner recovered" 1
+            (List.length r.Engine.rec_winners);
+          check_bool "recovered history re-certifies" true
+            r.Engine.recertified
+      | None -> Alcotest.fail "durable boot produced no recovery report");
+      let c2 = connect srv2 config2 in
+      (match Client.request c2 (Wire.Hello "dur2") with
+      | Wire.Welcome _ -> ()
+      | r -> Alcotest.failf "HELLO2: %a" Wire.pp_response r);
+      (match Client.request c2 (Wire.Begin { name = "t2"; timeout_ms = 0 }) with
+      | Wire.Begun _ -> ()
+      | r -> Alcotest.failf "BEGIN2: %a" Wire.pp_response r);
+      (match
+         Client.request c2
+           (Wire.Call
+              { obj = "Enc"; meth = "search"; args = [ Value.str "zz-dur" ] })
+       with
+      | Wire.Result (Value.Pair (Value.Str "found", Value.Str "persisted")) ->
+          ()
+      | r -> Alcotest.failf "CALL search: %a" Wire.pp_response r);
+      (match Client.request c2 Wire.Commit with
+      | Wire.Committed _ -> ()
+      | r -> Alcotest.failf "COMMIT2: %a" Wire.pp_response r);
+      (match Client.request c2 Wire.Bye with
+      | Wire.Closing -> ()
+      | r -> Alcotest.failf "BYE2: %a" Wire.pp_response r);
+      Client.close c2)
+
 let test_e2e_admission_backpressure () =
   let config =
     {
@@ -397,6 +470,8 @@ let suites =
         Alcotest.test_case "session deadline aborts and compensates" `Quick
           test_deadline_expiry;
         Alcotest.test_case "loopback commit end to end" `Quick test_e2e_commit;
+        Alcotest.test_case "durable restart recovers committed state" `Quick
+          test_e2e_durable_restart;
         Alcotest.test_case "admission control delays BEGIN" `Quick
           test_e2e_admission_backpressure;
         Alcotest.test_case "deadline abort over the wire" `Quick
