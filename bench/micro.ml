@@ -174,13 +174,53 @@ let commut_probe_test, commut_table_test =
   ( test "commutativity/12-probe-lookups" probe_cache,
     test "commutativity/12-atlas-lookups" table_cache )
 
+(* Same decision benchmark on the spec-inference output: set/directory
+   probes answered by the hand specs (keyed predicate dispatch) vs the
+   inferred argument-independent table (Infer.run, DESIGN §16). *)
+let infer_probe_test, infer_table_test =
+  let mk top obj meth args =
+    Action.v
+      ~id:(Ids.Action_id.v ~top ~path:[ 1 ])
+      ~obj:(Obj_id.v obj) ~meth ~args
+      ~process:(Ids.Process_id.main top)
+      ()
+  in
+  let a = Value.str "a" and b = Value.str "b" in
+  let pairs =
+    [
+      (mk 1 "set" "insert" [ a ], mk 2 "set" "insert" [ b ]);
+      (mk 1 "set" "contains" [ a ], mk 2 "set" "cardinal" []);
+      (mk 1 "set" "insert" [ a ], mk 2 "set" "cardinal" []);
+      (mk 1 "dir" "lookup" [ a ], mk 2 "dir" "lookup" [ b ]);
+      (mk 1 "dir" "list" [], mk 2 "dir" "bind" [ a; Value.int 1 ]);
+      (mk 1 "dir" "list" [], mk 2 "dir" "lookup" [ a ]);
+    ]
+  in
+  let test name cache =
+    List.iter (fun (p, q) -> ignore (Commutativity.cached_test cache p q)) pairs;
+    Test.make ~name
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (p, q) -> ignore (Commutativity.cached_test cache p q))
+             pairs))
+  in
+  let target = Lint_targets.adts () in
+  let inferred = Ooser_analysis.Infer.run target in
+  let reg = target.Ooser_analysis.Lint.registry in
+  let probe_cache = Commutativity.cached reg in
+  let table_cache = Commutativity.cached reg in
+  Commutativity.preload table_cache inferred.Ooser_analysis.Infer.table;
+  ( test "commutativity/6-hand-spec-probes" probe_cache,
+    test "commutativity/6-inferred-table-lookups" table_cache )
+
 let tests =
   Test.make_grouped ~name:"ooser"
     [
       checker_test; extension_test; conventional_test; random_history_test;
       btree_insert_test; btree_search_test; engine_test; page_test;
       recovery_test; wal_append_test; logged_write_test; explain_test;
-      commut_probe_test; commut_table_test;
+      commut_probe_test; commut_table_test; infer_probe_test;
+      infer_table_test;
     ]
 
 let run ?(quota = 0.5) () =

@@ -393,6 +393,64 @@ let analyze_cmd =
     Term.(const run $ suite_arg $ lint_seed_arg $ semantics_arg $ strict_arg
           $ format $ budget)
 
+(* -- infer -------------------------------------------------------------------- *)
+
+let infer_cmd =
+  let suite_conv =
+    Arg.enum
+      [ ("adts", `Adts); ("all", `All); ("banking", `Banking);
+        ("inventory", `Inventory); ("encyclopedia", `Encyclopedia) ]
+  in
+  let suite =
+    Arg.(value & opt suite_conv `Adts
+         & info [ "suite" ]
+             ~doc:"Registry to audit: adts (default — the four semantic \
+                   ADTs), all, banking, inventory, encyclopedia.")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ]
+             ~doc:"Output: text (inference report) or json (one document \
+                   per suite).")
+  in
+  let random_states =
+    Arg.(value & opt int 100
+         & info [ "random-states" ]
+             ~doc:"Size of the randomized-state soundness pass per object \
+                   group (commuting verdicts must also survive it).")
+  in
+  let run suite seed semantics strict format random_states =
+    let targets =
+      match suite with
+      | `Adts -> [ Lint_targets.adts () ]
+      | `All -> Lint_targets.adts () :: Lint_targets.all ~seed ()
+      | `Banking -> [ Lint_targets.banking ~semantics ~seed () ]
+      | `Inventory -> [ Lint_targets.inventory ~seed () ]
+      | `Encyclopedia -> [ Lint_targets.encyclopedia ~seed () ]
+    in
+    List.fold_left
+      (fun code t ->
+        let r = Analysis.Infer.run ~seed ~random_states t in
+        (match format with
+        | `Text -> Fmt.pr "%a@." Analysis.Infer.pp r
+        | `Json -> print_endline (Analysis.Infer.to_json r));
+        max code (Analysis.Lint.exit_code ~strict r.Analysis.Infer.diagnostics))
+      0 targets
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:
+         "Infer commutativity matrices from executable ADT semantics \
+          (small-scope enumeration + randomized-state pass, forward \
+          commutativity and abort safety) and diff them against the \
+          registered hand specs: INFER001 (error) for unsound hand cells \
+          with a minimal replayable witness, INFER002 (warning) for \
+          provably conservative cells, INFER003 (info) for undecidable \
+          cells.  Argument-independent hand-agreeing cells compile into a \
+          preloadable conflict table.  Exit mapping as lint.")
+    Term.(const run $ suite $ lint_seed_arg $ semantics_arg $ strict_arg
+          $ format $ random_states)
+
 (* -- demo --------------------------------------------------------------------- *)
 
 let demo_cmd =
@@ -824,7 +882,7 @@ let main =
          "Object-oriented serializability toolkit (Rakow, Gu & Neuhold, ICDE \
           1990).")
     [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; bench_cmd; lint_cmd;
-      analyze_cmd; demo_cmd; serve_cmd; recover_cmd; client_cmd;
+      analyze_cmd; infer_cmd; demo_cmd; serve_cmd; recover_cmd; client_cmd;
       loadgen_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -40,7 +40,16 @@ let spec t =
     (fun a b ->
       match (Action.meth a, Action.meth b) with
       | "enqueue", "dequeue" | "dequeue", "enqueue" -> not (is_empty t)
-      | "enqueue", "enqueue" | "dequeue", "dequeue" -> false
+      | "enqueue", "enqueue" -> (
+          (* equal values are indistinguishable in the queue, so the two
+             orders yield identical states — a conservative cell the
+             spec-inference oracle proved commutative (the removeLastOf
+             compensation already handles the abort case).  Probes
+             without arguments stay conservative. *)
+          match (Action.args a, Action.args b) with
+          | v :: _, w :: _ -> Value.equal v w
+          | _ -> false)
+      | "dequeue", "dequeue" -> false
       | "length", "length" -> true
       | "length", _ | _, "length" -> false
       | _ -> false)

@@ -1,6 +1,9 @@
 (** FIFO queue with state-dependent commutativity (Spector & Schwartz,
     §2): enqueue and dequeue commute exactly when the queue is
-    non-empty. *)
+    non-empty.  Two enqueues of the {e same} value also commute (the
+    resulting queues are indistinguishable) — a conservative cell the
+    spec-inference oracle closed, see DESIGN §16; two dequeues never
+    do. *)
 
 open Ooser_core
 

@@ -46,17 +46,21 @@ let add_count t v n = set_count t v (count t v + n)
 let cardinal t = List.length t.members
 let elements t = List.map fst t.members
 
-(* Same-key method compatibility. *)
+(* Same-key method compatibility.  Two same-key removes do NOT commute:
+   [remove] observably returns the dropped insertion count, so whichever
+   runs first returns it and the other returns 0 — the spec-inference
+   oracle (lib/analysis/infer.ml) found the earlier commuting cell
+   unsound.  [cardinal] reads the whole membership, so it commutes with
+   the pure observers and conflicts with every update — cells the same
+   inference run proved, closing a conservative gap. *)
 let same_key_commutes m m' =
   match (m, m') with
-  | "insert", "insert" | "remove", "remove" | "contains", "contains" -> true
-  | "insert", "remove" | "remove", "insert" -> false
-  | "insert", "contains" | "contains", "insert" -> false
-  | "remove", "contains" | "contains", "remove" -> false
+  | "insert", "insert" | "contains", "contains" -> true
+  | "cardinal", ("cardinal" | "contains") | "contains", "cardinal" -> true
   | _ -> false
 
 let spec =
   Commutativity.by_key ~key_of:Commutativity.first_arg
     (Commutativity.predicate ~stable:true ~name:"kv-set"
-       ~vocab:[ "insert"; "remove"; "contains" ]
+       ~vocab:[ "insert"; "remove"; "contains"; "cardinal" ]
        (fun a b -> same_key_commutes (Action.meth a) (Action.meth b)))

@@ -2,8 +2,12 @@
     type commutativity, §2).
 
     Operations on different keys always commute; on the same key,
-    idempotent pairs (insert/insert, remove/remove) commute while
-    insert/remove and membership tests conflict.
+    insert/insert pairs commute (counted representation) while
+    insert/remove, remove/remove (remove observably returns the dropped
+    count, which depends on order) and membership tests conflict;
+    [cardinal] commutes with the pure observers only.  The remove/remove
+    and cardinal cells were corrected by the spec-inference oracle —
+    see DESIGN §16.
 
     Elements carry an internal insertion count (membership = count ≥ 1):
     that is what gives same-key inserts {e commuting compensations} —

@@ -9,3 +9,5 @@ module Lint = Lint
 module Effects = Effects
 module Inherit = Inherit
 module Atlas = Atlas
+module Semantics = Semantics
+module Infer = Infer

@@ -6,12 +6,24 @@
 
 open Ids
 
+(* How a spec was constructed — kept alongside the opaque predicate so
+   the spec-inference analyzer can diff a hand-written matrix against a
+   derived one cell by cell instead of probing blindly. *)
+type structure =
+  | Opaque
+  | Total of bool  (* all_commute / all_conflict *)
+  | Conflict_pairs of (string * string) list
+  | Commute_pairs of (string * string) list
+  | Read_write of { reads : string list; writes : string list }
+  | Keyed of structure
+
 type spec = {
   name : string;
   commutes : Action.t -> Action.t -> bool;
   vocab : string list option;
       (* declared method vocabulary, when the constructor knows it;
          queried by the static analyzer (SPEC* diagnostics) *)
+  structure : structure;
   stable : bool;
       (* the decision depends only on (method, args) pairs — never on
          object state or call timing — so it may be memoized.  Matrix,
@@ -27,17 +39,19 @@ type spec = {
 
 let name s = s.name
 let make ?vocab ?(stable = false) ?(meth_only = false) ~name commutes =
-  { name; commutes; vocab; stable; meth_only }
+  { name; commutes; vocab; structure = Opaque; stable; meth_only }
 let test s a a' = s.commutes a a'
 let vocabulary s = s.vocab
 let stable s = s.stable
 let meth_only s = s.meth_only
+let structure s = s.structure
 
 let all_commute =
   {
     name = "all-commute";
     commutes = (fun _ _ -> true);
     vocab = None;
+    structure = Total true;
     stable = true;
     meth_only = true;
   }
@@ -47,6 +61,7 @@ let all_conflict =
     name = "all-conflict";
     commutes = (fun _ _ -> false);
     vocab = None;
+    structure = Total false;
     stable = true;
     meth_only = true;
   }
@@ -59,63 +74,75 @@ let vocab_of_pairs pairs =
     (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
 
 (* Construction-time validation: a pair listed twice (in either order) is
-   at best redundant and usually a typo for a different pair — reject it
-   rather than silently accepting the duplicate. *)
-let check_pairs ~ctor pairs =
+   at best redundant and usually a typo for a different pair — reject it,
+   naming the spec and the offending pair (inference-generated specs pass
+   through here too, and a bare "duplicate pair" is undebuggable). *)
+let check_pairs ~ctor ~name pairs =
   let rec go = function
     | [] -> ()
     | p :: rest ->
         let a, b = p in
         if sym_mem rest a b then
           invalid_arg
-            (Printf.sprintf "Commutativity.%s: duplicate pair (%s, %s)" ctor a
-               b);
+            (Printf.sprintf
+               "Commutativity.%s: spec %S: duplicate pair (%s, %s)" ctor name
+               a b);
         go rest
   in
   go pairs
 
 let of_conflict_matrix ~name pairs =
-  check_pairs ~ctor:"of_conflict_matrix" pairs;
+  check_pairs ~ctor:"of_conflict_matrix" ~name pairs;
   {
     name;
     commutes =
       (fun a a' -> not (sym_mem pairs (Action.meth a) (Action.meth a')));
     vocab = Some (vocab_of_pairs pairs);
+    structure = Conflict_pairs pairs;
     stable = true;
     meth_only = true;
   }
 
 let of_commute_matrix ~name pairs =
-  check_pairs ~ctor:"of_commute_matrix" pairs;
+  check_pairs ~ctor:"of_commute_matrix" ~name pairs;
   {
     name;
     commutes = (fun a a' -> sym_mem pairs (Action.meth a) (Action.meth a'));
     vocab = Some (vocab_of_pairs pairs);
+    structure = Commute_pairs pairs;
     stable = true;
     meth_only = true;
   }
 
-let rw ~reads ~writes =
-  (* a method classified both ways is self-contradictory: the reads list
-     would win silently, turning an intended write into a read *)
+(* a method classified both ways is self-contradictory: the reads list
+   would win silently, turning an intended write into a read *)
+let rw_named ~name ~reads ~writes =
   List.iter
     (fun m ->
       if List.mem m writes then
         invalid_arg
-          (Printf.sprintf "Commutativity.rw: %s is both a read and a write" m))
+          (Printf.sprintf
+             "Commutativity.rw: spec %S: method %S is both a read and a write"
+             name m))
     reads;
   let dup l =
-    List.exists (fun m -> List.length (List.filter (String.equal m) l) > 1) l
+    List.find_opt
+      (fun m -> List.length (List.filter (String.equal m) l) > 1)
+      l
   in
-  if dup reads || dup writes then
-    invalid_arg "Commutativity.rw: duplicate method";
+  (match (dup reads, dup writes) with
+  | Some m, _ | _, Some m ->
+      invalid_arg
+        (Printf.sprintf "Commutativity.rw: spec %S: method %S listed twice"
+           name m)
+  | None, None -> ());
   let kind m =
     if List.mem m reads then `Read
     else if List.mem m writes then `Write
     else `Unknown
   in
   {
-    name = "read-write";
+    name;
     commutes =
       (fun a a' ->
         match (kind (Action.meth a), kind (Action.meth a')) with
@@ -123,9 +150,12 @@ let rw ~reads ~writes =
         | `Read, `Write | `Write, `Read | `Write, `Write -> false
         | `Unknown, _ | _, `Unknown -> false);
     vocab = Some (List.sort_uniq String.compare (reads @ writes));
+    structure = Read_write { reads; writes };
     stable = true;
     meth_only = true;
   }
+
+let rw ~reads ~writes = rw_named ~name:"read-write" ~reads ~writes
 
 (* Refine [inner]: actions addressing different keys always commute;
    actions on the same key (or with no key) defer to [inner].  This is the
@@ -140,6 +170,7 @@ let by_key ~key_of inner =
         | Some k, Some k' when not (Value.equal k k') -> true
         | _ -> inner.commutes a a');
     vocab = inner.vocab;
+    structure = Keyed inner.structure;
     (* [key_of] may only look at the action's method and arguments, so the
        refinement preserves the inner spec's stability — but the decision
        now reads arguments, so it is never method-only *)
@@ -148,7 +179,7 @@ let by_key ~key_of inner =
   }
 
 let predicate ?vocab ?(stable = false) ?(meth_only = false) ~name f =
-  { name; commutes = f; vocab; stable; meth_only }
+  { name; commutes = f; vocab; structure = Opaque; stable; meth_only }
 
 let first_arg a = match Action.args a with [] -> None | v :: _ -> Some v
 
@@ -351,16 +382,21 @@ let class_key a a' =
   }
 
 (* Raw spec query (no same-process rule), memoized for stable specs.
-   A preloaded atlas table answers first — but only for specs whose
-   decision is method-only, since the table is keyed by method names. *)
+   A preloaded atlas table answers first — for any STABLE spec, because
+   every table builder only inserts cells whose answer is provably
+   argument-independent: the static atlas compiles meth_only specs
+   (trivially so), and the spec-inference pipeline compiles a cell only
+   after the answer was uniform across every probed argument class and
+   agreed with the hand spec on every probe.  Unstable specs always
+   bypass the table — their answers depend on live object state. *)
 let cached_test c a a' =
   let s = c.reg.spec_for (Action.obj a) in
   if not s.stable then s.commutes a a'
   else
     let from_atlas =
       match c.atlas with
-      | Some tbl when s.meth_only -> table_lookup tbl a a'
-      | _ -> None
+      | Some tbl -> table_lookup tbl a a'
+      | None -> None
     in
     match from_atlas with
     | Some b ->

@@ -14,7 +14,23 @@ open Ids
 (** Specification for one object (or one object type). *)
 type spec
 
+(** Construction shape of a specification, exposed for introspection:
+    the spec-inference analyzer diffs an inferred matrix against the
+    hand-written one cell by cell, and needs to know which declared
+    pairs a cell corresponds to.  [Opaque] is every {!make}/{!predicate}
+    spec — only probing can interrogate those. *)
+type structure =
+  | Opaque
+  | Total of bool  (** {!all_commute} ([true]) / {!all_conflict} *)
+  | Conflict_pairs of (string * string) list
+  | Commute_pairs of (string * string) list
+  | Read_write of { reads : string list; writes : string list }
+  | Keyed of structure  (** {!by_key} refinement over the inner shape *)
+
 val name : spec -> string
+
+val structure : spec -> structure
+(** How the spec was built; [Opaque] when only the predicate is known. *)
 
 val make :
   ?vocab:string list ->
@@ -67,17 +83,24 @@ val all_conflict : spec
 
 val of_conflict_matrix : name:string -> (string * string) list -> spec
 (** Method pairs listed (symmetrically) conflict; all others commute.
-    @raise Invalid_argument on a pair listed twice (in either order). *)
+    @raise Invalid_argument on a pair listed twice (in either order);
+    the message names the spec and the offending pair. *)
 
 val of_commute_matrix : name:string -> (string * string) list -> spec
 (** Method pairs listed (symmetrically) commute; all others conflict.
-    @raise Invalid_argument on a pair listed twice (in either order). *)
+    @raise Invalid_argument on a pair listed twice (in either order);
+    the message names the spec and the offending pair. *)
 
 val rw : reads:string list -> writes:string list -> spec
+(** [rw_named ~name:"read-write"]. *)
+
+val rw_named :
+  name:string -> reads:string list -> writes:string list -> spec
 (** Classic read/write semantics: two actions conflict unless both are
     reads.  Unknown methods conservatively conflict with everything.
     @raise Invalid_argument when a method is listed twice or classified
-    both as a read and as a write. *)
+    both as a read and as a write; the message names the spec and the
+    offending method. *)
 
 val by_key : key_of:(Action.t -> Value.t option) -> spec -> spec
 (** Refine a spec: actions addressing different keys always commute;
@@ -133,11 +156,16 @@ val conflicts : registry -> Action.t -> Action.t -> bool
 
     The static conflict atlas compiles, for every workload-reachable
     object whose spec is {!stable} and {!meth_only}, the full
-    method x method commutativity matrix into a dense table.  A table
-    {!preload}ed into a {!cache} answers probes with two array reads;
-    uncovered cells (and every arg-sensitive or unstable spec) fall
+    method x method commutativity matrix into a dense table; the
+    spec-inference pipeline additionally compiles stable arg-sensitive
+    specs, but only the cells it proved argument-independent (uniform
+    across every probed argument class) and hand-agreeing.  A table
+    {!preload}ed into a {!cache} answers probes with two array reads for
+    any {!stable} spec; uncovered cells (and every unstable spec) fall
     through to the normal memoized probe, so preloading never changes an
-    answer — only where it comes from. *)
+    answer — only where it comes from.  The table invariant every
+    builder must uphold: a covered cell's answer is independent of the
+    actions' arguments. *)
 
 type table_entry = {
   e_obj : string;  (** original object name (ranks share the spec) *)
@@ -161,8 +189,9 @@ val table_stats : table -> int * int
 val table_lookup : table -> Action.t -> Action.t -> bool option
 (** Raw table answer for two same-object actions; [None] when the
     object or either method is not covered.  The caller must ensure the
-    object's runtime spec is {!meth_only} — the table is keyed by method
-    names alone. *)
+    object's runtime spec is {!stable} — the table is keyed by method
+    names alone, which is safe because covered cells are
+    argument-independent by construction. *)
 
 (** {2 Memoized queries}
 
@@ -180,8 +209,7 @@ val cache_registry : cache -> registry
 
 val preload : cache -> table -> unit
 (** Install a precomputed conflict table: subsequent {!cached_test}
-    probes on stable {!meth_only} specs consult it before the memo
-    table. *)
+    probes on {!stable} specs consult it before the memo table. *)
 
 val preloaded : cache -> table option
 

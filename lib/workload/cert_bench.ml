@@ -67,6 +67,15 @@ type atlas_parity = {
   table_ns : float;  (* dense-table decision *)
 }
 
+type infer_stats = {
+  infer_decided : int;  (* cells the inference decided on the adts target *)
+  infer_total : int;
+  infer_table_cells : int;  (* argument-independent cells it compiled *)
+  infer_table_hits : int;  (* probe decisions the inferred table answered *)
+  hand_probe_ns : float;  (* memoised hand-spec probe decision *)
+  inferred_table_ns : float;  (* same decision from the inferred table *)
+}
+
 type result = {
   n_txns : int;
   chunk : int;
@@ -79,6 +88,7 @@ type result = {
   incremental_sublinear : bool;
   scratch_superlinear : bool;
   atlas : atlas_parity;
+  infer : infer_stats;
 }
 
 let time f =
@@ -217,24 +227,65 @@ let lookup_pairs () =
       ])
     [ hot; w 1; w 2; w 3 ]
 
+let time_lookup pairs c =
+  let reps = 20_000 in
+  (* first pass warms the memo (probe path) / pays nothing (table) *)
+  List.iter (fun (a, b) -> ignore (Commutativity.cached_test c a b)) pairs;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    List.iter (fun (a, b) -> ignore (Commutativity.cached_test c a b)) pairs
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (reps * List.length pairs)
+
 let lookup_bench tbl =
   let pairs = lookup_pairs () in
-  let reps = 20_000 in
-  let time c =
-    (* first pass warms the memo (probe path) / pays nothing (table) *)
-    List.iter (fun (a, b) -> ignore (Commutativity.cached_test c a b)) pairs;
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to reps do
-      List.iter (fun (a, b) -> ignore (Commutativity.cached_test c a b)) pairs
-    done;
-    (Unix.gettimeofday () -. t0)
-    *. 1e9
-    /. float_of_int (reps * List.length pairs)
-  in
   let probe_c = Commutativity.cached registry in
   let table_c = Commutativity.cached registry in
   Commutativity.preload table_c tbl;
-  (time probe_c, time table_c)
+  (time_lookup pairs probe_c, time_lookup pairs table_c)
+
+(* Spec-inference datapoint: probe latency of the hand specs (memoised
+   predicate calls, keyed dispatch) against the same decisions answered
+   from the inferred conflict table compiled by Infer.run — plus the
+   inference coverage itself. *)
+let infer_stats () =
+  let target = Lint_targets.adts () in
+  let r = Analysis.Infer.run target in
+  let mk top obj meth args =
+    Action.v
+      ~id:(Ids.Action_id.v ~top ~path:[ 1 ])
+      ~obj:(Obj_id.v obj) ~meth ~args
+      ~process:(Ids.Process_id.main top)
+      ()
+  in
+  let a = Value.str "a" and b = Value.str "b" in
+  (* pairs whose cells the inference proved argument-independent, so
+     the preloaded inferred table answers every one of them *)
+  let pairs =
+    [
+      (mk 1 "set" "insert" [ a ], mk 2 "set" "insert" [ b ]);
+      (mk 1 "set" "contains" [ a ], mk 2 "set" "cardinal" []);
+      (mk 1 "set" "insert" [ a ], mk 2 "set" "cardinal" []);
+      (mk 1 "dir" "lookup" [ a ], mk 2 "dir" "lookup" [ b ]);
+      (mk 1 "dir" "list" [], mk 2 "dir" "bind" [ a; Value.int 1 ]);
+      (mk 1 "dir" "list" [], mk 2 "dir" "lookup" [ a ]);
+    ]
+  in
+  let reg = target.Analysis.Lint.registry in
+  let probe_c = Commutativity.cached reg in
+  let table_c = Commutativity.cached reg in
+  Commutativity.preload table_c r.Analysis.Infer.table;
+  let hand_probe_ns = time_lookup pairs probe_c in
+  let inferred_table_ns = time_lookup pairs table_c in
+  let _, cells = Commutativity.table_stats r.Analysis.Infer.table in
+  {
+    infer_decided = r.Analysis.Infer.decided;
+    infer_total = r.Analysis.Infer.total;
+    infer_table_cells = cells;
+    infer_table_hits = Commutativity.atlas_hits table_c;
+    hand_probe_ns;
+    inferred_table_ns;
+  }
 
 let atlas_run ?(n = 40) () =
   let tbl = atlas_table ~n () in
@@ -292,6 +343,7 @@ let run ?(n = 600) ?(chunk = 50) ?(samples = [ 50; 150; 300; 600 ]) () =
     incremental_sublinear = inc_growth < Float.max (len_growth /. 2.) 2.0;
     scratch_superlinear = scratch_growth >= scratch_len_growth;
     atlas = atlas_run ();
+    infer = infer_stats ();
   }
 
 let json_points name points =
@@ -321,7 +373,15 @@ let to_json r =
          \"probe_ns\": %.1f, \"table_ns\": %.1f}"
         r.atlas.atlas_n r.atlas.parity r.atlas.committed r.atlas.aborted
         r.atlas.atlas_hits r.atlas.table_cells r.atlas.probe_ns
-        r.atlas.table_ns;
+        r.atlas.table_ns
+      ^ ",";
+      Printf.sprintf
+        "  \"infer\": {\"decided\": %d, \"total\": %d, \"table_cells\": %d, \
+         \"table_hits\": %d, \"hand_probe_ns\": %.1f, \
+         \"inferred_table_ns\": %.1f}"
+        r.infer.infer_decided r.infer.infer_total r.infer.infer_table_cells
+        r.infer.infer_table_hits r.infer.hand_probe_ns
+        r.infer.inferred_table_ns;
       "}";
     ]
 
@@ -346,5 +406,10 @@ let pp ppf r =
     (if r.atlas.parity then "identical to probe path" else "MISMATCH")
     r.atlas.committed r.atlas.aborted r.atlas.atlas_hits;
   Fmt.pf ppf
-    "conflict lookup: probe %.1f ns vs table %.1f ns (%d cells)@]"
-    r.atlas.probe_ns r.atlas.table_ns r.atlas.table_cells
+    "conflict lookup: probe %.1f ns vs table %.1f ns (%d cells)@,"
+    r.atlas.probe_ns r.atlas.table_ns r.atlas.table_cells;
+  Fmt.pf ppf
+    "spec inference (adts): %d/%d cells decided, %d compiled; hand probe \
+     %.1f ns vs inferred table %.1f ns (%d table hits)@]"
+    r.infer.infer_decided r.infer.infer_total r.infer.infer_table_cells
+    r.infer.hand_probe_ns r.infer.inferred_table_ns r.infer.infer_table_hits

@@ -25,6 +25,19 @@ type atlas_parity = {
   table_ns : float;  (** mean dense-table decision time *)
 }
 
+type infer_stats = {
+  infer_decided : int;
+      (** cells the spec inference decided on the adts target *)
+  infer_total : int;
+  infer_table_cells : int;
+      (** argument-independent hand-agreeing cells it compiled *)
+  infer_table_hits : int;
+      (** benchmark probe decisions the inferred table answered *)
+  hand_probe_ns : float;  (** memoised hand-spec probe decision time *)
+  inferred_table_ns : float;
+      (** the same decisions answered from the inferred table *)
+}
+
 type result = {
   n_txns : int;
   chunk : int;  (** commits averaged per incremental point *)
@@ -39,6 +52,9 @@ type result = {
           timer noise on short runs *)
   scratch_superlinear : bool;  (** scratch grows at least with length *)
   atlas : atlas_parity;
+  infer : infer_stats;
+      (** spec-inference coverage and inferred-table lookup latency
+          ({!Ooser_analysis.Infer.run} on the adts target) *)
 }
 
 val tree : int -> Call_tree.t

@@ -48,5 +48,19 @@ let encyclopedia ~seed () =
     ~summaries:(Enc_workload.static_summaries ~rng:(Rng.create ~seed) p enc)
     db
 
+(* The four semantic ADTs of §2 registered standalone: the primary
+   spec-inference target — every object here has an executable model in
+   Ooser_analysis.Semantics.  No summaries: the target is about the
+   specs, not a workload. *)
+let adts () =
+  let db = Database.create () in
+  let _counter =
+    Adt_objects.register_counter db (Obj_id.v "counter") ~low:0 ~high:100 50
+  in
+  let _set = Adt_objects.register_set db (Obj_id.v "set") in
+  let _queue = Adt_objects.register_queue db (Obj_id.v "queue") in
+  let _dir = Adt_objects.register_directory db (Obj_id.v "dir") in
+  of_database ~name:"adts" db
+
 let all ~seed () =
   [ banking ~seed (); inventory ~seed (); encyclopedia ~seed () ]

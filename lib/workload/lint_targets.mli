@@ -24,5 +24,12 @@ val encyclopedia : seed:int -> unit -> Analysis.Lint.target
 (** Built without preloading (no engine run): the analyzer sees the
     schema-level objects plus the initial root leaf and page. *)
 
+val adts : unit -> Analysis.Lint.target
+(** The four semantic ADTs (escrow counter, kv set, fifo queue,
+    directory) registered standalone — the primary target of
+    [oosdb infer]: every object has an executable model in
+    {!Ooser_analysis.Semantics}. *)
+
 val all : seed:int -> unit -> Analysis.Lint.target list
-(** The three targets above, the registries [oosdb lint] gates on. *)
+(** The three workload targets above, the registries [oosdb lint] gates
+    on.  ([adts] rides along in [oosdb infer --suite all].) *)

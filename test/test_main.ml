@@ -40,4 +40,5 @@ let () =
          Test_incremental.suites;
          Test_server.suites;
          Test_crash.suites;
+         Test_infer.suites;
        ])
