@@ -228,6 +228,83 @@ let acceptance_cmd =
 
 (* -- bench -------------------------------------------------------------------- *)
 
+(* One sharded-engine datapoint: a short mixed single-/cross-shard run
+   through the dispatcher — cross-shard commit rate, coordinator
+   round-trip time, per-shard certifier depth. *)
+let shard_datapoint ~shards ~txns =
+  let module D = Ooser_shard.Dispatcher in
+  let module Router = Ooser_shard.Router in
+  let n_keys = 16 * shards in
+  let d =
+    D.create
+      {
+        D.shards;
+        db_kind = `Encyclopedia;
+        protocol_kind = `Open;
+        preload = n_keys;
+        fanout = 4;
+        accounts = 10;
+        products = 4;
+        durable_dir = None;
+      }
+  in
+  Fun.protect ~finally:(fun () -> D.shutdown d) @@ fun () ->
+  let router = D.router d in
+  let key i = Printf.sprintf "k%05d" i in
+  (* first preloaded key on [shard], probing from [start] *)
+  let key_on shard start =
+    let rec go i =
+      if i >= n_keys then key start
+      else
+        let k = key ((start + i) mod n_keys) in
+        if
+          Router.shard_of_call router ~obj:"Enc" ~args:[ Ooser_core.Value.str k ]
+          = shard
+        then k
+        else go (i + 1)
+    in
+    go 0
+  in
+  for i = 0 to txns - 1 do
+    let top = i + 1 in
+    D.begin_txn d ~top ~name:(Printf.sprintf "bench%d" top) ~deadline:None;
+    let s0 = i mod shards in
+    (* every fourth transaction reaches across to its neighbour shard *)
+    let s1 = if i mod 4 = 0 && shards > 1 then (s0 + 1) mod shards else s0 in
+    List.iteri
+      (fun j shard ->
+        D.call d ~top ~obj:"Enc" ~meth:"update"
+          ~args:
+            [
+              Ooser_core.Value.str (key_on shard (i + (7 * j)));
+              Ooser_core.Value.str "bench";
+            ])
+      [ s0; s1 ];
+    D.commit d ~top;
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec wait () =
+      D.poll d;
+      match D.txn_state d top with
+      | (`Running | `Unknown) when Unix.gettimeofday () < deadline ->
+          ignore (Unix.select [ D.wake_fd d ] [] [] 0.005);
+          wait ()
+      | _ -> ()
+    in
+    wait ();
+    D.retire d ~top
+  done;
+  let c k = match List.assoc_opt k (D.counters d) with Some v -> v | None -> 0 in
+  let depths = List.map (fun s -> s.D.cert_depth) (D.stats d ()) in
+  let commits = c "commits" and cross = c "cross-shard-commits" in
+  Printf.sprintf
+    "  \"shard\": {\"shards\": %d, \"txns\": %d, \"committed\": %d, \
+     \"cross_shard_commits\": %d, \"cross_rate\": %.3f, \
+     \"coordinator_roundtrip_ns\": %d, \"cert_depth\": [%s]}"
+    shards txns commits cross
+    (if commits > 0 then float_of_int cross /. float_of_int commits else 0.0)
+    (c "roundtrip-ns-avg")
+    (String.concat ", " (List.map string_of_int depths))
+
 let bench_cmd =
   let n =
     Arg.(value & opt int 600
@@ -245,10 +322,15 @@ let bench_cmd =
     in
     let r = Cert_bench.run ~n ~samples () in
     Fmt.pr "%a@." Cert_bench.pp r;
+    let shard_json = shard_datapoint ~shards:4 ~txns:48 in
+    Fmt.pr "shard datapoint:@.%s@." shard_json;
     (match json with
     | Some file ->
         let oc = open_out file in
-        output_string oc (Cert_bench.to_json r);
+        let base = Cert_bench.to_json r in
+        (* splice the shard datapoint into the top-level object *)
+        let body = String.sub base 0 (String.rindex base '}') in
+        output_string oc (body ^ ",\n" ^ shard_json ^ "\n}");
         output_string oc "\n";
         close_out oc;
         Fmt.pr "wrote %s@." file
@@ -538,14 +620,27 @@ let serve_cmd =
          & info [ "durable" ] ~docv:"DIR"
              ~doc:
                "Journal commits to $(docv)/oplog.bin; on boot, recover \
-                $(docv)'s snapshot and stable log before serving.")
+                $(docv)'s snapshot and stable log before serving.  With \
+                $(b,--shards), each shard journals to $(docv)/shard-N and \
+                the coordinator's decisions to $(docv)/decisions.bin.")
   in
-  let run socket port db protocol max_inflight timeout_ms preload durable =
+  let shards =
+    Arg.(value & opt int 0
+         & info [ "shards" ]
+             ~doc:
+               "Partition objects across $(docv) shard engines, each on \
+                its own domain; cross-shard transactions two-phase-commit \
+                through the Def. 15 edge-exchange coordinator.  0 = one \
+                engine, no dispatcher." ~docv:"N")
+  in
+  let run socket port db protocol max_inflight timeout_ms preload durable
+      shards =
     let config =
       {
         (Srv.default_config (addr_of socket port)) with
         Srv.db_kind = db;
         protocol_kind = protocol;
+        shards;
         max_inflight;
         default_timeout_ms = timeout_ms;
         preload;
@@ -553,11 +648,12 @@ let serve_cmd =
       }
     in
     let t = Srv.create config in
-    Fmt.pr "oosdb serve: %a db=%s protocol=%s max-inflight=%d%s@."
+    Fmt.pr "oosdb serve: %a db=%s protocol=%s max-inflight=%d%s%s@."
       Srv.pp_addr config.Srv.addr
       (Srv.db_kind_name db)
       (Srv.protocol_kind_name protocol)
       max_inflight
+      (if shards > 0 then Printf.sprintf " shards=%d" shards else "")
       (match durable with Some d -> " durable=" ^ d | None -> "");
     (match Srv.last_recovery t with
     | Some r ->
@@ -590,7 +686,7 @@ let serve_cmd =
           unix-domain socket, multiplexed onto one engine.  Exits non-zero \
           if the committed history fails certification.")
     Term.(const run $ socket_arg $ port_arg $ db $ protocol $ max_inflight
-          $ timeout_ms $ preload $ durable)
+          $ timeout_ms $ preload $ durable $ shards)
 
 (* -- recover ------------------------------------------------------------------- *)
 
@@ -624,7 +720,92 @@ let recover_cmd =
              ~doc:"After a successful replay, fold the winners into the \
                    snapshot and truncate the log.")
   in
-  let run dir db protocol preload checkpoint =
+  let shards_arg =
+    Arg.(value & opt int 0
+         & info [ "shards" ] ~docv:"N"
+             ~doc:
+               "Recover a sharded server's directory: $(docv) per-shard \
+                subdirectories (shard-0 ..), with in-doubt prepared \
+                transactions resolved against DIR/decisions.bin \
+                (presumed abort without a logged commit decision).")
+  in
+  (* one shard of a sharded durable directory: the shard's database
+     holds only the keys the router places there, and its log is
+     resolved against the coordinator's decision log before replay *)
+  let recover_shard ~dir ~db ~proto_kind ~preload ~checkpoint ~router ~shards
+      ~decisions i =
+    let module Router = Ooser_shard.Router in
+    let module DL = Ooser_recovery.Decision_log in
+    let sdir = Filename.concat dir (Printf.sprintf "shard-%d" i) in
+    let database = Database.create () in
+    (match db with
+    | `Encyclopedia ->
+        let enc = Encyclopedia.create ~fanout:4 database in
+        Enc_workload.preload database enc ~keys:preload ~keep:(fun k ->
+            Router.shard_of_call router ~obj:"Enc" ~args:[ Value.str k ] = i)
+    | `Banking ->
+        for a = 0 to 9 do
+          ignore
+            (Banking.register_account database ~semantics:`Escrow a
+               ~balance:100 ~low:0 ~high:1_000_000)
+        done
+    | `Inventory -> ignore (Inventory.create ~products:4 database));
+    let reg = Database.spec_registry database in
+    let proto =
+      match proto_kind with
+      | `Open -> Protocol.open_nested ~reg ()
+      | `Flat -> Protocol.flat_2pl ~reg ()
+      | `Closed -> Protocol.closed_nested ~reg ()
+      | `Certify -> Protocol.unlocked ()
+    in
+    let snapshot = RSnapshot.load ~dir:sdir in
+    let records = DL.resolve ~decisions (Oplog.load ~dir:sdir) in
+    let _, report =
+      Engine.recover ?snapshot database ~protocol:proto
+        (Oplog.of_records records)
+    in
+    let plan = report.Engine.plan in
+    Fmt.pr
+      "shard %d: %d winners (%d snapshot-deduped), %d undone, \
+       re-certified=%b@."
+      i
+      (List.length report.Engine.rec_winners)
+      report.Engine.skipped_attempts
+      (List.length report.Engine.undone)
+      report.Engine.recertified;
+    let ok = report.Engine.recertified && report.Engine.replay_failures = 0 in
+    if ok && checkpoint then begin
+      let base = Option.value snapshot ~default:RSnapshot.empty in
+      let snap = Recovery.snapshot_of ~base plan in
+      RSnapshot.save ~dir:sdir snap;
+      try Sys.remove (Oplog.log_file ~dir:sdir) with Sys_error _ -> ()
+    end;
+    ignore shards;
+    ok
+  in
+  let run dir db protocol preload checkpoint shards =
+    if shards > 0 then begin
+      let module Router = Ooser_shard.Router in
+      let module DL = Ooser_recovery.Decision_log in
+      let router = Router.create ~shards in
+      let decisions = DL.load ~dir in
+      Fmt.pr "decisions:  %d logged (%d commit)@." (List.length decisions)
+        (List.length (List.filter (fun d -> d.DL.commit) decisions));
+      let ok = ref true in
+      for i = 0 to shards - 1 do
+        if
+          not
+            (recover_shard ~dir ~db ~proto_kind:protocol ~preload ~checkpoint
+               ~router ~shards ~decisions i)
+        then ok := false
+      done;
+      if !ok && checkpoint then begin
+        DL.reset ~dir;
+        Fmt.pr "checkpointed: %d shards, decision log reset@." shards
+      end;
+      if !ok then 0 else 1
+    end
+    else begin
     let config =
       {
         (Srv.default_config (Srv.Tcp 0)) with
@@ -669,6 +850,7 @@ let recover_cmd =
         (List.length snap.RSnapshot.entries)
     end;
     if ok then 0 else 1
+    end
   in
   Cmd.v
     (Cmd.info "recover"
@@ -677,7 +859,7 @@ let recover_cmd =
           through a fresh engine, report the winners / losers, and \
           re-certify the recovered history.  Exits non-zero if replay \
           fails or the history is not oo-serializable.")
-    Term.(const run $ dir $ db $ protocol $ preload $ checkpoint)
+    Term.(const run $ dir $ db $ protocol $ preload $ checkpoint $ shards_arg)
 
 (* "Obj.meth arg.." with ints, true/false and bare strings as values *)
 let parse_call spec =
@@ -819,12 +1001,36 @@ let loadgen_cmd =
     Arg.(value & flag
          & info [ "shutdown" ] ~doc:"Ask the server to drain and exit after the run.")
   in
+  let rate =
+    Arg.(value & opt float 0.0
+         & info [ "rate" ] ~docv:"TXN/S"
+             ~doc:
+               "Open-loop mode: transactions arrive on a global schedule \
+                of $(docv) per second and latency is measured from the \
+                scheduled arrival (includes backlog queueing).  0 = \
+                closed loop.")
+  in
+  let route_shards =
+    Arg.(value & opt int 0
+         & info [ "route-shards" ] ~docv:"N"
+             ~doc:
+               "Shard-affine mix against a --shards $(docv) server: each \
+                session keeps its keys on its home shard so transactions \
+                stay single-shard except for --cross excursions.")
+  in
+  let cross =
+    Arg.(value & opt float 0.05
+         & info [ "cross" ]
+             ~doc:
+               "With --route-shards: probability a call targets a foreign \
+                shard, forcing a cross-shard 2PC commit.")
+  in
   let json =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"Write the result as JSON to $(docv).")
   in
   let run socket port sessions txns calls db seed timeout_ms keys theta
-      shutdown json =
+      shutdown rate route_shards cross json =
     let cfg =
       {
         (Loadgen.default_cfg (Srv.sockaddr_of (addr_of socket port))) with
@@ -837,6 +1043,9 @@ let loadgen_cmd =
         key_universe = keys;
         theta;
         shutdown;
+        rate;
+        route_shards;
+        cross;
       }
     in
     let r = Loadgen.run cfg in
@@ -873,7 +1082,8 @@ let loadgen_cmd =
           transactions committed and the server certified the history \
           oo-serializable.")
     Term.(const run $ socket_arg $ port_arg $ sessions $ txns $ calls $ db
-          $ seed $ timeout_ms $ keys $ theta $ shutdown $ json)
+          $ seed $ timeout_ms $ keys $ theta $ shutdown $ rate
+          $ route_shards $ cross $ json)
 
 let main =
   Cmd.group

@@ -154,6 +154,11 @@ type txn = {
       (* absolute time (config.now clock) past which the transaction is
          aborted instead of being run further — the per-session deadline
          of the network server; [check_deadlines] enforces it *)
+  mutable pinned : bool;
+      (* a 2PC participant that has voted: it holds its locks but may no
+         longer be aborted unilaterally by this engine — wound-wait and
+         deadline expiry skip it and leave the decision to the
+         coordinator (see [wounded_pinned]) *)
 }
 
 type strategy =
@@ -197,6 +202,11 @@ type config = {
          [ext_memo] below may retain; longer prefixes are certified
          without memoisation so a long-lived engine cannot pin an
          arbitrarily large extension in memory *)
+  next_stamp : (unit -> int) option;
+      (* source of execution stamps for recorded primitives; [None] uses
+         the engine's own monotone counter.  Shard engines share one
+         atomic counter so that merging their committed orders by stamp
+         yields a single global execution order. *)
 }
 
 let default_config protocol =
@@ -211,6 +221,7 @@ let default_config protocol =
     certify_oracle = false;
     now = (fun () -> 0.0);
     ext_memo_max = 4096;
+    next_stamp = None;
   }
 
 type t = {
@@ -255,6 +266,10 @@ type t = {
          registered compensation) / SUBCOMMIT / COMMIT / ABORT, forced
          at top commit.  [None] (the default) costs one branch per
          site. *)
+  mutable wounded_pinned : int list;
+      (* pinned transactions an older requester tried to wound; the
+         shard loop drains this ([take_wounded_pinned]) and escalates to
+         the 2PC coordinator, which may abort the global transaction *)
 }
 
 type outcome = {
@@ -629,9 +644,15 @@ let complete_frame eng txn task v =
          execution order (Axiom 1); a transaction that called nothing is
          itself a leaf and is recorded too *)
       if f.child_trees = [] then begin
-        eng.order <-
-          (txn.top, txn.attempt, Action.id f.action, eng.stamp) :: eng.order;
-        eng.stamp <- eng.stamp + 1
+        let stamp =
+          match eng.config.next_stamp with
+          | Some next -> next ()
+          | None ->
+              let s = eng.stamp in
+              eng.stamp <- eng.stamp + 1;
+              s
+        in
+        eng.order <- (txn.top, txn.attempt, Action.id f.action, stamp) :: eng.order
       end;
       let is_txn_root = rest = [] && task.t_parent = None in
       if not is_txn_root then Protocol.on_end eng.config.protocol f.action;
@@ -799,6 +820,12 @@ let start_invocation eng txn task (inv : Runtime.invocation) action k =
                                && x.aborting = None)
                      eng.txns
                  with
+                 | Some victim when victim.pinned ->
+                     (* a prepared 2PC participant cannot be aborted
+                        here; record the wound so the coordinator can
+                        decide the global transaction instead *)
+                     if not (List.mem victim.top eng.wounded_pinned) then
+                       eng.wounded_pinned <- victim.top :: eng.wounded_pinned
                  | Some victim ->
                      Stats.Counter.incr eng.counters "wounds";
                      abort_txn eng victim ~retry:true "wounded"
@@ -1164,6 +1191,7 @@ let create ?(config : config option) db ~protocol bodies =
           first_step = -1;
           commit_step = -1;
           deadline = None;
+          pinned = false;
         })
       bodies
   in
@@ -1186,6 +1214,7 @@ let create ?(config : config option) db ~protocol bodies =
     ext_memo = None;
     counters = Stats.Counter.create ();
     journal = None;
+    wounded_pinned = [];
   }
 
 let set_journal (eng : t) j = eng.journal <- j
@@ -1459,6 +1488,7 @@ let submit (eng : t) ~top ~name ?deadline body =
           first_step = -1;
           commit_step = -1;
           deadline;
+          pinned = false;
         };
       ]
 
@@ -1506,7 +1536,7 @@ let check_deadlines (eng : t) =
   List.iter
     (fun txn ->
       match (txn.status, txn.aborting, txn.deadline) with
-      | Running, None, Some d when now > d ->
+      | Running, None, Some d when now > d && not txn.pinned ->
           Stats.Counter.incr eng.counters "deadline-aborts";
           abort_txn eng txn ~retry:false "deadline exceeded"
       | _ -> ())
@@ -1578,6 +1608,136 @@ let retire (eng : t) ~top =
 
 let counters (eng : t) = eng.counters
 let steps (eng : t) = eng.steps
+
+(* -- 2PC participant support ---------------------------------------------------
+
+   A shard engine voting in a distributed commit pins the prepared
+   transaction: it keeps holding its locks but wound-wait and deadline
+   expiry may no longer abort it — only the coordinator's decision (or
+   an explicit [abort_top] after [unpin]) resolves it.  Wounds attempted
+   against pinned transactions are parked in [wounded_pinned] for the
+   shard loop to escalate. *)
+
+let pin (eng : t) ~top =
+  match find_txn eng top with
+  | Some txn when txn.status = Running -> txn.pinned <- true
+  | Some _ | None -> ()
+
+let unpin (eng : t) ~top =
+  match find_txn eng top with
+  | Some txn -> txn.pinned <- false
+  | None -> ()
+
+let take_wounded_pinned (eng : t) =
+  let w = eng.wounded_pinned in
+  eng.wounded_pinned <- [];
+  w
+
+(* After a [pump] to quiescence: true iff the transaction is running,
+   not compensating, and every task is parked on [Runtime.await] — i.e.
+   it has replayed its whole command log and holds stable results.  The
+   shard's prepare step votes only in this state, so the partial tree it
+   reports covers every call of the prepared transaction. *)
+let txn_quiescent (eng : t) ~top =
+  match find_txn eng top with
+  | Some txn ->
+      txn.status = Running && txn.aborting = None && txn.tasks <> []
+      && List.for_all
+           (fun tk ->
+             match tk.pending with Await_input _ -> true | _ -> false)
+           txn.tasks
+  | None -> false
+
+(* The committed history extended with the partial call trees of the
+   still-running transactions in [live] (default: all of them).  This is
+   what a shard's prepare step feeds [Schedule.compute]: dependency
+   edges involving uncommitted neighbours must be reported to the
+   coordinator too, otherwise a cycle through a transaction that
+   prepares later (or never — a single-shard commit) would go unseen.
+   Partial trees contain only *completed* subtrees; primitives recorded
+   under a call frame still on the stack are filtered out of the order
+   so the history stays well-formed, and running transactions that have
+   completed no root-level call yet are omitted entirely (their root
+   would be an order-less leaf). *)
+let observed_history (eng : t) =
+  let committed_tops =
+    List.filter_map
+      (fun txn ->
+        if txn.status = Committed then Some (txn.top, txn.attempt) else None)
+      eng.txns
+    @ eng.retired
+  in
+  let committed_trees =
+    List.filter (fun (top, _) -> List.mem_assoc top committed_tops) eng.trees
+  in
+  let live =
+    List.filter_map
+      (fun txn ->
+        if txn.status = Running && txn.aborting = None then
+          match List.find_opt (fun tk -> tk.t_parent = None) txn.tasks with
+          | Some task -> (
+              match List.rev task.stack with
+              | root :: _ when root.child_trees <> [] ->
+                  Some ((txn.top, txn.attempt), tree_of_frame root)
+              | _ -> None)
+          | None -> None
+        else None)
+      eng.txns
+  in
+  let atts = committed_tops @ List.map (fun ((top, att), _) -> (top, att)) live in
+  let trees =
+    committed_trees @ List.map (fun ((top, _), tree) -> (top, tree)) live
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let leaves =
+    List.fold_left
+      (fun acc (_, tree) ->
+        List.fold_left
+          (fun acc act -> Ids.Action_id.Set.add (Action.id act) acc)
+          acc
+          (Call_tree.primitives tree))
+      Ids.Action_id.Set.empty trees
+  in
+  let order =
+    List.rev eng.order
+    |> List.filter_map (fun (top, att, id, _) ->
+           match List.assoc_opt top atts with
+           | Some a when a = att && Ids.Action_id.Set.mem id leaves -> Some id
+           | _ -> None)
+  in
+  History.v ~tops:(List.map snd trees) ~order
+    ~commut:(Database.spec_registry eng.db)
+
+(* The committed execution order with its stamps, final attempts only —
+   [(action id, stamp)] in log order.  With a shared [next_stamp]
+   counter, sorting several shards' stamped orders together reconstructs
+   the global execution order. *)
+let stamped_order (eng : t) =
+  let committed_tops =
+    List.filter_map
+      (fun txn ->
+        if txn.status = Committed then Some (txn.top, txn.attempt) else None)
+      eng.txns
+    @ eng.retired
+  in
+  List.rev eng.order
+  |> List.filter_map (fun (top, att, id, stamp) ->
+         match List.assoc_opt top committed_tops with
+         | Some final when final = att -> Some (id, stamp)
+         | _ -> None)
+
+(* Committed call trees by top, final attempts — the raw material for a
+   dispatcher-side merged history. *)
+let committed_trees (eng : t) =
+  let committed_tops =
+    List.filter_map
+      (fun txn ->
+        if txn.status = Committed then Some (txn.top, txn.attempt) else None)
+      eng.txns
+    @ eng.retired
+  in
+  List.filter (fun (top, _) -> List.mem_assoc top committed_tops) eng.trees
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 (* -- durable recovery ---------------------------------------------------------
 

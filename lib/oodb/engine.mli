@@ -77,6 +77,11 @@ type config = {
           oracle-certification extension memo may retain; longer
           prefixes are certified without memoisation, so a long-lived
           engine cannot pin an arbitrarily large extension in memory *)
+  next_stamp : (unit -> int) option;
+      (** source of execution stamps for recorded primitives; [None]
+          (the default) uses the engine's own monotone counter.  Shard
+          engines share one atomic counter so their committed orders
+          merge into a single global execution order by stamp. *)
 }
 
 val default_config : Protocol.t -> config
@@ -206,6 +211,42 @@ val atlas_hits : t -> int
 val final_history : t -> History.t
 (** The history of every committed transaction, including retired
     ones. *)
+
+val observed_history : t -> History.t
+(** {!final_history} extended with the partial (completed-subtree) call
+    trees of still-running transactions.  A shard's 2PC prepare feeds
+    this to [Schedule.compute] so that dependency edges involving
+    uncommitted neighbours are reported to the coordinator too.
+    Running transactions with no completed root-level call yet are
+    omitted. *)
+
+val stamped_order : t -> (Ids.Action_id.t * int) list
+(** The committed execution order with stamps, final attempts only, in
+    log order.  With a shared {!type-config}[.next_stamp] counter,
+    sorting several shards' stamped orders merges them into one global
+    execution order. *)
+
+val committed_trees : t -> (int * Call_tree.t) list
+(** Committed call trees keyed by top (final attempts), sorted by top —
+    raw material for a dispatcher-side merged history. *)
+
+val pin : t -> top:int -> unit
+(** Mark a running transaction as a prepared 2PC participant: it keeps
+    its locks but wound-wait and deadline expiry no longer abort it;
+    attempted wounds are parked for {!take_wounded_pinned}. *)
+
+val unpin : t -> top:int -> unit
+
+val take_wounded_pinned : t -> int list
+(** Drain the tops of pinned transactions that an older requester tried
+    to wound since the last call; the shard loop escalates these to the
+    coordinator, which may abort the global transaction to break a
+    cross-shard deadlock. *)
+
+val txn_quiescent : t -> top:int -> bool
+(** After a {!pump}: the transaction is running, not compensating, and
+    every task is parked on [Runtime.await] — its command log is fully
+    replayed, so a 2PC vote taken now covers all of its calls. *)
 
 val counters : t -> Ooser_sim.Stats.Counter.t
 val steps : t -> int

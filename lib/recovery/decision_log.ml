@@ -1,0 +1,115 @@
+open Ooser_storage
+
+type decision = { top : int; commit : bool; participants : int list }
+
+type t = {
+  mutable sink : out_channel option;
+  mutable appends : int;
+}
+
+let log_file ~dir = Filename.concat dir "decisions.bin"
+
+let encode (d : decision) : string =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u32 w d.top;
+  Codec.Writer.u8 w (if d.commit then 1 else 0);
+  Codec.Writer.u16 w (List.length d.participants);
+  List.iter (Codec.Writer.u16 w) d.participants;
+  Codec.Writer.contents w
+
+let decode (s : string) : decision =
+  let r = Codec.Reader.create s in
+  let top = Codec.Reader.u32 r in
+  let commit = Codec.Reader.u8 r <> 0 in
+  let n = Codec.Reader.u16 r in
+  let participants = List.init n (fun _ -> Codec.Reader.u16 r) in
+  { top; commit; participants }
+
+let open_dir ~dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (log_file ~dir)
+  in
+  { sink = Some oc; appends = 0 }
+
+let append t d =
+  match t.sink with
+  | Some oc ->
+      let w = Codec.Writer.create () in
+      Codec.Writer.lstring w (encode d);
+      output_string oc (Codec.Writer.contents w);
+      t.appends <- t.appends + 1
+  | None -> ()
+
+let force t =
+  match t.sink with
+  | Some oc -> (
+      flush oc;
+      try Unix.fsync (Unix.descr_of_out_channel oc) with _ -> ())
+  | None -> ()
+
+let close t =
+  (match t.sink with Some oc -> close_out_noerr oc | None -> ());
+  t.sink <- None
+
+let appends t = t.appends
+
+let load ~dir =
+  let path = log_file ~dir in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let raw = really_input_string ic n in
+    close_in_noerr ic;
+    let r = Codec.Reader.create raw in
+    let ds = ref [] in
+    (try
+       while not (Codec.Reader.at_end r) do
+         ds := decode (Codec.Reader.lstring r) :: !ds
+       done
+     with Failure _ -> ());
+    List.rev !ds
+  end
+
+let reset ~dir =
+  let path = log_file ~dir in
+  if Sys.file_exists path then Sys.remove path
+
+(* In-doubt resolution for one shard's log.  An attempt is in doubt when
+   it has a [Begin] but neither [Commit] nor [Abort]; a logged commit
+   decision for its top promotes it to a winner by appending a synthetic
+   [Commit].  The prepare protocol forced the shard log before voting,
+   so every call of a prepared attempt is stable whenever the decision
+   is — the synthetic commit never commits a half-logged attempt. *)
+let resolve ~decisions records =
+  let committed_tops =
+    List.filter_map (fun d -> if d.commit then Some d.top else None) decisions
+  in
+  if committed_tops = [] then records
+  else begin
+    let begun = Hashtbl.create 16 (* top -> latest attempt *) in
+    let closed = Hashtbl.create 16 (* (top, attempt) decided in log *) in
+    List.iter
+      (fun (r : Oplog.record) ->
+        match r with
+        | Oplog.Begin { top; attempt; _ } ->
+            let last =
+              match Hashtbl.find_opt begun top with Some a -> a | None -> -1
+            in
+            if attempt > last then Hashtbl.replace begun top attempt
+        | Oplog.Commit { top; attempt } | Oplog.Abort { top; attempt; _ } ->
+            Hashtbl.replace closed (top, attempt) ()
+        | Oplog.Call _ | Oplog.Subcommit _ -> ())
+      records;
+    let synthetic =
+      List.filter_map
+        (fun top ->
+          match Hashtbl.find_opt begun top with
+          | Some attempt when not (Hashtbl.mem closed (top, attempt)) ->
+              Some (Oplog.Commit { top; attempt })
+          | _ -> None)
+        committed_tops
+    in
+    records @ synthetic
+  end

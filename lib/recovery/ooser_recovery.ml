@@ -4,3 +4,4 @@ module Crash = Crash
 module Oplog = Oplog
 module Snapshot = Snapshot
 module Recovery = Recovery
+module Decision_log = Decision_log

@@ -16,6 +16,7 @@
 module Rng = Ooser_sim.Rng
 module Dist = Ooser_sim.Dist
 module Stats = Ooser_sim.Stats
+module Router = Ooser_shard.Router
 open Ooser_core
 
 type cfg = {
@@ -31,6 +32,17 @@ type cfg = {
   accounts : int;
   products : int;
   shutdown : bool;  (* send SHUTDOWN after the run *)
+  rate : float;
+      (* > 0: open-loop mode — transactions arrive on a global schedule
+         of [rate] per second and idle sessions pull the next arrival;
+         latency is then measured from the scheduled arrival, so it
+         includes any backlog queueing.  0 = classic closed loop. *)
+  route_shards : int;
+      (* > 0: shard-affine encyclopedia mix — each session homes on
+         shard [sid mod route_shards] (same router as the server) and
+         picks keys placed there, so its transactions stay single-shard
+         except for deliberate excursions *)
+  cross : float;  (* probability a routed call targets a foreign shard *)
 }
 
 let default_cfg sockaddr =
@@ -47,6 +59,9 @@ let default_cfg sockaddr =
     accounts = 10;
     products = 4;
     shutdown = false;
+    rate = 0.0;
+    route_shards = 0;
+    cross = 0.05;
   }
 
 type result = {
@@ -59,7 +74,11 @@ type result = {
   failed_calls : int;
   elapsed : float;
   throughput : float;  (* committed transactions per second *)
-  latency : Stats.Histogram.t;  (* BEGIN-to-decision, seconds *)
+  latency : Stats.Histogram.t;
+      (* seconds to decision, from the BEGIN actually hitting the
+         socket (closed loop) or from the scheduled arrival (open
+         loop) *)
+  offered_rate : float;  (* 0 = closed loop *)
   certified : bool option;  (* None when no STATS round ran *)
   stats_json : string option;
 }
@@ -68,6 +87,7 @@ type result = {
 
 type sess_state =
   | Awaiting_welcome
+  | Idle_wait  (* open loop: between transactions, waiting for an arrival *)
   | Awaiting_begun
   | Awaiting_result of int  (* calls still to issue after this response *)
   | Awaiting_commit
@@ -80,10 +100,15 @@ type sess = {
   framer : Wire.Framer.t;
   rng : Rng.t;
   existing : Dist.t;  (* skewed choice among preloaded keys *)
+  home : int;  (* home shard when routing; 0 otherwise *)
   mutable out : string;
   mutable state : sess_state;
   mutable txns_left : int;
   mutable began : float;
+  mutable begin_unsent : bool;
+      (* closed loop: the BEGIN is still queued; [began] is stamped
+         when it actually reaches the socket, so latency measures the
+         server, not our own buffering *)
   mutable fresh : int;  (* fresh-key counter for inserts *)
 }
 
@@ -104,34 +129,86 @@ let contains haystack needle =
 
 let queue_req sess req = sess.out <- sess.out ^ Wire.frame (Wire.encode_request req)
 
-let existing_key sess = Printf.sprintf "k%05d" (Dist.sample sess.rng sess.existing)
+let key_of i = Printf.sprintf "k%05d" i
 
-let gen_call cfg sess : Wire.request =
+(* the router the server uses, when shard-affine routing is on *)
+let router_of cfg =
+  if cfg.route_shards > 0 then Some (Router.create ~shards:cfg.route_shards)
+  else None
+
+let on_shard router shard key =
+  Router.shard_of_call router ~obj:"Enc" ~args:[ Value.str key ] = shard
+
+(* Zipf-sample a preloaded key; under routing, probe forward from the
+   sample until one placed on [shard] comes up (placement is dense
+   enough that this terminates quickly). *)
+let existing_key cfg router sess ~shard =
+  let i0 = Dist.sample sess.rng sess.existing in
+  match router with
+  | None -> key_of i0
+  | Some r ->
+      let n = max 1 cfg.key_universe in
+      let rec probe d =
+        if d >= n then key_of i0
+        else
+          let k = key_of ((i0 + d) mod n) in
+          if on_shard r shard k then k else probe (d + 1)
+      in
+      probe 0
+
+(* a fresh key the router places on [shard] *)
+let fresh_key router sess ~shard =
+  let rec go () =
+    sess.fresh <- sess.fresh + 1;
+    let k = Printf.sprintf "s%02dn%04d" sess.sid sess.fresh in
+    match router with
+    | None -> k
+    | Some r -> if on_shard r shard k then k else go ()
+  in
+  go ()
+
+let gen_call cfg router sess : Wire.request =
   match cfg.db_kind with
   | `Encyclopedia ->
+      (* stay on the home shard, with an occasional deliberate
+         cross-shard excursion *)
+      let shard =
+        match router with
+        | None -> 0
+        | Some _ ->
+            if
+              cfg.route_shards > 1
+              && Rng.int sess.rng 10_000 < int_of_float (cfg.cross *. 10_000.)
+            then
+              (sess.home + 1 + Rng.int sess.rng (cfg.route_shards - 1))
+              mod cfg.route_shards
+            else sess.home
+      in
       let pick = Rng.int sess.rng 100 in
-      if pick < 30 then begin
-        sess.fresh <- sess.fresh + 1;
+      if pick < 30 then
         Wire.Call
           {
             obj = "Enc";
             meth = "insert";
-            args =
-              [
-                Value.str (Printf.sprintf "s%02dn%04d" sess.sid sess.fresh);
-                Value.str "fresh";
-              ];
+            args = [ Value.str (fresh_key router sess ~shard); Value.str "fresh" ];
           }
-      end
       else if pick < 70 then
         Wire.Call
-          { obj = "Enc"; meth = "search"; args = [ Value.str (existing_key sess) ] }
+          {
+            obj = "Enc";
+            meth = "search";
+            args = [ Value.str (existing_key cfg router sess ~shard) ];
+          }
       else
         Wire.Call
           {
             obj = "Enc";
             meth = "update";
-            args = [ Value.str (existing_key sess); Value.str "updated" ];
+            args =
+              [
+                Value.str (existing_key cfg router sess ~shard);
+                Value.str "updated";
+              ];
           }
   | `Banking ->
       let acct () = Rng.int sess.rng cfg.accounts in
@@ -154,22 +231,29 @@ let gen_call cfg sess : Wire.request =
             ];
         }
 
-let issue_call cfg acc sess remaining =
+let issue_call cfg router acc sess remaining =
   acc.calls <- acc.calls + 1;
-  queue_req sess (gen_call cfg sess);
+  queue_req sess (gen_call cfg router sess);
   sess.state <- Awaiting_result remaining
+
+(* [began = 0.0] means "stamp when the BEGIN reaches the socket"
+   (closed loop); an open-loop caller passes the scheduled arrival. *)
+let begin_txn cfg sess ~began =
+  sess.txns_left <- sess.txns_left - 1;
+  sess.began <- began;
+  sess.begin_unsent <- began = 0.0;
+  queue_req sess
+    (Wire.Begin
+       {
+         name = Printf.sprintf "lg%d.%d" sess.sid (sess.txns_left + 1);
+         timeout_ms = cfg.timeout_ms;
+       });
+  sess.state <- Awaiting_begun
 
 let next_txn cfg sess =
   if sess.txns_left > 0 then begin
-    sess.txns_left <- sess.txns_left - 1;
-    sess.began <- Unix.gettimeofday ();
-    queue_req sess
-      (Wire.Begin
-         {
-           name = Printf.sprintf "lg%d.%d" sess.sid (sess.txns_left + 1);
-           timeout_ms = cfg.timeout_ms;
-         });
-    sess.state <- Awaiting_begun
+    if cfg.rate > 0.0 then sess.state <- Idle_wait
+    else begin_txn cfg sess ~began:0.0
   end
   else begin
     queue_req sess Wire.Bye;
@@ -181,19 +265,19 @@ let decide acc sess ~ok =
   if ok then acc.committed <- acc.committed + 1
   else acc.aborted <- acc.aborted + 1
 
-let on_response cfg acc sess (resp : Wire.response) =
+let on_response cfg router acc sess (resp : Wire.response) =
   match (resp, sess.state) with
   | Wire.Welcome { db; protocol; _ }, Awaiting_welcome ->
       acc.db <- db;
       acc.protocol <- protocol;
       next_txn cfg sess
   | Wire.Begun _, Awaiting_begun ->
-      issue_call cfg acc sess (cfg.calls_per_txn - 1)
+      issue_call cfg router acc sess (cfg.calls_per_txn - 1)
   | (Wire.Result _ | Wire.Failed _), Awaiting_result remaining ->
       (match resp with
       | Wire.Failed _ -> acc.failed_calls <- acc.failed_calls + 1
       | _ -> ());
-      if remaining > 0 then issue_call cfg acc sess (remaining - 1)
+      if remaining > 0 then issue_call cfg router acc sess (remaining - 1)
       else begin
         queue_req sess Wire.Commit;
         sess.state <- Awaiting_commit
@@ -238,16 +322,19 @@ let run ?(tick = fun () -> ()) cfg =
         framer = Wire.Framer.create ();
         rng;
         existing = Dist.zipf ~theta:cfg.theta (max 1 cfg.key_universe);
+        home = (if cfg.route_shards > 0 then sid mod cfg.route_shards else 0);
         out = "";
         state = Awaiting_welcome;
         txns_left = cfg.txns_per_session;
         began = 0.0;
+        begin_unsent = false;
         fresh = 0;
       }
     in
     queue_req sess (Wire.Hello (Printf.sprintf "loadgen-%d" sid));
     sess
   in
+  let router = router_of cfg in
   let sessions = List.init cfg.sessions connect in
   let acc =
     {
@@ -266,7 +353,13 @@ let run ?(tick = fun () -> ()) cfg =
   let flush_out s =
     if s.out <> "" then begin
       match Unix.write_substring s.fd s.out 0 (String.length s.out) with
-      | n -> s.out <- String.sub s.out n (String.length s.out - n)
+      | n ->
+          s.out <- String.sub s.out n (String.length s.out - n);
+          (* the BEGIN is on the wire: latency starts now *)
+          if s.begin_unsent && s.out = "" then begin
+            s.begin_unsent <- false;
+            s.began <- Unix.gettimeofday ()
+          end
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -278,7 +371,7 @@ let run ?(tick = fun () -> ()) cfg =
     while !popping && s.state <> Done do
       match Wire.Framer.pop s.framer with
       | Ok (Some payload) ->
-          on_response cfg acc s (Wire.decode_response payload)
+          on_response cfg router acc s (Wire.decode_response payload)
       | Ok None -> popping := false
       | Error msg -> failwith ("loadgen: " ^ msg)
     done
@@ -293,14 +386,38 @@ let run ?(tick = fun () -> ()) cfg =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
+  (* open loop: one global Poisson-free (deterministic) arrival
+     schedule; each idle session claims the next due arrival *)
+  let next_arrival = ref 0 in
+  let sched i = started +. (float_of_int i /. cfg.rate) in
+  let dispatch_arrivals () =
+    if cfg.rate > 0.0 then begin
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun s ->
+          if s.state = Idle_wait && now >= sched !next_arrival then begin
+            let began = sched !next_arrival in
+            incr next_arrival;
+            begin_txn cfg s ~began
+          end)
+        sessions
+    end
+  in
   while live () <> [] do
     if Unix.gettimeofday () > give_up then
       failwith "loadgen: run timed out after 300s";
     tick ();
+    dispatch_arrivals ();
     let ss = live () in
     let rfds = List.map (fun s -> s.fd) ss in
     let wfds = List.filter_map (fun s -> if s.out <> "" then Some s.fd else None) ss in
-    (match Unix.select rfds wfds [] 0.05 with
+    let sel_timeout =
+      if cfg.rate > 0.0 && List.exists (fun s -> s.state = Idle_wait) ss then
+        Float.max 0.001
+          (Float.min 0.05 (sched !next_arrival -. Unix.gettimeofday ()))
+      else 0.05
+    in
+    (match Unix.select rfds wfds [] sel_timeout with
     | r, w, _ ->
         List.iter (fun s -> if List.mem s.fd w then flush_out s) ss;
         List.iter (fun s -> if List.mem s.fd r then read_sock s) ss
@@ -348,6 +465,7 @@ let run ?(tick = fun () -> ()) cfg =
     elapsed;
     throughput = (if elapsed > 0.0 then float_of_int acc.committed /. elapsed else 0.0);
     latency = acc.latency;
+    offered_rate = cfg.rate;
     certified;
     stats_json;
   }
@@ -366,6 +484,9 @@ let to_json (r : result) =
       Printf.sprintf "  \"failed_calls\": %d," r.failed_calls;
       Printf.sprintf "  \"elapsed_seconds\": %.3f," r.elapsed;
       Printf.sprintf "  \"throughput_txn_per_s\": %.1f," r.throughput;
+      Printf.sprintf "  \"mode\": %S,"
+        (if r.offered_rate > 0.0 then "open" else "closed");
+      Printf.sprintf "  \"offered_rate_txn_per_s\": %.1f," r.offered_rate;
       Printf.sprintf
         "  \"latency_seconds\": {\"mean\": %.6f, \"p50\": %.6f, \"p95\": \
          %.6f, \"p99\": %.6f, \"max\": %.6f},"

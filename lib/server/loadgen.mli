@@ -19,10 +19,27 @@ type cfg = {
   accounts : int;
   products : int;
   shutdown : bool;  (** send SHUTDOWN once done *)
+  rate : float;
+      (** > 0 switches to open-loop mode: transactions arrive on a
+          global schedule of [rate] per second, idle sessions claim the
+          next due arrival, and latency is measured from the scheduled
+          arrival (so it includes backlog queueing rather than being
+          capped by the closed loop's self-throttling).  0 = closed
+          loop. *)
+  route_shards : int;
+      (** > 0: shard-affine encyclopedia mix against a [--shards N]
+          server — each session homes on shard [sid mod route_shards]
+          (computed with the server's own {!Ooser_shard.Router}) and
+          keeps its keys there, except for deliberate cross-shard
+          excursions *)
+  cross : float;
+      (** probability a routed call targets a foreign shard, making the
+          enclosing transaction a 2PC cross-shard commit *)
 }
 
 val default_cfg : Unix.sockaddr -> cfg
-(** 16 sessions, 8 txns each, 4 calls per txn, encyclopedia mix. *)
+(** 16 sessions, 8 txns each, 4 calls per txn, encyclopedia mix,
+    closed loop, no shard routing (cross = 0.05 once enabled). *)
 
 type result = {
   db : string;
@@ -35,6 +52,9 @@ type result = {
   elapsed : float;
   throughput : float;
   latency : Stats.Histogram.t;
+      (** BEGIN-on-the-wire → decision (closed loop) or scheduled
+          arrival → decision (open loop), seconds *)
+  offered_rate : float;  (** 0 = closed loop *)
   certified : bool option;
       (** the server's full oo-serializability verdict over everything
           this run committed, from the post-run STATS round *)

@@ -61,22 +61,41 @@ let json_histogram h =
 (* [engine] carries the engine + lock-protocol counters; [certified] is
    the verdict of a full oo-serializability check of the committed
    history when one was run (None while the server is live — the check
-   is a shutdown/STATS-time sweep, not per-commit). *)
-let to_json t ~now ~engine ~certified =
+   is a shutdown/STATS-time sweep, not per-commit).  [shards], when
+   non-empty, adds a per-shard counter breakdown next to the merged
+   [engine] view so load imbalance between shards is visible in STATS. *)
+let to_json ?(shards = []) t ~now ~engine ~certified =
+  let shard_section =
+    match shards with
+    | [] -> []
+    | kvs ->
+        [
+          Printf.sprintf "  \"shards\": {%s},"
+            (String.concat ", "
+               (List.map
+                  (fun (i, counters) ->
+                    Printf.sprintf "\"shard%d\": {%s}" i
+                      (json_counters counters))
+                  kvs));
+        ]
+  in
   String.concat "\n"
-    [
-      "{";
-      Printf.sprintf "  \"uptime_seconds\": %.3f," (now -. t.started);
-      Printf.sprintf "  \"server\": {%s},"
-        (json_counters (Stats.Counter.to_list t.counters));
-      Printf.sprintf "  \"engine\": {%s}," (json_counters engine);
-      Printf.sprintf "  \"commit_latency_seconds\": %s,"
-        (json_histogram t.commit_latency);
-      Printf.sprintf "  \"call_latency_seconds\": %s,"
-        (json_histogram t.call_latency);
-      Printf.sprintf "  \"certified\": %s"
-        (match certified with
-        | None -> "null"
-        | Some b -> if b then "true" else "false");
-      "}";
-    ]
+    ([
+       "{";
+       Printf.sprintf "  \"uptime_seconds\": %.3f," (now -. t.started);
+       Printf.sprintf "  \"server\": {%s},"
+         (json_counters (Stats.Counter.to_list t.counters));
+       Printf.sprintf "  \"engine\": {%s}," (json_counters engine);
+     ]
+    @ shard_section
+    @ [
+        Printf.sprintf "  \"commit_latency_seconds\": %s,"
+          (json_histogram t.commit_latency);
+        Printf.sprintf "  \"call_latency_seconds\": %s,"
+          (json_histogram t.call_latency);
+        Printf.sprintf "  \"certified\": %s"
+          (match certified with
+          | None -> "null"
+          | Some b -> if b then "true" else "false");
+        "}";
+      ])

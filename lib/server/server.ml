@@ -25,6 +25,7 @@ module Stats = Ooser_sim.Stats
 module Oplog = Ooser_recovery.Oplog
 module Snapshot = Ooser_recovery.Snapshot
 module Recovery = Ooser_recovery.Recovery
+module Dispatcher = Ooser_shard.Dispatcher
 
 type addr = Unix_sock of string | Tcp of int  (* loopback only *)
 
@@ -54,6 +55,10 @@ type config = {
   addr : addr;
   db_kind : db_kind;
   protocol_kind : protocol_kind;
+  shards : int;
+      (* 0 = classic single-engine path; N >= 1 partitions objects
+         across N shard engines, each on its own domain, behind the
+         {!Ooser_shard.Dispatcher} *)
   max_inflight : int;  (* admission limit; BEGINs queue beyond it *)
   default_timeout_ms : int;  (* for BEGIN with timeout_ms = 0; 0 = none *)
   drain_grace : float;  (* seconds granted to in-flight txns on shutdown *)
@@ -72,6 +77,7 @@ let default_config addr =
     addr;
     db_kind = `Encyclopedia;
     protocol_kind = `Open;
+    shards = 0;
     max_inflight = 32;
     default_timeout_ms = 0;
     drain_grace = 5.0;
@@ -97,6 +103,10 @@ type t = {
   db : Database.t;
   engine : Engine.t;
   protocol : Protocol.t;
+  dispatcher : Dispatcher.t option;
+      (* sharded backend; when [Some], [db]/[engine]/[protocol] are an
+         inert placeholder stack and every transaction path goes through
+         the dispatcher instead *)
   metrics : Metrics.t;
   listen_fd : Unix.file_descr;
   mutable conns : conn list;
@@ -106,6 +116,11 @@ type t = {
   mutable inflight : int;
   mutable draining : bool;
   mutable stopped : bool;
+  mutable final_verdict : bool option;
+      (* certification computed at drain, while the shard domains are
+         still joinable — [certified] after [stopped] returns this *)
+  mutable final_shard_stats : Dispatcher.shard_stats list option;
+      (* last per-shard counter round, captured for the same reason *)
   journal : Oplog.t option;
   mutable base_snap : Snapshot.t;  (* covers everything not in the journal *)
   recovery : Engine.recovery_report option;  (* boot-time recovery, if any *)
@@ -166,7 +181,11 @@ let durable_boot ~dir ~engine_config db protocol =
 
 let create config =
   ignore_sigpipe ();
-  let db = build_db config in
+  let sharded = config.shards > 0 in
+  let db =
+    if sharded then Database.create () (* placeholder; shards own the data *)
+    else build_db config
+  in
   let protocol = build_protocol config db in
   let engine_config =
     {
@@ -177,15 +196,31 @@ let create config =
     }
   in
   let engine, journal, base_snap, recovery =
-    match config.durable_dir with
-    | None ->
+    match (sharded, config.durable_dir) with
+    | true, _ | false, None ->
         ( Engine.create ~config:engine_config db ~protocol [],
           None, Snapshot.empty, None )
-    | Some dir ->
+    | false, Some dir ->
         let eng, journal, snap, report =
           durable_boot ~dir ~engine_config db protocol
         in
         (eng, Some journal, snap, Some report)
+  in
+  let dispatcher =
+    if not sharded then None
+    else
+      Some
+        (Dispatcher.create
+           {
+             Dispatcher.shards = config.shards;
+             db_kind = config.db_kind;
+             protocol_kind = config.protocol_kind;
+             preload = config.preload;
+             fanout = config.fanout;
+             accounts = config.accounts;
+             products = config.products;
+             durable_dir = config.durable_dir;
+           })
   in
   let listen_fd =
     match config.addr with
@@ -210,20 +245,30 @@ let create config =
         Fmt.epr
           "oosdb: WARNING: recovered history failed re-certification@."
   | None -> ());
+  (match dispatcher with
+  | Some d when Dispatcher.next_top_floor d > 1 ->
+      Metrics.incr metrics "recoveries"
+  | _ -> ());
   {
     config;
     db;
     engine;
     protocol;
+    dispatcher;
     metrics;
     listen_fd;
     conns = [];
     next_sid = 0;
-    next_top = max 1 base_snap.Snapshot.next_top;
+    next_top =
+      (match dispatcher with
+      | Some d -> max 1 (Dispatcher.next_top_floor d)
+      | None -> max 1 base_snap.Snapshot.next_top);
     admit_queue = Queue.create ();
     inflight = 0;
     draining = false;
     stopped = false;
+    final_verdict = None;
+    final_shard_stats = None;
     journal;
     base_snap;
     recovery;
@@ -243,32 +288,83 @@ let send conn resp =
 (* The phase is left alone: a dead connection's In_txn session still
    owns an admission slot, released by [flush_session] once the abort
    started here resolves. *)
+let abort_txn t ~top reason =
+  match t.dispatcher with
+  | Some d -> Dispatcher.abort d ~top ~reason
+  | None -> ignore (Engine.abort_top t.engine ~top reason)
+
 let kill t conn =
   if not conn.dead then begin
     conn.dead <- true;
     match conn.session.Session.phase with
-    | Session.In_txn tr ->
-        ignore (Engine.abort_top t.engine ~top:tr.Session.top "client gone")
+    | Session.In_txn tr -> abort_txn t ~top:tr.Session.top "client gone"
     | _ -> ()
   end
 
 (* -- observability ------------------------------------------------------------ *)
 
-let certified t = Serializability.oo_serializable (Engine.final_history t.engine)
+let certified t =
+  match t.final_verdict with
+  | Some v -> v
+  | None -> (
+      match t.dispatcher with
+      | Some d -> Dispatcher.certified d ()
+      | None -> Serializability.oo_serializable (Engine.final_history t.engine))
+
+(* Sum per-shard counters key-wise into one merged engine view; the
+   per-shard breakdown rides along so imbalance stays visible. *)
+let merge_counters per_shard =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun (k, v) ->
+         match Hashtbl.find_opt tbl k with
+         | Some r -> r := !r + v
+         | None ->
+             Hashtbl.add tbl k (ref v);
+             order := k :: !order))
+    per_shard;
+  List.rev_map (fun k -> (k, !(Hashtbl.find tbl k))) !order
 
 (* [certified] lets a caller that already ran the (expensive,
    from-scratch) history check pass its verdict in instead of paying for
    a second sweep. *)
 let stats_json ?certified:(verdict = None) t =
-  let engine_counters =
-    Stats.Counter.to_list (Engine.counters t.engine)
-    @ List.map
-        (fun (k, v) -> ("lock." ^ k, v))
-        (Stats.Counter.to_list (Protocol.counters t.protocol))
-    @ [ ("inflight", t.inflight); ("queued", Queue.length t.admit_queue) ]
+  let admission =
+    [ ("inflight", t.inflight); ("queued", Queue.length t.admit_queue) ]
+  in
+  let engine_counters, shards =
+    match t.dispatcher with
+    | None ->
+        ( Stats.Counter.to_list (Engine.counters t.engine)
+          @ List.map
+              (fun (k, v) -> ("lock." ^ k, v))
+              (Stats.Counter.to_list (Protocol.counters t.protocol))
+          @ admission,
+          [] )
+    | Some d ->
+        let per_shard =
+          match t.final_shard_stats with
+          | Some s -> s
+          | None -> Dispatcher.stats d ()
+        in
+        let flat =
+          List.map
+            (fun s ->
+              s.Dispatcher.engine
+              @ List.map (fun (k, v) -> ("lock." ^ k, v)) s.Dispatcher.lock
+              @ [ ("cert-depth", s.Dispatcher.cert_depth) ])
+            per_shard
+        in
+        ( merge_counters flat
+          @ List.map (fun (k, v) -> ("dispatch." ^ k, v)) (Dispatcher.counters d)
+          @ admission,
+          List.map2
+            (fun s flat -> (s.Dispatcher.shard, flat))
+            per_shard flat )
   in
   let verdict = match verdict with Some _ -> verdict | None -> Some (certified t) in
-  Metrics.to_json t.metrics ~now:(Unix.gettimeofday ())
+  Metrics.to_json ~shards t.metrics ~now:(Unix.gettimeofday ())
     ~engine:engine_counters ~certified:verdict
 
 (* -- shutdown ----------------------------------------------------------------- *)
@@ -282,8 +378,10 @@ let initiate_shutdown t =
     List.iter
       (fun conn ->
         match conn.session.Session.phase with
-        | Session.In_txn tr ->
-            Engine.set_deadline t.engine ~top:tr.Session.top (Some grace)
+        | Session.In_txn tr -> (
+            match t.dispatcher with
+            | Some d -> Dispatcher.set_deadline d ~top:tr.Session.top (Some grace)
+            | None -> Engine.set_deadline t.engine ~top:tr.Session.top (Some grace))
         | Session.Begun_wait _ ->
             (* cancelled: the admission queue is not drained *)
             conn.session.Session.phase <- Session.Idle;
@@ -328,16 +426,20 @@ let handle_request t conn (req : Wire.request) =
   | Wire.Call { obj; meth; args }, Session.In_txn tr ->
       Metrics.incr t.metrics "calls";
       Session.push_call tr ~now:(Unix.gettimeofday ()) (Obj_id.v obj) meth args;
-      ignore (Engine.poke t.engine tr.Session.top)
+      (match t.dispatcher with
+      | Some d -> Dispatcher.call d ~top:tr.Session.top ~obj ~meth ~args
+      | None -> ignore (Engine.poke t.engine tr.Session.top))
   | Wire.Commit, Session.In_txn tr ->
       if tr.Session.commit_requested then proto_error conn "COMMIT already sent"
       else begin
         Session.push_commit tr;
-        ignore (Engine.poke t.engine tr.Session.top)
+        match t.dispatcher with
+        | Some d -> Dispatcher.commit d ~top:tr.Session.top
+        | None -> ignore (Engine.poke t.engine tr.Session.top)
       end
   | Wire.Abort reason, Session.In_txn tr ->
       tr.Session.abort_requested <- true;
-      ignore (Engine.abort_top t.engine ~top:tr.Session.top reason)
+      abort_txn t ~top:tr.Session.top reason
   | (Wire.Call _ | Wire.Commit | Wire.Abort _), _ ->
       proto_error conn "no transaction in progress"
   | Wire.Stats, _ -> send conn (Wire.Stats_json (stats_json t))
@@ -346,8 +448,7 @@ let handle_request t conn (req : Wire.request) =
       send conn Wire.Closing
   | Wire.Bye, _ ->
       (match session.Session.phase with
-      | Session.In_txn tr ->
-          ignore (Engine.abort_top t.engine ~top:tr.Session.top "client left")
+      | Session.In_txn tr -> abort_txn t ~top:tr.Session.top "client left"
       | _ -> ());
       send conn Wire.Closing;
       conn.closing <- true
@@ -372,7 +473,9 @@ let admit t =
           if ms > 0 then Some (now +. (float_of_int ms /. 1000.)) else None
         in
         let tr = Session.new_txn ~top ~began:now in
-        Engine.submit t.engine ~top ~name ?deadline (Session.body tr);
+        (match t.dispatcher with
+        | Some d -> Dispatcher.begin_txn d ~top ~name ~deadline
+        | None -> Engine.submit t.engine ~top ~name ?deadline (Session.body tr));
         conn.session.Session.phase <- Session.In_txn tr;
         t.inflight <- t.inflight + 1;
         incr admitted;
@@ -391,9 +494,24 @@ let flush_session t conn =
   match conn.session.Session.phase with
   | Session.In_txn tr ->
       let open Session in
+      let result_of seq =
+        match t.dispatcher with
+        | Some d -> Dispatcher.result d ~top:tr.top ~seq
+        | None -> Hashtbl.find_opt tr.results seq
+      in
+      let state_of top =
+        match t.dispatcher with
+        | Some d -> Dispatcher.txn_state d top
+        | None -> Engine.txn_state t.engine top
+      in
+      let retire_top top =
+        match t.dispatcher with
+        | Some d -> Dispatcher.retire d ~top
+        | None -> ignore (Engine.retire t.engine ~top)
+      in
       let continue = ref true in
       while !continue && tr.calls_flushed < tr.calls_sent do
-        match Hashtbl.find_opt tr.results tr.calls_flushed with
+        match result_of tr.calls_flushed with
         | Some r ->
             (match Hashtbl.find_opt tr.call_at tr.calls_flushed with
             | Some t0 ->
@@ -406,18 +524,18 @@ let flush_session t conn =
             tr.calls_flushed <- tr.calls_flushed + 1
         | None -> continue := false
       done;
-      (match Engine.txn_state t.engine tr.top with
+      (match state_of tr.top with
       | `Committed v ->
           Metrics.incr t.metrics "commits";
           Metrics.observe_commit t.metrics (Unix.gettimeofday () -. tr.began);
           send conn (Wire.Committed v);
-          ignore (Engine.retire t.engine ~top:tr.top);
+          retire_top tr.top;
           t.inflight <- t.inflight - 1;
           conn.session.Session.phase <- Session.Idle
       | `Aborted reason ->
           Metrics.incr t.metrics "aborts";
           Metrics.observe_commit t.metrics (Unix.gettimeofday () -. tr.began);
-          ignore (Engine.retire t.engine ~top:tr.top);
+          retire_top tr.top;
           t.inflight <- t.inflight - 1;
           (* answer the outstanding request if there is one; otherwise
              park the reason — pushing it unsolicited would cross a
@@ -514,15 +632,18 @@ let handle_write t conn =
 (* -- the loop ----------------------------------------------------------------- *)
 
 let nearest_deadline t =
-  List.fold_left
-    (fun acc conn ->
-      match conn.session.Session.phase with
-      | Session.In_txn tr -> (
-          match Engine.deadline_of t.engine ~top:tr.Session.top with
-          | Some d -> Some (match acc with None -> d | Some a -> Float.min a d)
-          | None -> acc)
-      | _ -> acc)
-    None t.conns
+  match t.dispatcher with
+  | Some d -> Dispatcher.nearest_deadline d
+  | None ->
+      List.fold_left
+        (fun acc conn ->
+          match conn.session.Session.phase with
+          | Session.In_txn tr -> (
+              match Engine.deadline_of t.engine ~top:tr.Session.top with
+              | Some d -> Some (match acc with None -> d | Some a -> Float.min a d)
+              | None -> acc)
+          | _ -> acc)
+        None t.conns
 
 let reap t =
   List.iter
@@ -574,7 +695,15 @@ let finish_drain t =
   (match t.config.addr with
   | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ());
-  checkpoint_durable t;
+  (match t.dispatcher with
+  | Some d ->
+      (* certify and collect counters before shutdown:
+         [Dispatcher.shutdown] joins the shard domains and closes their
+         wake pipes, after which no stats/snapshot round can reach them *)
+      t.final_shard_stats <- Some (Dispatcher.stats d ());
+      t.final_verdict <- Some (Dispatcher.certified d ());
+      Dispatcher.shutdown d (* checkpoints each shard when durable *)
+  | None -> checkpoint_durable t);
   t.stopped <- true
 
 let step t ~timeout =
@@ -588,6 +717,11 @@ let step t ~timeout =
     in
     let live = List.filter (fun c -> not c.dead) t.conns in
     let rfds = t.listen_fd :: List.map (fun c -> c.fd) live in
+    let rfds =
+      match t.dispatcher with
+      | Some d -> Dispatcher.wake_fd d :: rfds
+      | None -> rfds
+    in
     let wfds =
       List.filter_map (fun c -> if c.out <> "" then Some c.fd else None) live
     in
@@ -598,13 +732,22 @@ let step t ~timeout =
         ignore w
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
     (* deadlines fire even when no socket event woke us *)
-    Engine.check_deadlines t.engine;
-    ignore (Engine.pump t.engine);
+    let pump_backend () =
+      match t.dispatcher with
+      | Some d ->
+          Dispatcher.poll d;
+          Dispatcher.check_deadlines d;
+          Dispatcher.poll d
+      | None ->
+          Engine.check_deadlines t.engine;
+          ignore (Engine.pump t.engine)
+    in
+    pump_backend ();
     List.iter (fun c -> flush_session t c) t.conns;
     (* freed slots admit queued BEGINs; their first attempt runs to its
        first await immediately *)
     while admit t > 0 do
-      ignore (Engine.pump t.engine);
+      pump_backend ();
       List.iter (fun c -> flush_session t c) t.conns
     done;
     List.iter (fun c -> if not c.dead then handle_write t c) t.conns;
@@ -623,6 +766,7 @@ let serve t =
 let close t = if not t.stopped then finish_drain t
 let engine t = t.engine
 let protocol t = t.protocol
+let dispatcher t = t.dispatcher
 let metrics t = t.metrics
 let inflight t = t.inflight
 let last_recovery t = t.recovery

@@ -21,6 +21,13 @@ type config = {
   addr : addr;
   db_kind : db_kind;
   protocol_kind : protocol_kind;
+  shards : int;
+      (** 0 = classic single-engine path.  [N >= 1] partitions objects
+          across [N] shard engines, each on its own OCaml 5 domain, and
+          routes every transaction through the
+          {!Ooser_shard.Dispatcher}: single-shard transactions commit
+          entirely inside their shard, multi-shard ones 2PC through the
+          Def. 15 cross-shard certifier. *)
   max_inflight : int;
       (** admission limit: transactions beyond it queue FIFO, their
           [Begun] reply delayed as backpressure *)
@@ -82,7 +89,13 @@ val certified : t -> bool
     from-scratch, so minutes not milliseconds on long histories. *)
 
 val engine : t -> Ooser_oodb.Engine.t
+(** The single-engine backend.  In sharded mode ([config.shards > 0])
+    this is an inert placeholder — use {!dispatcher}. *)
+
 val protocol : t -> Ooser_cc.Protocol.t
+val dispatcher : t -> Ooser_shard.Dispatcher.t option
+(** The sharded backend, when [config.shards > 0]. *)
+
 val metrics : t -> Metrics.t
 val inflight : t -> int
 

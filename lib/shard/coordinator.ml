@@ -1,0 +1,205 @@
+open Ooser_core
+open Ooser_recovery
+
+module Itop = struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Fmt.int
+end
+
+module G = Digraph.Make (Itop)
+
+type t = {
+  g : G.Incremental.g;
+  touched : (int, (int * int) list ref) Hashtbl.t;
+      (* top -> edges inserted that are incident to it, for rollback *)
+  dead : (int, unit) Hashtbl.t;
+      (* aborted tops: their actions left the history, so late votes
+         computed before the abort propagated may still carry edges
+         incident to them — those are no longer facts and are skipped *)
+  log : Decision_log.t option;
+  mutable prepares : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable edges_inserted : int;
+  mutable violations : int;
+  mutable decisions_logged : int;
+  mutable roundtrips : int;
+  mutable roundtrip_s : float;
+}
+
+let create ?log_dir () =
+  {
+    g = G.Incremental.create ();
+    touched = Hashtbl.create 64;
+    dead = Hashtbl.create 64;
+    log = Option.map (fun dir -> Decision_log.open_dir ~dir) log_dir;
+    prepares = 0;
+    commits = 0;
+    aborts = 0;
+    edges_inserted = 0;
+    violations = 0;
+    decisions_logged = 0;
+    roundtrips = 0;
+    roundtrip_s = 0.0;
+  }
+
+let track t top edge =
+  let l =
+    match Hashtbl.find_opt t.touched top with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace t.touched top l;
+        l
+  in
+  l := edge :: !l
+
+let forget t ~top =
+  (match Hashtbl.find_opt t.touched top with
+  | Some l ->
+      List.iter
+        (fun (a, b) ->
+          if G.Incremental.mem_edge t.g a b then G.Incremental.remove_edge t.g a b)
+        !l
+  | None -> ());
+  Hashtbl.remove t.touched top
+
+let bury t ~top =
+  forget t ~top;
+  Hashtbl.replace t.dead top ()
+
+(* Stable edges are facts about the shard schedules whether or not the
+   prepare that computed them is still alive: a vote arriving after its
+   transaction finished (decided by deadline, aborted elsewhere) still
+   carries permanent knowledge, and the shards' vote windows rely on
+   every stable edge reaching the graph exactly once.  A cycle closed
+   here has no preparing transaction to refuse — it can only mean a
+   dependency was reported too late, so it latches the violation. *)
+let absorb t ~edges =
+  let dead tid = Hashtbl.mem t.dead tid in
+  List.iter
+    (fun (a, b) ->
+      if not (a = b || dead a || dead b || G.Incremental.mem_edge t.g a b)
+      then begin
+        G.Incremental.add_vertex t.g a;
+        G.Incremental.add_vertex t.g b;
+        match G.Incremental.add_edge t.g a b with
+        | `Ok ->
+            t.edges_inserted <- t.edges_inserted + 1;
+            track t a (a, b);
+            track t b (a, b)
+        | `Cycle _ -> t.violations <- t.violations + 1
+      end)
+    edges
+
+let certify t ~top ~edges ~tentative =
+  t.prepares <- t.prepares + 1;
+  let dead tid = Hashtbl.mem t.dead tid in
+  let withdraw added =
+    List.iter
+      (fun (a, b) ->
+        if G.Incremental.mem_edge t.g a b then G.Incremental.remove_edge t.g a b)
+      added
+  in
+  (* tentative edges (a running unpinned endpoint, per the shards): good
+     for refusing this one prepare — if the dependency is real it is
+     already visible, since every conflicting action of a quiescent
+     preparer has executed — but withdrawn afterwards, because a
+     wound-wait retry may flip them and a stale edge must not poison the
+     permanent graph or the violation latch *)
+  let rec probe pending added =
+    match pending with
+    | [] ->
+        withdraw added;
+        `Ok
+    | (a, b) :: rest when a = b || dead a || dead b || G.Incremental.mem_edge t.g a b
+      ->
+        probe rest added
+    | (a, b) :: rest -> (
+        G.Incremental.add_vertex t.g a;
+        G.Incremental.add_vertex t.g b;
+        match G.Incremental.add_edge t.g a b with
+        | `Ok -> probe rest ((a, b) :: added)
+        | `Cycle ws ->
+            withdraw added;
+            forget t ~top;
+            `Abort
+              (Printf.sprintf "cross-shard certification: tentative cycle %s"
+                 (String.concat "->" (List.map string_of_int ws))))
+  in
+  let rec insert = function
+    | [] -> probe tentative []
+    | (a, b) :: rest when a = b || dead a || dead b -> insert rest
+    | (a, b) :: rest ->
+        if G.Incremental.mem_edge t.g a b then insert rest
+        else begin
+          G.Incremental.add_vertex t.g a;
+          G.Incremental.add_vertex t.g b;
+          match G.Incremental.add_edge t.g a b with
+          | `Ok ->
+              t.edges_inserted <- t.edges_inserted + 1;
+              if a = top || b = top then track t top (a, b);
+              (* edges between two other transactions survive [top]'s
+                 rollback: they are real dependencies of the shard
+                 schedules regardless of this prepare's fate *)
+              if a <> top && b <> top then begin
+                track t a (a, b);
+                track t b (a, b)
+              end;
+              insert rest
+          | `Cycle ws ->
+              if not (List.mem top ws) then begin
+                (* a refused cycle of committed and in-doubt
+                   transactions avoiding the preparing one means some
+                   dependency was reported too late to refuse its
+                   transaction — latch the violation, the history is no
+                   longer certified *)
+                t.violations <- t.violations + 1
+              end;
+              forget t ~top;
+              (* the rest of the report is still facts the vote windows
+                 count on recording; edges incident to [top] get rolled
+                 back when the caller buries it *)
+              absorb t ~edges:rest;
+              `Abort
+                (Printf.sprintf "cross-shard certification: cycle %s"
+                   (String.concat "->" (List.map string_of_int ws)))
+        end
+  in
+  insert edges
+
+let decide t ~top ~participants ~commit =
+  if commit then t.commits <- t.commits + 1 else t.aborts <- t.aborts + 1;
+  match t.log with
+  | Some log ->
+      Decision_log.append log { Decision_log.top; commit; participants };
+      Decision_log.force log;
+      t.decisions_logged <- t.decisions_logged + 1
+  | None -> ()
+
+let clean t = t.violations = 0
+let nb_vertices t = G.Incremental.nb_vertices t.g
+let nb_edges t = G.Incremental.nb_edges t.g
+
+let observe_roundtrip t s =
+  t.roundtrips <- t.roundtrips + 1;
+  t.roundtrip_s <- t.roundtrip_s +. s
+
+let counters t =
+  [
+    ("2pc-prepares", t.prepares);
+    ("2pc-commits", t.commits);
+    ("2pc-aborts", t.aborts);
+    ("cross-edges", t.edges_inserted);
+    ("cross-violations", t.violations);
+    ("graph-vertices", nb_vertices t);
+    ("graph-edges", nb_edges t);
+    ( "roundtrip-ns-avg",
+      if t.roundtrips = 0 then 0
+      else int_of_float (t.roundtrip_s /. float_of_int t.roundtrips *. 1e9) );
+    ("decisions-logged", t.decisions_logged);
+  ]
+
+let close t = match t.log with Some log -> Decision_log.close log | None -> ()

@@ -1,0 +1,80 @@
+(** The cross-shard certification coordinator.
+
+    Def. 15 records an added action dependency redundantly at {e both}
+    participating objects, so every dependency between two transactions
+    is visible inside some single shard's schedule — the global
+    transaction-level dependency relation is exactly the union of the
+    per-shard relations.  The coordinator maintains that union online: a
+    preparing shard reports its full current transaction-dependency
+    relation, and the coordinator inserts the {e stable} edges — both
+    endpoints committed or pinned, so the order is a fact — into one
+    Pearce–Kelly incremental graph over transaction tops.  Edges with a
+    running unpinned endpoint arrive separately as {e tentative}: they
+    refuse the current prepare like any other edge (a real dependency of
+    a quiescent preparer is already visible, since all its conflicting
+    actions have executed), but are withdrawn after the decision,
+    because a wound-wait retry of the running neighbour may flip them.
+    An insertion that would close a cycle aborts the preparing
+    transaction instead; the surviving per-shard topological orders
+    therefore stitch into one acyclic global order.
+
+    Runs in the dispatcher's thread — no internal locking. *)
+
+type t
+
+val create : ?log_dir:string -> unit -> t
+(** [log_dir] attaches a forced {!Ooser_recovery.Decision_log} making
+    commit decisions durable before any shard acts on them. *)
+
+val certify :
+  t ->
+  top:int ->
+  edges:(int * int) list ->
+  tentative:(int * int) list ->
+  [ `Ok | `Abort of string ]
+(** Insert the reported stable transaction-dependency edges, then check
+    the tentative ones transiently.  [`Abort reason] when an insertion
+    would close a cycle: [top]'s tracked edges are rolled back and the
+    caller must abort the global transaction.  A refused cycle of
+    {e stable} edges not passing through [top] is additionally counted
+    as a cross-shard violation (it can only arise from an unsound
+    reporting schedule) and latches {!clean} to [false]; tentative
+    cycles never latch — they may be artefacts of a neighbour's retry. *)
+
+val absorb : t -> edges:(int * int) list -> unit
+(** Record stable edges from a vote whose transaction is no longer
+    preparing (already decided, or unknown).  The edges are facts about
+    the shard schedules independent of that prepare's fate, and the
+    shards' vote windows rely on every stable edge reaching the graph;
+    a cycle closed here latches {!clean} to [false] — there is no
+    preparing transaction left to refuse. *)
+
+val decide : t -> top:int -> participants:int list -> commit:bool -> unit
+(** Record (and force, when durable) the decision — the commit point of
+    the two-phase protocol. *)
+
+val forget : t -> top:int -> unit
+(** Remove every tracked edge incident to [top]. *)
+
+val bury : t -> top:int -> unit
+(** {!forget} [top] and remember it as dead — called when the global
+    transaction aborts, since its actions leave the history.  Votes
+    computed before the abort propagated to every shard may still
+    report edges incident to a dead top; {!certify} skips those, they
+    are no longer facts. *)
+
+val clean : t -> bool
+(** No cross-shard violation detected so far. *)
+
+val nb_vertices : t -> int
+val nb_edges : t -> int
+
+val observe_roundtrip : t -> float -> unit
+(** Record one prepare→decision round trip, in seconds. *)
+
+val counters : t -> (string * int) list
+(** ["2pc-prepares"], ["2pc-commits"], ["2pc-aborts"],
+    ["cross-edges"], ["cross-violations"], ["graph-vertices"],
+    ["graph-edges"], ["roundtrip-ns-avg"], ["decisions-logged"]. *)
+
+val close : t -> unit

@@ -1,0 +1,100 @@
+(** The sharded engine's front door: an engine-like facade the server
+    drives from its select loop.
+
+    Calls are routed to shards by the {!Router}; a transaction touching
+    one shard commits entirely inside it (the hot path — no coordinator
+    involvement), while a multi-shard transaction goes through the 2PC
+    {!Coordinator}: every participant forces its oplog, pins its branch
+    and votes with its Def. 15 dependency edges; the coordinator inserts
+    the union into one incremental topological order, logs the decision
+    (durably, when configured) and only then lets any shard commit.
+
+    All dispatcher state lives in the caller's thread; shards signal
+    readiness through {!wake_fd}, which the server adds to its select
+    set, and {!poll} drains their events. *)
+
+open Ooser_core
+open Ooser_oodb
+
+type config = {
+  shards : int;
+  db_kind : Shard.db_kind;
+  protocol_kind : Shard.protocol_kind;
+  preload : int;
+  fanout : int;
+  accounts : int;
+  products : int;
+  durable_dir : string option;
+      (** per-shard state lives in [DIR/shard-<i>]; the coordinator's
+          decision log in [DIR] itself *)
+}
+
+type t
+
+val create : config -> t
+val router : t -> Router.t
+val shards : t -> int
+
+val next_top_floor : t -> int
+(** 1 + the highest transaction top recovered from any shard — the
+    server must allocate tops above this after a durable boot. *)
+
+val begin_txn : t -> top:int -> name:string -> deadline:float option -> unit
+val call : t -> top:int -> obj:string -> meth:string -> args:Value.t list -> unit
+val commit : t -> top:int -> unit
+val abort : t -> top:int -> reason:string -> unit
+val set_deadline : t -> top:int -> float option -> unit
+
+val txn_state :
+  t -> int -> [ `Running | `Committed of Value.t | `Aborted of string | `Unknown ]
+
+val result : t -> top:int -> seq:int -> (Value.t, string) result option
+(** The (possibly provisional) result of the transaction's [seq]-th
+    call, in global call order. *)
+
+val retire : t -> top:int -> unit
+
+val wake_fd : t -> Unix.file_descr
+val poll : t -> unit
+(** Drain shard events and run the 2PC state machines.  Never blocks. *)
+
+val check_deadlines : t -> unit
+(** Coordinator-side deadline enforcement for transactions the shards
+    cannot abort themselves: zero-call transactions and pinned
+    (prepared) participants. *)
+
+val nearest_deadline : t -> float option
+
+type shard_stats = {
+  shard : int;
+  engine : (string * int) list;
+  lock : (string * int) list;
+  cert_depth : int;
+}
+
+val stats : t -> ?timeout:float -> unit -> shard_stats list
+(** Synchronous per-shard counter snapshot (blocks up to [timeout],
+    default 5s; missing shards are simply absent from the result). *)
+
+val counters : t -> (string * int) list
+(** Dispatcher + coordinator counters: routed calls, single-/cross-shard
+    commit counts, 2PC statistics, wound escalations, mixed outcomes. *)
+
+val certified : t -> ?timeout:float -> unit -> bool
+(** Every shard's final history passes [Serializability.oo_serializable]
+    and the coordinator saw no cross-shard violation.  Sound because
+    Def. 15 records every dependency at both objects: the global
+    transaction-dependency relation is the union of the per-shard
+    relations, all of which the coordinator keeps acyclic. *)
+
+val merged_history : t -> ?timeout:float -> unit -> History.t
+(** The stitched global history: per-shard committed call trees of each
+    transaction merged under one root, renumbered to global call order,
+    objects renamed with a per-shard prefix (two shards' ["Page0"] are
+    different physical pages), orders interleaved by shared execution
+    stamp.  Only meaningful at quiescence; used by tests and as the
+    from-scratch oracle. *)
+
+val shutdown : t -> unit
+(** Checkpoint (durable), stop and join every shard, close the
+    coordinator. *)

@@ -1,0 +1,32 @@
+open Ooser_core
+
+type t = { shards : int }
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Router.create: shards must be >= 1";
+  { shards }
+
+let shards t = t.shards
+
+(* FNV-1a, 64-bit.  OCaml's native ints are 63-bit, so the offset basis
+   is truncated to 62 bits; the lost entropy is irrelevant for a mod-N
+   bucket. *)
+let fnv1a (s : string) : int =
+  let offset_basis = 0xbf29ce484222325 in
+  let prime = 0x100000001b3 in
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * prime)
+    s;
+  !h land max_int
+
+let shard_of_key t key = fnv1a key mod t.shards
+
+let placement_key ~obj ~args =
+  match args with
+  | Value.Str k :: _ -> obj ^ "/" ^ k
+  | _ -> obj
+
+let shard_of_call t ~obj ~args = shard_of_key t (placement_key ~obj ~args)

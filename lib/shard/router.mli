@@ -1,0 +1,31 @@
+(** Deterministic object → shard placement.
+
+    The router is a pure function of the shard count and the call being
+    routed — no table, no handshake, no state.  Every session (and the
+    load generator, and a recovered server) therefore computes the same
+    assignment, which is what makes shard-local execution sound: a key
+    can never be observed on two shards.
+
+    Placement keys: a call whose first argument is a string (the
+    encyclopedia's record key, the inventory's product name) is routed
+    by [object-name/key], so all calls touching one logical record land
+    on one shard regardless of which method touches it; anything else —
+    e.g. banking's [Account7] with integer arguments — is routed by the
+    object name alone. *)
+
+type t
+
+val create : shards:int -> t
+(** @raise Invalid_argument when [shards < 1]. *)
+
+val shards : t -> int
+
+val shard_of_key : t -> string -> int
+(** FNV-1a over the key, reduced mod the shard count.  Stable across
+    processes and sessions. *)
+
+val placement_key : obj:string -> args:Ooser_core.Value.t list -> string
+(** The string actually hashed for a call: ["obj/key"] when the first
+    argument is a string, ["obj"] otherwise. *)
+
+val shard_of_call : t -> obj:string -> args:Ooser_core.Value.t list -> int

@@ -1,0 +1,632 @@
+open Ooser_core
+open Ooser_oodb
+open Ooser_cc
+open Ooser_recovery
+
+type db_kind = [ `Encyclopedia | `Banking | `Inventory ]
+type protocol_kind = [ `Open | `Flat | `Closed | `Certify ]
+
+type profile = {
+  db_kind : db_kind;
+  protocol_kind : protocol_kind;
+  preload : int;
+  fanout : int;
+  accounts : int;
+  products : int;
+  keep : string -> bool;
+  next_stamp : unit -> int;
+  durable_dir : string option;
+  decisions : Decision_log.decision list;
+}
+
+type cmd =
+  | Open_branch of { top : int; name : string; deadline : float option }
+  | Branch_call of {
+      top : int;
+      seq : int;
+      obj : string;
+      meth : string;
+      args : Value.t list;
+    }
+  | Branch_commit of { top : int }
+  | Prepare of { top : int }
+  | Decide of { top : int; commit : bool; reason : string }
+  | Set_deadline of { top : int; deadline : float option }
+  | Stats_req of { token : int }
+  | Snapshot_req of { token : int }
+  | Checkpoint_req of { token : int }
+  | Stop
+
+type event =
+  | Ev_result of {
+      shard : int;
+      top : int;
+      seq : int;
+      r : (Value.t, string) result;
+    }
+  | Ev_vote of {
+      shard : int;
+      top : int;
+      edges : (int * int) list option;
+      tentative : (int * int) list;
+      reason : string;
+    }
+  | Ev_decided of { shard : int; top : int; outcome : (Value.t, string) result }
+  | Ev_wound of { shard : int; top : int }
+  | Ev_stats of {
+      shard : int;
+      token : int;
+      engine : (string * int) list;
+      lock : (string * int) list;
+      cert_depth : int;
+    }
+  | Ev_snapshot of {
+      shard : int;
+      token : int;
+      serializable : bool;
+      trees : (int * Call_tree.t) list;
+      order : (Ids.Action_id.t * int) list;
+    }
+  | Ev_checkpointed of { shard : int; token : int }
+  | Ev_stopped of { shard : int }
+
+(* -- branches: the shard-local half of a transaction -------------------------
+
+   The same command-log bridge as the server's [Session]: calls are
+   appended to a log, the engine body is a replay loop parking on
+   [Runtime.await] past the end, so engine-internal retries (wound-wait
+   restarts, certification failures) re-execute the logged prefix
+   invisibly. *)
+
+type bcmd = B_call of { obj : Obj_id.t; meth : string; args : Value.t list }
+
+type branch = {
+  top : int;
+  mutable cmds : bcmd array;
+  mutable n_cmds : int;
+  mutable committing : bool;  (* C_commit appended (decide or fast path) *)
+  mutable emitted : int;  (* call results already sent to the dispatcher *)
+  results : (int, (Value.t, string) result) Hashtbl.t;
+  mutable prepare_requested : bool;
+  mutable voted : bool;
+}
+
+let new_branch ~top =
+  {
+    top;
+    cmds = Array.make 8 (B_call { obj = Obj_id.v "?"; meth = ""; args = [] });
+    n_cmds = 0;
+    committing = false;
+    emitted = 0;
+    results = Hashtbl.create 8;
+    prepare_requested = false;
+    voted = false;
+  }
+
+let push_call br c =
+  if br.n_cmds = Array.length br.cmds then begin
+    let bigger = Array.make (2 * Array.length br.cmds) c in
+    Array.blit br.cmds 0 bigger 0 br.n_cmds;
+    br.cmds <- bigger
+  end;
+  br.cmds.(br.n_cmds) <- c;
+  br.n_cmds <- br.n_cmds + 1
+
+let body (br : branch) (ctx : Runtime.ctx) : Value.t =
+  let cursor = ref 0 in
+  let rec loop last =
+    if !cursor < br.n_cmds then begin
+      let (B_call { obj; meth; args }) = br.cmds.(!cursor) in
+      let callno = !cursor in
+      incr cursor;
+      let r = Runtime.try_call ctx obj meth args in
+      Hashtbl.replace br.results callno r;
+      loop (match r with Ok v -> v | Error _ -> last)
+    end
+    else if br.committing then last
+    else begin
+      Runtime.await ctx;
+      loop last
+    end
+  in
+  loop Value.unit
+
+(* -- the shard ------------------------------------------------------------- *)
+
+type t = {
+  idx : int;
+  profile : profile;
+  db : Database.t;
+  engine : Engine.t;
+  protocol : Protocol.t;
+  journal : Oplog.t option;
+  mutable base_snap : Snapshot.t;
+  recovery : Engine.recovery_report option;
+  inbox : cmd Queue.t;
+  inbox_mu : Mutex.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  emit : event -> unit;
+  branches : (int, branch) Hashtbl.t;
+  pending : (int, int list) Hashtbl.t;
+      (* committed tops that can still have unreported edges to a
+         concurrent neighbour: top -> the unpinned running tops at its
+         commit.  The top stays in the vote window until every waiter
+         has decided; transactions starting later can only acquire
+         forward (retained-lock-ordered) edges to it, which cannot
+         close a cycle under the lock protocols *)
+  dep_probes : (string * string * Value.t list * string * Value.t list, bool) Hashtbl.t;
+  mutable dep_commut : Commutativity.registry option;
+  mutable stopping : bool;
+  mutable domain : unit Domain.t option;
+}
+
+let idx t = t.idx
+let recovery t = t.recovery
+
+let next_top_floor t =
+  (* the boot snapshot's floor covers winners folded by a previous
+     clean-drain checkpoint, which leave no trace in [rec_winners] *)
+  t.base_snap.Snapshot.next_top
+let spec t o = Database.spec t.db o
+
+let build_db (p : profile) =
+  let db = Database.create () in
+  (match p.db_kind with
+  | `Encyclopedia ->
+      let enc = Encyclopedia.create ~fanout:p.fanout db in
+      Ooser_workload.Enc_workload.preload ~keep:p.keep db enc ~keys:p.preload
+  | `Banking ->
+      for i = 0 to p.accounts - 1 do
+        ignore
+          (Ooser_workload.Banking.register_account db ~semantics:`Escrow i
+             ~balance:100 ~low:0 ~high:1_000_000)
+      done
+  | `Inventory ->
+      ignore (Ooser_workload.Inventory.create ~products:p.products db));
+  db
+
+let build_protocol (p : profile) db =
+  let reg = Database.spec_registry db in
+  match p.protocol_kind with
+  | `Open -> Protocol.open_nested ~reg ()
+  | `Flat -> Protocol.flat_2pl ~reg ()
+  | `Closed -> Protocol.closed_nested ~reg ()
+  | `Certify -> Protocol.unlocked ()
+
+(* Per-shard durable boot, mirroring the server's: snapshot + stable log
+   replayed through a fresh engine — with the coordinator's decision
+   log resolving in-doubt prepared transactions first — then a
+   checkpoint and a fresh journal. *)
+let durable_boot ~dir ~decisions ~engine_config db protocol =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let snapshot = Snapshot.load ~dir in
+  let records = Decision_log.resolve ~decisions (Oplog.load ~dir) in
+  let eng, report =
+    Engine.recover ~config:engine_config ?snapshot db ~protocol
+      (Oplog.of_records records)
+  in
+  let base = Option.value snapshot ~default:Snapshot.empty in
+  let snap = Recovery.snapshot_of ~base report.Engine.plan in
+  Snapshot.save ~dir snap;
+  (try Sys.remove (Oplog.log_file ~dir) with Sys_error _ -> ());
+  let journal = Oplog.open_dir ~dir in
+  Engine.set_journal eng (Some journal);
+  (eng, journal, snap, report)
+
+(* -- event emission after a pump ------------------------------------------- *)
+
+let emit_results sh br =
+  let n = br.n_cmds in
+  let continue = ref true in
+  while !continue && br.emitted < n do
+    match Hashtbl.find_opt br.results br.emitted with
+    | Some r ->
+        sh.emit (Ev_result { shard = sh.idx; top = br.top; seq = br.emitted; r });
+        br.emitted <- br.emitted + 1
+    | None -> continue := false
+  done
+
+(* A transaction's reported order is a *fact* only once it can no longer
+   be re-executed or rolled back: committed tops and pinned (voted,
+   in-doubt) branches.  A running unpinned branch can still be wound and
+   retried, and the retry may re-execute it on the other side of a
+   neighbour — flipping the edge; an aborted branch's actions are in the
+   middle of leaving the history altogether.  Stable edges go into the
+   coordinator's permanent graph; unstable ones are reported separately
+   as tentative, good for refusing the current prepare but withdrawn
+   afterwards (a stale edge in the permanent graph would refuse — and
+   latch violations on — cycles that never happened). *)
+let stable_top sh tid =
+  match Hashtbl.find_opt sh.branches tid with
+  | Some br -> (
+      match Engine.txn_state sh.engine tid with
+      | `Committed _ -> true
+      | `Aborted _ -> false
+      | `Running | `Unknown -> br.voted)
+  | None -> true (* retired: part of the committed history *)
+
+(* The shard's current top-level transaction dependency relation, over
+   committed, in-doubt and running neighbours (Def. 15 says every
+   dependency is recorded at both objects, so this per-shard relation is
+   this shard's complete contribution to the global one), split into
+   (stable, tentative).  Only dependencies that escalate all the way to
+   root endpoints count: a lower-level dependency stopped by commuting
+   callers does not constrain the top-level order (same rule as the
+   oracle's serial witness), and page-level edges between tops whose
+   methods commute would otherwise report opposite directions at
+   different objects for perfectly serializable histories. *)
+(* [Schedule.compute] probes the raw specs on every conflict test; a
+   vote recomputes the schedule of the whole observed history, so
+   without memoisation each prepare costs hundreds of milliseconds of
+   repeated spec probes — all of it inside the shard's domain loop,
+   stalling every other transaction on the shard.  Stable specs answer
+   purely from (method, args) pairs, so their probes memoize across
+   votes (same keying as [Commutativity.cached]); unstable specs pass
+   through untouched. *)
+let memo_registry sh (reg : Commutativity.registry) =
+  Commutativity.registry ~known:(Commutativity.known reg) (fun o ->
+      let s = Commutativity.spec_for reg o in
+      if not (Commutativity.stable s) then s
+      else
+        Commutativity.make ~stable:true ~name:(Commutativity.name s)
+          (fun a a' ->
+            let key =
+              ( Obj_id.name (Obj_id.original (Action.obj a)),
+                Action.meth a,
+                Action.args a,
+                Action.meth a',
+                Action.args a' )
+            in
+            match Hashtbl.find_opt sh.dep_probes key with
+            | Some b -> b
+            | None ->
+                let b = Commutativity.test s a a' in
+                Hashtbl.add sh.dep_probes key b;
+                b))
+
+(* Under the lock protocols, computing a vote's edges over the whole
+   observed history is wasted work: retained locks order conflicting
+   root-level work across commit boundaries, so a committed transaction
+   none of whose edges touch a still-running neighbour can gain no new
+   inbound dependency — every future edge leaves it towards a younger
+   transaction, and such forward edges cannot close a cycle.  The vote
+   window is therefore the live branches plus the committed [pending]
+   tops, and a pending top retires from the window as soon as a vote
+   finds no tentative edge touching it (its stable edges are then
+   permanently recorded by the coordinator — see [Coordinator.absorb]
+   for votes that arrive after their transaction is gone).  The
+   unlocked [`Certify] protocol keeps the full history: without locks,
+   running transactions can slide arbitrarily old edges into the
+   relation, and the window argument does not hold. *)
+let vote_window sh h =
+  if sh.profile.protocol_kind = `Certify then h
+  else begin
+    let keep = Hashtbl.create 64 in
+    Hashtbl.iter (fun top _ -> Hashtbl.replace keep top ()) sh.pending;
+    Hashtbl.iter (fun top _ -> Hashtbl.replace keep top ()) sh.branches;
+    let tops =
+      List.filter
+        (fun tree ->
+          Hashtbl.mem keep (Ids.Action_id.top (Action.id (Call_tree.act tree))))
+        (History.tops h)
+    in
+    let order =
+      List.filter
+        (fun a -> Hashtbl.mem keep (Ids.Action_id.top a))
+        (History.order h)
+    in
+    History.v ~tops ~order ~commut:(History.commut h)
+  end
+
+let dependency_edges sh =
+  let t0 = Unix.gettimeofday () in
+  let full = Engine.observed_history sh.engine in
+  let commut =
+    match sh.dep_commut with
+    | Some r -> r
+    | None ->
+        let r = memo_registry sh (History.commut full) in
+        sh.dep_commut <- Some r;
+        r
+  in
+  let w = vote_window sh full in
+  let h = History.v ~tops:(History.tops w) ~order:(History.order w) ~commut in
+  let sched = Schedule.compute h in
+  (* vote cost is the sharded server's critical path: SHARD_DEBUG=1
+     prints window-size/full-size and elapsed per computation *)
+  (if Sys.getenv_opt "SHARD_DEBUG" <> None then
+     Printf.eprintf "[shard%d] dep_edges %d/%d tops %.1fms\n%!" sh.idx
+       (List.length (History.top_ids h))
+       (List.length (History.top_ids full))
+       (1000. *. (Unix.gettimeofday () -. t0)));
+  let edges =
+    List.fold_left
+      (fun acc (os : Schedule.object_schedule) ->
+        Action.Rel.fold_edges
+          (fun a b acc ->
+            if Ids.Action_id.is_root a && Ids.Action_id.is_root b then
+              let ta = Ids.Action_id.top a and tb = Ids.Action_id.top b in
+              if ta = tb then acc else (ta, tb) :: acc
+            else acc)
+          os.Schedule.txn_dep acc)
+      [] (Schedule.objects sched)
+  in
+  List.partition
+    (fun (a, b) -> stable_top sh a && stable_top sh b)
+    (List.sort_uniq compare edges)
+
+let try_vote sh br =
+  if
+    br.prepare_requested && (not br.voted) && (not br.committing)
+    && Hashtbl.length br.results >= br.n_cmds
+    && Engine.txn_quiescent sh.engine ~top:br.top
+  then begin
+    (* the vote promise: everything this branch did is stable before the
+       coordinator may log a commit decision *)
+    (match sh.journal with Some j -> Oplog.force j | None -> ());
+    Engine.pin sh.engine ~top:br.top;
+    br.voted <- true;
+    let stable, tentative = dependency_edges sh in
+    sh.emit
+      (Ev_vote
+         {
+           shard = sh.idx;
+           top = br.top;
+           edges = Some stable;
+           tentative;
+           reason = "";
+         })
+  end
+
+let emit_progress sh =
+  List.iter
+    (fun top -> sh.emit (Ev_wound { shard = sh.idx; top }))
+    (Engine.take_wounded_pinned sh.engine);
+  let decided = ref [] in
+  Hashtbl.iter
+    (fun _ br ->
+      emit_results sh br;
+      match Engine.txn_state sh.engine br.top with
+      | `Committed v ->
+          let waiters =
+            Hashtbl.fold
+              (fun top other acc ->
+                if
+                  top <> br.top && (not other.voted)
+                  && Engine.txn_state sh.engine top = `Running
+                then top :: acc
+                else acc)
+              sh.branches []
+          in
+          Hashtbl.replace sh.pending br.top waiters;
+          sh.emit
+            (Ev_decided { shard = sh.idx; top = br.top; outcome = Ok v });
+          ignore (Engine.retire sh.engine ~top:br.top);
+          decided := br.top :: !decided
+      | `Aborted reason ->
+          sh.emit
+            (Ev_decided
+               { shard = sh.idx; top = br.top; outcome = Error reason });
+          ignore (Engine.retire sh.engine ~top:br.top);
+          decided := br.top :: !decided
+      | `Running -> try_vote sh br
+      | `Unknown -> ())
+    sh.branches;
+  List.iter (Hashtbl.remove sh.branches) !decided;
+  (* committed tops leave the vote window once every transaction that
+     ran unpinned beside them has decided *)
+  let updates =
+    Hashtbl.fold
+      (fun top waiters acc ->
+        let live = List.filter (Hashtbl.mem sh.branches) waiters in
+        if List.compare_lengths live waiters <> 0 then (top, live) :: acc
+        else acc)
+      sh.pending []
+  in
+  List.iter
+    (fun (top, live) ->
+      if live = [] then Hashtbl.remove sh.pending top
+      else Hashtbl.replace sh.pending top live)
+    updates
+
+(* -- command application ---------------------------------------------------- *)
+
+let apply sh = function
+  | Open_branch { top; name; deadline } ->
+      if not (Hashtbl.mem sh.branches top) then begin
+        let br = new_branch ~top in
+        Hashtbl.replace sh.branches top br;
+        Engine.submit sh.engine ~top ~name ?deadline (body br)
+      end
+  | Branch_call { top; seq = _; obj; meth; args } -> (
+      match Hashtbl.find_opt sh.branches top with
+      | Some br ->
+          push_call br (B_call { obj = Obj_id.v obj; meth; args });
+          ignore (Engine.poke sh.engine top)
+      | None -> ())
+  | Branch_commit { top } -> (
+      match Hashtbl.find_opt sh.branches top with
+      | Some br ->
+          br.committing <- true;
+          ignore (Engine.poke sh.engine top)
+      | None -> ())
+  | Prepare { top } -> (
+      match Hashtbl.find_opt sh.branches top with
+      | Some br -> br.prepare_requested <- true
+      | None ->
+          sh.emit
+            (Ev_vote
+               {
+                 shard = sh.idx;
+                 top;
+                 edges = None;
+                 tentative = [];
+                 reason = "unknown branch";
+               }))
+  | Decide { top; commit; reason } -> (
+      match Hashtbl.find_opt sh.branches top with
+      | Some br ->
+          if commit then begin
+            br.committing <- true;
+            ignore (Engine.poke sh.engine top)
+          end
+          else begin
+            Engine.unpin sh.engine ~top;
+            ignore (Engine.abort_top sh.engine ~top reason)
+          end
+      | None -> ())
+  | Set_deadline { top; deadline } -> Engine.set_deadline sh.engine ~top deadline
+  | Stats_req { token } ->
+      let engine = Ooser_sim.Stats.Counter.to_list (Engine.counters sh.engine) in
+      let lock = Ooser_sim.Stats.Counter.to_list (Protocol.counters sh.protocol) in
+      let cert_depth = List.length (Engine.committed_trees sh.engine) in
+      sh.emit (Ev_stats { shard = sh.idx; token; engine; lock; cert_depth })
+  | Snapshot_req { token } ->
+      let serializable =
+        Serializability.oo_serializable (Engine.final_history sh.engine)
+      in
+      sh.emit
+        (Ev_snapshot
+           {
+             shard = sh.idx;
+             token;
+             serializable;
+             trees = Engine.committed_trees sh.engine;
+             order = Engine.stamped_order sh.engine;
+           })
+  | Checkpoint_req { token } ->
+      (match (sh.journal, sh.profile.durable_dir) with
+      | Some j, Some dir ->
+          Oplog.force j;
+          let plan = Recovery.analyze (Oplog.all j) in
+          let snap = Recovery.snapshot_of ~base:sh.base_snap plan in
+          Snapshot.save ~dir snap;
+          Engine.set_journal sh.engine None;
+          Oplog.close j;
+          (try Sys.remove (Oplog.log_file ~dir) with Sys_error _ -> ());
+          sh.base_snap <- snap
+      | _ -> ());
+      sh.emit (Ev_checkpointed { shard = sh.idx; token })
+  | Stop -> sh.stopping <- true
+
+(* -- the domain loop -------------------------------------------------------- *)
+
+let nearest_deadline sh =
+  Hashtbl.fold
+    (fun top _ acc ->
+      match Engine.deadline_of sh.engine ~top with
+      | Some d -> Some (match acc with Some a -> Float.min a d | None -> d)
+      | None -> acc)
+    sh.branches None
+
+let drain_inbox sh =
+  Mutex.lock sh.inbox_mu;
+  let cmds = ref [] in
+  while not (Queue.is_empty sh.inbox) do
+    cmds := Queue.pop sh.inbox :: !cmds
+  done;
+  Mutex.unlock sh.inbox_mu;
+  List.rev !cmds
+
+let drain_pipe fd =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read fd buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+let loop sh =
+  let rec go () =
+    let timeout =
+      let cap = 0.25 in
+      match nearest_deadline sh with
+      | Some d -> Float.max 0.0 (Float.min cap (d -. Unix.gettimeofday ()))
+      | None -> cap
+    in
+    (match Unix.select [ sh.wake_r ] [] [] timeout with
+    | [ _ ], _, _ -> drain_pipe sh.wake_r
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    let cmds = drain_inbox sh in
+    List.iter (apply sh) cmds;
+    Engine.check_deadlines sh.engine;
+    ignore (Engine.pump sh.engine);
+    emit_progress sh;
+    if sh.stopping && Hashtbl.length sh.branches = 0 then begin
+      (match sh.journal with Some j -> Oplog.force j | None -> ());
+      sh.emit (Ev_stopped { shard = sh.idx })
+    end
+    else go ()
+  in
+  go ()
+
+let create ~idx (profile : profile) ~emit =
+  let db = build_db profile in
+  let protocol = build_protocol profile db in
+  let engine_config =
+    {
+      (Engine.default_config protocol) with
+      Engine.deadlock = Engine.Wound_wait;
+      certify = profile.protocol_kind = `Certify;
+      now = Unix.gettimeofday;
+      next_stamp = Some profile.next_stamp;
+    }
+  in
+  let engine, journal, base_snap, recovery =
+    match profile.durable_dir with
+    | None ->
+        (Engine.create ~config:engine_config db ~protocol [], None,
+         Snapshot.empty, None)
+    | Some dir ->
+        let eng, journal, snap, report =
+          durable_boot ~dir ~decisions:profile.decisions ~engine_config db
+            protocol
+        in
+        (eng, Some journal, snap, Some report)
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let sh =
+    {
+      idx;
+      profile;
+      db;
+      engine;
+      protocol;
+      journal;
+      base_snap;
+      recovery;
+      inbox = Queue.create ();
+      inbox_mu = Mutex.create ();
+      wake_r;
+      wake_w;
+      emit;
+      branches = Hashtbl.create 64;
+      pending = Hashtbl.create 64;
+      dep_probes = Hashtbl.create 4096;
+      dep_commut = None;
+      stopping = false;
+      domain = None;
+    }
+  in
+  sh.domain <- Some (Domain.spawn (fun () -> loop sh));
+  sh
+
+let send t cmd =
+  Mutex.lock t.inbox_mu;
+  Queue.push cmd t.inbox;
+  Mutex.unlock t.inbox_mu;
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) ->
+    ()
+
+let join t =
+  (match t.domain with Some d -> Domain.join d | None -> ());
+  t.domain <- None;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

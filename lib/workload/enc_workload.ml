@@ -41,11 +41,13 @@ let key_of i = Printf.sprintf "k%05d" i
 
 (* Preload runs as one transaction under a trivial protocol so the
    measured run starts from a populated tree. *)
-let preload db enc ~keys =
+let preload ?(keep = fun _ -> true) db enc ~keys =
   if keys > 0 then begin
     let body ctx =
       for i = 0 to keys - 1 do
-        Encyclopedia.insert enc ctx ~key:(key_of i) ~text:("seed" ^ string_of_int i)
+        let key = key_of i in
+        if keep key then
+          Encyclopedia.insert enc ctx ~key ~text:("seed" ^ string_of_int i)
       done;
       Value.unit
     in

@@ -30,8 +30,11 @@ val default_params : params
 
 val key_of : int -> string
 
-val preload : Database.t -> Encyclopedia.t -> keys:int -> unit
-(** Populate the encyclopedia in one unmeasured transaction. *)
+val preload :
+  ?keep:(string -> bool) -> Database.t -> Encyclopedia.t -> keys:int -> unit
+(** Populate the encyclopedia in one unmeasured transaction.  [keep]
+    filters the seeded keys — a shard preloads only the partition its
+    router assigns to it. *)
 
 val transactions :
   rng:Rng.t ->

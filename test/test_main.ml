@@ -39,6 +39,7 @@ let () =
          Test_atlas.suites;
          Test_incremental.suites;
          Test_server.suites;
+         Test_shard.suites;
          Test_crash.suites;
          Test_infer.suites;
        ])
