@@ -10,6 +10,7 @@
      oosdb demo                   the paper's Example 4, with dependency table
      oosdb serve [options]        network transaction server (loopback/unix)
      oosdb recover DIR [options]  replay and re-certify a durable directory
+     oosdb certify FILE [options] certify a recorded history trace offline
      oosdb client [options]       one-shot scripted transaction against a server
      oosdb loadgen [options]      closed-loop load generator against a server
 *)
@@ -305,6 +306,28 @@ let shard_datapoint ~shards ~txns =
     (c "roundtrip-ns-avg")
     (String.concat ", " (List.map string_of_int depths))
 
+(* One offline-certification datapoint: a small synthetic trace through
+   the segmented parallel certifier — segment throughput, stitch cost,
+   peak concurrent segments. *)
+let certify_datapoint () =
+  let module BT = Ooser_certify.Bench_trace in
+  let module C = Ooser_certify.Certify in
+  let path = Filename.temp_file "oosdb_bench_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  BT.generate ~path { BT.default_params with BT.txns = 20_000; keys = 128 };
+  let t = Ooser_certify.Trace.load path in
+  let r = C.run ~workers:4 ~registry:(BT.registry ()) t in
+  Printf.sprintf
+    "  \"certify\": {\"txns\": %d, \"ok\": %b, \"workers\": %d, \
+     \"segments\": %d, \"quiescent_cuts\": %d, \"heuristic_cuts\": %d, \
+     \"peak_segments_live\": %d, \"segment_txn_per_s\": %.0f, \
+     \"stitch_seconds\": %.6f, \"elapsed_seconds\": %.4f}"
+    r.C.txns r.C.ok r.C.workers r.C.segments r.C.quiescent_cuts
+    r.C.heuristic_cuts r.C.peak_live r.C.segment_txn_per_s r.C.stitch_seconds
+    r.C.elapsed_seconds
+
 let bench_cmd =
   let n =
     Arg.(value & opt int 600
@@ -324,13 +347,17 @@ let bench_cmd =
     Fmt.pr "%a@." Cert_bench.pp r;
     let shard_json = shard_datapoint ~shards:4 ~txns:48 in
     Fmt.pr "shard datapoint:@.%s@." shard_json;
+    let certify_json = certify_datapoint () in
+    Fmt.pr "certify datapoint:@.%s@." certify_json;
     (match json with
     | Some file ->
         let oc = open_out file in
         let base = Cert_bench.to_json r in
-        (* splice the shard datapoint into the top-level object *)
+        (* splice the shard and certify datapoints into the top-level
+           object *)
         let body = String.sub base 0 (String.rindex base '}') in
-        output_string oc (body ^ ",\n" ^ shard_json ^ "\n}");
+        output_string oc
+          (body ^ ",\n" ^ shard_json ^ ",\n" ^ certify_json ^ "\n}");
         output_string oc "\n";
         close_out oc;
         Fmt.pr "wrote %s@." file
@@ -633,8 +660,17 @@ let serve_cmd =
                 through the Def. 15 edge-exchange coordinator.  0 = one \
                 engine, no dispatcher." ~docv:"N")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "Record the committed history to $(docv) as an \
+                offline-certifiable trace for $(b,oosdb certify): a \
+                single-shard server streams every commit, a sharded \
+                server exports the merged history at drain.")
+  in
   let run socket port db protocol max_inflight timeout_ms preload durable
-      shards =
+      shards trace =
     let config =
       {
         (Srv.default_config (addr_of socket port)) with
@@ -645,6 +681,7 @@ let serve_cmd =
         default_timeout_ms = timeout_ms;
         preload;
         durable_dir = durable;
+        trace_path = trace;
       }
     in
     let t = Srv.create config in
@@ -686,7 +723,7 @@ let serve_cmd =
           unix-domain socket, multiplexed onto one engine.  Exits non-zero \
           if the committed history fails certification.")
     Term.(const run $ socket_arg $ port_arg $ db $ protocol $ max_inflight
-          $ timeout_ms $ preload $ durable $ shards)
+          $ timeout_ms $ preload $ durable $ shards $ trace)
 
 (* -- recover ------------------------------------------------------------------- *)
 
@@ -783,8 +820,22 @@ let recover_cmd =
     ignore shards;
     ok
   in
-  let run dir db protocol preload checkpoint shards =
-    if shards > 0 then begin
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "After replay, export the recovered committed history to \
+                $(docv) as an offline-certifiable trace for $(b,oosdb \
+                certify).  Single-engine directories only: per-shard \
+                logs carry shard-local stamps that do not merge into \
+                one global execution order offline.")
+  in
+  let run dir db protocol preload checkpoint shards trace =
+    if shards > 0 && trace <> None then begin
+      Fmt.epr "oosdb recover: --trace requires a single-engine directory@.";
+      2
+    end
+    else if shards > 0 then begin
       let module Router = Ooser_shard.Router in
       let module DL = Ooser_recovery.Decision_log in
       let router = Router.create ~shards in
@@ -823,7 +874,7 @@ let recover_cmd =
       (match snapshot with
       | Some s -> List.length s.RSnapshot.entries
       | None -> 0);
-    let _, report =
+    let eng, report =
       Engine.recover ?snapshot database ~protocol:proto
         (Oplog.of_records records)
     in
@@ -839,6 +890,13 @@ let recover_cmd =
       report.Engine.replayed_calls report.Engine.replay_failures;
     Fmt.pr "re-certified oo-serializable: %b@." report.Engine.recertified;
     let ok = report.Engine.recertified && report.Engine.replay_failures = 0 in
+    (match trace with
+    | Some path ->
+        Ooser_certify.Trace.write_history
+          ~registry:(Srv.db_kind_name db)
+          path (Engine.final_history eng);
+        Fmt.pr "trace:      wrote %s@." path
+    | None -> ());
     if ok && checkpoint then begin
       let base =
         Option.value snapshot ~default:RSnapshot.empty
@@ -859,7 +917,201 @@ let recover_cmd =
           through a fresh engine, report the winners / losers, and \
           re-certify the recovered history.  Exits non-zero if replay \
           fails or the history is not oo-serializable.")
-    Term.(const run $ dir $ db $ protocol $ preload $ checkpoint $ shards_arg)
+    Term.(const run $ dir $ db $ protocol $ preload $ checkpoint $ shards_arg
+          $ trace)
+
+(* -- certify ------------------------------------------------------------------- *)
+
+module Ctrace = Ooser_certify.Trace
+module Certify = Ooser_certify.Certify
+module Bench_trace = Ooser_certify.Bench_trace
+
+(* A database's registry, extended with the system object "S" the engine
+   registers at create time (roots live there, all-commuting) and with
+   [dynamic], the database kind's name-family resolver for objects a
+   live run registered as it allocated them (encyclopedia pages, nodes,
+   items) — a rebuilt database never allocated those.  Objects neither
+   knows resolve to all-conflict — sound but conservative, so a trace
+   touching genuinely unknown objects may be refused where the live
+   server would have accepted it. *)
+let offline_db_registry ?(dynamic = fun _ -> None) db =
+  let reg = Database.spec_registry db in
+  let is_sys o = Ids.Obj_id.name (Ids.Obj_id.original o) = "S" in
+  Commutativity.registry
+    ~known:(fun o -> is_sys o || Commutativity.known reg o || dynamic o <> None)
+    (fun o ->
+      if is_sys o then Commutativity.all_commute
+      else if Commutativity.known reg o then Commutativity.spec_for reg o
+      else
+        match dynamic o with
+        | Some spec -> spec
+        | None -> Commutativity.all_conflict)
+
+let dynamic_of_kind = function
+  | `Encyclopedia -> Ooser_oodb.Encyclopedia.offline_spec
+  | _ -> fun _ -> None
+
+(* A sharded trace's objects carry "s<i>:" prefixes (each shard's
+   namespace is disjoint); specs are resolved by the unprefixed name
+   against one rebuilt database of the same kind — shard databases
+   assign specs by object name, so the spec is the same on every
+   shard. *)
+let offline_sharded_registry ?dynamic db =
+  let inner = offline_db_registry ?dynamic db in
+  let strip o =
+    let n = Ids.Obj_id.name (Ids.Obj_id.original o) in
+    if n = "S" then Some n
+    else
+      match String.index_opt n ':' with
+      | Some j when j > 1 && n.[0] = 's' ->
+          Some (String.sub n (j + 1) (String.length n - j - 1))
+      | _ -> None
+  in
+  Commutativity.registry
+    ~known:(fun o ->
+      match strip o with
+      | Some base -> Commutativity.known inner (Ids.Obj_id.v base)
+      | None -> false)
+    (fun o ->
+      match strip o with
+      | Some base -> Commutativity.spec_for inner (Ids.Obj_id.v base)
+      | None -> Commutativity.all_conflict)
+
+let db_kind_of_name = function
+  | "encyclopedia" -> Some `Encyclopedia
+  | "banking" -> Some `Banking
+  | "inventory" -> Some `Inventory
+  | _ -> None
+
+(* Resolve the registry a trace header names.  [db_override] forces a
+   database kind regardless of the header. *)
+let resolve_trace_registry ~db_override ~preload ~accounts ~products name =
+  let build kind =
+    let config =
+      {
+        (Srv.default_config (Srv.Tcp 0)) with
+        Srv.db_kind = kind;
+        preload;
+        accounts;
+        products;
+      }
+    in
+    Srv.build_db config
+  in
+  match db_override with
+  | Some kind ->
+      if String.length name > 8 && String.sub name 0 8 = "sharded:" then
+        Ok (offline_sharded_registry ~dynamic:(dynamic_of_kind kind) (build kind))
+      else Ok (offline_db_registry ~dynamic:(dynamic_of_kind kind) (build kind))
+  | None -> (
+      if name = Bench_trace.registry_name then Ok (Bench_trace.registry ())
+      else
+        let strip prefix =
+          let np = String.length prefix in
+          if String.length name > np && String.sub name 0 np = prefix then
+            Some (String.sub name np (String.length name - np))
+          else None
+        in
+        match db_kind_of_name name with
+        | Some kind -> Ok (offline_db_registry ~dynamic:(dynamic_of_kind kind) (build kind))
+        | None -> (
+            match strip "sharded:" with
+            | Some base -> (
+                match db_kind_of_name base with
+                | Some kind -> Ok (offline_sharded_registry ~dynamic:(dynamic_of_kind kind) (build kind))
+                | None ->
+                    Error
+                      (Printf.sprintf "unknown sharded database %S" base))
+            | None -> (
+                match strip "client:" with
+                | Some base -> (
+                    match db_kind_of_name base with
+                    | Some kind -> Ok (offline_db_registry ~dynamic:(dynamic_of_kind kind) (build kind))
+                    | None ->
+                        Error
+                          (Printf.sprintf "unknown client database %S" base))
+                | None ->
+                    Error
+                      (Printf.sprintf
+                         "trace names registry %S; pass --db to force one"
+                         name))))
+
+let certify_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"History trace recorded by serve/loadgen/recover --trace \
+                   or generated by the benchmark.")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Domains certifying segments in parallel.")
+  in
+  let segment_target =
+    Arg.(value & opt (some int) None
+         & info [ "segment-target" ] ~docv:"K"
+             ~doc:
+               "Transactions per segment before the segmenter looks for a \
+                quiescent cut (default: about four segments per worker).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let db_override =
+    Arg.(value & opt (some db_conv) None
+         & info [ "db" ]
+             ~doc:
+               "Resolve commutativity specs against this database kind \
+                instead of the trace header's registry name.")
+  in
+  let preload =
+    Arg.(value & opt int 200
+         & info [ "preload" ]
+             ~doc:"Encyclopedia keys the recorded server preloaded.")
+  in
+  let accounts =
+    Arg.(value & opt int 10 & info [ "accounts" ] ~doc:"Banking accounts.")
+  in
+  let products =
+    Arg.(value & opt int 4 & info [ "products" ] ~doc:"Inventory products.")
+  in
+  let run file workers segment_target json db_override preload accounts
+      products =
+    match Ctrace.load file with
+    | exception Failure msg ->
+        Fmt.epr "oosdb certify: %s@." msg;
+        2
+    | t -> (
+        match
+          resolve_trace_registry ~db_override ~preload ~accounts ~products
+            (Ctrace.registry_name t)
+        with
+        | Error msg ->
+            Fmt.epr "oosdb certify: %s@." msg;
+            2
+        | Ok registry ->
+            let r =
+              Certify.run ~workers ?segment_target:
+                (match segment_target with
+                | Some k -> Some (max 1 k)
+                | None -> None)
+                ~registry t
+            in
+            if json then print_string (Certify.to_json r)
+            else Fmt.pr "%a@." Certify.pp r;
+            if r.Certify.ok then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Certify a recorded history trace offline: segment at quiescent \
+          points, certify segments on parallel domains, stitch the \
+          cross-segment dependency frontiers through one global \
+          topological order.  Exits 1 on a violation, 2 on a bad trace \
+          or unresolvable registry.")
+    Term.(const run $ file $ workers $ segment_target $ json $ db_override
+          $ preload $ accounts $ products)
 
 (* "Obj.meth arg.." with ints, true/false and bare strings as values *)
 let parse_call spec =
@@ -1029,8 +1281,17 @@ let loadgen_cmd =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"Write the result as JSON to $(docv).")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "Record the client-observed committed history to $(docv) \
+                as an offline-certifiable trace for $(b,oosdb certify) \
+                (black-box audit; the server's $(b,--trace) records the \
+                authoritative execution order).")
+  in
   let run socket port sessions txns calls db seed timeout_ms keys theta
-      shutdown rate route_shards cross json =
+      shutdown rate route_shards cross json trace =
     let cfg =
       {
         (Loadgen.default_cfg (Srv.sockaddr_of (addr_of socket port))) with
@@ -1046,6 +1307,7 @@ let loadgen_cmd =
         rate;
         route_shards;
         cross;
+        trace_path = trace;
       }
     in
     let r = Loadgen.run cfg in
@@ -1083,7 +1345,7 @@ let loadgen_cmd =
           oo-serializable.")
     Term.(const run $ socket_arg $ port_arg $ sessions $ txns $ calls $ db
           $ seed $ timeout_ms $ keys $ theta $ shutdown $ rate
-          $ route_shards $ cross $ json)
+          $ route_shards $ cross $ json $ trace)
 
 let main =
   Cmd.group
@@ -1092,7 +1354,7 @@ let main =
          "Object-oriented serializability toolkit (Rakow, Gu & Neuhold, ICDE \
           1990).")
     [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; bench_cmd; lint_cmd;
-      analyze_cmd; infer_cmd; demo_cmd; serve_cmd; recover_cmd; client_cmd;
-      loadgen_cmd ]
+      analyze_cmd; infer_cmd; demo_cmd; serve_cmd; recover_cmd; certify_cmd;
+      client_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval' main)

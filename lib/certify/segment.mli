@@ -1,0 +1,47 @@
+(** Cutting a trace into independently-certifiable segments.
+
+    Transactions are ordered by span start (minimum stamp).  A cut
+    between consecutive positions is {e quiescent} when no transaction
+    span crosses it — every transaction before the cut finished before
+    every transaction after it started.  Dependency edges always point
+    forward across a quiescent cut (an edge into the past would need a
+    span overlapping the cut), so no dependency cycle crosses one: the
+    segments on either side can be certified independently and the
+    global verdict is exact.
+
+    When no quiescent point appears within the overflow window the
+    segmenter cuts heuristically — overlapping spans then straddle the
+    cut and the cross-cut dependency frontier must be stitched
+    ({!Certify}).  Consecutive segments joined by heuristic cuts form a
+    {e chain}; cycles never cross chain boundaries, so stitching work is
+    confined within chains. *)
+
+type cut = Quiescent | Heuristic
+
+type seg = {
+  lo : int;  (** start position (inclusive) in {!plan}'s [order] *)
+  hi : int;  (** end position (exclusive) *)
+  cut_before : cut;  (** how the boundary before [lo] was cut *)
+}
+
+type t = {
+  order : int array;
+      (** record indices sorted by (min_stamp, max_stamp, index): the
+          span-start order all positions refer to *)
+  segs : seg array;
+  chains : (int * int) array;
+      (** maximal runs [i, j] (inclusive segment indices) joined by
+          heuristic cuts; singleton chains are quiescent-isolated *)
+}
+
+val plan : Trace.t -> target:int -> t
+(** Greedy segmentation: grow each segment to [target] transactions,
+    cut at the first quiescent point after that, and fall back to a
+    heuristic cut once the segment reaches [4 * target] without one.
+    [target] is clamped to at least 1. *)
+
+val default_target : txns:int -> workers:int -> int
+(** [ceil txns / (4 * workers)] — about four segments per worker, so
+    work-stealing keeps every domain busy even when segment costs are
+    skewed (dependency edges grow quadratically on contended objects,
+    so halving segment length quarters the worst segment). *)

@@ -755,3 +755,15 @@ let pp_structure ppf s =
   Fmt.pf ppf
     "height=%d internal=%d leaves=%d keys=%d items=%d pages=%d" s.height
     s.internal_nodes s.leaf_nodes s.keys s.items s.pages
+
+(* Pages, nodes and items are registered as they are allocated, so a
+   database rebuilt offline (for certifying a recorded trace) does not
+   know the ones a live run created.  Their specs depend only on the
+   name family, never on the instance, so resolve by name. *)
+let offline_spec oid =
+  let name = Obj_id.name (Obj_id.original oid) in
+  let has p = String.starts_with ~prefix:p name in
+  if has "Page" then Some page_spec
+  else if has "Leaf" || has "Node" then Some node_spec
+  else if has "Item" then Some item_spec
+  else None

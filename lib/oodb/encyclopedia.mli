@@ -77,3 +77,9 @@ type structure = {
 
 val structure : t -> structure
 val pp_structure : Format.formatter -> structure -> unit
+
+val offline_spec : Ooser_core.Ids.Obj_id.t -> Ooser_core.Commutativity.spec option
+(** Resolve dynamically-registered object families (pages, B+ tree
+    nodes/leaves, items) by name, for certifying recorded traces
+    against a rebuilt database that never allocated them.  [None] for
+    names outside the encyclopedia's dynamic families. *)

@@ -270,6 +270,12 @@ type t = {
       (* pinned transactions an older requester tried to wound; the
          shard loop drains this ([take_wounded_pinned]) and escalates to
          the 2PC coordinator, which may abort the global transaction *)
+  mutable trace_sink :
+    (top:int -> tree:Call_tree.t -> prims:(Ids.Action_id.t * int) list -> unit)
+    option;
+      (* called at each top-level commit with exactly the certifier's
+         inputs (final attempt's tree and stamped primitives) — the
+         history-trace recorder; must not raise *)
 }
 
 type outcome = {
@@ -474,6 +480,19 @@ let commit_txn (eng : t) txn v =
   journal_append eng (Oplog.Commit { top = txn.top; attempt = txn.attempt });
   journal_force eng;
   Stats.Counter.incr eng.counters "commits";
+  (match eng.trace_sink with
+  | Some sink -> (
+      match List.assoc_opt txn.top eng.trees with
+      | Some tree ->
+          let prims =
+            List.rev eng.order
+            |> List.filter_map (fun (top, att, id, stamp) ->
+                   if top = txn.top && att = txn.attempt then Some (id, stamp)
+                   else None)
+          in
+          if prims <> [] then sink ~top:txn.top ~tree ~prims
+      | None -> ())
+  | None -> ());
   Protocol.on_top_commit eng.config.protocol txn.top;
   txn.status <- Committed;
   txn.result <- Some v;
@@ -1215,10 +1234,12 @@ let create ?(config : config option) db ~protocol bodies =
     counters = Stats.Counter.create ();
     journal = None;
     wounded_pinned = [];
+    trace_sink = None;
   }
 
 let set_journal (eng : t) j = eng.journal <- j
 let journal (eng : t) = eng.journal
+let set_trace_sink (eng : t) sink = eng.trace_sink <- sink
 
 (* Install a precomputed conflict table (built by the static conflict
    atlas) into both runtime probe sites: the incremental certifier's

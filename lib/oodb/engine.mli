@@ -230,6 +230,17 @@ val committed_trees : t -> (int * Call_tree.t) list
 (** Committed call trees keyed by top (final attempts), sorted by top —
     raw material for a dispatcher-side merged history. *)
 
+val set_trace_sink :
+  t ->
+  (top:int -> tree:Call_tree.t -> prims:(Ids.Action_id.t * int) list -> unit)
+  option ->
+  unit
+(** Install (or clear) a history-trace recorder: called at every
+    top-level commit with exactly the inputs the incremental certifier
+    consumes — the committing attempt's call tree and its executed
+    primitives with global execution stamps.  The sink must not raise;
+    it runs on the engine's thread inside the commit path. *)
+
 val pin : t -> top:int -> unit
 (** Mark a running transaction as a prepared 2PC participant: it keeps
     its locks but wound-wait and deadline expiry no longer abort it;

@@ -62,14 +62,11 @@ let load ~dir =
     let n = in_channel_length ic in
     let raw = really_input_string ic n in
     close_in_noerr ic;
-    let r = Codec.Reader.create raw in
-    let ds = ref [] in
-    (try
-       while not (Codec.Reader.at_end r) do
-         ds := decode (Codec.Reader.lstring r) :: !ds
-       done
-     with Failure _ -> ());
-    List.rev !ds
+    (* a coordinator crash mid-append leaves a torn final frame: keep
+       the stable prefix, exactly like {!Oplog.load} — every decision
+       before it was forced and stands *)
+    Codec.fold_frames raw ~init:[] ~f:(fun acc frame -> decode frame :: acc)
+    |> List.rev
   end
 
 let reset ~dir =

@@ -316,12 +316,10 @@ let load ~dir =
     let n = in_channel_length ic in
     let raw = really_input_string ic n in
     close_in_noerr ic;
-    let r = Codec.Reader.create raw in
-    let records = ref [] in
-    (try
-       while not (Codec.Reader.at_end r) do
-         records := decode_record (Codec.Reader.lstring r) :: !records
-       done
-     with Failure _ -> ());
-    List.rev !records
+    (* a crash mid-append leaves a torn final frame: keep the stable
+       prefix, drop the tail ([Codec.fold_frames] stops at the first
+       incomplete or undecodable frame) *)
+    Codec.fold_frames raw ~init:[] ~f:(fun acc frame ->
+        decode_record frame :: acc)
+    |> List.rev
   end

@@ -43,6 +43,12 @@ type cfg = {
          picks keys placed there, so its transactions stay single-shard
          except for deliberate excursions *)
   cross : float;  (* probability a routed call targets a foreign shard *)
+  trace_path : string option;
+      (* record the client-observed committed history to FILE as an
+         offline-certifiable trace: each committed transaction becomes
+         a flat record of its successful calls, stamped in the order
+         their results were observed.  A black-box audit — the server's
+         own --trace is the authoritative execution order *)
 }
 
 let default_cfg sockaddr =
@@ -62,6 +68,7 @@ let default_cfg sockaddr =
     rate = 0.0;
     route_shards = 0;
     cross = 0.05;
+    trace_path = None;
   }
 
 type result = {
@@ -110,6 +117,17 @@ type sess = {
          when it actually reaches the socket, so latency measures the
          server, not our own buffering *)
   mutable fresh : int;  (* fresh-key counter for inserts *)
+  mutable last_call : (string * string * Value.t list) option;
+      (* the in-flight call, stashed for the tracer *)
+  mutable observed : (string * string * Value.t list * int) list;
+      (* this transaction's successful calls with observation stamps,
+         newest first *)
+}
+
+type tracer = {
+  tw : Ooser_certify.Trace.writer;
+  mutable t_stamp : int;  (* global observation counter *)
+  mutable t_top : int;  (* client-side transaction numbering *)
 }
 
 type acc = {
@@ -120,6 +138,7 @@ type acc = {
   mutable db : string;
   mutable protocol : string;
   latency : Stats.Histogram.t;
+  tracer : tracer option;
 }
 
 let contains haystack needle =
@@ -233,8 +252,45 @@ let gen_call cfg router sess : Wire.request =
 
 let issue_call cfg router acc sess remaining =
   acc.calls <- acc.calls + 1;
-  queue_req sess (gen_call cfg router sess);
+  let req = gen_call cfg router sess in
+  (match (acc.tracer, req) with
+  | Some _, Wire.Call { obj; meth; args } ->
+      sess.last_call <- Some (obj, meth, args)
+  | _ -> ());
+  queue_req sess req;
   sess.state <- Awaiting_result remaining
+
+(* One committed transaction as a flat trace record: root on S, one
+   primitive child per successful call, stamped by observation order. *)
+let trace_commit tr sess =
+  let ops = List.rev sess.observed in
+  sess.observed <- [];
+  if ops <> [] then begin
+    tr.t_top <- tr.t_top + 1;
+    let top = tr.t_top in
+    let module Trace = Ooser_certify.Trace in
+    let root = Ids.Action_id.root top in
+    let root_act =
+      Action.v ~id:root ~obj:(Ids.Obj_id.v "S") ~meth:"txn"
+        ~process:(Ids.Process_id.main top) ()
+    in
+    let children =
+      List.mapi
+        (fun k (obj, meth, args, _) ->
+          Call_tree.v
+            (Action.v
+               ~id:(Ids.Action_id.child root (k + 1))
+               ~obj:(Ids.Obj_id.v obj) ~meth ~args
+               ~process:(Ids.Process_id.main top) ())
+            [])
+        ops
+    in
+    let prims =
+      List.mapi (fun k (_, _, _, s) -> (Ids.Action_id.child root (k + 1), s)) ops
+    in
+    Trace.append tr.tw
+      { Trace.top; tree = Call_tree.seq root_act children; prims }
+  end
 
 (* [began = 0.0] means "stamp when the BEGIN reaches the socket"
    (closed loop); an open-loop caller passes the scheduled arrival. *)
@@ -275,18 +331,33 @@ let on_response cfg router acc sess (resp : Wire.response) =
       issue_call cfg router acc sess (cfg.calls_per_txn - 1)
   | (Wire.Result _ | Wire.Failed _), Awaiting_result remaining ->
       (match resp with
-      | Wire.Failed _ -> acc.failed_calls <- acc.failed_calls + 1
-      | _ -> ());
+      | Wire.Failed _ ->
+          acc.failed_calls <- acc.failed_calls + 1;
+          (* a failed call's subtransaction rolled back: not part of
+             the committed history *)
+          sess.last_call <- None
+      | _ -> (
+          match (acc.tracer, sess.last_call) with
+          | Some tr, Some (obj, meth, args) ->
+              tr.t_stamp <- tr.t_stamp + 1;
+              sess.observed <- (obj, meth, args, tr.t_stamp) :: sess.observed;
+              sess.last_call <- None
+          | _ -> ()));
       if remaining > 0 then issue_call cfg router acc sess (remaining - 1)
       else begin
         queue_req sess Wire.Commit;
         sess.state <- Awaiting_commit
       end
   | Wire.Committed _, Awaiting_commit ->
+      (match acc.tracer with
+      | Some tr -> trace_commit tr sess
+      | None -> ());
       decide acc sess ~ok:true;
       next_txn cfg sess
   | Wire.Aborted _, (Awaiting_result _ | Awaiting_commit | Awaiting_begun) ->
       (* the engine's decision ends the transaction wherever we were *)
+      sess.observed <- [];
+      sess.last_call <- None;
       decide acc sess ~ok:false;
       next_txn cfg sess
   | Wire.Error { code = "shutting-down"; _ }, _ ->
@@ -329,6 +400,8 @@ let run ?(tick = fun () -> ()) cfg =
         began = 0.0;
         begin_unsent = false;
         fresh = 0;
+        last_call = None;
+        observed = [];
       }
     in
     queue_req sess (Wire.Hello (Printf.sprintf "loadgen-%d" sid));
@@ -345,6 +418,19 @@ let run ?(tick = fun () -> ()) cfg =
       db = "?";
       protocol = "?";
       latency = Stats.Histogram.create ();
+      tracer =
+        (match cfg.trace_path with
+        | Some path ->
+            Some
+              {
+                tw =
+                  Ooser_certify.Trace.create_writer
+                    ~registry:("client:" ^ Server.db_kind_name cfg.db_kind)
+                    path;
+                t_stamp = 0;
+                t_top = 0;
+              }
+        | None -> None);
     }
   in
   let started = Unix.gettimeofday () in
@@ -425,6 +511,9 @@ let run ?(tick = fun () -> ()) cfg =
   done;
   let elapsed = Unix.gettimeofday () -. started in
   List.iter (fun s -> try Unix.close s.fd with Unix.Unix_error _ -> ()) sessions;
+  (match acc.tracer with
+  | Some tr -> Ooser_certify.Trace.close tr.tw
+  | None -> ());
   (* control round: STATS (with the server-side certification verdict),
      then SHUTDOWN when asked *)
   let certified, stats_json =

@@ -35,6 +35,14 @@ type cfg = {
   cross : float;
       (** probability a routed call targets a foreign shard, making the
           enclosing transaction a 2PC cross-shard commit *)
+  trace_path : string option;
+      (** record the client-observed committed history to [FILE] as an
+          offline-certifiable trace ({!Ooser_certify.Trace}): each
+          committed transaction becomes one flat record of its
+          successful calls, stamped in result-observation order.  This
+          is a black-box audit of the order the client actually saw —
+          the server's own [trace_path] records the authoritative
+          execution order. *)
 }
 
 val default_cfg : Unix.sockaddr -> cfg

@@ -26,6 +26,7 @@ module Oplog = Ooser_recovery.Oplog
 module Snapshot = Ooser_recovery.Snapshot
 module Recovery = Ooser_recovery.Recovery
 module Dispatcher = Ooser_shard.Dispatcher
+module Trace = Ooser_certify.Trace
 
 type addr = Unix_sock of string | Tcp of int  (* loopback only *)
 
@@ -70,6 +71,11 @@ type config = {
   durable_dir : string option;
       (* journal commits to DIR/oplog.bin; boot recovers DIR and
          checkpoints it into DIR/snapshot.bin *)
+  trace_path : string option;
+      (* record the committed history to FILE as an offline-certifiable
+         trace ({!Ooser_certify.Trace}): single-shard servers stream
+         each commit; sharded servers export the merged history at
+         drain *)
 }
 
 let default_config addr =
@@ -87,6 +93,7 @@ let default_config addr =
     products = 4;
     name = "oosdb";
     durable_dir = None;
+    trace_path = None;
   }
 
 type conn = {
@@ -124,6 +131,9 @@ type t = {
   journal : Oplog.t option;
   mutable base_snap : Snapshot.t;  (* covers everything not in the journal *)
   recovery : Engine.recovery_report option;  (* boot-time recovery, if any *)
+  mutable trace_writer : Trace.writer option;
+      (* single-shard streaming trace recorder (config.trace_path);
+         sharded servers export at drain instead *)
 }
 
 (* -- database setup ----------------------------------------------------------- *)
@@ -237,6 +247,18 @@ let create config =
   in
   Unix.listen listen_fd 64;
   Unix.set_nonblock listen_fd;
+  let trace_writer =
+    match (config.trace_path, sharded) with
+    | Some path, false ->
+        let w =
+          Trace.create_writer ~registry:(db_kind_name config.db_kind) path
+        in
+        Engine.set_trace_sink engine
+          (Some
+             (fun ~top ~tree ~prims -> Trace.append w { Trace.top; tree; prims }));
+        Some w
+    | _ -> None
+  in
   let metrics = Metrics.create ~now:(Unix.gettimeofday ()) () in
   (match recovery with
   | Some r ->
@@ -272,6 +294,7 @@ let create config =
     journal;
     base_snap;
     recovery;
+    trace_writer;
   }
 
 let port t =
@@ -702,8 +725,25 @@ let finish_drain t =
          wake pipes, after which no stats/snapshot round can reach them *)
       t.final_shard_stats <- Some (Dispatcher.stats d ());
       t.final_verdict <- Some (Dispatcher.certified d ());
+      (match t.config.trace_path with
+      | Some path ->
+          (* the merged history's objects carry "s%d:" shard prefixes;
+             [oosdb certify] resolves the "sharded:" header by wrapping
+             the rebuilt database registry with the same renaming *)
+          Trace.write_history
+            ~registry:("sharded:" ^ db_kind_name t.config.db_kind)
+            path
+            (Dispatcher.merged_history d ())
+      | None -> ());
       Dispatcher.shutdown d (* checkpoints each shard when durable *)
-  | None -> checkpoint_durable t);
+  | None ->
+      (match t.trace_writer with
+      | Some w ->
+          Engine.set_trace_sink t.engine None;
+          Trace.close w;
+          t.trace_writer <- None
+      | None -> ());
+      checkpoint_durable t);
   t.stopped <- true
 
 let step t ~timeout =

@@ -45,6 +45,13 @@ type config = {
           directory's snapshot + stable log through the engine, then
           checkpoints (folds the winners into [DIR/snapshot.bin] and
           restarts the log); a graceful drain checkpoints again *)
+  trace_path : string option;
+      (** record the committed history to [FILE] as an
+          offline-certifiable trace ({!Ooser_certify.Trace}) for
+          [oosdb certify]: a single-shard server streams every commit
+          as it happens (the current incarnation only — recovered
+          commits are not re-recorded); a sharded server exports the
+          merged cross-shard history once, at drain *)
 }
 
 val default_config : addr -> config

@@ -1,0 +1,335 @@
+(* Offline certification: trace format round-trip and torn tails, the
+   segmenter's quiescent/heuristic cuts, and the headline soundness
+   property — [Certify.run] agrees with the from-scratch
+   [Serializability.check] oracle on random histories, including a
+   planted cross-segment cycle only the frontier stitching can see. *)
+
+open Ooser_core
+open Ooser_certify
+module Rs = Ooser_workload.Random_schedules
+open Ids
+
+let tmp_trace () =
+  let path = Filename.temp_file "ooser_trace" ".bin" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+(* ---------- little builders ---------- *)
+
+let rw_registry () = Bench_trace.registry ()
+
+(* flat transaction [top] doing [(key, write?)] ops at the given stamps *)
+let flat ~top ops stamps =
+  let root =
+    Action.v
+      ~id:(Action_id.root top)
+      ~obj:(Obj_id.v "S") ~meth:"txn"
+      ~process:(Process_id.main top)
+      ()
+  in
+  let children =
+    List.mapi
+      (fun k (key, is_w) ->
+        Call_tree.v
+          (Action.v
+             ~id:(Action_id.child (Action_id.root top) (k + 1))
+             ~obj:(Obj_id.v (Printf.sprintf "K%d" key))
+             ~meth:(if is_w then "w" else "r")
+             ~process:(Process_id.main top)
+             ())
+          [])
+      ops
+  in
+  {
+    Trace.top;
+    tree = Call_tree.seq root children;
+    prims =
+      List.mapi
+        (fun k s -> (Action_id.child (Action_id.root top) (k + 1), s))
+        stamps;
+  }
+
+let write_records path records =
+  let w = Trace.create_writer ~registry:"bench:rw" path in
+  List.iter (Trace.append w) records;
+  Trace.close w
+
+(* ---------- trace format ---------- *)
+
+let test_roundtrip () =
+  let path = tmp_trace () in
+  let r1 = flat ~top:1 [ (0, true); (1, false) ] [ 1; 4 ] in
+  let r2 = flat ~top:2 [ (1, true) ] [ 2 ] in
+  write_records path [ r1; r2 ];
+  let t = Trace.load path in
+  Alcotest.(check string) "registry" "bench:rw" (Trace.registry_name t);
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  let e = (Trace.entries t).(0) in
+  Alcotest.(check int) "top" 1 e.Trace.e_top;
+  Alcotest.(check int) "min" 1 e.Trace.min_stamp;
+  Alcotest.(check int) "max" 4 e.Trace.max_stamp;
+  Alcotest.(check int) "depth" 1 e.Trace.max_depth;
+  let r1' = Trace.record t 0 in
+  Alcotest.(check int) "record top" 1 r1'.Trace.top;
+  Alcotest.(check int) "prims" 2 (List.length r1'.Trace.prims);
+  Alcotest.(check bool) "tree equal" true
+    (Call_tree.act r1'.Trace.tree |> Action.meth = "txn");
+  let prim = List.hd (Call_tree.children r1'.Trace.tree) in
+  Alcotest.(check string) "child obj" "K0"
+    (Obj_id.name (Action.obj (Call_tree.act prim)));
+  Alcotest.(check string) "child meth" "w" (Action.meth (Call_tree.act prim))
+
+let test_torn_tail () =
+  let path = tmp_trace () in
+  write_records path
+    [ flat ~top:1 [ (0, true) ] [ 1 ]; flat ~top:2 [ (0, true) ] [ 2 ] ];
+  let whole = In_channel.with_open_bin path In_channel.input_all in
+  (* truncate mid-way through the last frame: the reader must keep the
+     stable prefix *)
+  let torn = String.sub whole 0 (String.length whole - 5) in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc torn);
+  let t = Trace.load path in
+  Alcotest.(check int) "torn tail truncated" 1 (Trace.length t);
+  Alcotest.(check int) "surviving top" 1 (Trace.record t 0).Trace.top
+
+let test_not_a_trace () =
+  let path = tmp_trace () in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "garbage that is not a trace at all");
+  Alcotest.check_raises "bad magic" (Failure "Trace: empty or torn header")
+    (fun () -> ignore (Trace.load path))
+
+(* ---------- segmenter ---------- *)
+
+let test_segment_quiescent () =
+  let path = tmp_trace () in
+  (* three serial transactions: every boundary is quiescent *)
+  write_records path
+    [
+      flat ~top:1 [ (0, true) ] [ 1 ];
+      flat ~top:2 [ (0, true) ] [ 2 ];
+      flat ~top:3 [ (0, true) ] [ 3 ];
+    ];
+  let t = Trace.load path in
+  let plan = Segment.plan t ~target:1 in
+  Alcotest.(check int) "three segments" 3 (Array.length plan.Segment.segs);
+  Array.iter
+    (fun (s : Segment.seg) ->
+      Alcotest.(check bool) "quiescent" true
+        (s.Segment.cut_before = Segment.Quiescent))
+    plan.Segment.segs;
+  Alcotest.(check int) "three chains" 3 (Array.length plan.Segment.chains)
+
+let test_segment_heuristic () =
+  let path = tmp_trace () in
+  (* T1 spans everything: no quiescent point exists, so a target of 1
+     must fall back to heuristic cuts and one chain *)
+  write_records path
+    [
+      flat ~top:1 [ (9, true); (9, true) ] [ 1; 100 ];
+      flat ~top:2 [ (0, true) ] [ 2 ];
+      flat ~top:3 [ (1, true) ] [ 3 ];
+      flat ~top:4 [ (2, true) ] [ 4 ];
+      flat ~top:5 [ (3, true) ] [ 5 ];
+      flat ~top:6 [ (4, true) ] [ 6 ];
+      flat ~top:7 [ (5, true) ] [ 7 ];
+      flat ~top:8 [ (6, true) ] [ 8 ];
+      flat ~top:9 [ (7, true) ] [ 9 ];
+    ];
+  let t = Trace.load path in
+  let plan = Segment.plan t ~target:2 in
+  Alcotest.(check bool) "several segments" true
+    (Array.length plan.Segment.segs > 1);
+  Alcotest.(check int) "one chain" 1 (Array.length plan.Segment.chains);
+  let heuristic =
+    Array.to_list plan.Segment.segs
+    |> List.filter (fun s -> s.Segment.cut_before = Segment.Heuristic)
+  in
+  Alcotest.(check bool) "heuristic cuts used" true (heuristic <> [])
+
+(* ---------- certification ---------- *)
+
+let run_path ?workers ?segment_target ~registry path =
+  Certify.run ?workers ?segment_target ~registry (Trace.load path)
+
+let test_certify_clean () =
+  let path = tmp_trace () in
+  let p = { Bench_trace.default_params with txns = 400; burst = 16; keys = 32 } in
+  Bench_trace.generate ~path p;
+  let r = run_path ~workers:2 ~segment_target:50 ~registry:(rw_registry ()) path in
+  Alcotest.(check bool) "certified" true r.Certify.ok;
+  Alcotest.(check int) "all txns" 400 r.Certify.txns;
+  Alcotest.(check bool) "segmented" true (r.Certify.segments > 1);
+  Alcotest.(check bool) "quiescent cuts found" true (r.Certify.quiescent_cuts > 0)
+
+let test_certify_planted () =
+  let path = tmp_trace () in
+  let p =
+    {
+      Bench_trace.default_params with
+      txns = 400;
+      burst = 16;
+      keys = 32;
+      plant_cycle = true;
+    }
+  in
+  Bench_trace.generate ~path p;
+  let r = run_path ~workers:2 ~segment_target:50 ~registry:(rw_registry ()) path in
+  Alcotest.(check bool) "rejected" false r.Certify.ok;
+  match r.Certify.violation with
+  | Some v -> Alcotest.(check bool) "witness tops" true (v.Certify.witness <> [])
+  | None -> Alcotest.fail "no violation reported"
+
+(* The planted cross-segment cycle: an eight-transaction write ring
+   T1 -> T2 -> ... -> T8 -> T1.  T1's second write lands after
+   everything else, so no quiescent point exists and a heuristic cut
+   splits the ring into {T1..T4} and {T5..T8}.  Each segment alone is
+   acyclic (a forward path), and each pairwise cross-segment probe
+   alone sees a single edge — only the stitched global order can close
+   the cycle. *)
+let test_cross_segment_cycle () =
+  let path = tmp_trace () in
+  write_records path
+    [
+      (* Ti writes P(i-1) then P(i mod 8); T1's P0 write comes last,
+         after T8's, closing the ring backwards *)
+      flat ~top:1 [ (1, true); (0, true) ] [ 2; 100 ];
+      flat ~top:2 [ (1, true); (2, true) ] [ 3; 4 ];
+      flat ~top:3 [ (2, true); (3, true) ] [ 5; 6 ];
+      flat ~top:4 [ (3, true); (4, true) ] [ 7; 8 ];
+      flat ~top:5 [ (4, true); (5, true) ] [ 9; 10 ];
+      flat ~top:6 [ (5, true); (6, true) ] [ 11; 12 ];
+      flat ~top:7 [ (6, true); (7, true) ] [ 13; 14 ];
+      flat ~top:8 [ (7, true); (0, true) ] [ 15; 16 ];
+    ];
+  let t = Trace.load path in
+  (* target 1, overflow 4: a heuristic cut between T4 and T5 *)
+  let r = Certify.run ~workers:2 ~segment_target:1 ~registry:(rw_registry ()) t in
+  Alcotest.(check bool) "heuristic cut" true (r.Certify.heuristic_cuts > 0);
+  Alcotest.(check bool) "cycle caught" false r.Certify.ok;
+  (match r.Certify.violation with
+  | Some v ->
+      Alcotest.(check bool) "stitch-level detection" true
+        (match v.Certify.where with `Probe _ | `Stitch -> true | `Segment _ -> false)
+  | None -> Alcotest.fail "no violation");
+  (* the oracle agrees the full history is bad *)
+  let h = Trace.to_history t ~commut:(rw_registry ()) in
+  Alcotest.(check bool) "oracle agrees" false
+    (Serializability.oo_serializable h)
+
+(* ---------- agreement with the oracle ---------- *)
+
+let verdict_oracle h =
+  (Serializability.check h).Serializability.oo_serializable
+
+(* random flat traces: overlapping spans, tiny segments, so heuristic
+   chains and pairwise probes do real work *)
+let prop_flat_agreement =
+  QCheck.Test.make ~name:"certify = oracle (random flat interleavings)"
+    ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 77 |] in
+      let n = 6 + Random.State.int rng 6 in
+      let keys = 4 in
+      (* random spans: each txn gets 2 prims at random distinct stamps *)
+      let stamps = Array.init (2 * n) (fun i -> i + 1) in
+      (* shuffle stamp slots among transactions *)
+      for i = Array.length stamps - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let tmp = stamps.(i) in
+        stamps.(i) <- stamps.(j);
+        stamps.(j) <- tmp
+      done;
+      let records =
+        List.init n (fun k ->
+            let s1 = stamps.(2 * k) and s2 = stamps.((2 * k) + 1) in
+            let lo = min s1 s2 and hi = max s1 s2 in
+            let ops =
+              List.init 2 (fun _ ->
+                  ( Random.State.int rng keys,
+                    Random.State.bool rng ))
+            in
+            flat ~top:(k + 1) ops [ lo; hi ])
+      in
+      let path = tmp_trace () in
+      write_records path records;
+      let t = Trace.load path in
+      let registry = rw_registry () in
+      let r = Certify.run ~workers:2 ~segment_target:2 ~registry t in
+      let oracle = verdict_oracle (Trace.to_history t ~commut:registry) in
+      r.Certify.ok = oracle)
+
+(* random nested (depth-2) systems under random interleavings: chains
+   containing nested transactions must escalate and stay exact *)
+let prop_nested_agreement =
+  QCheck.Test.make ~name:"certify = oracle (random nested interleavings)"
+    ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let params =
+        {
+          Rs.default_params with
+          Rs.n_txns = 4;
+          calls_per_txn = 2;
+          prims_per_call = 2;
+          n_objects = 3;
+          n_pages = 4;
+          p_commute = 0.5;
+        }
+      in
+      let h = Rs.history ~seed ~order_seed:(seed * 31 + 1) params in
+      let path = tmp_trace () in
+      Trace.write_history ~registry:"random" path h;
+      let t = Trace.load path in
+      let registry = History.commut h in
+      let r = Certify.run ~workers:2 ~segment_target:1 ~registry t in
+      r.Certify.ok = verdict_oracle h)
+
+(* serial orders: every transaction boundary is quiescent, so this
+   exercises pure per-segment conjunction (no probes, no escalation) *)
+let prop_serial_agreement =
+  QCheck.Test.make ~name:"certify = oracle (serial nested orders)" ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let params =
+        {
+          Rs.default_params with
+          Rs.n_txns = 5;
+          calls_per_txn = 2;
+          prims_per_call = 2;
+          n_objects = 3;
+          n_pages = 4;
+          p_commute = 0.4;
+        }
+      in
+      let trees, registry = Rs.system ~seed params in
+      let order = List.concat_map History.serial_primitives trees in
+      let h = History.v ~tops:trees ~order ~commut:registry in
+      let path = tmp_trace () in
+      Trace.write_history ~registry:"random" path h;
+      let t = Trace.load path in
+      let r = Certify.run ~workers:2 ~segment_target:1 ~registry t in
+      r.Certify.ok = verdict_oracle h)
+
+let suites =
+  [
+    ( "certify",
+      [
+        Alcotest.test_case "trace round-trip" `Quick test_roundtrip;
+        Alcotest.test_case "trace torn tail" `Quick test_torn_tail;
+        Alcotest.test_case "trace bad magic" `Quick test_not_a_trace;
+        Alcotest.test_case "segmenter quiescent cuts" `Quick
+          test_segment_quiescent;
+        Alcotest.test_case "segmenter heuristic fallback" `Quick
+          test_segment_heuristic;
+        Alcotest.test_case "clean bench trace certifies" `Quick
+          test_certify_clean;
+        Alcotest.test_case "planted cycle rejected" `Quick test_certify_planted;
+        Alcotest.test_case "cross-segment cycle via stitching" `Quick
+          test_cross_segment_cycle;
+        QCheck_alcotest.to_alcotest prop_flat_agreement;
+        QCheck_alcotest.to_alcotest prop_nested_agreement;
+        QCheck_alcotest.to_alcotest prop_serial_agreement;
+      ] );
+  ]

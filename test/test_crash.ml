@@ -323,6 +323,50 @@ let prefix_qcheck =
     QCheck2.Gen.(int_range 1 10_000)
     prefix_property
 
+(* A crash mid-append leaves a torn final frame on disk; both durable
+   logs must load the stable prefix and drop the tail. *)
+
+let truncate_tail path bytes =
+  let whole = In_channel.with_open_bin path In_channel.input_all in
+  let keep = String.sub whole 0 (String.length whole - bytes) in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc keep)
+
+let test_oplog_torn_tail () =
+  let dir = Filename.temp_file "ooser_oplog" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let j = Oplog.open_dir ~dir in
+  ignore (Oplog.append j (Oplog.Begin { top = 1; attempt = 0; name = "a" }));
+  ignore (Oplog.append j (Oplog.Commit { top = 1; attempt = 0 }));
+  ignore (Oplog.append j (Oplog.Begin { top = 2; attempt = 0; name = "b" }));
+  Oplog.force j;
+  Oplog.close j;
+  truncate_tail (Oplog.log_file ~dir) 3;
+  let records = Oplog.load ~dir in
+  check_bool "torn oplog tail dropped" true
+    (records
+    = [
+        Oplog.Begin { top = 1; attempt = 0; name = "a" };
+        Oplog.Commit { top = 1; attempt = 0 };
+      ])
+
+let test_decision_log_torn_tail () =
+  let module Decision_log = Ooser_recovery.Decision_log in
+  let dir = Filename.temp_file "ooser_dlog" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let d = Decision_log.open_dir ~dir in
+  Decision_log.append d
+    { Decision_log.top = 7; commit = true; participants = [ 0; 1 ] };
+  Decision_log.append d
+    { Decision_log.top = 8; commit = false; participants = [ 1 ] };
+  Decision_log.force d;
+  Decision_log.close d;
+  truncate_tail (Decision_log.log_file ~dir) 2;
+  let ds = Decision_log.load ~dir in
+  check_bool "torn decision tail dropped" true
+    (ds = [ { Decision_log.top = 7; commit = true; participants = [ 0; 1 ] } ])
+
 let suites =
   [
     ( "crash",
@@ -334,6 +378,9 @@ let suites =
           test_injection_matrix;
         Alcotest.test_case "mid-undo double crash" `Quick
           test_mid_undo_double_crash;
+        Alcotest.test_case "oplog torn tail" `Quick test_oplog_torn_tail;
+        Alcotest.test_case "decision log torn tail" `Quick
+          test_decision_log_torn_tail;
         QCheck_alcotest.to_alcotest prefix_qcheck;
       ] );
   ]

@@ -42,4 +42,5 @@ let () =
          Test_shard.suites;
          Test_crash.suites;
          Test_infer.suites;
+         Test_certify.suites;
        ])
