@@ -702,6 +702,16 @@ let serve_cmd =
           (List.length r.Engine.undone)
           r.Engine.recertified
     | None -> ());
+    (* the DESIGN §17 per-vote dependency window needs a lock protocol;
+       a sharded OCC run votes with the full observed history on every
+       prepare (the shards' "vote-full-history" counter records each),
+       which gets expensive as shard histories grow — say so up front
+       instead of silently degrading *)
+    if shards > 0 && protocol = `Certify then
+      Fmt.pr
+        "warning: --shards with -p certify votes with FULL per-shard \
+         histories (no vote window without a lock protocol); 2PC prepare \
+         cost grows with history length@.";
     (* drain on SIGINT/SIGTERM: the handler only raises a flag; the
        loop initiates the shutdown at a quiet point *)
     let stop = ref false in
@@ -1347,6 +1357,191 @@ let loadgen_cmd =
           $ seed $ timeout_ms $ keys $ theta $ shutdown $ rate
           $ route_shards $ cross $ json $ trace)
 
+(* -- mc ------------------------------------------------------------------------ *)
+
+module Mc = Ooser_mc.Mc
+module Mc_scenario = Ooser_mc.Scenario
+module Mc_explore = Ooser_mc.Explore
+
+let mc_cmd =
+  let suite =
+    Arg.(value & opt (some string) None
+         & info [ "suite" ] ~docv:"NAME"
+             ~doc:"Built-in scenario suite: all, single, mutant, crash, \
+                   sharded.")
+  in
+  let scenarios =
+    Arg.(value & opt_all string []
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"Run one built-in scenario (repeatable).")
+  in
+  let dpor_only =
+    Arg.(value & flag
+         & info [ "dpor" ]
+             ~doc:"Explore with sleep-set DPOR only (default: both modes, \
+                   so the reduction factor is measured).")
+  in
+  let no_dpor =
+    Arg.(value & flag
+         & info [ "no-dpor" ] ~doc:"Naive enumeration only, no reduction.")
+  in
+  let max_schedules =
+    Arg.(value & opt int 20_000
+         & info [ "max-schedules" ]
+             ~doc:"Schedule cap per exploration; hitting it (instead of \
+                   exhausting the tree) fails the scenario.")
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ]
+             ~doc:"Rotate candidate order at fresh branch points (0 = \
+                   declaration order).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the full report to $(docv).")
+  in
+  let replay =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"TRACE"
+             ~doc:"Replay one recorded choice trace (e.g. a minimised \
+                   witness such as t1,t1,t2,t2) against a single \
+                   --scenario instead of exploring; prints the verdict \
+                   and any violations.")
+  in
+  let require_reduction =
+    Arg.(value & flag
+         & info [ "require-reduction" ]
+             ~doc:"Exit non-zero unless DPOR explored strictly fewer \
+                   schedules than naive on at least one scenario (the CI \
+                   mc-gate assertion).")
+  in
+  let run suite scenarios dpor_only no_dpor max_schedules seed json replay
+      require_reduction =
+    let fail fmt = Fmt.kstr (fun s -> Fmt.epr "mc: %s@." s; `Error) fmt in
+    let resolve () =
+      let by_suite =
+        match suite with
+        | None -> Ok []
+        | Some s -> (
+            match Mc_scenario.suite s with
+            | Some l -> Ok l
+            | None ->
+                Error
+                  (Printf.sprintf "unknown suite %s (have: %s)" s
+                     (String.concat ", " Mc_scenario.suite_names)))
+      in
+      let by_name =
+        List.fold_left
+          (fun acc n ->
+            match (acc, Mc_scenario.find n) with
+            | Error _, _ -> acc
+            | Ok l, Some sc -> Ok (l @ [ sc ])
+            | Ok _, None -> Error (Printf.sprintf "unknown scenario %s" n))
+          (Ok []) scenarios
+      in
+      match (by_suite, by_name) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok [], Ok [] -> Ok (Option.get (Mc_scenario.suite "all"))
+      | Ok a, Ok b -> Ok (a @ b)
+    in
+    match resolve () with
+    | Error e -> ignore (fail "%s" e); 2
+    | Ok scs -> (
+        match replay with
+        | Some trace_s -> (
+            match (scs, Mc_explore.trace_of_string trace_s) with
+            | [ sc ], Some trace ->
+                let verdict, violations = Mc.replay sc trace in
+                Fmt.pr "replay %s: %s@." sc.Mc_scenario.name verdict;
+                List.iter (fun v -> Fmt.pr "  violation: %s@." v) violations;
+                if violations = [] then Fmt.pr "  all invariants green@.";
+                (* a replayed witness must reproduce the planted
+                   violation; on a healthy scenario it must not *)
+                if sc.Mc_scenario.expect_failure = (violations <> []) then 0
+                else 1
+            | _ :: _ :: _, _ ->
+                ignore (fail "--replay needs exactly one --scenario"); 2
+            | _, None -> ignore (fail "unparsable trace %S" trace_s); 2
+            | [], _ -> ignore (fail "--replay needs a --scenario"); 2)
+        | None ->
+            let mode =
+              if dpor_only && no_dpor then `Both
+              else if dpor_only then `Dpor
+              else if no_dpor then `Naive
+              else `Both
+            in
+            let reports =
+              List.map
+                (fun sc ->
+                  let r = Mc.run_scenario ~mode ~seed ~max_schedules sc in
+                  let pr_expl name = function
+                    | None -> ""
+                    | Some (e : Mc.exploration) ->
+                        Printf.sprintf " %s=%d%s" name
+                          e.Mc.stats.Mc_explore.schedules
+                          (if e.Mc.stats.Mc_explore.exhausted then ""
+                           else if e.Mc.failure <> None then "(stopped)"
+                           else "(capped)")
+                  in
+                  Fmt.pr "mc %-16s [%s]%s%s%s%s%s: %s@." r.Mc.r_scenario
+                    r.Mc.r_mode
+                    (pr_expl "naive" r.Mc.r_naive)
+                    (pr_expl "dpor" r.Mc.r_dpor)
+                    (match r.Mc.r_reduction with
+                    | Some f when f > 1.0 -> Printf.sprintf " (%.0fx)" f
+                    | _ -> "")
+                    (match r.Mc.r_witness with
+                    | Some w ->
+                        " witness=" ^ Mc_explore.trace_to_string w
+                    | None -> "")
+                    (match r.Mc.r_audit with
+                    | Some a when a.Mc.unsupported ->
+                        Printf.sprintf
+                          " audit=UNSUPPORTED(certify,%d full votes)"
+                          a.Mc.vote_full_votes
+                    | Some a ->
+                        Printf.sprintf " audit=%d/%d" a.Mc.audited a.Mc.recorded
+                    | None -> "")
+                    (if r.Mc.r_ok then "ok" else "FAIL");
+                  List.iter (fun p -> Fmt.pr "    %s@." p) r.Mc.r_problems;
+                  r)
+                scs
+            in
+            (match json with
+            | Some file ->
+                let oc = open_out file in
+                output_string oc (Mc.json_of_reports reports);
+                close_out oc;
+                Fmt.pr "wrote %s@." file
+            | None -> ());
+            let all_ok = List.for_all (fun r -> r.Mc.r_ok) reports in
+            let reduced =
+              List.exists
+                (fun r ->
+                  match r.Mc.r_reduction with Some f -> f > 1.0 | None -> false)
+                reports
+            in
+            if require_reduction && not reduced then begin
+              Fmt.epr "mc: no scenario showed a DPOR reduction@.";
+              1
+            end
+            else if all_ok then 0
+            else 1)
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Stateless model checker: exhaustively explore the interleavings \
+          of small transaction scenarios against the real engine (and the \
+          in-process sharded 2PC coordinator), with sleep-set DPOR driven \
+          by the commutativity specs, invariant oracles at every terminal \
+          state, and the DESIGN \xc2\xa717 vote-window audit on sharded \
+          runs.  Exits non-zero on any violation, non-exhaustion, or \
+          naive/DPOR verdict disagreement.")
+    Term.(const run $ suite $ scenarios $ dpor_only $ no_dpor $ max_schedules
+          $ seed $ json $ replay $ require_reduction)
+
 let main =
   Cmd.group
     (Cmd.info "oosdb" ~version:"1.0.0"
@@ -1355,6 +1550,6 @@ let main =
           1990).")
     [ check_cmd; fmt_cmd; run_cmd; acceptance_cmd; bench_cmd; lint_cmd;
       analyze_cmd; infer_cmd; demo_cmd; serve_cmd; recover_cmd; certify_cmd;
-      client_cmd; loadgen_cmd ]
+      client_cmd; loadgen_cmd; mc_cmd ]
 
 let () = exit (Cmd.eval' main)

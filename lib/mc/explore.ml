@@ -1,0 +1,308 @@
+(* The stateless exploration core: depth-first enumeration of choice
+   sequences with sleep-set partial-order reduction.
+
+   A run of the system under test is a pure function of the answers its
+   chooser gives at each nondeterministic point, so the explorer never
+   snapshots state — to visit a different branch it simply re-runs the
+   whole scenario with a different choice sequence (Godefroid's
+   stateless search).  The DFS keeps one frame per branching point of
+   the current run; backtracking flips the deepest frame with an
+   untried candidate and replays the prefix.
+
+   Sleep sets: after exploring candidate [c] at a frame, [c] joins the
+   frame's taken set; sibling subtrees inherit [sleep ∪ taken] filtered
+   by independence with the choice actually made, and a run that is
+   about to take a slept choice is redundant (some equivalent
+   interleaving was already explored) and gets pruned.  Soundness rests
+   on the independence relation being step-uniform: [indep a b] must
+   mean every occurrence of [a] commutes with every occurrence of [b],
+   which {!Mc}'s footprint-based relation guarantees by construction
+   (and which an unsound commutativity spec breaks — the mutant
+   scenario demonstrates exactly that failure mode). *)
+
+type choice =
+  | C_txn of int  (** schedule this transaction's next boundary step *)
+  | C_deliver of int  (** deliver the n-th queued dispatcher event *)
+  | C_crash of int  (** arm the n-th crash plan (0 = no crash) *)
+
+let choice_to_string = function
+  | C_txn t -> Printf.sprintf "t%d" t
+  | C_deliver n -> Printf.sprintf "d%d" n
+  | C_crash n -> Printf.sprintf "c%d" n
+
+let choice_of_string s =
+  if String.length s < 2 then None
+  else
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | None -> None
+    | Some n -> (
+        match s.[0] with
+        | 't' -> Some (C_txn n)
+        | 'd' -> Some (C_deliver n)
+        | 'c' -> Some (C_crash n)
+        | _ -> None)
+
+let trace_to_string cs = String.concat "," (List.map choice_to_string cs)
+
+let trace_of_string s =
+  if String.trim s = "" then Some []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | p :: rest -> (
+          match choice_of_string (String.trim p) with
+          | Some c -> go (c :: acc) rest
+          | None -> None)
+    in
+    go [] parts
+
+exception Pruned
+(** Raised from inside a run when the pending choice is covered by the
+    sleep set: an equivalent interleaving has already been explored, so
+    the rest of this run is redundant. *)
+
+exception Divergence of string
+(** Replay saw a candidate set incompatible with its script — the
+    system under test is not a pure function of its choices. *)
+
+(** What a runner consults at every nondeterministic point.  [choose]
+    is a genuine branching point (two or more candidates); [advance] a
+    forced choice (exactly one candidate) that still participates in
+    sleep-set bookkeeping and in the recorded trace. *)
+type chooser = { choose : choice list -> choice; advance : choice -> unit }
+
+type frame = {
+  cands : choice list;
+  sleep : choice list;  (** sleep set when this state was first reached *)
+  mutable cur : choice;
+  mutable taken : choice list;  (** earlier siblings, already explored *)
+}
+
+type t = {
+  indep : choice -> choice -> bool;
+  dpor : bool;
+  seed : int;
+  mutable stack : frame list;  (** root first *)
+  mutable depth : int;  (** frames consumed by the current run *)
+  mutable run_sleep : choice list;  (** sleep set of the current state *)
+  mutable trace : choice list;  (** current run's choices, reversed *)
+  mutable schedules : int;  (** completed runs *)
+  mutable pruned : int;  (** runs cut short by sleep sets *)
+  mutable max_depth : int;
+}
+
+let create ?(dpor = true) ?(seed = 0) ~indep () =
+  {
+    indep;
+    dpor;
+    seed;
+    stack = [];
+    depth = 0;
+    run_sleep = [];
+    trace = [];
+    schedules = 0;
+    pruned = 0;
+    max_depth = 0;
+  }
+
+let begin_run d =
+  d.depth <- 0;
+  d.run_sleep <- [];
+  d.trace <- []
+
+let current_trace d = List.rev d.trace
+
+(* Deterministic candidate-order rotation: different seeds explore the
+   same tree in a different sibling order, which shuffles which
+   interleaving becomes the canonical representative of each trace. *)
+let rotate d depth cands =
+  let n = List.length cands in
+  if d.seed = 0 || n < 2 then cands
+  else
+    let k = (d.seed + depth) mod n in
+    let rec split i acc = function
+      | rest when i = k -> rest @ List.rev acc
+      | x :: rest -> split (i + 1) (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    split 0 [] cands
+
+(* Stepping [c] from the current state with [slept] covered (the
+   state's sleep set plus its already-explored siblings): the successor
+   state keeps only the covered choices that commute with [c] — a
+   dependent choice must be re-explored after [c]. *)
+let took d c ~slept =
+  d.run_sleep <- List.filter (fun s -> s <> c && d.indep s c) slept;
+  d.trace <- c :: d.trace
+
+let advance d c =
+  if d.dpor && List.mem c d.run_sleep then begin
+    d.pruned <- d.pruned + 1;
+    raise Pruned
+  end;
+  took d c ~slept:d.run_sleep
+
+let choose d cands =
+  if cands = [] then invalid_arg "Explore.choose: no candidates";
+  if d.depth < List.length d.stack then begin
+    (* replaying the committed prefix of the previous run *)
+    let f = List.nth d.stack d.depth in
+    if not (List.mem f.cur cands) then
+      raise
+        (Divergence
+           (Printf.sprintf "replay: %s not offered at depth %d"
+              (choice_to_string f.cur) d.depth));
+    d.depth <- d.depth + 1;
+    took d f.cur ~slept:(f.sleep @ f.taken);
+    f.cur
+  end
+  else begin
+    let cands = rotate d d.depth cands in
+    let sleep =
+      if d.dpor then List.filter (fun s -> List.mem s cands) d.run_sleep
+      else []
+    in
+    match List.find_opt (fun c -> not (List.mem c sleep)) cands with
+    | None ->
+        (* every enabled choice is covered: the whole subtree is
+           redundant *)
+        d.pruned <- d.pruned + 1;
+        raise Pruned
+    | Some c ->
+        let f = { cands; sleep; cur = c; taken = [] } in
+        d.stack <- d.stack @ [ f ];
+        d.depth <- d.depth + 1;
+        if d.depth > d.max_depth then d.max_depth <- d.depth;
+        took d c ~slept:sleep;
+        c
+  end
+
+let chooser d = { choose = choose d; advance = advance d }
+
+(* Flip the deepest frame that still has an unexplored, unslept
+   candidate; false when the tree is exhausted. *)
+let next d =
+  let rec go () =
+    match d.stack with
+    | [] -> false
+    | stack -> (
+        let last = List.length stack - 1 in
+        let f = List.nth stack last in
+        f.taken <- f.cur :: f.taken;
+        let covered = f.sleep @ f.taken in
+        match List.find_opt (fun c -> not (List.mem c covered)) f.cands with
+        | Some c ->
+            f.cur <- c;
+            true
+        | None ->
+            d.stack <- List.filteri (fun i _ -> i < last) d.stack;
+            go ())
+  in
+  go ()
+
+(* -- replay ------------------------------------------------------------------- *)
+
+(* A chooser that follows a recorded script, defaulting to the first
+   candidate once the script runs out (used by witness minimisation and
+   by the vote-window audit, where a config change may shift the tail
+   of the tree). *)
+let replay_chooser ?(strict = false) script =
+  let rest = ref script in
+  let take () =
+    match !rest with
+    | c :: tl ->
+        rest := tl;
+        Some c
+    | [] -> None
+  in
+  let choose cands =
+    match take () with
+    | Some c when List.mem c cands -> c
+    | Some c ->
+        if strict then
+          raise
+            (Divergence
+               (Printf.sprintf "scripted %s not offered" (choice_to_string c)))
+        else List.hd cands
+    | None -> List.hd cands
+  in
+  let advance c =
+    match take () with
+    | Some c' when c' = c || not strict -> ()
+    | Some c' ->
+        raise
+          (Divergence
+             (Printf.sprintf "scripted %s but forced %s"
+                (choice_to_string c') (choice_to_string c)))
+    | None -> ()
+  in
+  { choose; advance }
+
+(* -- exploration driver ------------------------------------------------------- *)
+
+type failure = { witness : choice list; violations : string list }
+
+type stats = {
+  schedules : int;  (** completed runs (terminal states reached) *)
+  pruned_runs : int;
+  deepest : int;
+  exhausted : bool;  (** the whole tree was enumerated *)
+}
+
+(* [run chooser] must drive one complete execution and return the list
+   of invariant violations observed at its terminal state ([[]] = all
+   oracles green) paired with a short verdict fingerprint used to
+   compare naive and DPOR explorations.  The driver stops at the first
+   failing run and reports its choice trace as the witness. *)
+let explore ?(max_schedules = 20_000) ~on_verdict d run =
+  let failure = ref None in
+  let continue = ref true in
+  let exhausted = ref false in
+  while !continue do
+    begin_run d;
+    (match run (chooser d) with
+    | exception Pruned -> ()
+    | verdict, violations ->
+        d.schedules <- d.schedules + 1;
+        on_verdict verdict;
+        if violations <> [] && !failure = None then begin
+          failure := Some { witness = current_trace d; violations };
+          continue := false
+        end);
+    if !continue then
+      if d.schedules >= max_schedules then continue := false
+      else if not (next d) then begin
+        continue := false;
+        exhausted := true
+      end
+  done;
+  ( {
+      schedules = d.schedules;
+      pruned_runs = d.pruned;
+      deepest = d.max_depth;
+      exhausted = !exhausted;
+    },
+    !failure )
+
+(* Witness minimisation: the shortest prefix of the failing script that
+   still fails when every later choice defaults to the first candidate.
+   Linear in the witness length; each probe is one full re-run. *)
+let minimise ~run witness =
+  let fails script =
+    match run (replay_chooser script) with
+    | _, violations -> violations <> []
+    | exception Pruned -> false
+    | exception Divergence _ -> false
+  in
+  let rec firstn n = function
+    | x :: tl when n > 0 -> x :: firstn (n - 1) tl
+    | _ -> []
+  in
+  let rec go n =
+    if n >= List.length witness then witness
+    else
+      let prefix = firstn n witness in
+      if fails prefix then prefix else go (n + 1)
+  in
+  go 0

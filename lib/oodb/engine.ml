@@ -161,12 +161,35 @@ type txn = {
          coordinator (see [wounded_pinned]) *)
 }
 
+(* What a scheduler hook sees of one runnable unit: enough to tell
+   invocation boundaries (where interleaving choices matter — the
+   paper's action granularity) from the internal steps in between, and
+   which call is about to be issued.  The model checker's controlled
+   scheduler keys its choice points on [u_boundary]. *)
+type unit_label = {
+  u_top : int;
+  u_task : int;  (* engine task id; -1 when the body has not started *)
+  u_boundary : bool;
+      (* true exactly when picking this unit starts the transaction body
+         or submits a fresh invocation to the protocol — the only points
+         where the interleaving decision is observable *)
+  u_obj : string;  (* target of the pending invocation, "" otherwise *)
+  u_meth : string;
+}
+
 type strategy =
   | Round_robin
   | Random_pick of Rng.t
   | Scripted of int list ref
       (* step the named transaction when it is runnable, else fall back to
          round-robin; each consumed entry advances the script *)
+  | Controlled of (unit_label list -> int)
+      (* every pick is delegated to the hook, which returns an index into
+         the label list (same order as the runnable units); out-of-range
+         answers fall back to round-robin.  The hook sees every
+         scheduling decision, so a run under [Controlled] is a pure
+         function of the hook's answers — the model checker's replayable
+         choice sequences build on this *)
 
 (* How deadlocks are handled: [Detect] builds the waits-for graph and
    aborts the youngest transaction of a cycle; [Wound_wait] prevents
@@ -1363,6 +1386,37 @@ let awaiting_exists (eng : t) =
     (fun txn -> List.exists (fun t -> t.tstatus = Awaiting) txn.tasks)
     eng.txns
 
+let label_of_unit (txn, task_opt) =
+  match task_opt with
+  | None ->
+      { u_top = txn.top; u_task = -1; u_boundary = true; u_obj = ""; u_meth = "" }
+  | Some task -> (
+      match task.pending with
+      | Request (inv, _, _) ->
+          {
+            u_top = txn.top;
+            u_task = task.t_id;
+            u_boundary = true;
+            u_obj = Obj_id.name inv.Runtime.target;
+            u_meth = inv.Runtime.meth_name;
+          }
+      | Not_started ->
+          {
+            u_top = txn.top;
+            u_task = task.t_id;
+            u_boundary = true;
+            u_obj = "";
+            u_meth = "";
+          }
+      | Step _ | Await_input _ | Joining | Idle ->
+          {
+            u_top = txn.top;
+            u_task = task.t_id;
+            u_boundary = false;
+            u_obj = "";
+            u_meth = "";
+          })
+
 let pick_unit (eng : t) units =
   match eng.config.strategy with
   | Round_robin -> List.nth units (eng.steps mod List.length units)
@@ -1376,6 +1430,10 @@ let pick_unit (eng : t) units =
               u
           | None -> List.nth units (eng.steps mod List.length units))
       | [] -> List.nth units (eng.steps mod List.length units))
+  | Controlled choose ->
+      let i = choose (List.map label_of_unit units) in
+      if i >= 0 && i < List.length units then List.nth units i
+      else List.nth units (eng.steps mod List.length units)
 
 let run ?config ?atlas ?journal db ~protocol bodies =
   let (eng : t) = create ?config db ~protocol bodies in
@@ -1404,11 +1462,13 @@ let run ?config ?atlas ?journal db ~protocol bodies =
             if blocked_exists () then resolve_deadlock eng
             else eng.steps <- eng.steps + 1
         | units -> (
+            (* compensation phase: the script no longer applies, but a
+               controlled scheduler must still see every pick *)
             let txn, task_opt =
               match eng.config.strategy with
               | Round_robin | Scripted _ ->
                   List.nth units (eng.steps mod List.length units)
-              | Random_pick rng -> Rng.pick rng units
+              | Random_pick _ | Controlled _ -> pick_unit eng units
             in
             match task_opt with
             | None -> eng.steps <- eng.steps + 1
@@ -1443,22 +1503,7 @@ let run ?config ?atlas ?journal db ~protocol bodies =
             loop ()
           end
       | units ->
-          let txn, task_opt =
-            match eng.config.strategy with
-            | Round_robin -> List.nth units (eng.steps mod List.length units)
-            | Random_pick rng -> Rng.pick rng units
-            | Scripted script -> (
-                match !script with
-                | top :: rest -> (
-                    match
-                      List.find_opt (fun (txn, _) -> txn.top = top) units
-                    with
-                    | Some u ->
-                        script := rest;
-                        u
-                    | None -> List.nth units (eng.steps mod List.length units))
-                | [] -> List.nth units (eng.steps mod List.length units))
-          in
+          let txn, task_opt = pick_unit eng units in
           (match task_opt with
           | None ->
               eng.steps <- eng.steps + 1;

@@ -19,14 +19,35 @@ open Ooser_core
 module Protocol = Ooser_cc.Protocol
 module Rng = Ooser_sim.Rng
 
+(** What a scheduler hook sees of one runnable unit.  [u_boundary] is
+    true exactly when picking the unit starts a transaction body or
+    submits a fresh invocation to the protocol — the invocation
+    boundaries where interleaving decisions are observable (the paper's
+    action granularity); [u_obj]/[u_meth] name the pending invocation at
+    such a boundary ([""] otherwise).  [u_task] is the engine-internal
+    task id ([-1] for a not-yet-started body) — it distinguishes the
+    parallel branches of one transaction. *)
+type unit_label = {
+  u_top : int;
+  u_task : int;
+  u_boundary : bool;
+  u_obj : string;
+  u_meth : string;
+}
+
 (** How the scheduler picks the next transaction to advance.
     [Scripted] steps the named transaction when it is runnable (falling
     back to round-robin otherwise), consuming one entry per step — for
-    reproducing a specific interleaving in tests. *)
+    reproducing a specific interleaving in tests.  [Controlled]
+    delegates {e every} pick to the hook, which returns an index into
+    the given labels (out-of-range falls back to round-robin): a run
+    under [Controlled] is a pure function of the hook's answers, which
+    is what makes model-checking runs replayable choice sequences. *)
 type strategy =
   | Round_robin
   | Random_pick of Rng.t
   | Scripted of int list ref
+  | Controlled of (unit_label list -> int)
 
 (** Deadlock handling: [Detect] aborts the youngest member of a
     waits-for cycle; [Wound_wait] prevents cycles — older requesters

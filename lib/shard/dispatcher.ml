@@ -43,6 +43,13 @@ type t = {
   config : config;
   router : Router.t;
   shards : Shard.t array;
+  in_process : bool;
+      (* shards are cores on this thread (no domains): [await] steps
+         them instead of sleeping on the wake pipe *)
+  mutable reorder : (Shard.event list -> Shard.event list) option;
+      (* delivery-order hook: [poll] hands each drained batch through it
+         before running the 2PC state machines, so vote arrival order is
+         a scheduling decision rather than wall-clock select order *)
   txns : (int, gtxn) Hashtbl.t;
   seqmap : (int * int * int, int) Hashtbl.t;
       (* (top, shard, branch seq) -> global seq; retained past retire so
@@ -69,7 +76,7 @@ let wake_fd t = t.wake_r
 let counters t =
   Ooser_sim.Stats.Counter.to_list t.counters @ Coordinator.counters t.coord
 
-let create (config : config) =
+let create ?(in_process = false) (config : config) =
   let router = Router.create ~shards:config.shards in
   let stamp = Atomic.make 0 in
   let next_stamp () = Atomic.fetch_and_add stamp 1 in
@@ -102,7 +109,8 @@ let create (config : config) =
         let keep key =
           Router.shard_of_call router ~obj:"Enc" ~args:[ Value.Str key ] = i
         in
-        Shard.create ~idx:i
+        (if in_process then Shard.create_core else Shard.create)
+          ~idx:i
           {
             Shard.db_kind = config.db_kind;
             protocol_kind = config.protocol_kind;
@@ -138,6 +146,8 @@ let create (config : config) =
     config;
     router;
     shards;
+    in_process;
+    reorder = None;
     txns = Hashtbl.create 256;
     seqmap = Hashtbl.create 1024;
     coord = Coordinator.create ?log_dir:config.durable_dir ();
@@ -437,7 +447,39 @@ let poll t =
     evs := Queue.pop t.events :: !evs
   done;
   Mutex.unlock t.ev_mu;
-  List.iter (handle_event t) (List.rev !evs)
+  let evs = List.rev !evs in
+  let evs = match t.reorder with Some f -> f evs | None -> evs in
+  List.iter (handle_event t) evs
+
+let set_delivery_order t f = t.reorder <- f
+
+(* -- in-process driving (model checking) -------------------------------------- *)
+
+let step_shard t i = Shard.step t.shards.(i)
+let shard_has_work t i = Shard.has_work t.shards.(i)
+let set_vote_full t b = Array.iter (fun sh -> Shard.set_vote_full sh b) t.shards
+
+let pending_events t =
+  Mutex.lock t.ev_mu;
+  let l = List.of_seq (Queue.to_seq t.events) in
+  Mutex.unlock t.ev_mu;
+  l
+
+(* Deliver exactly the [n]-th queued event, leaving the rest queued in
+   order: the model checker's per-event delivery choice, which subsumes
+   every vote-arrival permutation. *)
+let deliver t n =
+  drain_pipe t.wake_r;
+  Mutex.lock t.ev_mu;
+  let l = List.of_seq (Queue.to_seq t.events) in
+  Queue.clear t.events;
+  List.iteri (fun i e -> if i <> n then Queue.push e t.events) l;
+  Mutex.unlock t.ev_mu;
+  match List.nth_opt l n with
+  | Some e ->
+      handle_event t e;
+      true
+  | None -> false
 
 let check_deadlines t =
   let now = Unix.gettimeofday () in
@@ -468,15 +510,17 @@ let nearest_deadline t =
 let await t ~timeout ~done_ =
   let deadline = Unix.gettimeofday () +. timeout in
   let rec go () =
+    if t.in_process then Array.iter Shard.step t.shards;
     poll t;
     if done_ () then true
     else begin
       let left = deadline -. Unix.gettimeofday () in
       if left <= 0.0 then false
       else begin
-        (match Unix.select [ t.wake_r ] [] [] (Float.min left 0.05) with
-        | _ -> ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        (if not t.in_process then
+           match Unix.select [ t.wake_r ] [] [] (Float.min left 0.05) with
+           | _ -> ()
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
         go ()
       end
     end

@@ -31,7 +31,13 @@ type config = {
 
 type t
 
-val create : config -> t
+val create : ?in_process:bool -> config -> t
+(** [in_process] (default false) builds every shard in core mode — no
+    domains: the caller steps shards itself via {!step_shard} (and
+    {!await}/the synchronous collectors step them automatically).  The
+    whole sharded system then runs single-threaded, which is what makes
+    a model-checked run a pure function of its scheduling choices. *)
+
 val router : t -> Router.t
 val shards : t -> int
 
@@ -56,7 +62,36 @@ val retire : t -> top:int -> unit
 
 val wake_fd : t -> Unix.file_descr
 val poll : t -> unit
-(** Drain shard events and run the 2PC state machines.  Never blocks. *)
+(** Drain shard events and run the 2PC state machines.  Never blocks.
+    When a delivery-order hook is installed the drained batch passes
+    through it first. *)
+
+val set_delivery_order : t -> (Shard.event list -> Shard.event list) option -> unit
+(** Install (or clear) the delivery-order hook: each batch {!poll}
+    drains is handed to the hook before the 2PC state machines run, so
+    event arrival order — in particular the order votes reach the
+    coordinator — becomes a scheduling decision instead of wall-clock
+    select order.  The hook must return a permutation of its input. *)
+
+(** {2 In-process driving (model checking)} *)
+
+val step_shard : t -> int -> unit
+(** One scheduling turn of shard [i] (see {!Shard.step}) — core-mode
+    dispatchers only. *)
+
+val shard_has_work : t -> int -> bool
+
+val set_vote_full : t -> bool -> unit
+(** Audit override on every shard: full-history votes instead of the
+    §17 vote window (see {!Shard.set_vote_full}). *)
+
+val pending_events : t -> Shard.event list
+(** The queued, not yet handled shard events, in arrival order. *)
+
+val deliver : t -> int -> bool
+(** Handle exactly the [n]-th queued event, leaving the others queued —
+    the model checker's per-event delivery choice, which subsumes every
+    vote-arrival permutation.  False when no such event. *)
 
 val check_deadlines : t -> unit
 (** Coordinator-side deadline enforcement for transactions the shards

@@ -157,7 +157,12 @@ type t = {
          close a cycle under the lock protocols *)
   dep_probes : (string * string * Value.t list * string * Value.t list, bool) Hashtbl.t;
   mutable dep_commut : Commutativity.registry option;
+  mutable vote_full : bool;
+      (* audit override: vote with the full observed history even where
+         the window argument applies — the model checker compares the
+         outcomes of both modes schedule by schedule *)
   mutable stopping : bool;
+  mutable stop_emitted : bool;
   mutable domain : unit Domain.t option;
 }
 
@@ -300,7 +305,15 @@ let memo_registry sh (reg : Commutativity.registry) =
    running transactions can slide arbitrarily old edges into the
    relation, and the window argument does not hold. *)
 let vote_window sh h =
-  if sh.profile.protocol_kind = `Certify then h
+  if sh.profile.protocol_kind = `Certify then begin
+    (* no locks, no window argument: every vote pays a full-history
+       certification.  The counter makes that silent cost visible —
+       [serve] warns at startup and tests assert it. *)
+    Ooser_sim.Stats.Counter.incr (Engine.counters sh.engine)
+      "vote-full-history";
+    h
+  end
+  else if sh.vote_full then h
   else begin
     let keep = Hashtbl.create 64 in
     Hashtbl.iter (fun top _ -> Hashtbl.replace keep top ()) sh.pending;
@@ -539,6 +552,34 @@ let drain_pipe fd =
   in
   go ()
 
+(* One scheduling turn, shared by the domain loop and the in-process
+   (model-checking) driver: drain and apply queued commands, advance the
+   engine to quiescence, report progress.  Everything in here runs on
+   whichever thread calls it — in core mode that is the dispatcher's own
+   thread, which is what makes a model-checked run single-threaded and
+   therefore a pure function of the scheduler's choices. *)
+let step sh =
+  drain_pipe sh.wake_r;
+  let cmds = drain_inbox sh in
+  List.iter (apply sh) cmds;
+  Engine.check_deadlines sh.engine;
+  ignore (Engine.pump sh.engine);
+  emit_progress sh;
+  if sh.stopping && (not sh.stop_emitted) && Hashtbl.length sh.branches = 0
+  then begin
+    (match sh.journal with Some j -> Oplog.force j | None -> ());
+    sh.stop_emitted <- true;
+    sh.emit (Ev_stopped { shard = sh.idx })
+  end
+
+let has_work sh =
+  Mutex.lock sh.inbox_mu;
+  let n = Queue.length sh.inbox in
+  Mutex.unlock sh.inbox_mu;
+  n > 0 || (sh.stopping && not sh.stop_emitted)
+
+let set_vote_full sh b = sh.vote_full <- b
+
 let loop sh =
   let rec go () =
     let timeout =
@@ -551,20 +592,12 @@ let loop sh =
     | [ _ ], _, _ -> drain_pipe sh.wake_r
     | _ -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    let cmds = drain_inbox sh in
-    List.iter (apply sh) cmds;
-    Engine.check_deadlines sh.engine;
-    ignore (Engine.pump sh.engine);
-    emit_progress sh;
-    if sh.stopping && Hashtbl.length sh.branches = 0 then begin
-      (match sh.journal with Some j -> Oplog.force j | None -> ());
-      sh.emit (Ev_stopped { shard = sh.idx })
-    end
-    else go ()
+    step sh;
+    if not sh.stop_emitted then go ()
   in
   go ()
 
-let create ~idx (profile : profile) ~emit =
+let create_core ~idx (profile : profile) ~emit =
   let db = build_db profile in
   let protocol = build_protocol profile db in
   let engine_config =
@@ -610,10 +643,16 @@ let create ~idx (profile : profile) ~emit =
       pending = Hashtbl.create 64;
       dep_probes = Hashtbl.create 4096;
       dep_commut = None;
+      vote_full = false;
       stopping = false;
+      stop_emitted = false;
       domain = None;
     }
   in
+  sh
+
+let create ~idx (profile : profile) ~emit =
+  let sh = create_core ~idx profile ~emit in
   sh.domain <- Some (Domain.spawn (fun () -> loop sh));
   sh
 

@@ -109,8 +109,31 @@ val create : idx:int -> profile -> emit:(event -> unit) -> t
 (** Build the shard's database/protocol/engine (recovering
     [durable_dir] if set) and start its domain. *)
 
+val create_core : idx:int -> profile -> emit:(event -> unit) -> t
+(** Like {!create} but without spawning a domain: the caller drives the
+    shard itself through {!step}.  With every shard of a dispatcher in
+    core mode, the whole sharded system runs single-threaded on the
+    caller's thread — the deterministic configuration the model checker
+    explores.  {!join} on a core shard only closes its pipe. *)
+
 val send : t -> cmd -> unit
 (** Enqueue and wake — callable from any domain. *)
+
+val step : t -> unit
+(** One scheduling turn (core mode): drain and apply queued commands,
+    pump the engine to quiescence, emit results/votes/decisions.  The
+    domain loop performs exactly this between selects. *)
+
+val has_work : t -> bool
+(** Commands queued (or a stop pending): a {!step} would make
+    progress. *)
+
+val set_vote_full : t -> bool -> unit
+(** Audit override: make every vote carry the dependency edges of the
+    full observed history instead of the DESIGN §17 vote window.  Under
+    [`Certify] votes are full-history regardless (the window argument
+    needs the lock protocols; the engine counter ["vote-full-history"]
+    records each such vote). *)
 
 val idx : t -> int
 val recovery : t -> Engine.recovery_report option

@@ -99,6 +99,27 @@ let test_not_a_trace () =
   Alcotest.check_raises "bad magic" (Failure "Trace: empty or torn header")
     (fun () -> ignore (Trace.load path))
 
+let test_trace_zero_byte () =
+  let path = tmp_trace () in
+  Out_channel.with_open_bin path (fun _ -> ());
+  (* a 0-byte file has no header frame at all — must refuse, not return
+     an empty trace that would "certify" vacuously *)
+  Alcotest.check_raises "zero-byte file"
+    (Failure "Trace: empty or torn header") (fun () ->
+      ignore (Trace.load path))
+
+let test_trace_header_only () =
+  let path = tmp_trace () in
+  (* a recorder that crashed before its first commit leaves exactly the
+     header: a legitimate, empty trace *)
+  Trace.close (Trace.create_writer ~registry:"bench:rw" path);
+  let t = Trace.load path in
+  Alcotest.(check string) "registry survives" "bench:rw" (Trace.registry_name t);
+  Alcotest.(check int) "no records" 0 (Trace.length t);
+  let plan = Segment.plan t ~target:1 in
+  Alcotest.(check int) "no segments" 0 (Array.length plan.Segment.segs);
+  Alcotest.(check int) "no chains" 0 (Array.length plan.Segment.chains)
+
 (* ---------- segmenter ---------- *)
 
 let test_segment_quiescent () =
@@ -146,6 +167,41 @@ let test_segment_heuristic () =
     |> List.filter (fun s -> s.Segment.cut_before = Segment.Heuristic)
   in
   Alcotest.(check bool) "heuristic cuts used" true (heuristic <> [])
+
+(* every boundary quiescent AND target 1: n degenerate one-transaction
+   segments, each trivially serializable on its own, one chain each —
+   the planner must not merge, skip or mis-chain them *)
+let test_segment_degenerate_singletons () =
+  let path = tmp_trace () in
+  write_records path [ flat ~top:1 [ (0, true); (1, false) ] [ 1; 2 ] ];
+  let t1 = Trace.load path in
+  let plan1 = Segment.plan t1 ~target:1 in
+  Alcotest.(check int) "single record: one segment" 1
+    (Array.length plan1.Segment.segs);
+  let s = plan1.Segment.segs.(0) in
+  Alcotest.(check int) "covers lo" 0 s.Segment.lo;
+  Alcotest.(check int) "covers hi" 1 s.Segment.hi;
+  Alcotest.(check bool) "quiescent lead-in" true
+    (s.Segment.cut_before = Segment.Quiescent);
+  Alcotest.(check int) "single record: one chain" 1
+    (Array.length plan1.Segment.chains);
+  (* four serial writers, target 1: four 1-txn segments, four chains,
+     and certification over them still reaches the right verdict *)
+  write_records path
+    (List.init 4 (fun k -> flat ~top:(k + 1) [ (0, true) ] [ k + 1 ]));
+  let t4 = Trace.load path in
+  let plan4 = Segment.plan t4 ~target:1 in
+  Alcotest.(check int) "four 1-txn segments" 4
+    (Array.length plan4.Segment.segs);
+  Array.iter
+    (fun (s : Segment.seg) ->
+      Alcotest.(check int) "degenerate width" 1 (s.Segment.hi - s.Segment.lo))
+    plan4.Segment.segs;
+  Alcotest.(check int) "four chains" 4 (Array.length plan4.Segment.chains);
+  let r = Certify.run ~workers:2 ~segment_target:1 ~registry:(rw_registry ()) t4 in
+  Alcotest.(check bool) "serial trace certifies" true r.Certify.ok;
+  Alcotest.(check int) "all four counted" 4 r.Certify.txns;
+  Alcotest.(check int) "four segments certified" 4 r.Certify.segments
 
 (* ---------- certification ---------- *)
 
@@ -319,8 +375,12 @@ let suites =
         Alcotest.test_case "trace round-trip" `Quick test_roundtrip;
         Alcotest.test_case "trace torn tail" `Quick test_torn_tail;
         Alcotest.test_case "trace bad magic" `Quick test_not_a_trace;
+        Alcotest.test_case "trace zero-byte file" `Quick test_trace_zero_byte;
+        Alcotest.test_case "trace header only" `Quick test_trace_header_only;
         Alcotest.test_case "segmenter quiescent cuts" `Quick
           test_segment_quiescent;
+        Alcotest.test_case "segmenter degenerate 1-txn segments" `Quick
+          test_segment_degenerate_singletons;
         Alcotest.test_case "segmenter heuristic fallback" `Quick
           test_segment_heuristic;
         Alcotest.test_case "clean bench trace certifies" `Quick

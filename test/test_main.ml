@@ -43,4 +43,5 @@ let () =
          Test_crash.suites;
          Test_infer.suites;
          Test_certify.suites;
+         Test_mc.suites;
        ])

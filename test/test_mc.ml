@@ -1,0 +1,122 @@
+(* The model checker checking itself: DPOR must be a pure reduction
+   (same verdicts, fewer schedules) on independent workloads, the
+   planted unsound-spec mutant must be caught with a minimal witness
+   that replays deterministically, and a sharded scenario must run to
+   exhaustion with a clean vote-window audit. *)
+
+module Mc = Ooser_mc.Mc
+module Scenario = Ooser_mc.Scenario
+module Explore = Ooser_mc.Explore
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let scenario name =
+  match Scenario.find name with
+  | Some sc -> sc
+  | None -> Alcotest.failf "no built-in scenario %S" name
+
+let exhausted (e : Mc.exploration option) =
+  match e with Some e -> e.Mc.stats.Explore.exhausted | None -> false
+
+let schedules (e : Mc.exploration option) =
+  match e with Some e -> e.Mc.stats.Explore.schedules | None -> 0
+
+(* Disjoint transactions: every pair commutes, so sleep sets collapse
+   the whole tree to a handful of schedules while naive enumeration
+   pays the full factorial — and both must see the same verdicts. *)
+let test_disjoint_reduction () =
+  let r = Mc.run_scenario (scenario "disjoint") in
+  check_bool "scenario ok" true r.Mc.r_ok;
+  check_bool "naive exhausted" true (exhausted r.Mc.r_naive);
+  check_bool "dpor exhausted" true (exhausted r.Mc.r_dpor);
+  check_bool "verdict sets agree" true r.Mc.r_verdicts_agree;
+  (match r.Mc.r_reduction with
+  | Some f -> check_bool "strict reduction" true (f > 1.0)
+  | None -> Alcotest.fail "no reduction factor measured");
+  check_bool "dpor strictly fewer schedules" true
+    (schedules r.Mc.r_dpor < schedules r.Mc.r_naive)
+
+(* All-conflicting register: nothing commutes, DPOR must NOT prune —
+   pruning here would be unsoundness, not reduction. *)
+let test_shared_register_no_pruning () =
+  let r = Mc.run_scenario (scenario "shared-register") in
+  check_bool "scenario ok" true r.Mc.r_ok;
+  check_int "dpor = naive when nothing commutes" (schedules r.Mc.r_naive)
+    (schedules r.Mc.r_dpor)
+
+(* The planted mutant (an all_commute spec on a non-commuting object):
+   some interleaving must violate the serial-state oracle, and the
+   minimised witness must reproduce the violation on replay — twice,
+   identically, because a run is a pure function of its choices. *)
+let test_mutant_witness_replays () =
+  let sc = scenario "mutant" in
+  check_bool "declared expect-failure" true sc.Scenario.expect_failure;
+  let r = Mc.run_scenario sc in
+  check_bool "mutant caught" true r.Mc.r_ok;
+  check_bool "violations recorded" true (r.Mc.r_violations <> []);
+  match r.Mc.r_witness with
+  | None -> Alcotest.fail "no minimised witness"
+  | Some w ->
+      let _, v1 = Mc.replay sc w in
+      let _, v2 = Mc.replay sc w in
+      check_bool "witness replays the violation" true (v1 <> []);
+      check_bool "replay is deterministic" true (v1 = v2);
+      (* minimality: the witness codec round-trips, so the CLI --replay
+         flag can carry it *)
+      let s = Explore.trace_to_string w in
+      check_bool "trace codec round-trips" true
+        (Explore.trace_of_string s = Some w)
+
+(* Crash scenario: every injected crash point must recover to a state
+   the recovery oracles accept (no lost/duplicated compensation). *)
+let test_crash_pair_recovers () =
+  let r = Mc.run_scenario (scenario "crash-pair") in
+  check_bool "scenario ok" true r.Mc.r_ok;
+  check_bool "explored to exhaustion" true (exhausted r.Mc.r_naive)
+
+(* Sharded 2PC: exhaustion over session and vote-delivery choices,
+   plus the §17 vote-window audit — every recorded schedule re-run
+   with full-history votes must reach the same per-transaction
+   outcomes. *)
+let test_shard_transfer_audit () =
+  let r = Mc.run_scenario (scenario "shard-transfer") in
+  check_bool "scenario ok" true r.Mc.r_ok;
+  check_bool "naive exhausted" true (exhausted r.Mc.r_naive);
+  match r.Mc.r_audit with
+  | None -> Alcotest.fail "sharded run produced no audit"
+  | Some a ->
+      check_bool "schedules audited" true (a.Mc.audited > 0);
+      check_int "no verdict changes under full votes" 0 a.Mc.mismatches;
+      check_bool "window claim in scope" false a.Mc.unsupported
+
+(* Under [`Certify] there is no lock protocol, so the §17 window claim
+   is out of scope: the audit must say UNSUPPORTED and point at the
+   observed full-history fallback votes rather than pretend to pass. *)
+let test_shard_certify_unsupported () =
+  let r = Mc.run_scenario ~mode:`Naive (scenario "shard-certify") in
+  check_bool "scenario ok" true r.Mc.r_ok;
+  match r.Mc.r_audit with
+  | None -> Alcotest.fail "sharded run produced no audit"
+  | Some a ->
+      check_bool "audit marked unsupported" true a.Mc.unsupported;
+      check_bool "fallback votes observed" true (a.Mc.vote_full_votes > 0)
+
+let suites =
+  [
+    ( "mc",
+      [
+        Alcotest.test_case "disjoint: dpor is a strict reduction" `Quick
+          test_disjoint_reduction;
+        Alcotest.test_case "shared register: no unsound pruning" `Quick
+          test_shared_register_no_pruning;
+        Alcotest.test_case "mutant: minimal witness replays" `Quick
+          test_mutant_witness_replays;
+        Alcotest.test_case "crash pair: recovery oracles hold" `Quick
+          test_crash_pair_recovers;
+        Alcotest.test_case "shard transfer: exhaustive + audit" `Quick
+          test_shard_transfer_audit;
+        Alcotest.test_case "shard certify: window audit unsupported" `Quick
+          test_shard_certify_unsupported;
+      ] );
+  ]

@@ -302,7 +302,49 @@ let test_planted_cross_shard_cycle () =
          the actual merged history passes the oracle *)
       check_bool "certified after the abort" true (Dispatcher.certified d ());
       check_bool "merged history oo-serializable" true
-        (Serializability.oo_serializable (Dispatcher.merged_history d ())))
+        (Serializability.oo_serializable (Dispatcher.merged_history d ()));
+      (* under [`Certify] there is no lock protocol to justify the §17
+         vote window, so every prepare voted with its full history —
+         and said so through the counter instead of silently paying *)
+      let full_votes =
+        List.fold_left
+          (fun acc (s : Dispatcher.shard_stats) ->
+            acc
+            + Option.value ~default:0
+                (List.assoc_opt "vote-full-history" s.engine))
+          0
+          (Dispatcher.stats d ())
+      in
+      check_bool "full-history vote fallback counted" true (full_votes >= 1))
+
+(* The 2PC decision must not depend on which shard's vote reaches the
+   coordinator first.  The delivery-order hook makes that order a test
+   parameter instead of wall-clock select order: the same cross-shard
+   transaction must commit under FIFO and under reversed delivery. *)
+let test_cross_shard_delivery_orders () =
+  List.iter
+    (fun (name, order) ->
+      with_dispatcher (disp_config ()) (fun d ->
+          Dispatcher.set_delivery_order d (Some order);
+          let r = Dispatcher.router d in
+          let ka = key_on r 0 and kb = key_on r 1 in
+          Dispatcher.begin_txn d ~top:1 ~name:"both" ~deadline:None;
+          Dispatcher.call d ~top:1 ~obj:"Enc" ~meth:"update"
+            ~args:[ Value.str ka; Value.str "a'" ];
+          Dispatcher.call d ~top:1 ~obj:"Enc" ~meth:"update"
+            ~args:[ Value.str kb; Value.str "b'" ];
+          (match await_result d ~top:1 ~seq:1 ~timeout:5.0 with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "%s: update failed: %s" name e);
+          Dispatcher.commit d ~top:1;
+          (match settle d ~top:1 ~timeout:5.0 with
+          | `Committed _ -> ()
+          | `Aborted r -> Alcotest.failf "%s: aborted: %s" name r
+          | _ -> Alcotest.failf "%s: still running" name);
+          check_int (name ^ ": one 2PC commit") 1 (counter d "2pc-commits");
+          Dispatcher.retire d ~top:1;
+          check_bool (name ^ ": certified") true (Dispatcher.certified d ())))
+    [ ("fifo", Fun.id); ("reversed", List.rev) ]
 
 (* What the coordinator prevented, built by hand: both transactions
    committed, objects carrying the per-shard rename.  The from-scratch
@@ -423,6 +465,8 @@ let suites =
           test_durable_restart_top_floor;
         Alcotest.test_case "planted cross-shard cycle" `Quick
           test_planted_cross_shard_cycle;
+        Alcotest.test_case "delivery order pinned both ways" `Quick
+          test_cross_shard_delivery_orders;
         Alcotest.test_case "hand-built cycle rejected" `Quick
           test_handbuilt_cycle_rejected;
         Alcotest.test_case "e2e sharded server" `Quick
