@@ -22,6 +22,7 @@ open Ooser_oodb
 open Ooser_workload
 module Protocol = Ooser_cc.Protocol
 module Rng = Ooser_sim.Rng
+module Occ = Ooser_occ
 
 let read_file path =
   let ic = open_in_bin path in
@@ -119,7 +120,58 @@ let fmt_cmd =
 let protocol_conv =
   Arg.enum
     [ ("open", `Open); ("flat", `Flat); ("closed", `Closed); ("none", `None);
-      ("certify", `Certify) ]
+      ("certify", `Certify); ("occ", `Occ); ("occ-rw", `Occ_rw) ]
+
+let occ_validate_conv = Arg.enum [ ("commute", `Commute); ("rw", `Rw) ]
+
+let occ_validate_arg =
+  Arg.(
+    value
+    & opt occ_validate_conv `Commute
+    & info [ "occ-validate" ]
+        ~doc:
+          "Validation mode for $(b,-p occ): $(b,commute) probes the \
+           registered commutativity specs (escrow deposits admit each \
+           other), $(b,rw) validates the read/write projection — the \
+           plain-SSI baseline.  $(b,-p occ-rw) is shorthand for $(b,-p occ \
+           --occ-validate rw).")
+
+let resolve_occ protocol occ_validate =
+  match (protocol, occ_validate) with
+  | `Occ, `Rw -> `Occ_rw
+  | p, _ -> p
+
+(* The occ engine run: the multiversion store registers the database, so
+   the workload is the escrow banking mix (occ's model coverage) rather
+   than the encyclopedia.  The certifiable history is the store's
+   multiversion order — the engine's raw execution order can place a
+   snapshot read after a concurrent commit it did not observe. *)
+let run_occ ~txns ~seed mode =
+  let p = { Banking.default_params with Banking.n_txns = txns } in
+  let db, store =
+    Occ.Workloads.setup_banking ~mode ~accounts:p.Banking.accounts
+      ~balance:p.Banking.initial ~low:p.Banking.low ~high:p.Banking.high ()
+  in
+  let bodies = Banking.transactions ~rng:(Rng.create ~seed) p in
+  let protocol = Occ.Store.protocol store in
+  let config =
+    {
+      (Engine.default_config protocol) with
+      Engine.strategy = Engine.Random_pick (Rng.create ~seed:(seed + 1));
+    }
+  in
+  let out = Engine.run ~config db ~protocol bodies in
+  Fmt.pr "protocol:   %s (escrow banking mix)@." (Protocol.name protocol);
+  Fmt.pr "committed:  %d / %d@." (List.length out.Engine.committed) txns;
+  Fmt.pr "steps:      %d@." out.Engine.steps;
+  List.iter (fun (k, v) -> Fmt.pr "%-11s %d@." (k ^ ":") v) out.Engine.metrics;
+  Fmt.pr "total balance: %d (conserved: %b)@."
+    (Occ.Workloads.total_balance store ~accounts:p.Banking.accounts)
+    (Occ.Workloads.total_balance store ~accounts:p.Banking.accounts
+    = p.Banking.accounts * p.Banking.initial);
+  Fmt.pr "history oo-serializable: %b@."
+    (Serializability.oo_serializable (Occ.Store.history store));
+  if List.length out.Engine.committed = txns then 0 else 1
 
 let run_cmd =
   let txns =
@@ -141,7 +193,8 @@ let run_cmd =
          & info [ "dump" ]
              ~doc:"Write the executed history as a checkable description file.")
   in
-  let run txns fanout seed protocol scans dump =
+  let run txns fanout seed protocol occ_validate scans dump =
+    let go protocol =
     let p =
       {
         Enc_workload.default_params with
@@ -189,10 +242,24 @@ let run_cmd =
         Fmt.pr "history written to %s@." path
     | None -> ());
     if List.length out.Engine.committed = txns then 0 else 1
+    in
+    match resolve_occ protocol occ_validate with
+    | `Occ -> run_occ ~txns ~seed Occ.Store.Commute
+    | `Occ_rw -> run_occ ~txns ~seed Occ.Store.Rw
+    | `Open -> go `Open
+    | `Flat -> go `Flat
+    | `Closed -> go `Closed
+    | `None -> go `None
+    | `Certify -> go `Certify
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run an encyclopedia workload under a protocol.")
-    Term.(const run $ txns $ fanout $ seed $ protocol $ scans $ dump)
+    (Cmd.info "run"
+       ~doc:
+         "Run an encyclopedia workload under a protocol ($(b,-p occ) runs \
+          the escrow banking mix — the occ store's model coverage).")
+    Term.(
+      const run $ txns $ fanout $ seed $ protocol $ occ_validate_arg $ scans
+      $ dump)
 
 (* -- acceptance -------------------------------------------------------------- *)
 
@@ -328,6 +395,55 @@ let certify_datapoint () =
     r.C.heuristic_cuts r.C.peak_live r.C.segment_txn_per_s r.C.stitch_seconds
     r.C.elapsed_seconds
 
+(* One optimistic-protocol datapoint: the same escrow banking mix under
+   commute-mode and rw-mode validation — the abort-rate gap is the value
+   of commutativity-aware validation over the plain-SSI baseline. *)
+let occ_datapoint () =
+  let run mode =
+    let p = { Banking.default_params with Banking.n_txns = 64 } in
+    let db, store =
+      Occ.Workloads.setup_banking ~mode ~accounts:p.Banking.accounts
+        ~balance:p.Banking.initial ~low:p.Banking.low ~high:p.Banking.high ()
+    in
+    let bodies = Banking.transactions ~rng:(Rng.create ~seed:11) p in
+    let protocol = Occ.Store.protocol store in
+    let config =
+      {
+        (Engine.default_config protocol) with
+        Engine.strategy = Engine.Random_pick (Rng.create ~seed:12);
+        max_steps = 1_000_000;
+      }
+    in
+    let out = Engine.run ~config db ~protocol bodies in
+    let c k =
+      match
+        List.assoc_opt k
+          (Ooser_sim.Stats.Counter.to_list (Occ.Store.counters store))
+      with
+      | Some v -> v
+      | None -> 0
+    in
+    let committed = List.length out.Engine.committed in
+    ( committed,
+      c "validations",
+      c "aborts",
+      c "commute-saves",
+      Serializability.oo_serializable (Occ.Store.history store) )
+  in
+  let cc, cv, ca, cs, cok = run Occ.Store.Commute in
+  let rc, rv, ra, _, rok = run Occ.Store.Rw in
+  Printf.sprintf
+    "  \"occ\": {\"txns\": 64, \"commute\": {\"committed\": %d, \
+     \"validations\": %d, \"aborts\": %d, \"commute_saves\": %d, \
+     \"abort_rate\": %.3f, \"certified\": %b}, \"rw\": {\"committed\": %d, \
+     \"validations\": %d, \"aborts\": %d, \"abort_rate\": %.3f, \
+     \"certified\": %b}}"
+    cc cv ca cs
+    (if cv > 0 then float_of_int ca /. float_of_int cv else 0.0)
+    cok rc rv ra
+    (if rv > 0 then float_of_int ra /. float_of_int rv else 0.0)
+    rok
+
 let bench_cmd =
   let n =
     Arg.(value & opt int 600
@@ -349,15 +465,18 @@ let bench_cmd =
     Fmt.pr "shard datapoint:@.%s@." shard_json;
     let certify_json = certify_datapoint () in
     Fmt.pr "certify datapoint:@.%s@." certify_json;
+    let occ_json = occ_datapoint () in
+    Fmt.pr "occ datapoint:@.%s@." occ_json;
     (match json with
     | Some file ->
         let oc = open_out file in
         let base = Cert_bench.to_json r in
-        (* splice the shard and certify datapoints into the top-level
-           object *)
+        (* splice the shard, certify and occ datapoints into the
+           top-level object *)
         let body = String.sub base 0 (String.rindex base '}') in
         output_string oc
-          (body ^ ",\n" ^ shard_json ^ ",\n" ^ certify_json ^ "\n}");
+          (body ^ ",\n" ^ shard_json ^ ",\n" ^ certify_json ^ ",\n" ^ occ_json
+         ^ "\n}");
         output_string oc "\n";
         close_out oc;
         Fmt.pr "wrote %s@." file
@@ -616,7 +735,7 @@ let db_conv =
 let server_protocol_conv =
   Arg.enum
     [ ("open", `Open); ("flat", `Flat); ("closed", `Closed);
-      ("certify", `Certify) ]
+      ("certify", `Certify); ("occ", `Occ); ("occ-rw", `Occ_rw) ]
 
 let serve_cmd =
   let db =
@@ -626,7 +745,7 @@ let serve_cmd =
   let protocol =
     Arg.(value & opt server_protocol_conv `Open
          & info [ "p"; "protocol" ]
-             ~doc:"Protocol: open, flat, closed, certify.")
+             ~doc:"Protocol: open, flat, closed, certify, occ, occ-rw.")
   in
   let max_inflight =
     Arg.(value & opt int 32
@@ -669,8 +788,9 @@ let serve_cmd =
                 single-shard server streams every commit, a sharded \
                 server exports the merged history at drain.")
   in
-  let run socket port db protocol max_inflight timeout_ms preload durable
-      shards trace =
+  let run socket port db protocol occ_validate max_inflight timeout_ms preload
+      durable shards trace =
+    let protocol = resolve_occ protocol occ_validate in
     let config =
       {
         (Srv.default_config (addr_of socket port)) with
@@ -684,7 +804,13 @@ let serve_cmd =
         trace_path = trace;
       }
     in
-    let t = Srv.create config in
+    match
+      (try Ok (Srv.create config) with Invalid_argument msg -> Error msg)
+    with
+    | Error msg ->
+        Fmt.epr "oosdb serve: %s@." msg;
+        2
+    | Ok t ->
     Fmt.pr "oosdb serve: %a db=%s protocol=%s max-inflight=%d%s%s@."
       Srv.pp_addr config.Srv.addr
       (Srv.db_kind_name db)
@@ -702,16 +828,6 @@ let serve_cmd =
           (List.length r.Engine.undone)
           r.Engine.recertified
     | None -> ());
-    (* the DESIGN §17 per-vote dependency window needs a lock protocol;
-       a sharded OCC run votes with the full observed history on every
-       prepare (the shards' "vote-full-history" counter records each),
-       which gets expensive as shard histories grow — say so up front
-       instead of silently degrading *)
-    if shards > 0 && protocol = `Certify then
-      Fmt.pr
-        "warning: --shards with -p certify votes with FULL per-shard \
-         histories (no vote window without a lock protocol); 2PC prepare \
-         cost grows with history length@.";
     (* drain on SIGINT/SIGTERM: the handler only raises a flag; the
        loop initiates the shutdown at a quiet point *)
     let stop = ref false in
@@ -732,8 +848,9 @@ let serve_cmd =
          "Network transaction server: sessions over a loopback TCP or \
           unix-domain socket, multiplexed onto one engine.  Exits non-zero \
           if the committed history fails certification.")
-    Term.(const run $ socket_arg $ port_arg $ db $ protocol $ max_inflight
-          $ timeout_ms $ preload $ durable $ shards $ trace)
+    Term.(
+      const run $ socket_arg $ port_arg $ db $ protocol $ occ_validate_arg
+      $ max_inflight $ timeout_ms $ preload $ durable $ shards $ trace)
 
 (* -- recover ------------------------------------------------------------------- *)
 
@@ -841,6 +958,21 @@ let recover_cmd =
                 one global execution order offline.")
   in
   let run dir db protocol preload checkpoint shards trace =
+    let lock_kind : [ `Open | `Flat | `Closed | `Certify ] option =
+      match protocol with
+      | `Occ | `Occ_rw -> None
+      | `Open -> Some `Open
+      | `Flat -> Some `Flat
+      | `Closed -> Some `Closed
+      | `Certify -> Some `Certify
+    in
+    match lock_kind with
+    | None ->
+        Fmt.epr
+          "oosdb recover: occ servers are in-memory (nothing durable to \
+           recover)@.";
+        2
+    | Some protocol ->
     if shards > 0 && trace <> None then begin
       Fmt.epr "oosdb recover: --trace requires a single-engine directory@.";
       2
@@ -871,7 +1003,9 @@ let recover_cmd =
       {
         (Srv.default_config (Srv.Tcp 0)) with
         Srv.db_kind = db;
-        protocol_kind = protocol;
+        protocol_kind =
+          ((protocol : [ `Open | `Flat | `Closed | `Certify ])
+            :> Srv.protocol_kind);
         preload;
       }
     in
@@ -1496,10 +1630,6 @@ let mc_cmd =
                         " witness=" ^ Mc_explore.trace_to_string w
                     | None -> "")
                     (match r.Mc.r_audit with
-                    | Some a when a.Mc.unsupported ->
-                        Printf.sprintf
-                          " audit=UNSUPPORTED(certify,%d full votes)"
-                          a.Mc.vote_full_votes
                     | Some a ->
                         Printf.sprintf " audit=%d/%d" a.Mc.audited a.Mc.recorded
                     | None -> "")

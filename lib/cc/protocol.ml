@@ -28,12 +28,26 @@ module Stats = Ooser_sim.Stats
 
 type decision = Granted | Blocked of Action.t list
 
+(* Optimistic protocols (lib/occ) grow the contract with a snapshot /
+   validate surface: [on_begin] fires at every transaction attempt start
+   (retries re-snapshot), [validate] runs at the top-level commit point
+   with exactly the committing attempt's call tree and stamped
+   primitives — [Error reason] sends the transaction through the normal
+   abort-and-retry path instead of committing.  Lock-based protocols
+   leave both [None]. *)
 type t = {
   name : string;
   request : Action.t -> leaf:bool -> decision;
   on_end : Action.t -> unit;
   on_top_commit : int -> unit;
   on_top_abort : int -> unit;
+  on_begin : (int -> unit) option;
+  validate :
+    (top:int ->
+    tree:Call_tree.t ->
+    prims:(Action_id.t * int) list ->
+    (unit, string) result)
+    option;
   counters : Stats.Counter.t;
   table : Lock_table.t option;  (* exposed for inspection in tests *)
 }
@@ -55,6 +69,32 @@ let unlocked () =
     on_end = (fun _ -> ());
     on_top_commit = (fun _ -> ());
     on_top_abort = (fun _ -> ());
+    on_begin = None;
+    validate = None;
+    counters;
+    table = None;
+  }
+
+(* Lock-free optimistic protocol: every request is granted immediately
+   (reads run against versioned snapshots, writes are buffered), and the
+   whole admission decision moves to [validate] at commit point. *)
+let optimistic ~name ?counters ~on_begin ~validate ~on_top_commit
+    ~on_top_abort () =
+  let counters =
+    match counters with Some c -> c | None -> Stats.Counter.create ()
+  in
+  {
+    name;
+    request =
+      (fun _ ~leaf:_ ->
+        Stats.Counter.incr counters "requests";
+        Stats.Counter.incr counters "grants";
+        Granted);
+    on_end = (fun _ -> ());
+    on_top_commit;
+    on_top_abort;
+    on_begin = Some on_begin;
+    validate = Some validate;
     counters;
     table = None;
   }
@@ -86,8 +126,8 @@ let lock_based ~name ~reg ~wants_lock ~scope_of () =
   in
   let on_top_commit top = Lock_table.release_top table top in
   let on_top_abort top = Lock_table.release_top table top in
-  { name; request; on_end; on_top_commit; on_top_abort; counters;
-    table = Some table }
+  { name; request; on_end; on_top_commit; on_top_abort; on_begin = None;
+    validate = None; counters; table = Some table }
 
 let flat_2pl ~reg () =
   lock_based ~name:"flat-2pl" ~reg
@@ -133,3 +173,8 @@ let request t action ~leaf = t.request action ~leaf
 let on_end t action = t.on_end action
 let on_top_commit t top = t.on_top_commit top
 let on_top_abort t top = t.on_top_abort top
+let on_begin t top = match t.on_begin with Some f -> f top | None -> ()
+let has_validate t = t.validate <> None
+
+let validate t ~top ~tree ~prims =
+  match t.validate with Some f -> f ~top ~tree ~prims | None -> Ok ()

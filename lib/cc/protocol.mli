@@ -18,7 +18,11 @@
       immediate caller of the locked action completes.  Histories it
       admits are oo-serializable.
     - {!unlocked} — grants everything; used to sample raw interleavings
-      (experiment E3) and to show the checker catching violations. *)
+      (experiment E3) and to show the checker catching violations.
+    - {!optimistic} — lock-free: every request granted, reads run against
+      versioned snapshots taken at {!on_begin}, and admission moves to
+      the {!validate} hook the engine runs at the top-level commit point
+      (the multiversion OCC protocol of [lib/occ] builds on this). *)
 
 open Ooser_core
 module Stats = Ooser_sim.Stats
@@ -40,6 +44,28 @@ val on_end : t -> Action.t -> unit
 val on_top_commit : t -> int -> unit
 val on_top_abort : t -> int -> unit
 
+val on_begin : t -> int -> unit
+(** A new attempt of top-level transaction [top] is starting; optimistic
+    protocols snapshot their version store here (retries re-snapshot).
+    No-op for lock-based protocols. *)
+
+val has_validate : t -> bool
+(** Whether the protocol carries a commit-time validation hook — i.e. it
+    is an optimistic protocol whose admission decision runs at commit. *)
+
+val validate :
+  t ->
+  top:int ->
+  tree:Call_tree.t ->
+  prims:(Action_id.t * int) list ->
+  (unit, string) result
+(** Commit-time validation, called by the engine right before a
+    top-level commit with the committing attempt's call tree and its
+    executed primitives (with global execution stamps).  [Error reason]
+    makes the engine roll the transaction back and retry it through the
+    normal internal-retry machinery.  [Ok ()] for protocols without a
+    validation surface. *)
+
 val counters : t -> Stats.Counter.t
 (** ["requests"], ["grants"], ["conflicts"]. *)
 
@@ -59,3 +85,20 @@ val unlocked : unit -> t
 val flat_2pl : reg:Commutativity.registry -> unit -> t
 val closed_nested : reg:Commutativity.registry -> unit -> t
 val open_nested : reg:Commutativity.registry -> unit -> t
+
+val optimistic :
+  name:string ->
+  ?counters:Stats.Counter.t ->
+  on_begin:(int -> unit) ->
+  validate:
+    (top:int ->
+    tree:Call_tree.t ->
+    prims:(Action_id.t * int) list ->
+    (unit, string) result) ->
+  on_top_commit:(int -> unit) ->
+  on_top_abort:(int -> unit) ->
+  unit ->
+  t
+(** Lock-free optimistic protocol: requests are always granted and the
+    given hooks carry the whole admission decision.  [counters] lets the
+    caller share the counter set its hooks increment. *)

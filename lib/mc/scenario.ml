@@ -36,6 +36,14 @@ type mode =
           (** crash plans [(site, after)]; when non-empty the run's
               first choice point picks one of them or no crash at all *)
     }
+  | Occ of {
+      setup : unit -> Database.t * Ooser_occ.Store.t;
+          (** fresh database AND multiversion store per run — the
+              version chains are the store's state, so stateless
+              exploration must rebuild both from scratch; the store
+              provides the protocol and the certifiable (restamped
+              multiversion) history *)
+    }
   | Sharded of {
       shards : int;
       db_kind : [ `Encyclopedia | `Banking | `Inventory ];
@@ -282,6 +290,48 @@ let mutant =
     expect_failure = true;
   }
 
+(* -- occ suite ----------------------------------------------------------------- *)
+
+(* The doctors-on-duty write-skew shape on the multiversion store: two
+   transactions sign off the two doctors, each sign-off reading the
+   OTHER doctor's status from its BEGIN snapshot.  Under validated occ
+   (commute probes or the rw projection) a concurrent pair conflicts,
+   so one transaction validation-aborts and retries against the other's
+   commit — every terminal state matches a serial order.  The
+   unvalidated variant is naive snapshot isolation: both sign-offs see
+   the other still on duty, the committed history (where the snapshot
+   read is folded into the update's commit stamp) stays green, and only
+   the serial-state oracle can tell that "(off(saw on), off(saw on))"
+   matches no serial order. *)
+let occ_roster name ~mode ~expect_failure descr =
+  {
+    name;
+    descr;
+    txns =
+      [
+        txn "sign-x" [ call "Roster" "sign_off_x" ];
+        txn "sign-y" [ call "Roster" "sign_off_y" ];
+      ];
+    probes = [ call "Roster" "read_x"; call "Roster" "read_y" ];
+    mode = Occ { setup = (fun () -> Ooser_occ.Workloads.setup_roster ~mode ()) };
+    expect_failure;
+  }
+
+let occ_write_skew =
+  occ_roster "occ-write-skew" ~mode:Ooser_occ.Store.Commute
+    ~expect_failure:false
+    "doctors-on-duty write skew under commute-mode occ validation"
+
+let occ_write_skew_rw =
+  occ_roster "occ-write-skew-rw" ~mode:Ooser_occ.Store.Rw
+    ~expect_failure:false
+    "doctors-on-duty write skew under rw-projection (SSI) validation"
+
+let occ_si_mutant =
+  occ_roster "occ-si-mutant" ~mode:Ooser_occ.Store.Unvalidated
+    ~expect_failure:true
+    "unvalidated snapshot isolation: planted write-skew anomaly"
+
 (* -- crash suite -------------------------------------------------------------- *)
 
 (* Two counters, a journal, and a crash plan per oplog injection site:
@@ -378,9 +428,11 @@ let shard_transfer_base name protocol expect_failure =
 
 let shard_transfer = shard_transfer_base "shard-transfer" `Open false
 
-(* Same shape under [`Certify]: the per-vote window argument does not
-   apply (no lock protocol), votes fall back to full history — the
-   checked UNSUPPORTED case of the vote-window audit. *)
+(* Same shape under [`Certify]: votes window on the validation-frontier
+   watermark instead of the lock protocols' pending-retirement window,
+   and the vote-window audit re-runs every explored schedule with
+   full-history votes to check the watermark window decides
+   identically. *)
 let shard_certify = shard_transfer_base "shard-certify" `Certify false
 
 (* The planted Def. 15 cross-shard cycle of the shard tests, explored
@@ -424,6 +476,9 @@ let all =
     directory;
     escrow;
     mutant;
+    occ_write_skew;
+    occ_write_skew_rw;
+    occ_si_mutant;
     crash_pair;
     shard_transfer;
     shard_cycle;
@@ -436,6 +491,7 @@ let suites =
       [ "disjoint"; "shared-register"; "deadlock-pair"; "directory"; "escrow" ]
     );
     ("mutant", [ "mutant" ]);
+    ("occ", [ "occ-write-skew"; "occ-write-skew-rw"; "occ-si-mutant" ]);
     ("crash", [ "crash-pair" ]);
     ("sharded", [ "shard-transfer"; "shard-cycle"; "shard-certify" ]);
   ]

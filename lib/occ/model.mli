@@ -1,0 +1,52 @@
+(** Functional ADT models for the multiversion store: state reified as
+    {!Ooser_core.Value.t}, methods as pure state transitions, so reads
+    can run against snapshot versions and updates can replay at commit
+    point.
+
+    Soundness constraint: an update method's result must be a pure
+    function of its arguments — state-dependence of its applicability
+    (escrow bounds) must show up both as a raise in [apply] and in the
+    commutativity spec. *)
+
+open Ooser_core
+
+type outcome = {
+  new_state : Value.t option;  (** [None] = pure read *)
+  result : Value.t;
+}
+
+type t = {
+  name : string;
+  init : Value.t;
+  methods : string list;
+  is_update : string -> bool;
+  apply : Value.t -> string -> Value.t list -> outcome;
+      (** May raise {!Ooser_oodb.Runtime.Abort}; deterministic in
+          (state, method, args). *)
+  stale_apply :
+    committed:Value.t -> snap:Value.t -> string -> Value.t list -> Value.t;
+      (** What naive (unvalidated) snapshot isolation would install: the
+          update's new state computed from the BEGIN snapshot, merged
+          into the committed state.  Only the model-checker mutant mode
+          calls this. *)
+  spec_of : current:(unit -> Value.t) -> Commutativity.spec;
+      (** [current] yields the newest committed state for state-reading
+          (escrow-style) predicates. *)
+}
+
+val rw_spec : t -> Commutativity.spec
+(** The read/write projection of the model — what plain SSI validates
+    with.  Stable by construction. *)
+
+val escrow : ?low:int -> ?high:int -> int -> t
+(** Escrow account: [deposit]/[withdraw]/[balance] over an [Int]
+    balance, bounds-checked on apply, with the state-reading escrow
+    commutativity spec of {!Ooser_adts.Escrow_counter}. *)
+
+val register : ?init:Value.t -> unit -> t
+(** Read/write cell: [read]/[write], classic stable rw spec. *)
+
+val roster : ?x:string -> ?y:string -> unit -> t
+(** Doctors-on-duty write-skew object: [sign_off_x]/[sign_off_y] each
+    read the other doctor's field and overwrite their own with the
+    observed value; [read_x]/[read_y] are pure reads. *)

@@ -1,0 +1,5 @@
+(* Umbrella module for the multiversion optimistic protocol library. *)
+
+module Model = Model
+module Store = Store
+module Workloads = Workloads

@@ -644,21 +644,51 @@ let deliver_to_parent eng txn task ~undo v =
           (* the compensation task completed: the abort is done *)
           task.tstatus <- Finished;
           finish_abort eng txn ~retry reason
-      | None ->
-          if (not eng.config.certify) || certification_passes eng txn then
-            commit_txn eng txn v
-          else begin
-            (* certification failed: take the tree back, roll back through
-               a proper compensation phase, retry *)
-            Stats.Counter.incr eng.counters "certification-failures";
-            eng.trees <- List.filter (fun (top, _) -> top <> txn.top) eng.trees;
-            let reason =
-              match eng.last_reject with
-              | Some r -> r
-              | None -> "certification failure"
-            in
-            abort_txn eng txn ~retry:true ~items:undo reason
-          end)
+      | None -> (
+          (* optimistic protocols validate at the commit point: the hook
+             sees exactly what the incremental certifier would — the
+             committing attempt's call tree and its stamped primitives *)
+          let validation =
+            if Protocol.has_validate eng.config.protocol then
+              match List.assoc_opt txn.top eng.trees with
+              | Some tree ->
+                  let prims =
+                    List.rev eng.order
+                    |> List.filter_map (fun (top, att, id, stamp) ->
+                           if top = txn.top && att = txn.attempt then
+                             Some (id, stamp)
+                           else None)
+                  in
+                  Protocol.validate eng.config.protocol ~top:txn.top ~tree
+                    ~prims
+              | None -> Ok ()
+            else Ok ()
+          in
+          match validation with
+          | Error reason ->
+              (* validation failed: take the tree back, roll back through
+                 a proper compensation phase, retry — the same internal-
+                 retry path as a failed certification *)
+              Stats.Counter.incr eng.counters "validation-failures";
+              eng.trees <-
+                List.filter (fun (top, _) -> top <> txn.top) eng.trees;
+              abort_txn eng txn ~retry:true ~items:undo reason
+          | Ok () ->
+              if (not eng.config.certify) || certification_passes eng txn
+              then commit_txn eng txn v
+              else begin
+                (* certification failed: take the tree back, roll back
+                   through a proper compensation phase, retry *)
+                Stats.Counter.incr eng.counters "certification-failures";
+                eng.trees <-
+                  List.filter (fun (top, _) -> top <> txn.top) eng.trees;
+                let reason =
+                  match eng.last_reject with
+                  | Some r -> r
+                  | None -> "certification failure"
+                in
+                abort_txn eng txn ~retry:true ~items:undo reason
+              end))
   | Some (parent, slot) -> (
       task.tstatus <- Finished;
       task.pending <- Idle;
@@ -928,6 +958,9 @@ let start_txn (eng : t) txn =
     }
   in
   task.stack <- [ frame ];
+  (* optimistic protocols snapshot their version store per attempt, so a
+     validation-abort retry re-reads against fresh committed state *)
+  Protocol.on_begin eng.config.protocol txn.top;
   let ctx = { Runtime.top = txn.top } in
   task.pending <- Step (fun () -> run_fiber (fun () -> txn.body ctx))
 
@@ -1348,10 +1381,13 @@ let outcome_of (eng : t) =
     steps = eng.steps;
     latencies;
     metrics =
-      Stats.Counter.to_list eng.counters
-      @ List.map
-          (fun (k, v) -> ("lock." ^ k, v))
-          (Stats.Counter.to_list (Protocol.counters eng.config.protocol));
+      (let prefix =
+         if Protocol.has_validate eng.config.protocol then "occ." else "lock."
+       in
+       Stats.Counter.to_list eng.counters
+       @ List.map
+           (fun (k, v) -> (prefix ^ k, v))
+           (Stats.Counter.to_list (Protocol.counters eng.config.protocol)));
   }
 
 let runnable_units (eng : t) =
@@ -1791,6 +1827,36 @@ let stamped_order (eng : t) =
          match List.assoc_opt top committed_tops with
          | Some final when final = att -> Some (id, stamp)
          | _ -> None)
+
+(* The certifier-side validation frontier: the smallest execution stamp
+   recorded by any still-running transaction's current attempt, or
+   [max_int] when no running transaction has recorded a stamp yet.
+   Dependency edges always point from the earlier-stamped action of a
+   conflicting pair to the later one, so a committed transaction whose
+   stamps all lie below the frontier can no longer become the *target*
+   of a new edge — every edge into it is already determined by the
+   recorded history.  A sharded certify-mode vote anchors its window
+   here instead of shipping the full history (see Shard.vote_window);
+   such settled transactions can still be the *source* of an edge to a
+   still-live transaction, which is why the shard keeps a monotone
+   watermark rather than using the instantaneous frontier directly. *)
+let validation_frontier (eng : t) =
+  let live =
+    List.filter_map
+      (fun txn ->
+        if txn.status = Running && txn.aborting = None then
+          Some (txn.top, txn.attempt)
+        else None)
+      eng.txns
+  in
+  if live = [] then max_int
+  else
+    List.fold_left
+      (fun acc (top, att, _, stamp) ->
+        match List.assoc_opt top live with
+        | Some a when a = att -> min acc stamp
+        | _ -> acc)
+      max_int eng.order
 
 (* Committed call trees by top, final attempts — the raw material for a
    dispatcher-side merged history. *)

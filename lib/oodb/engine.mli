@@ -251,6 +251,17 @@ val committed_trees : t -> (int * Call_tree.t) list
 (** Committed call trees keyed by top (final attempts), sorted by top —
     raw material for a dispatcher-side merged history. *)
 
+val validation_frontier : t -> int
+(** The certifier-side validation frontier: the smallest execution stamp
+    recorded by any still-running transaction's current attempt
+    ([max_int] when none has recorded one).  A committed transaction
+    whose stamps all lie below the frontier can no longer become the
+    target of a new dependency edge — edges always point from the
+    earlier-stamped action of a conflicting pair to the later one — so a
+    sharded certify-mode vote may window its history to transactions at
+    or above the watermark of past frontiers instead of shipping the
+    full history. *)
+
 val set_trace_sink :
   t ->
   (top:int -> tree:Call_tree.t -> prims:(Ids.Action_id.t * int) list -> unit)

@@ -27,6 +27,7 @@ module Snapshot = Ooser_recovery.Snapshot
 module Recovery = Ooser_recovery.Recovery
 module Dispatcher = Ooser_shard.Dispatcher
 module Trace = Ooser_certify.Trace
+module Occ = Ooser_occ
 
 type addr = Unix_sock of string | Tcp of int  (* loopback only *)
 
@@ -39,7 +40,9 @@ let pp_addr ppf = function
   | Tcp port -> Fmt.pf ppf "tcp:127.0.0.1:%d" port
 
 type db_kind = [ `Encyclopedia | `Banking | `Inventory ]
-type protocol_kind = [ `Open | `Flat | `Closed | `Certify ]
+
+type protocol_kind =
+  [ `Open | `Flat | `Closed | `Certify | `Occ | `Occ_rw ]
 
 let db_kind_name = function
   | `Encyclopedia -> "encyclopedia"
@@ -51,6 +54,16 @@ let protocol_kind_name = function
   | `Flat -> "flat"
   | `Closed -> "closed"
   | `Certify -> "certify"
+  | `Occ -> "occ"
+  | `Occ_rw -> "occ-rw"
+
+let is_occ = function `Occ | `Occ_rw -> true | _ -> false
+
+(* Sharded backends speak the lock-protocol subset only; occ configs are
+   rejected before a dispatcher is ever built. *)
+let shard_protocol_kind = function
+  | (`Open | `Flat | `Closed | `Certify) as pk -> pk
+  | `Occ | `Occ_rw -> invalid_arg "occ protocols are single-engine only"
 
 type config = {
   addr : addr;
@@ -114,6 +127,10 @@ type t = {
       (* sharded backend; when [Some], [db]/[engine]/[protocol] are an
          inert placeholder stack and every transaction path goes through
          the dispatcher instead *)
+  occ_store : Occ.Store.t option;
+      (* the multiversion store behind [protocol] when [protocol_kind]
+         is an occ mode; its restamped history — not the engine's
+         execution order — is what [certified] checks *)
   metrics : Metrics.t;
   listen_fd : Unix.file_descr;
   mutable conns : conn list;
@@ -155,6 +172,33 @@ let build_db config =
         (Ooser_workload.Inventory.create ~products:config.products db));
   db
 
+(* The occ backend: the store registers the database's objects itself
+   (store-backed methods, model-derived specs), so the whole (db,
+   protocol) pair comes from here rather than build_db/build_protocol.
+   Only the banking kind has occ models so far — it is the escrow
+   workload the commute-vs-rw abort gap shows up on. *)
+let build_occ config =
+  (match config.db_kind with
+  | `Banking -> ()
+  | k ->
+      invalid_arg
+        (Printf.sprintf "-p occ supports the banking database only (got %s)"
+           (db_kind_name k)));
+  if config.shards > 0 then invalid_arg "-p occ does not support --shards";
+  if config.durable_dir <> None then
+    invalid_arg "-p occ is in-memory only (no --durable)";
+  if config.trace_path <> None then
+    invalid_arg
+      "-p occ does not record execution-order traces (its certifiable \
+       history is the store's multiversion order; see STATS certified)";
+  let mode =
+    match config.protocol_kind with
+    | `Occ_rw -> Occ.Store.Rw
+    | _ -> Occ.Store.Commute
+  in
+  Occ.Workloads.setup_banking ~mode ~accounts:config.accounts ~balance:100
+    ~low:0 ~high:1_000_000 ()
+
 let build_protocol config db =
   let reg = Database.spec_registry db in
   match config.protocol_kind with
@@ -162,6 +206,10 @@ let build_protocol config db =
   | `Flat -> Protocol.flat_2pl ~reg ()
   | `Closed -> Protocol.closed_nested ~reg ()
   | `Certify -> Protocol.unlocked ()
+  | `Occ | `Occ_rw ->
+      invalid_arg
+        "Server.build_protocol: occ protocols are built with their store \
+         by Server.create"
 
 (* a peer closing mid-write must surface as EPIPE, not kill the process *)
 let ignore_sigpipe () =
@@ -192,11 +240,20 @@ let durable_boot ~dir ~engine_config db protocol =
 let create config =
   ignore_sigpipe ();
   let sharded = config.shards > 0 in
-  let db =
-    if sharded then Database.create () (* placeholder; shards own the data *)
-    else build_db config
+  let occ = is_occ config.protocol_kind in
+  let db, occ_store =
+    if occ then
+      let db, store = build_occ config in
+      (db, Some store)
+    else if sharded then
+      (Database.create () (* placeholder; shards own the data *), None)
+    else (build_db config, None)
   in
-  let protocol = build_protocol config db in
+  let protocol =
+    match occ_store with
+    | Some store -> Occ.Store.protocol store
+    | None -> build_protocol config db
+  in
   let engine_config =
     {
       (Engine.default_config protocol) with
@@ -224,7 +281,7 @@ let create config =
            {
              Dispatcher.shards = config.shards;
              db_kind = config.db_kind;
-             protocol_kind = config.protocol_kind;
+             protocol_kind = shard_protocol_kind config.protocol_kind;
              preload = config.preload;
              fanout = config.fanout;
              accounts = config.accounts;
@@ -277,6 +334,7 @@ let create config =
     engine;
     protocol;
     dispatcher;
+    occ_store;
     metrics;
     listen_fd;
     conns = [];
@@ -330,9 +388,15 @@ let certified t =
   match t.final_verdict with
   | Some v -> v
   | None -> (
-      match t.dispatcher with
-      | Some d -> Dispatcher.certified d ()
-      | None -> Serializability.oo_serializable (Engine.final_history t.engine))
+      match (t.occ_store, t.dispatcher) with
+      | Some store, _ ->
+          (* the store's multiversion order, not the engine's raw
+             execution order: a snapshot read executes after concurrent
+             commits it legitimately did not observe *)
+          Serializability.oo_serializable (Occ.Store.history store)
+      | None, Some d -> Dispatcher.certified d ()
+      | None, None ->
+          Serializability.oo_serializable (Engine.final_history t.engine))
 
 (* Sum per-shard counters key-wise into one merged engine view; the
    per-shard breakdown rides along so imbalance stays visible. *)
@@ -359,9 +423,10 @@ let stats_json ?certified:(verdict = None) t =
   let engine_counters, shards =
     match t.dispatcher with
     | None ->
+        let prefix = if t.occ_store <> None then "occ." else "lock." in
         ( Stats.Counter.to_list (Engine.counters t.engine)
           @ List.map
-              (fun (k, v) -> ("lock." ^ k, v))
+              (fun (k, v) -> (prefix ^ k, v))
               (Stats.Counter.to_list (Protocol.counters t.protocol))
           @ admission,
           [] )
@@ -807,6 +872,7 @@ let close t = if not t.stopped then finish_drain t
 let engine t = t.engine
 let protocol t = t.protocol
 let dispatcher t = t.dispatcher
+let occ_store t = t.occ_store
 let metrics t = t.metrics
 let inflight t = t.inflight
 let last_recovery t = t.recovery

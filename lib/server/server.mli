@@ -12,7 +12,16 @@ val sockaddr_of : addr -> Unix.sockaddr
 val pp_addr : Format.formatter -> addr -> unit
 
 type db_kind = [ `Encyclopedia | `Banking | `Inventory ]
-type protocol_kind = [ `Open | `Flat | `Closed | `Certify ]
+
+type protocol_kind =
+  [ `Open | `Flat | `Closed | `Certify | `Occ | `Occ_rw ]
+(** [`Occ] is the multiversion optimistic protocol with
+    commutativity-aware commit validation, [`Occ_rw] the same protocol
+    validating on the read/write projection (plain-SSI baseline).  Both
+    are single-engine, in-memory, banking-database only: the occ store
+    registers the database itself, {!certified} checks the store's
+    multiversion history, and STATS counters appear under the ["occ."]
+    prefix ([occ.validations], [occ.aborts], [occ.commute-saves]). *)
 
 val db_kind_name : db_kind -> string
 val protocol_kind_name : protocol_kind -> string
@@ -63,6 +72,9 @@ val build_db : config -> Ooser_oodb.Database.t
     state recovery replays a log against ([oosdb recover] shares it). *)
 
 val build_protocol : config -> Ooser_oodb.Database.t -> Ooser_cc.Protocol.t
+(** Lock kinds only.
+    @raise Invalid_argument for occ kinds — their protocol is built
+    together with the multiversion store inside {!create}. *)
 
 type t
 
@@ -102,6 +114,10 @@ val engine : t -> Ooser_oodb.Engine.t
 val protocol : t -> Ooser_cc.Protocol.t
 val dispatcher : t -> Ooser_shard.Dispatcher.t option
 (** The sharded backend, when [config.shards > 0]. *)
+
+val occ_store : t -> Ooser_occ.Store.t option
+(** The multiversion store backing an occ-mode server; [None] for lock
+    kinds. *)
 
 val metrics : t -> Metrics.t
 val inflight : t -> int

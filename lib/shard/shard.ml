@@ -161,6 +161,11 @@ type t = {
       (* audit override: vote with the full observed history even where
          the window argument applies — the model checker compares the
          outcomes of both modes schedule by schedule *)
+  mutable cert_watermark : int;
+      (* [`Certify] vote window: the validation frontier observed at the
+         previous vote.  Committed tops all of whose stamps lie below it
+         are settled — out of the window — because no new edge can point
+         into them; monotone, one vote behind the frontier *)
   mutable stopping : bool;
   mutable stop_emitted : bool;
   mutable domain : unit Domain.t option;
@@ -300,24 +305,46 @@ let memo_registry sh (reg : Commutativity.registry) =
    tops, and a pending top retires from the window as soon as a vote
    finds no tentative edge touching it (its stable edges are then
    permanently recorded by the coordinator — see [Coordinator.absorb]
-   for votes that arrive after their transaction is gone).  The
-   unlocked [`Certify] protocol keeps the full history: without locks,
-   running transactions can slide arbitrarily old edges into the
-   relation, and the window argument does not hold. *)
+   for votes that arrive after their transaction is gone).
+
+   The unlocked [`Certify] protocol has no retained locks, so the
+   pending-retirement argument does not apply; its window anchors on
+   the engine's validation frontier instead (DESIGN §17): dependency
+   edges point from the earlier execution stamp to the later one, so a
+   committed transaction all of whose stamps lie below the smallest
+   stamp of any still-running transaction can never again become the
+   TARGET of a new edge — it cannot join a new cycle, and every edge
+   between two such settled transactions was already reported stable at
+   the later one's own (pinned) vote.  Settled transactions can still
+   be the SOURCE of an edge to a live neighbour, which is why the shard
+   advances a monotone watermark one vote behind the instantaneous
+   frontier rather than using the frontier directly: a transaction
+   stays in the window through the vote that observes it settled.  The
+   model checker's vote-window audit re-runs every explored schedule
+   with [vote_full] and requires identical per-transaction outcomes. *)
 let vote_window sh h =
-  if sh.profile.protocol_kind = `Certify then begin
-    (* no locks, no window argument: every vote pays a full-history
-       certification.  The counter makes that silent cost visible —
-       [serve] warns at startup and tests assert it. *)
+  if sh.vote_full then begin
+    (* audit override: pay the full-history certification the window is
+       claimed to be equivalent to, and make the cost visible *)
     Ooser_sim.Stats.Counter.incr (Engine.counters sh.engine)
       "vote-full-history";
     h
   end
-  else if sh.vote_full then h
   else begin
+    Ooser_sim.Stats.Counter.incr (Engine.counters sh.engine) "vote-windowed";
     let keep = Hashtbl.create 64 in
     Hashtbl.iter (fun top _ -> Hashtbl.replace keep top ()) sh.pending;
     Hashtbl.iter (fun top _ -> Hashtbl.replace keep top ()) sh.branches;
+    (match sh.profile.protocol_kind with
+    | `Certify ->
+        List.iter
+          (fun (id, stamp) ->
+            if stamp >= sh.cert_watermark then
+              Hashtbl.replace keep (Ids.Action_id.top id) ())
+          (Engine.stamped_order sh.engine);
+        let f = Engine.validation_frontier sh.engine in
+        if f < max_int && f > sh.cert_watermark then sh.cert_watermark <- f
+    | `Open | `Flat | `Closed -> ());
     let tops =
       List.filter
         (fun tree ->
@@ -644,6 +671,7 @@ let create_core ~idx (profile : profile) ~emit =
       dep_probes = Hashtbl.create 4096;
       dep_commut = None;
       vote_full = false;
+      cert_watermark = 0;
       stopping = false;
       stop_emitted = false;
       domain = None;

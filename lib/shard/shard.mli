@@ -130,10 +130,11 @@ val has_work : t -> bool
 
 val set_vote_full : t -> bool -> unit
 (** Audit override: make every vote carry the dependency edges of the
-    full observed history instead of the DESIGN §17 vote window.  Under
-    [`Certify] votes are full-history regardless (the window argument
-    needs the lock protocols; the engine counter ["vote-full-history"]
-    records each such vote). *)
+    full observed history instead of the DESIGN §17 vote window — under
+    the lock protocols the pending-retirement window, under [`Certify]
+    the validation-frontier watermark window.  The engine counters
+    ["vote-windowed"] and ["vote-full-history"] record which mode each
+    vote ran in. *)
 
 val idx : t -> int
 val recovery : t -> Engine.recovery_report option

@@ -44,4 +44,5 @@ let () =
          Test_infer.suites;
          Test_certify.suites;
          Test_mc.suites;
+         Test_occ.suites;
        ])

@@ -303,19 +303,20 @@ let test_planted_cross_shard_cycle () =
       check_bool "certified after the abort" true (Dispatcher.certified d ());
       check_bool "merged history oo-serializable" true
         (Serializability.oo_serializable (Dispatcher.merged_history d ()));
-      (* under [`Certify] there is no lock protocol to justify the §17
-         vote window, so every prepare voted with its full history —
-         and said so through the counter instead of silently paying *)
-      let full_votes =
+      (* the §17 vote window now covers [`Certify] too, anchored on the
+         engine's validation-frontier watermark: every prepare voted
+         over the windowed history, none paid the full-history fallback
+         the pre-watermark implementation was forced into *)
+      let vote_counter name =
         List.fold_left
           (fun acc (s : Dispatcher.shard_stats) ->
-            acc
-            + Option.value ~default:0
-                (List.assoc_opt "vote-full-history" s.engine))
+            acc + Option.value ~default:0 (List.assoc_opt name s.engine))
           0
           (Dispatcher.stats d ())
       in
-      check_bool "full-history vote fallback counted" true (full_votes >= 1))
+      check_bool "windowed votes counted" true (vote_counter "vote-windowed" >= 1);
+      check_int "no full-history fallback votes" 0
+        (vote_counter "vote-full-history"))
 
 (* The 2PC decision must not depend on which shard's vote reaches the
    coordinator first.  The delivery-order hook makes that order a test
